@@ -1,0 +1,107 @@
+//! Join-algorithm benchmarks across the three predicates — the
+//! "recognized good algorithms" of the paper's introduction vs the
+//! replicate-or-rescan algorithms available for containment and spatial
+//! joins.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use jp_relalg::{algorithms, workload};
+
+fn bench_equijoin_algorithms(c: &mut Criterion) {
+    let (r, s) = workload::zipf_equijoin(5_000, 5_000, 500, 0.9, 3);
+    let mut group = c.benchmark_group("equijoin_algorithms");
+    group.throughput(Throughput::Elements((r.len() + s.len()) as u64));
+    group.bench_function("hash_join", |b| {
+        b.iter(|| algorithms::equi::hash_join(&r, &s))
+    });
+    group.bench_function("sort_merge", |b| {
+        b.iter(|| algorithms::equi::sort_merge(&r, &s))
+    });
+    group.bench_function("index_nested_loops", |b| {
+        b.iter(|| algorithms::equi::index_nested_loops(&r, &s))
+    });
+    group.finish();
+}
+
+fn bench_containment_algorithms(c: &mut Criterion) {
+    let (r, s) = workload::set_workload(800, 600, 2_000, 3..=8, 8..=20, 0.4, 5);
+    let mut group = c.benchmark_group("containment_algorithms");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements((r.len() + s.len()) as u64));
+    group.bench_function("naive", |b| {
+        b.iter(|| algorithms::containment::naive(&r, &s))
+    });
+    group.bench_function("inverted_index", |b| {
+        b.iter(|| algorithms::containment::inverted_index(&r, &s))
+    });
+    group.bench_function("signature", |b| {
+        b.iter(|| algorithms::containment::signature(&r, &s))
+    });
+    group.bench_function("partitioned_64", |b| {
+        b.iter(|| algorithms::containment::partitioned(&r, &s, 64))
+    });
+    group.finish();
+}
+
+fn bench_spatial_algorithms(c: &mut Criterion) {
+    let r = workload::uniform_rects(3_000, 20_000, 80, 8);
+    let s = workload::uniform_rects(3_000, 20_000, 80, 9);
+    let mut group = c.benchmark_group("spatial_algorithms_uniform");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements((r.len() + s.len()) as u64));
+    group.bench_function("sweep", |b| b.iter(|| algorithms::spatial::sweep(&r, &s)));
+    group.bench_function("pbsm", |b| b.iter(|| algorithms::spatial::pbsm(&r, &s)));
+    group.bench_function("rtree", |b| b.iter(|| algorithms::spatial::rtree(&r, &s)));
+    group.bench_function("rtree_inl", |b| {
+        b.iter(|| algorithms::spatial::index_nested_loops(&r, &s))
+    });
+    group.finish();
+
+    // clustered (skewed) regime — where grid partitioning degrades
+    let r = workload::clustered_rects(3_000, 20_000, 80, 6, 400, 10);
+    let s = workload::clustered_rects(3_000, 20_000, 80, 6, 400, 11);
+    let mut group = c.benchmark_group("spatial_algorithms_clustered");
+    group.sample_size(20);
+    group.bench_function("sweep", |b| b.iter(|| algorithms::spatial::sweep(&r, &s)));
+    group.bench_function("pbsm", |b| b.iter(|| algorithms::spatial::pbsm(&r, &s)));
+    group.bench_function("rtree", |b| b.iter(|| algorithms::spatial::rtree(&r, &s)));
+    group.finish();
+}
+
+fn bench_join_graph_builders(c: &mut Criterion) {
+    let (r, s) = workload::zipf_equijoin(2_000, 2_000, 300, 0.8, 12);
+    let mut group = c.benchmark_group("join_graph_builders");
+    group.sample_size(20);
+    group.bench_function("equijoin_hash", |b| {
+        b.iter(|| jp_relalg::equijoin_graph(&r, &s))
+    });
+    group.bench_function("equijoin_by_definition", |b| {
+        b.iter(|| jp_relalg::join_graph(&r, &s, &jp_relalg::predicate::Equality))
+    });
+    group.finish();
+}
+
+fn bench_parallel_fragmented_join(c: &mut Criterion) {
+    use jp_relalg::parallel::fragmented_join;
+    use jp_relalg::predicate::Equality;
+    let (r, s) = workload::zipf_equijoin(4_000, 4_000, 400, 0.8, 21);
+    let lf: Vec<u32> = (0..r.len()).map(|i| (i % 4) as u32).collect();
+    let rf: Vec<u32> = (0..s.len()).map(|i| (i % 4) as u32).collect();
+    let mut group = c.benchmark_group("fragmented_join_4x4");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| fragmented_join(&r, &s, &Equality, &lf, 4, &rf, 4, threads))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_equijoin_algorithms,
+    bench_containment_algorithms,
+    bench_spatial_algorithms,
+    bench_join_graph_builders,
+    bench_parallel_fragmented_join
+);
+criterion_main!(benches);

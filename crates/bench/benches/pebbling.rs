@@ -1,0 +1,131 @@
+//! Pebbling-algorithm benchmarks.
+//!
+//! Performance claims covered:
+//! * Theorem 4.1 — the equijoin pebbler is linear-time (flat ns/edge
+//!   across sizes);
+//! * Lemma 3.1 — a 1.25-bounded pebbling in (near-)linear time: the
+//!   Euler-trail pebbler vs the per-round DFS-partition construction;
+//! * ablation — heuristic ladder cost/throughput trade-off (nearest
+//!   neighbour, path cover, Euler trails, DFS partition).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use jp_graph::{generators, BipartiteGraph};
+use jp_pebble::approx::{
+    pebble_dfs_partition, pebble_equijoin, pebble_euler_trails, pebble_nearest_neighbor,
+    pebble_path_cover,
+};
+
+fn equijoin_components(m: usize) -> BipartiteGraph {
+    let comps = (m / 100).max(1) as u32;
+    let mut edges = Vec::with_capacity(m);
+    for c in 0..comps {
+        for i in 0..5u32 {
+            for j in 0..20u32 {
+                edges.push((c * 5 + i, c * 20 + j));
+            }
+        }
+    }
+    BipartiteGraph::new(comps * 5, comps * 20, edges)
+}
+
+fn bench_equijoin_pebble(c: &mut Criterion) {
+    let mut group = c.benchmark_group("equijoin_pebble");
+    for m in [1_000usize, 10_000, 100_000] {
+        let g = equijoin_components(m);
+        group.throughput(Throughput::Elements(g.edge_count() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(m), &g, |b, g| {
+            b.iter(|| pebble_equijoin(g).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_heuristic_ladder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heuristic_ladder");
+    let g = generators::random_connected_bipartite(60, 60, 400, 7);
+    group.throughput(Throughput::Elements(g.edge_count() as u64));
+    group.bench_function("dfs_partition", |b| {
+        b.iter(|| pebble_dfs_partition(&g).unwrap())
+    });
+    group.bench_function("euler_trails", |b| {
+        b.iter(|| pebble_euler_trails(&g).unwrap())
+    });
+    group.bench_function("path_cover", |b| b.iter(|| pebble_path_cover(&g).unwrap()));
+    group.bench_function("nearest_neighbor", |b| {
+        b.iter(|| pebble_nearest_neighbor(&g).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_euler_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("euler_trails_scaling");
+    group.sample_size(20);
+    for m in [1_000usize, 10_000, 50_000] {
+        let k = (m as f64).sqrt() as u32 + 2;
+        let g = generators::random_connected_bipartite(k, k, m, 11);
+        group.throughput(Throughput::Elements(m as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(m), &g, |b, g| {
+            b.iter(|| pebble_euler_trails(g).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_spider_witness(c: &mut Criterion) {
+    // closed-form optimal scheme construction at scale (E8's witness)
+    let mut group = c.benchmark_group("spider_witness");
+    for n in [1_000u32, 100_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| jp_pebble::families::spider_optimal_scheme(n))
+        });
+    }
+    group.finish();
+}
+
+fn bench_branch_and_bound(c: &mut Criterion) {
+    // B&B proving optimality where Held–Karp cannot fit (m = 28)
+    let g = generators::spider(14);
+    let lg = jp_graph::line_graph(&g);
+    c.bench_function("bb_spider_14", |b| {
+        b.iter(|| jp_pebble::exact_bb::bb_min_jump_tour(&lg, 100_000_000))
+    });
+}
+
+fn bench_fragmentation(c: &mut Criterion) {
+    use jp_pebble::fragmentation::{balanced_capacity, component_pack};
+    use jp_relalg::{equijoin_graph, workload};
+    let (r, s) = workload::zipf_equijoin(2_000, 2_000, 600, 0.6, 17);
+    let g = equijoin_graph(&r, &s);
+    let cap_l = balanced_capacity(g.left_count() as usize, 8) + 16;
+    let cap_r = balanced_capacity(g.right_count() as usize, 8) + 16;
+    c.bench_function("component_pack_8x8", |b| {
+        b.iter(|| component_pack(&g, 8, 8, cap_l, cap_r))
+    });
+}
+
+fn bench_page_scheduling(c: &mut Criterion) {
+    use jp_pebble::paging::{schedule_page_fetches, PageLayout};
+    use jp_relalg::{equijoin_graph, workload, Relation};
+    let (r, s) = workload::zipf_equijoin(4_096, 4_096, 128, 0.3, 18);
+    let mut rv: Vec<i64> = r.values().iter().map(|v| v.as_int().unwrap()).collect();
+    let mut sv: Vec<i64> = s.values().iter().map(|v| v.as_int().unwrap()).collect();
+    rv.sort_unstable();
+    sv.sort_unstable();
+    let g = equijoin_graph(&Relation::from_ints("R", rv), &Relation::from_ints("S", sv));
+    let layout = PageLayout::sequential(g.left_count() as usize, g.right_count() as usize, 64);
+    c.bench_function("page_schedule_clustered_4k", |b| {
+        b.iter(|| schedule_page_fetches(&g, &layout).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_equijoin_pebble,
+    bench_heuristic_ladder,
+    bench_euler_scaling,
+    bench_spider_witness,
+    bench_branch_and_bound,
+    bench_fragmentation,
+    bench_page_scheduling
+);
+criterion_main!(benches);

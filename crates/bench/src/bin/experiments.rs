@@ -1,0 +1,37 @@
+//! Runs the experiment suite (E1–E14 of DESIGN.md §3) and prints the
+//! markdown reports that `EXPERIMENTS.md` is built from.
+//!
+//! ```text
+//! cargo run -p jp-bench --bin experiments --release            # all
+//! cargo run -p jp-bench --bin experiments --release -- E8 E12  # a subset
+//! ```
+//!
+//! Exits non-zero if any experiment fails.
+
+use jp_bench::all_experiments;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut failures = 0usize;
+    println!("# Experiments — On the Complexity of Join Predicates (PODS 2001)\n");
+    for e in all_experiments() {
+        if !args.is_empty() && !args.iter().any(|a| a.eq_ignore_ascii_case(e.id)) {
+            continue;
+        }
+        let t0 = Instant::now();
+        let (report, pass) = (e.run)();
+        let dt = t0.elapsed();
+        println!("{report}");
+        println!("_{} — {} — {:.2}s_\n", e.id, e.title, dt.as_secs_f64());
+        println!("---\n");
+        if !pass {
+            failures += 1;
+            eprintln!("FAIL: {} ({})", e.id, e.title);
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} experiment(s) failed");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,86 @@
+//! Regenerates the paper's figures as Graphviz DOT (F1, F2 of DESIGN.md):
+//!
+//! * **Figure 1(a)** — the worst-case family `G_3, G_4, G_5`;
+//! * **Figure 1(b)** — the line graph `L(G_5)` (K_5 plus 5 pendants);
+//! * **Figure 2** — the diamond gadget (our verified 9-node stand-in).
+//!
+//! Output goes to `figures/` (created if missing) and a summary with the
+//! computed optimal costs is printed.
+
+use jp_graph::{dot, generators, line_graph};
+use jp_pebble::reductions::diamond::{Diamond, CORNERS};
+use jp_pebble::{exact, families};
+use std::fs;
+use std::path::Path;
+
+fn main() -> std::io::Result<()> {
+    let dir = Path::new("figures");
+    fs::create_dir_all(dir)?;
+    println!("# Figure reproduction\n");
+
+    // Figure 1(a): G_3, G_4, G_5
+    for n in 3..=5u32 {
+        let g = generators::spider(n);
+        fs::write(
+            dir.join(format!("fig1a_g{n}.dot")),
+            dot::bipartite_to_dot(&g, &format!("G_{n}")),
+        )?;
+        let pi = exact::optimal_effective_cost(&g).unwrap();
+        println!(
+            "G_{n}: m = {}, π = {pi} (closed form {}), written figures/fig1a_g{n}.dot",
+            g.edge_count(),
+            families::spider_optimal_cost(n as u64),
+        );
+    }
+
+    // Figure 1(b): L(G_5)
+    let g5 = generators::spider(5);
+    let l5 = line_graph(&g5);
+    let labels: Vec<String> = g5
+        .edges()
+        .iter()
+        .map(|&(l, r)| {
+            if l == 0 {
+                format!("c–v{}", r + 1)
+            } else {
+                format!("v{}–w{}", r + 1, l)
+            }
+        })
+        .collect();
+    fs::write(
+        dir.join("fig1b_l_g5.dot"),
+        dot::graph_to_dot(&l5, "L(G_5)", Some(&labels)),
+    )?;
+    println!(
+        "L(G_5): {} nodes = K_5 plus 5 pendants (degree-1 nodes: {}), written figures/fig1b_l_g5.dot",
+        l5.vertex_count(),
+        (0..l5.vertex_count()).filter(|&v| l5.degree(v) == 1).count()
+    );
+
+    // Figure 2: the diamond gadget
+    let d = Diamond::new();
+    let labels: Vec<String> = (0..9u32)
+        .map(|v| {
+            if v < 4 {
+                ["a", "b", "c", "d"][v as usize].to_string()
+            } else {
+                format!("x{}", v - 3)
+            }
+        })
+        .collect();
+    fs::write(
+        dir.join("fig2_diamond.dot"),
+        dot::graph_to_dot(d.graph(), "diamond", Some(&labels)),
+    )?;
+    println!(
+        "Diamond gadget: 9 nodes, corners {:?} (degree ≤ 2), centrals degree ≤ 3; \
+         all 6 corner pairs Hamiltonian-connected: {}, no-two-cover property: {}; \
+         written figures/fig2_diamond.dot",
+        CORNERS,
+        (0..4).all(|a| (0..4)
+            .filter(|&b| b != a)
+            .all(|b| { jp_graph::hamilton::is_hamiltonian_path(d.graph(), &d.corner_path(a, b)) })),
+        d.no_two_disjoint_corner_paths_cover(),
+    );
+    Ok(())
+}

@@ -1,0 +1,94 @@
+//! E15 — ablation study of the design choices DESIGN.md §4 calls out:
+//! how much does each rung of the solver ladder buy, and what does it
+//! cost? Not a paper claim; an engineering complement to E5/E11.
+
+use crate::table::Table;
+use jp_graph::{generators, line_graph};
+use jp_pebble::approx::{improve_or_opt, improve_two_opt, nearest_neighbor::nearest_neighbor_tour};
+use jp_pebble::exact_bb::bb_min_jump_tour;
+use jp_pebble::tsp::Tsp12;
+use std::fmt::Write;
+
+/// E15 — the improvement-ladder ablation: nearest neighbour → +2-opt →
+/// +or-opt → branch and bound, measured as jump counts on random and
+/// worst-case instances.
+pub fn e15_ladder_ablation() -> (String, bool) {
+    let mut out = String::from(
+        "## E15\n\n**Claim (engineering ablation, not from the paper).** Each rung of \
+         the solver ladder reduces jumps; branch and bound certifies the optimum \
+         the local searches approach.\n\n",
+    );
+    let mut table = Table::new([
+        "instance (m)",
+        "nn",
+        "nn+2opt",
+        "nn+2opt+oropt",
+        "path-cover",
+        "matching-cover",
+        "optimal (bb)",
+    ]);
+    let mut pass = true;
+    let instances: Vec<(String, jp_graph::BipartiteGraph)> = vec![
+        ("G_8 spider (16)".into(), generators::spider(8)),
+        ("G_14 spider (28)".into(), generators::spider(14)),
+        // sparse (near-tree) graphs have pendant edges and real jumps
+        (
+            "sparse 8×8 m=16".into(),
+            generators::random_connected_bipartite(8, 8, 16, 5),
+        ),
+        (
+            "sparse 10×10 m=20".into(),
+            generators::random_connected_bipartite(10, 10, 20, 6),
+        ),
+        (
+            "dense 6×6 m=18".into(),
+            generators::random_connected_bipartite(6, 6, 18, 7),
+        ),
+    ];
+    for (name, g) in instances {
+        let lg = line_graph(&g);
+        let tsp = Tsp12::new(lg.clone());
+        let mut tour = nearest_neighbor_tour(&lg);
+        let nn = tsp.tour_jumps(&tour);
+        improve_two_opt(&tsp, &mut tour, 10);
+        let two = tsp.tour_jumps(&tour);
+        improve_or_opt(&tsp, &mut tour, 10);
+        improve_two_opt(&tsp, &mut tour, 10);
+        let oro = tsp.tour_jumps(&tour);
+        let cover = jp_pebble::approx::pebble_path_cover(&g).unwrap().jumps(&g);
+        let mcover = jp_pebble::approx::pebble_matching_cover(&g)
+            .unwrap()
+            .jumps(&g);
+        let bb = bb_min_jump_tour(&lg, 200_000_000);
+        let opt = bb.jumps();
+        // monotonicity of the ladder + optimality dominance
+        pass &= nn >= two && two >= oro && oro >= opt && cover >= opt && mcover >= opt;
+        // the matching seed guarantees jumps <= m - 1 - nu(L(G))
+        let nu = jp_graph::matching::maximum_matching(&lg).len();
+        pass &= mcover <= g.edge_count() - 1 - nu;
+        pass &= bb.is_optimal();
+        table.row([
+            name,
+            nn.to_string(),
+            two.to_string(),
+            oro.to_string(),
+            cover.to_string(),
+            mcover.to_string(),
+            format!("{opt}{}", if bb.is_optimal() { "" } else { "?" }),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str(
+        "\nJump counts (π = m + jumps on connected graphs). 2-opt and or-opt close \
+         most of the nearest-neighbour gap; the greedy path cover starts near-optimal; \
+         branch and bound proves optimality far beyond Held–Karp's 20-edge memory \
+         wall (G_14 has m = 28).\n",
+    );
+    writeln!(
+        out,
+        "\n**Verdict: {}**\n",
+        if pass { "PASS" } else { "FAIL" }
+    )
+    .unwrap();
+    (out, pass)
+}

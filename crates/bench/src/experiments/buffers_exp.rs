@@ -1,0 +1,93 @@
+//! E21 — the `B`-buffer generalization: the paper's worst case is a
+//! two-pebble artifact.
+
+use crate::table::Table;
+use jp_graph::generators;
+use jp_pebble::buffers::{lower_bound, schedule_greedy};
+use jp_pebble::families;
+use std::fmt::Write;
+
+/// E21 — buffer-size sweep over the paper's extreme families: the spider
+/// collapses to the every-vertex-once floor at `B = 3`; the dense
+/// complete-bipartite family needs `B = min(k, l) + 1`; costs are
+/// monotone in `B` and never beat the floor.
+pub fn e21_buffer_sweep() -> (String, bool) {
+    let mut out = String::from(
+        "## E21\n\n**Claim (extension; the paper fixes B = 2).** The two-pebble game is \
+         the B = 2 instance of buffer scheduling. Sweeping B shows the 1.25m − 1 \
+         worst case is specific to two pebbles: G_n reaches the |V| floor at \
+         B = 3, while dense K_{k,k} needs B = k + 1 — memory, not predicate \
+         structure, separates them once B > 2.\n\n",
+    );
+    let mut table = Table::new([
+        "graph",
+        "m",
+        "|V| floor",
+        "B=2",
+        "B=3",
+        "B=5",
+        "B=8",
+        "first floor B",
+    ]);
+    let mut pass = true;
+    let cases: Vec<(String, jp_graph::BipartiteGraph)> = vec![
+        ("G_8 spider".into(), generators::spider(8)),
+        ("G_32 spider".into(), generators::spider(32)),
+        ("K_{4,4}".into(), generators::complete_bipartite(4, 4)),
+        ("K_{6,6}".into(), generators::complete_bipartite(6, 6)),
+        (
+            "random 8×8 m=24".into(),
+            generators::random_connected_bipartite(8, 8, 24, 9),
+        ),
+    ];
+    for (name, g) in cases {
+        let floor = lower_bound(&g);
+        let mut costs = Vec::new();
+        let mut floor_at = None;
+        let mut prev = usize::MAX;
+        for b in [2usize, 3, 5, 7, 8, 16, 33] {
+            let s = schedule_greedy(&g, b).expect("schedulable");
+            s.validate(&g, b).expect("valid schedule");
+            let c = s.cost();
+            pass &= c >= floor && c <= prev;
+            prev = c;
+            if c == floor && floor_at.is_none() {
+                floor_at = Some(b);
+            }
+            if [2, 3, 5, 8].contains(&b) {
+                costs.push(c);
+            }
+        }
+        table.row([
+            name.clone(),
+            g.edge_count().to_string(),
+            floor.to_string(),
+            costs[0].to_string(),
+            costs[1].to_string(),
+            costs[2].to_string(),
+            costs[3].to_string(),
+            floor_at.map_or("—".into(), |b| b.to_string()),
+        ]);
+        if name.contains("spider") {
+            // Theorem 3.3 at B = 2…
+            pass &= costs[0] >= families::spider_optimal_cost(g.right_count() as u64) as usize;
+            // …and the floor already at B = 3
+            pass &= costs[1] == floor;
+        }
+    }
+    out.push_str(&table.render());
+    out.push_str(
+        "\nAt B = 2 the schedule is a pebbling and the spider pays its Theorem 3.3 \
+         premium; one extra buffer slot pins the hub and the premium vanishes. \
+         K_{k,k} instead holds its reloads until a whole side fits (B = k + 1). \
+         The paper's separation is about the two-pebble regime — which is exactly \
+         the regime its page-fetch ancestry (\\[6\\]) models.\n",
+    );
+    writeln!(
+        out,
+        "\n**Verdict: {}**\n",
+        if pass { "PASS" } else { "FAIL" }
+    )
+    .unwrap();
+    (out, pass)
+}

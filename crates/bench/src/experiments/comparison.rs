@@ -1,0 +1,155 @@
+//! E14: the paper's headline narrative, measured end to end.
+//!
+//! "Our results show that equijoins are the easiest of all joins … By
+//! contrast, spatial-overlap and set-containment joins are the hardest
+//! joins." We drive matched-output-size workloads through the real join
+//! pipeline (relations → join algorithm → join graph → pebbler) for all
+//! three predicates and compare (i) the achievable pebbling ratio `π/m`
+//! and (ii) which pebbler is even *applicable*.
+
+use crate::table::Table;
+use jp_graph::properties;
+use jp_pebble::approx::{
+    pebble_dfs_partition, pebble_equijoin, pebble_euler_trails, pebble_path_cover,
+};
+use jp_pebble::{bounds, exact};
+use jp_relalg::{containment_graph, equijoin_graph, realize, spatial_graph, workload};
+use std::fmt::Write;
+
+/// E14 — the predicate-difficulty comparison.
+pub fn e14_predicate_comparison() -> (String, bool) {
+    let mut out = "## E14\n\n**Claim (paper).** Equijoins are the easiest of all joins \
+         (perfect pebbling, found in linear time); spatial-overlap and \
+         set-containment joins are the hardest (instances at the 1.25m − 1 \
+         worst case; optimal pebbling NP-complete and MAX-SNP-complete).\n\n"
+        .to_string();
+    let mut table = Table::new([
+        "predicate / workload",
+        "m",
+        "equijoin-graph?",
+        "π(best found)/m",
+        "lower bnd/m",
+        "worst case π/m",
+    ]);
+    let mut pass = true;
+
+    // --- equijoin: Zipf workload
+    let (r, s) = workload::zipf_equijoin(500, 500, 60, 0.9, 77);
+    let g = equijoin_graph(&r, &s);
+    let m = g.edge_count();
+    let scheme = pebble_equijoin(&g).expect("equijoin graph");
+    let ratio = scheme.effective_cost(&g) as f64 / m as f64;
+    pass &= ratio == 1.0;
+    table.row([
+        "equality / Zipf(0.9) keys".to_string(),
+        m.to_string(),
+        "yes".into(),
+        format!("{ratio:.3}"),
+        "1.000".into(),
+        "1.000 (Thm 3.2)".into(),
+    ]);
+
+    // --- set containment: planted workload, plus the realized worst case
+    let (r, s) = workload::set_workload(120, 80, 400, 3..=6, 8..=14, 0.7, 78);
+    let g = containment_graph(&r, &s);
+    let (g, _, _) = g.strip_isolated();
+    let m = g.edge_count();
+    let best = best_heuristic_ratio(&g);
+    let lb = bounds::best_lower_bound(&g) as f64 / m as f64;
+    pass &= !properties::is_equijoin_graph(&g);
+    table.row([
+        "⊆ / planted containments".to_string(),
+        m.to_string(),
+        if properties::is_equijoin_graph(&g) {
+            "yes"
+        } else {
+            "no"
+        }
+        .to_string(),
+        format!("{best:.3}"),
+        format!("{lb:.3}"),
+        "1.25 (Thm 3.3 + L3.3)".into(),
+    ]);
+
+    let (r, s) = realize::set_containment_instance(&jp_graph::generators::spider(8));
+    let g = containment_graph(&r, &s);
+    let m = g.edge_count();
+    let pi = exact::optimal_effective_cost(&g).unwrap();
+    let ratio = pi as f64 / m as f64;
+    pass &= (ratio - (1.25 - 1.0 / m as f64)).abs() < 1e-9;
+    table.row([
+        "⊆ / realized G_8 (worst case)".to_string(),
+        m.to_string(),
+        "no".into(),
+        format!("{ratio:.3} (exact)"),
+        format!("{:.3}", bounds::best_lower_bound(&g) as f64 / m as f64),
+        "1.25 − 1/m, attained".into(),
+    ]);
+
+    // --- spatial overlap: uniform rectangles, plus realized worst case
+    let ru = workload::uniform_rects(250, 2_000, 60, 79);
+    let su = workload::uniform_rects(250, 2_000, 60, 80);
+    let g = spatial_graph(&ru, &su);
+    let (g, _, _) = g.strip_isolated();
+    let m = g.edge_count();
+    let best = best_heuristic_ratio(&g);
+    let lb = bounds::best_lower_bound(&g) as f64 / m as f64;
+    table.row([
+        "overlap / uniform rects".to_string(),
+        m.to_string(),
+        if properties::is_equijoin_graph(&g) {
+            "yes"
+        } else {
+            "no"
+        }
+        .to_string(),
+        format!("{best:.3}"),
+        format!("{lb:.3}"),
+        "1.25 (Thm 3.1 + L3.4)".into(),
+    ]);
+
+    let (r, s) = realize::spatial_spider_instance(8);
+    let g = spatial_graph(&r, &s);
+    let m = g.edge_count();
+    let pi = exact::optimal_effective_cost(&g).unwrap();
+    let ratio = pi as f64 / m as f64;
+    pass &= (ratio - (1.25 - 1.0 / m as f64)).abs() < 1e-9;
+    table.row([
+        "overlap / realized G_8 (worst case)".to_string(),
+        m.to_string(),
+        "no".into(),
+        format!("{ratio:.3} (exact)"),
+        format!("{:.3}", bounds::best_lower_bound(&g) as f64 / m as f64),
+        "1.25 − 1/m, attained".into(),
+    ]);
+
+    out.push_str(&table.render());
+    out.push_str(
+        "\nThe separation the paper proves shows up end to end: equijoin join graphs \
+         pebble at exactly 1.0 in linear time; spatial and containment joins admit \
+         graphs that *no* algorithm — regardless of running time — pebbles below \
+         1.25 − 1/m, and their typical workloads sit strictly above 1.0 while \
+         equijoins never do.\n",
+    );
+    writeln!(
+        out,
+        "\n**Verdict: {}**\n",
+        if pass { "PASS" } else { "FAIL" }
+    )
+    .unwrap();
+    (out, pass)
+}
+
+/// Best effective-cost ratio over the heuristic ladder.
+fn best_heuristic_ratio(g: &jp_graph::BipartiteGraph) -> f64 {
+    let m = g.edge_count() as f64;
+    [
+        pebble_dfs_partition(g).unwrap().effective_cost(g),
+        pebble_euler_trails(g).unwrap().effective_cost(g),
+        pebble_path_cover(g).unwrap().effective_cost(g),
+    ]
+    .into_iter()
+    .min()
+    .unwrap() as f64
+        / m
+}

@@ -1,0 +1,123 @@
+//! E18 — page-fetch scheduling (the §2 related-work model of Merrett et
+//! al. \[6\] and Neyer–Widmayer \[7\], reconstructed).
+
+use crate::table::Table;
+use jp_pebble::paging::{page_fetches, schedule_page_fetches, PageLayout};
+use jp_pebble::{bounds, exact};
+use jp_relalg::{equijoin_graph, realize, spatial_graph, workload, Relation};
+use std::fmt::Write;
+
+/// E18 — pebbling the page graph is page-fetch scheduling: clustered
+/// layouts keep equijoin page graphs cheap and near-perfect, scattered
+/// layouts densify them, and spatially-realized worst-case graphs stay
+/// hard at page granularity too (the \[7\] phenomenon behind Theorem 4.2's
+/// "even spatial" clause).
+pub fn e18_page_scheduling() -> (String, bool) {
+    let mut out = String::from(
+        "## E18\n\n**Claim (paper, §2 related work).** The pebble game originates in \
+         page-fetch scheduling: with a two-page buffer, pebbling the page graph *is* \
+         the fetch schedule (π̂ = fetches), finding the optimal schedule is \
+         NP-complete (\\[6\\]), and it stays NP-complete for spatial layouts \
+         (\\[7\\]). Measured: layout quality controls both page-graph size and \
+         schedule cost; the worst-case spider survives paging.\n\n",
+    );
+    let mut table = Table::new([
+        "workload / layout",
+        "tuple m",
+        "page edges",
+        "fetches",
+        "fetches / page edge",
+        "lower bnd (m_pg + β₀)",
+    ]);
+    let mut pass = true;
+
+    // clustered vs scattered equijoin at two scales
+    for (n, keys, cap, seed) in [(512usize, 16usize, 32usize, 401u64), (2_048, 64, 64, 402)] {
+        let (r, s) = workload::zipf_equijoin(n, n, keys, 0.3, seed);
+        let mut rv: Vec<i64> = r.values().iter().map(|v| v.as_int().unwrap()).collect();
+        let mut sv: Vec<i64> = s.values().iter().map(|v| v.as_int().unwrap()).collect();
+        rv.sort_unstable();
+        sv.sort_unstable();
+        let g = equijoin_graph(&Relation::from_ints("R", rv), &Relation::from_ints("S", sv));
+        let nl = g.left_count() as usize;
+        let nr = g.right_count() as usize;
+        for (label, layout) in [
+            ("clustered (sorted)", PageLayout::sequential(nl, nr, cap)),
+            ("scattered (heap)", PageLayout::scattered(nl, nr, cap, seed)),
+        ] {
+            let (pg, scheme) = schedule_page_fetches(&g, &layout).expect("schedulable");
+            scheme.validate(&pg).expect("valid schedule");
+            let fetches = page_fetches(&scheme);
+            let lb = bounds::lower_bound_total(&pg);
+            pass &= fetches >= lb && fetches <= 2 * pg.edge_count().max(1);
+            table.row([
+                format!("equijoin n={n} / {label}"),
+                g.edge_count().to_string(),
+                pg.edge_count().to_string(),
+                fetches.to_string(),
+                format!("{:.3}", fetches as f64 / pg.edge_count().max(1) as f64),
+                lb.to_string(),
+            ]);
+        }
+    }
+
+    // the worst-case family survives paging: pages of 2 tuples on G_n
+    // reproduce a spider-shaped page graph
+    let n = 64u32;
+    let (r, s) = realize::spatial_spider_instance(n);
+    let g = spatial_graph(&r, &s);
+    let layout = PageLayout::sequential(g.left_count() as usize, g.right_count() as usize, 2);
+    let (pg, scheme) = schedule_page_fetches(&g, &layout).expect("schedulable");
+    scheme.validate(&pg).expect("valid");
+    let fetches = page_fetches(&scheme);
+    let lb = bounds::lower_bound_total(&pg);
+    pass &= fetches >= lb;
+    // paging cannot rescue the spider: the page graph is still not an
+    // equijoin graph, so optimal scheduling stays in the NP-hard class
+    // ([7]'s point behind Theorem 4.2's "even spatial" clause)
+    pass &= !jp_graph::properties::is_equijoin_graph(&pg);
+    table.row([
+        format!("spatial G_{n} / tiles of 2"),
+        g.edge_count().to_string(),
+        pg.edge_count().to_string(),
+        fetches.to_string(),
+        format!("{:.3}", fetches as f64 / pg.edge_count() as f64),
+        format!(
+            "{lb} (equijoin-class: {})",
+            jp_graph::properties::is_equijoin_graph(&pg)
+        ),
+    ]);
+
+    // exact schedule on a small page graph validates the scheduler
+    let (r, s) = workload::zipf_equijoin(48, 48, 6, 0.2, 403);
+    let g = equijoin_graph(&r, &s);
+    let layout = PageLayout::scattered(48, 48, 12, 7);
+    let (pg, scheme) = schedule_page_fetches(&g, &layout).expect("schedulable");
+    if pg.edge_count() <= exact::MAX_EXACT_EDGES {
+        let opt = exact::optimal_total_cost(&pg).expect("small page graph");
+        pass &= page_fetches(&scheme) >= opt;
+        writeln!(
+            out,
+            "{}\nSmall scattered instance exactly solved: optimal schedule = {opt} \
+             fetches, heuristic schedule = {} fetches.",
+            table.render(),
+            page_fetches(&scheme)
+        )
+        .unwrap();
+    } else {
+        out.push_str(&table.render());
+    }
+    out.push_str(
+        "\nClustered equijoin layouts keep the page graph tiny and the schedule at \
+         ~1 fetch per page edge; scattering the same tuples multiplies page edges \
+         and fetches. The spider's page graph is still outside the equijoin class — \
+         scheduling stays intrinsically hard for spatial joins, as \\[7\\] proved.\n",
+    );
+    writeln!(
+        out,
+        "\n**Verdict: {}**\n",
+        if pass { "PASS" } else { "FAIL" }
+    )
+    .unwrap();
+    (out, pass)
+}

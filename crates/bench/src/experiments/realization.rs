@@ -1,0 +1,242 @@
+//! E7, E8, E9: the realization results (§3.2, §3.3, Figure 1).
+
+use crate::table::Table;
+use jp_graph::{generators, properties};
+use jp_pebble::approx::{pebble_dfs_partition, pebble_euler_trails, pebble_nearest_neighbor};
+use jp_pebble::{exact, families};
+use jp_relalg::predicate::{SetContainment, SpatialOverlap};
+use jp_relalg::{algorithms, containment_graph, join_graph, realize, spatial_graph};
+use std::fmt::Write;
+
+fn report_header(id: &str, claim: &str) -> String {
+    format!("## {id}\n\n**Claim (paper).** {claim}\n\n")
+}
+
+fn verdict_line(out: &mut String, pass: bool) {
+    writeln!(
+        out,
+        "\n**Verdict: {}**\n",
+        if pass { "PASS" } else { "FAIL" }
+    )
+    .unwrap();
+}
+
+/// E7 — Lemma 3.3: every bipartite graph is the join graph of a
+/// set-containment instance (`r_i = {i}`, `s_j = {i : (r_i, s_j) ∈ E}`);
+/// round-trip through the real containment-join algorithms.
+pub fn e7_containment_universal() -> (String, bool) {
+    let mut out = report_header(
+        "E7",
+        "Given any bipartite graph G, there is a set-containment join instance whose \
+         join graph is G (Lemma 3.3).",
+    );
+    let mut table = Table::new([
+        "graph",
+        "|R|×|S|",
+        "m",
+        "rebuilt = G (index)",
+        "rebuilt = G (naive)",
+        "equijoin-realizable",
+    ]);
+    let mut pass = true;
+    let cases: Vec<(String, jp_graph::BipartiteGraph)> = vec![
+        ("G_4 (spider)".into(), generators::spider(4)),
+        ("G_8".into(), generators::spider(8)),
+        ("path(9)".into(), generators::path(9)),
+        ("cycle(5)".into(), generators::cycle(5)),
+        ("K_{4,4}".into(), generators::complete_bipartite(4, 4)),
+        (
+            "random(8,9,p=.3;21)".into(),
+            generators::random_bipartite(8, 9, 0.3, 21),
+        ),
+        (
+            "random(12,12,p=.15;22)".into(),
+            generators::random_bipartite(12, 12, 0.15, 22),
+        ),
+        (
+            "random(30,30,p=.08;23)".into(),
+            generators::random_bipartite(30, 30, 0.08, 23),
+        ),
+    ];
+    for (name, g) in cases {
+        let (r, s) = realize::set_containment_instance(&g);
+        let fast = containment_graph(&r, &s) == g;
+        let naive = join_graph(&r, &s, &SetContainment) == g;
+        // signature and inverted-index join algorithms agree too
+        let pairs_inv = algorithms::containment::inverted_index(&r, &s);
+        let pairs_sig = algorithms::containment::signature(&r, &s);
+        let agree = pairs_inv == g.edges().to_vec() && pairs_sig == g.edges().to_vec();
+        let ok = fast && naive && agree;
+        pass &= ok;
+        table.row([
+            name,
+            format!("{}×{}", g.left_count(), g.right_count()),
+            g.edge_count().to_string(),
+            fast.to_string(),
+            naive.to_string(),
+            properties::is_equijoin_graph(&g).to_string(),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str(
+        "\nEvery graph round-trips, including graphs no equijoin can produce \
+         (`equijoin-realizable = false` rows) — the universality that pins \
+         set-containment joins to the general-graph worst case.\n",
+    );
+    verdict_line(&mut out, pass);
+    (out, pass)
+}
+
+/// E8 — Theorem 3.3 + Figure 1: `π(G_n) = 1.25m − 1` (even `n`): exact
+/// solving for small `n`, closed form + explicit witness + pendant
+/// lower-bound certificate at scale.
+pub fn e8_spider_worst_case() -> (String, bool) {
+    let mut out = report_header(
+        "E8",
+        "There is a family {G_n} with π(G_n) = 1.25m − 1 (m = 2n) — the worst case \
+         over all join graphs (Theorem 3.3, Figure 1).",
+    );
+    let mut table = Table::new([
+        "n",
+        "m",
+        "π (method)",
+        "1.25m − 1",
+        "lower-bound cert",
+        "ok",
+    ]);
+    let mut pass = true;
+    for n in 3..=8u32 {
+        let g = generators::spider(n);
+        let m = 2 * n as usize;
+        let pi = exact::optimal_effective_cost(&g).unwrap();
+        let target = families::spider_optimal_cost(n as u64) as usize;
+        let cert = jp_pebble::bounds::pendant_lower_bound(&g);
+        let ok = pi == target && cert == target;
+        pass &= ok;
+        table.row([
+            n.to_string(),
+            m.to_string(),
+            format!("{pi} (exact)"),
+            if n % 2 == 0 {
+                format!("{}", 5 * m / 4 - 1)
+            } else {
+                format!("{:.1}→⌈{}⌉", 1.25 * m as f64 - 1.0, target)
+            },
+            cert.to_string(),
+            ok.to_string(),
+        ]);
+    }
+    for n in [100u32, 10_000, 200_000] {
+        let (g, s) = families::spider_optimal_scheme(n);
+        let m = 2 * n as usize;
+        let target = families::spider_optimal_cost(n as u64) as usize;
+        let cert = jp_pebble::bounds::pendant_lower_bound(&g);
+        let ok = s.effective_cost(&g) == target && cert == target && s.validate(&g).is_ok();
+        pass &= ok;
+        table.row([
+            n.to_string(),
+            m.to_string(),
+            format!("{} (witness)", s.effective_cost(&g)),
+            if n % 2 == 0 {
+                format!("{}", 5 * m / 4 - 1)
+            } else {
+                format!("{target}")
+            },
+            cert.to_string(),
+            ok.to_string(),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str(
+        "\nThe pendant (B⁺/B⁻) certificate equals the witness cost, so optimality is \
+         proven — not searched — at every scale. Odd n rounds the paper's 1.25m − 1 \
+         up to the integer optimum m + ⌈n/2⌉ − 1.\n",
+    );
+    verdict_line(&mut out, pass);
+    (out, pass)
+}
+
+/// E9 — Lemma 3.4: the `G_n` family is realizable as a spatial-overlap
+/// join (plain rectangles); with rectilinear comb regions, *any*
+/// bipartite graph is — checked through all four spatial join algorithms.
+pub fn e9_spatial_realization() -> (String, bool) {
+    let mut out = report_header(
+        "E9",
+        "There is a family of spatial-overlap join instances whose join graphs are the \
+         G_n of Figure 1 (Lemma 3.4); hence spatial joins also hit the 1.25m − 1 worst \
+         case and are not equijoin-reducible.",
+    );
+    let mut table = Table::new([
+        "instance",
+        "m",
+        "sweep=naive",
+        "pbsm=naive",
+        "rtree=naive",
+        "graph = target",
+    ]);
+    let mut pass = true;
+    for n in [3u32, 5, 8, 16] {
+        let (r, s) = realize::spatial_spider_instance(n);
+        let target = generators::spider(n);
+        let naive = algorithms::spatial::naive(&r, &s);
+        let ok_sweep = algorithms::spatial::sweep(&r, &s) == naive;
+        let ok_pbsm = algorithms::spatial::pbsm(&r, &s) == naive;
+        let ok_rtree = algorithms::spatial::rtree(&r, &s) == naive;
+        let ok_graph =
+            spatial_graph(&r, &s) == target && join_graph(&r, &s, &SpatialOverlap) == target;
+        let ok = ok_sweep && ok_pbsm && ok_rtree && ok_graph;
+        pass &= ok;
+        table.row([
+            format!("G_{n} as rectangles"),
+            (2 * n).to_string(),
+            ok_sweep.to_string(),
+            ok_pbsm.to_string(),
+            ok_rtree.to_string(),
+            ok_graph.to_string(),
+        ]);
+    }
+    for (seed, k, l, p) in [
+        (31u64, 7u32, 8u32, 0.3f64),
+        (32, 12, 10, 0.2),
+        (33, 20, 20, 0.1),
+    ] {
+        let g0 = generators::random_bipartite(k, l, p, seed);
+        let (r, s) = realize::spatial_universal_instance(&g0);
+        let naive = algorithms::spatial::naive(&r, &s);
+        let ok_sweep = algorithms::spatial::sweep(&r, &s) == naive;
+        let ok_pbsm = algorithms::spatial::pbsm(&r, &s) == naive;
+        let ok_rtree = algorithms::spatial::rtree(&r, &s) == naive;
+        let ok_graph = spatial_graph(&r, &s) == g0;
+        let ok = ok_sweep && ok_pbsm && ok_rtree && ok_graph;
+        pass &= ok;
+        table.row([
+            format!("random({k},{l},p={p}) as combs"),
+            g0.edge_count().to_string(),
+            ok_sweep.to_string(),
+            ok_pbsm.to_string(),
+            ok_rtree.to_string(),
+            ok_graph.to_string(),
+        ]);
+    }
+    // the realized worst case really costs 1.25m − 1 under exact pebbling,
+    // and defeats greedy heuristics
+    let (r, s) = realize::spatial_spider_instance(8);
+    let g = spatial_graph(&r, &s);
+    let pi = exact::optimal_effective_cost(&g).unwrap();
+    let nn = pebble_nearest_neighbor(&g).unwrap().effective_cost(&g);
+    let dfs = pebble_dfs_partition(&g).unwrap().effective_cost(&g);
+    let euler = pebble_euler_trails(&g).unwrap().effective_cost(&g);
+    let m = g.edge_count();
+    pass &= pi == 5 * m / 4 - 1;
+    writeln!(
+        out,
+        "{}\nPebbling the spatially-realized G_8 (m = {m}): exact π = {pi} \
+         (= 1.25m − 1 = {}), dfs-partition = {dfs}, euler-trails = {euler}, \
+         nearest-neighbour = {nn}.",
+        table.render(),
+        5 * m / 4 - 1
+    )
+    .unwrap();
+    verdict_line(&mut out, pass);
+    (out, pass)
+}

@@ -1,0 +1,199 @@
+//! E12, E13: the §4 L-reductions, verified on exhaustively solved
+//! instances.
+
+use crate::table::Table;
+use jp_graph::generators;
+use jp_pebble::exact::{self, min_jump_tour};
+use jp_pebble::reductions::{diamond::Diamond, tsp3_to_pebble, tsp4_to_tsp3};
+use jp_pebble::tsp::Tsp12;
+use std::fmt::Write;
+
+fn report_header(id: &str, claim: &str) -> String {
+    format!("## {id}\n\n**Claim (paper).** {claim}\n\n")
+}
+
+fn verdict_line(out: &mut String, pass: bool) {
+    writeln!(
+        out,
+        "\n**Verdict: {}**\n",
+        if pass { "PASS" } else { "FAIL" }
+    )
+    .unwrap();
+}
+
+/// E12 — Theorem 4.3: the diamond-gadget L-reduction TSP-4(1,2) →
+/// TSP-3(1,2). Gadget properties are verified exhaustively; the α and
+/// β = 1 inequalities are checked on exactly solved random instances.
+pub fn e12_tsp4_to_tsp3() -> (String, bool) {
+    let mut out = report_header(
+        "E12",
+        "TSP-3(1,2) is MAX-SNP-complete: L-reduction from TSP-4(1,2) by replacing every \
+         degree-4 node with a diamond gadget (α = #gadget nodes, β = 1).",
+    );
+    let mut pass = true;
+    // Gadget certification (Figure 2 stand-in; see DESIGN.md for the
+    // documented deviation on property (b)).
+    let d = Diamond::new();
+    let prop_a = (0..4)
+        .flat_map(|a| (0..4).map(move |b| (a, b)))
+        .filter(|&(a, b)| a != b)
+        .all(|(a, b)| {
+            let p = d.corner_path(a, b);
+            jp_graph::hamilton::is_hamiltonian_path(d.graph(), &p)
+        });
+    let prop_c = d.no_two_disjoint_corner_paths_cover();
+    let deg_ok = (0..4).all(|c| d.graph().degree(c) <= 2)
+        && (4..d.graph().vertex_count()).all(|v| d.graph().degree(v) <= 3);
+    pass &= prop_a && prop_c && deg_ok;
+    writeln!(
+        out,
+        "Gadget (9 nodes, 4 corners): corner-pair Hamiltonian paths (property a): \
+         {prop_a}; no two disjoint corner paths cover it (property c): {prop_c}; \
+         degree bounds: {deg_ok}.\n"
+    )
+    .unwrap();
+    let mut table = Table::new([
+        "seed",
+        "n(G)/m(G)",
+        "deg4 nodes",
+        "OPT(G)",
+        "OPT(H)",
+        "≤ 9·OPT(G)",
+        "fwd jumps kept",
+        "β=1 holds",
+    ]);
+    let mut tested = 0;
+    for seed in 0..40u64 {
+        let ones = generators::random_bounded_degree(5, 4, 8, seed);
+        if !ones.is_connected() || ones.max_degree() < 4 {
+            continue;
+        }
+        let g = Tsp12::new(ones);
+        let red = tsp4_to_tsp3::reduce(&g);
+        if red.h().n() > 20 {
+            continue;
+        }
+        tested += 1;
+        let (g_tour, gj) = min_jump_tour(g.ones());
+        let opt_g = g.n() - 1 + gj;
+        let (h_opt, hj) = min_jump_tour(red.h().ones());
+        let opt_h = red.h().n() - 1 + hj;
+        let alpha_ok = opt_h <= red.alpha() * opt_g;
+        let fwd = red.forward_tour(&g_tour, &g);
+        let fwd_ok = red.h().tour_jumps(&fwd) == gj;
+        // β = 1 on the optimal H tour and the forward tour
+        let mut beta_ok = true;
+        for s in [h_opt, fwd.clone()] {
+            let cost_s = red.h().tour_cost(&s);
+            let back = red.back_tour(&s);
+            let cost_back = g.tour_cost(&back);
+            beta_ok &= cost_back.saturating_sub(opt_g) <= cost_s - opt_h;
+        }
+        let ok = alpha_ok && fwd_ok && beta_ok;
+        pass &= ok;
+        let deg4 = (0..g.ones().vertex_count())
+            .filter(|&v| g.ones().degree(v) == 4)
+            .count();
+        table.row([
+            seed.to_string(),
+            format!("{}/{}", g.n(), g.ones().edge_count()),
+            deg4.to_string(),
+            opt_g.to_string(),
+            opt_h.to_string(),
+            alpha_ok.to_string(),
+            fwd_ok.to_string(),
+            beta_ok.to_string(),
+        ]);
+        if tested >= 10 {
+            break;
+        }
+    }
+    pass &= tested >= 5;
+    out.push_str(&table.render());
+    writeln!(
+        out,
+        "\n{tested} connected instances with a degree-4 node, exactly solved on both \
+         sides. `fwd jumps kept` is the OPT(H) ≤ α·OPT(G) construction (the forward \
+         tour threads each diamond corner-to-corner without new jumps); `β=1 holds` \
+         checks cost(g(s)) − OPT(G) ≤ cost(s) − OPT(H)."
+    )
+    .unwrap();
+    verdict_line(&mut out, pass);
+    (out, pass)
+}
+
+/// E13 — Theorem 4.4: the incidence-graph L-reduction TSP-3(1,2) →
+/// PEBBLE, with forward (tour → scheme) and backward (scheme → tour)
+/// constructions verified on exactly solved instances.
+pub fn e13_tsp3_to_pebble() -> (String, bool) {
+    let mut out = report_header(
+        "E13",
+        "PEBBLE is MAX-SNP-complete: L-reduction from TSP-3(1,2) via the incidence \
+         graph B (X = V, Y = E); L(B) is G with vertices blown into cliques (α = 3, β = 1).",
+    );
+    let mut table = Table::new([
+        "seed",
+        "n/m (G)",
+        "OPT_tsp(G)",
+        "π(B)",
+        "π(B)/OPT",
+        "fwd jumps kept",
+        "β=1 holds",
+    ]);
+    let mut pass = true;
+    let mut tested = 0;
+    let mut max_ratio = 0.0f64;
+    for seed in 0..60u64 {
+        let ones = generators::random_bounded_degree(6, 3, 8, seed);
+        if !ones.is_connected() {
+            continue;
+        }
+        let g = Tsp12::new(ones);
+        let red = tsp3_to_pebble::reduce(&g);
+        if red.b().edge_count() > 18 {
+            continue;
+        }
+        tested += 1;
+        let (g_tour, gj) = min_jump_tour(g.ones());
+        let opt_g = g.n() - 1 + gj;
+        let opt_b = exact::optimal_effective_cost(red.b()).unwrap();
+        let ratio = opt_b as f64 / opt_g as f64;
+        max_ratio = max_ratio.max(ratio);
+        let fwd = red.forward_scheme(&g_tour).unwrap();
+        let fwd_ok = fwd.validate(red.b()).is_ok() && fwd.jumps(red.b()) == gj;
+        let mut beta_ok = true;
+        for s in [exact::optimal_scheme(red.b()).unwrap(), fwd.clone()] {
+            let cost_s = s.effective_cost(red.b());
+            let back = red.back_tour(&s);
+            let cost_back = g.tour_cost(&back);
+            beta_ok &= cost_back.saturating_sub(opt_g) <= cost_s - opt_b;
+        }
+        let ok = fwd_ok && beta_ok && ratio <= 3.2;
+        pass &= ok;
+        table.row([
+            seed.to_string(),
+            format!("{}/{}", g.n(), g.ones().edge_count()),
+            opt_g.to_string(),
+            opt_b.to_string(),
+            format!("{ratio:.2}"),
+            fwd_ok.to_string(),
+            beta_ok.to_string(),
+        ]);
+        if tested >= 12 {
+            break;
+        }
+    }
+    pass &= tested >= 6;
+    out.push_str(&table.render());
+    writeln!(
+        out,
+        "\n{tested} connected TSP-3(1,2) instances, both sides solved exactly. Measured \
+         max π(B)/OPT(G) = {max_ratio:.2} (paper's α = 3; jump-free maximum-density \
+         instances carry +2 absolute slack — see DESIGN.md). The forward construction \
+         (sweep each vertex's incidence clique, chaining through shared edge-vertices) \
+         preserves jump counts exactly; β = 1 holds on optimal and constructed schemes."
+    )
+    .unwrap();
+    verdict_line(&mut out, pass);
+    (out, pass)
+}

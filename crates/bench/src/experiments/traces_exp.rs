@@ -1,0 +1,95 @@
+//! E16 — the implied pebbling cost of real join algorithms.
+//!
+//! §2: "any join algorithm has to consider this pair of tuples at some
+//! point of time in its execution", so every algorithm's access pattern
+//! *is* a pebbling scheme. The paper remarks that the optimal equijoin
+//! pebbling "is similar to the merge phase of sort-merge join"
+//! (Theorem 4.1) and that the abstract model "does not model all of the
+//! costs in a join algorithm (although the merge phase of a sort-merge
+//! join does in some sense resemble this pebbling game)". This
+//! experiment measures exactly that resemblance.
+
+use crate::table::Table;
+use jp_pebble::analysis::implied_scheme;
+use jp_pebble::bounds;
+use jp_relalg::{equijoin_graph, trace, workload};
+use std::fmt::Write;
+
+/// E16 — implied pebbling cost (`π̂(trace)` against the `m + β₀ … 2m`
+/// window) of nested loops, hash join, and both sort-merge variants on
+/// equijoin workloads.
+pub fn e16_implied_costs() -> (String, bool) {
+    let mut out = String::from(
+        "## E16\n\n**Claim (paper, §2 + Thm 4.1 remark).** Every join algorithm's \
+         access pattern implies a pebbling scheme; the merge phase of sort-merge \
+         join resembles the optimal equijoin pebbling. Measured: the boustrophedon \
+         merge *is* optimal (π = m); the textbook forward merge and hash join pay \
+         per-group rescans; nested loops approaches the 2m worst case.\n\n",
+    );
+    let mut table = Table::new([
+        "workload",
+        "m",
+        "π̂ optimal",
+        "π̂ sort-merge (boustrophedon)",
+        "π̂ sort-merge (forward)",
+        "π̂ hash join",
+        "π̂ unordered exec",
+        "2m ceiling",
+    ]);
+    let mut pass = true;
+    for (n, keys, theta, seed) in [
+        (120usize, 12usize, 0.6f64, 201u64),
+        (400, 30, 0.9, 202),
+        (1_000, 40, 1.1, 203),
+    ] {
+        let (r, s) = workload::zipf_equijoin(n, n, keys, theta, seed);
+        let g = equijoin_graph(&r, &s);
+        let m = g.edge_count();
+        let b0 = jp_graph::betti_number(&g) as usize;
+        let optimal = m + b0; // Theorem 3.2: π = m, so π̂ = m + β₀
+        let cost = |t: trace::Trace| -> Result<usize, jp_pebble::PebbleError> {
+            let scheme = implied_scheme(&g, &t)?;
+            scheme.validate(&g)?;
+            Ok(scheme.cost())
+        };
+        let bst = cost(trace::sort_merge_boustrophedon(&r, &s)).expect("valid trace");
+        let fwd = cost(trace::sort_merge_forward(&r, &s)).expect("valid trace");
+        let hash = cost(trace::hash_join_trace(&r, &s)).expect("valid trace");
+        let unord = cost(trace::unordered_executor_trace(&r, &s, seed)).expect("valid trace");
+        // the paper's claims, as inequalities
+        pass &= bst == optimal; // boustrophedon merge is the Thm 4.1 optimum
+        pass &= fwd >= bst && hash >= bst && unord >= hash;
+        for c in [bst, fwd, hash, unord] {
+            pass &= c >= bounds::lower_bound_total(&g);
+            pass &= c <= bounds::upper_bound_total(&g); // Lemma 2.1: ≤ 2m
+        }
+        // the unordered executor should sit near the 2m ceiling
+        pass &= unord as f64 >= 1.8 * m as f64;
+        table.row([
+            format!("zipf n={n} θ={theta}"),
+            m.to_string(),
+            optimal.to_string(),
+            bst.to_string(),
+            fwd.to_string(),
+            hash.to_string(),
+            unord.to_string(),
+            (2 * m).to_string(),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str(
+        "\nπ̂ is the total pebble-move count of each algorithm's actual access \
+         pattern. The boustrophedon merge meets the optimum exactly (Theorem 4.1's \
+         construction *is* that merge); the forward merge pays one jump per rescan; \
+         an unordered RID-pair executor lands near Lemma 2.1's 2m ceiling. The model prices tuple revisits, not hashing — \
+         which is the paper's point about what the pebble game does and does not \
+         measure.\n",
+    );
+    writeln!(
+        out,
+        "\n**Verdict: {}**\n",
+        if pass { "PASS" } else { "FAIL" }
+    )
+    .unwrap();
+    (out, pass)
+}

@@ -1,0 +1,99 @@
+//! Minimal aligned-markdown table rendering for experiment reports.
+
+/// A markdown table under construction.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; it must match the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as column-aligned GitHub markdown.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut s = String::from("|");
+            for (i, c) in cells.iter().enumerate() {
+                let pad = widths[i] - c.chars().count();
+                s.push(' ');
+                s.push_str(c);
+                s.push_str(&" ".repeat(pad + 1));
+                s.push('|');
+            }
+            s
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        out.push('|');
+        for w in &widths {
+            out.push_str(&"-".repeat(w + 2));
+            out.push('|');
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new(["m", "π", "ratio"]);
+        t.row(["4", "5", "1.25"]);
+        t.row(["100", "125", "1.25"]);
+        let r = t.render();
+        assert!(r.starts_with("| m "));
+        assert_eq!(r.lines().count(), 4);
+        for line in r.lines() {
+            assert_eq!(
+                line.chars().count(),
+                r.lines().next().unwrap().chars().count()
+            );
+        }
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn rejects_ragged_rows() {
+        Table::new(["a", "b"]).row(["only one"]);
+    }
+}

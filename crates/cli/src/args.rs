@@ -1,0 +1,158 @@
+//! Tiny dependency-free argument parsing: positionals plus `--flag value`
+//! options.
+
+use std::collections::HashMap;
+
+/// CLI errors: usage problems (exit code 2) vs runtime failures (exit 1).
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad invocation; usage text should be shown.
+    Usage(String),
+    /// The command itself failed.
+    Runtime(String),
+}
+
+impl CliError {
+    /// Wraps an I/O error as a runtime failure.
+    pub fn io(e: std::io::Error) -> Self {
+        CliError::Runtime(e.to_string())
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage: {m}"),
+            CliError::Runtime(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parsed arguments: positionals in order, `--key value` options by key.
+#[derive(Debug, Default)]
+pub struct ParsedArgs {
+    positional: Vec<String>,
+    options: HashMap<String, String>,
+}
+
+impl ParsedArgs {
+    /// Splits `args` into positionals and `--key value` pairs.
+    pub fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut out = ParsedArgs::default();
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            if let Some(key) = a.strip_prefix("--") {
+                // a following `--flag` token is the next option, not a
+                // value (single-dash negatives like "-1" remain valid)
+                let value = args.get(i + 1).filter(|v| !v.starts_with("--"));
+                let Some(value) = value else {
+                    return Err(CliError::Usage(format!("option --{key} needs a value")));
+                };
+                out.options.insert(key.to_string(), value.clone());
+                i += 2;
+            } else {
+                out.positional.push(a.clone());
+                i += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Positional argument `idx`, required.
+    pub fn pos(&self, idx: usize, what: &str) -> Result<&str, CliError> {
+        self.positional
+            .get(idx)
+            .map(String::as_str)
+            .ok_or_else(|| CliError::Usage(format!("missing {what}")))
+    }
+
+    /// All positionals.
+    pub fn positionals(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// Option value, if present.
+    pub fn opt(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Option parsed to a type, with a default.
+    pub fn opt_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.opt(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{key} got unparsable value {v:?}"))),
+        }
+    }
+
+    /// Positional parsed to a type.
+    pub fn pos_parse<T: std::str::FromStr>(&self, idx: usize, what: &str) -> Result<T, CliError> {
+        let raw = self.pos(idx, what)?;
+        raw.parse()
+            .map_err(|_| CliError::Usage(format!("{what} got unparsable value {raw:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> ParsedArgs {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        ParsedArgs::parse(&v).unwrap()
+    }
+
+    #[test]
+    fn positionals_and_options_mix() {
+        let p = parse(&["spider", "8", "--out", "g.json", "tail"]);
+        assert_eq!(p.positionals(), &["spider", "8", "tail"]);
+        assert_eq!(p.opt("out"), Some("g.json"));
+        assert_eq!(p.opt("missing"), None);
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let p = parse(&["7", "--n", "42"]);
+        assert_eq!(p.pos_parse::<u32>(0, "n").unwrap(), 7);
+        assert_eq!(p.opt_parse("n", 0usize).unwrap(), 42);
+        assert_eq!(p.opt_parse("absent", 9usize).unwrap(), 9);
+    }
+
+    #[test]
+    fn missing_option_value_is_usage_error() {
+        let v = vec!["--out".to_string()];
+        assert!(matches!(ParsedArgs::parse(&v), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn unparsable_values_are_usage_errors() {
+        let p = parse(&["abc", "--n", "xyz"]);
+        assert!(matches!(
+            p.pos_parse::<u32>(0, "k"),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            p.opt_parse::<u32>("n", 0),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn adjacent_flags_are_not_swallowed_as_values() {
+        let v: Vec<String> = ["--out", "--algo"].iter().map(|s| s.to_string()).collect();
+        assert!(matches!(ParsedArgs::parse(&v), Err(CliError::Usage(_))));
+        // single-dash negatives still parse as values
+        let p = parse(&["--b", "-1"]);
+        assert_eq!(p.opt("b"), Some("-1"));
+    }
+
+    #[test]
+    fn missing_positional_is_usage_error() {
+        let p = parse(&[]);
+        assert!(matches!(p.pos(0, "family"), Err(CliError::Usage(_))));
+    }
+}

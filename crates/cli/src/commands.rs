@@ -1,0 +1,404 @@
+//! The `jp` subcommands.
+
+use crate::args::{CliError, ParsedArgs};
+use jp_graph::{betti_number, generators, properties, BipartiteGraph};
+use jp_pebble::analysis::SchemeReport;
+use jp_pebble::approx::{
+    pebble_dfs_partition, pebble_equijoin, pebble_euler_trails, pebble_nearest_neighbor,
+    pebble_path_cover,
+};
+use jp_pebble::{bounds, exact, exact_bb, PebblingScheme};
+use jp_relalg::{algorithms, realize, workload};
+use std::io::Write;
+use std::time::Instant;
+
+type Out<'a> = &'a mut dyn Write;
+
+fn rt(msg: impl std::fmt::Display) -> CliError {
+    CliError::Runtime(msg.to_string())
+}
+
+fn load_graph(path: &str) -> Result<BipartiteGraph, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| rt(format!("reading {path}: {e}")))?;
+    serde_json::from_str(&text).map_err(|e| rt(format!("parsing {path}: {e}")))
+}
+
+/// `jp generate <family> [params…] [--out FILE]`
+pub fn generate(args: &[String], out: Out) -> Result<(), CliError> {
+    let a = ParsedArgs::parse(args)?;
+    let family = a.pos(0, "family name")?;
+    let g = match family {
+        "complete-bipartite" => {
+            generators::complete_bipartite(a.pos_parse(1, "K")?, a.pos_parse(2, "L")?)
+        }
+        "matching" => generators::matching(a.pos_parse(1, "M")?),
+        "path" => generators::path(a.pos_parse(1, "M")?),
+        "cycle" => generators::cycle(a.pos_parse(1, "K")?),
+        "star" => generators::star(a.pos_parse(1, "N")?),
+        "spider" => generators::spider(a.pos_parse(1, "N")?),
+        "random" => generators::random_bipartite(
+            a.pos_parse(1, "K")?,
+            a.pos_parse(2, "L")?,
+            a.pos_parse(3, "P")?,
+            a.pos_parse(4, "SEED")?,
+        ),
+        "random-connected" => generators::random_connected_bipartite(
+            a.pos_parse(1, "K")?,
+            a.pos_parse(2, "L")?,
+            a.pos_parse(3, "M")?,
+            a.pos_parse(4, "SEED")?,
+        ),
+        other => return Err(CliError::Usage(format!("unknown family `{other}`"))),
+    };
+    match a.opt("out") {
+        Some(path) => {
+            writeln!(
+                out,
+                "generated {family}: |R| = {}, |S| = {}, m = {}, β₀ = {}",
+                g.left_count(),
+                g.right_count(),
+                g.edge_count(),
+                betti_number(&g)
+            )
+            .map_err(CliError::io)?;
+            let json = serde_json::to_string_pretty(&g).map_err(rt)?;
+            std::fs::write(path, json).map_err(|e| rt(format!("writing {path}: {e}")))?;
+            writeln!(out, "written to {path}").map_err(CliError::io)?;
+        }
+        None => {
+            // JSON only: `jp generate … > g.json` must stay loadable
+            let json = serde_json::to_string(&g).map_err(rt)?;
+            writeln!(out, "{json}").map_err(CliError::io)?;
+        }
+    }
+    Ok(())
+}
+
+/// `jp info <graph.json>`
+pub fn info(args: &[String], out: Out) -> Result<(), CliError> {
+    let a = ParsedArgs::parse(args)?;
+    let g = load_graph(a.pos(0, "graph file")?)?;
+    let m = g.edge_count();
+    writeln!(
+        out,
+        "vertices: |R| = {}, |S| = {}",
+        g.left_count(),
+        g.right_count()
+    )
+    .map_err(CliError::io)?;
+    writeln!(out, "edges (join output size): m = {m}").map_err(CliError::io)?;
+    writeln!(out, "components: β₀ = {}", betti_number(&g)).map_err(CliError::io)?;
+    if let Some((dmin, dmax)) = properties::degree_range(&g) {
+        writeln!(out, "degrees: {dmin}..{dmax}").map_err(CliError::io)?;
+    }
+    let equi = properties::is_equijoin_graph(&g);
+    writeln!(
+        out,
+        "equijoin-realizable: {}",
+        if equi { "yes" } else { "no" }
+    )
+    .map_err(CliError::io)?;
+    writeln!(
+        out,
+        "pebbling bounds: {} ≤ π(G) ≤ {} (Theorem 3.1 upper bound: {})",
+        bounds::best_lower_bound(&g),
+        bounds::weak_upper_bound_effective(&g),
+        bounds::upper_bound_effective(&g)
+    )
+    .map_err(CliError::io)?;
+    let metrics = jp_graph::metrics::metrics(&g);
+    writeln!(
+        out,
+        "structure: density {:.3}, diameter {}, {} leaves, largest component {} edges",
+        metrics.density, metrics.diameter, metrics.leaves, metrics.largest_component_edges
+    )
+    .map_err(CliError::io)?;
+    Ok(())
+}
+
+fn run_pebbler(algo: &str, g: &BipartiteGraph) -> Result<PebblingScheme, CliError> {
+    match algo {
+        "auto" => {
+            if properties::is_equijoin_graph(g) {
+                pebble_equijoin(g).map_err(rt)
+            } else {
+                pebble_dfs_partition(g).map_err(rt)
+            }
+        }
+        "equijoin" => pebble_equijoin(g).map_err(rt),
+        "dfs" => pebble_dfs_partition(g).map_err(rt),
+        "euler" => pebble_euler_trails(g).map_err(rt),
+        "cover" => pebble_path_cover(g).map_err(rt),
+        "nn" => pebble_nearest_neighbor(g).map_err(rt),
+        "exact" => exact::optimal_scheme(g).map_err(rt),
+        "bb" => exact_bb::optimal_scheme_bb(g, 50_000_000).map_err(rt),
+        other => Err(CliError::Usage(format!("unknown algorithm `{other}`"))),
+    }
+}
+
+/// `jp pebble <graph.json> [--algo A] [--out scheme.json]`
+pub fn pebble(args: &[String], out: Out) -> Result<(), CliError> {
+    let a = ParsedArgs::parse(args)?;
+    let g = load_graph(a.pos(0, "graph file")?)?;
+    let algo = a.opt("algo").unwrap_or("auto");
+    if algo == "all" {
+        for (name, report) in jp_pebble::analysis::compare_all(&g) {
+            writeln!(out, "{name:<28} {report}").map_err(CliError::io)?;
+        }
+        return Ok(());
+    }
+    let t0 = Instant::now();
+    let scheme = run_pebbler(algo, &g)?;
+    let dt = t0.elapsed();
+    scheme.validate(&g).map_err(rt)?;
+    let report = SchemeReport::new(&g, &scheme);
+    writeln!(out, "algorithm: {algo}").map_err(CliError::io)?;
+    writeln!(out, "{report}").map_err(CliError::io)?;
+    writeln!(
+        out,
+        "π = {} ({}), {:.3} ms",
+        report.effective_cost,
+        if report.is_perfect() {
+            "perfect"
+        } else {
+            "imperfect"
+        },
+        dt.as_secs_f64() * 1e3
+    )
+    .map_err(CliError::io)?;
+    if a.opt("steps")
+        .is_some_and(|v| v == "true" || v == "1" || v == "yes")
+    {
+        writeln!(out, "\nstep  configuration        deletes").map_err(CliError::io)?;
+        for st in scheme.replay(&g) {
+            writeln!(
+                out,
+                "{:>4}  {:<18}  {}",
+                st.index,
+                st.config.to_string(),
+                match st.deletes {
+                    Some(e) => {
+                        let (l, r) = g.edges()[e];
+                        format!("edge {e} = (r{l}, s{r})")
+                    }
+                    None => "— (jump)".to_string(),
+                }
+            )
+            .map_err(CliError::io)?;
+        }
+    }
+    if let Some(path) = a.opt("out") {
+        let json = serde_json::to_string(&scheme).map_err(rt)?;
+        std::fs::write(path, json).map_err(|e| rt(format!("writing {path}: {e}")))?;
+        writeln!(out, "scheme written to {path}").map_err(CliError::io)?;
+    }
+    Ok(())
+}
+
+/// `jp realize <graph.json> --as containment|spatial|equijoin`
+pub fn realize(args: &[String], out: Out) -> Result<(), CliError> {
+    let a = ParsedArgs::parse(args)?;
+    let g = load_graph(a.pos(0, "graph file")?)?;
+    let kind = a
+        .opt("as")
+        .ok_or_else(|| CliError::Usage("realize needs --as containment|spatial|equijoin".into()))?;
+    match kind {
+        "containment" => {
+            let (r, s) = realize::set_containment_instance(&g);
+            let rebuilt = jp_relalg::containment_graph(&r, &s);
+            writeln!(
+                out,
+                "Lemma 3.3 instance: {r}, {s}; join graph round-trip: {}",
+                if rebuilt == g { "ok" } else { "MISMATCH" }
+            )
+            .map_err(CliError::io)?;
+            if rebuilt != g {
+                return Err(rt("round-trip failed (this falsifies Lemma 3.3!)"));
+            }
+        }
+        "spatial" => {
+            let (r, s) = realize::spatial_universal_instance(&g);
+            let rebuilt = jp_relalg::spatial_graph(&r, &s);
+            writeln!(
+                out,
+                "spatial comb instance: {r}, {s}; join graph round-trip: {}",
+                if rebuilt == g { "ok" } else { "MISMATCH" }
+            )
+            .map_err(CliError::io)?;
+            if rebuilt != g {
+                return Err(rt("round-trip failed"));
+            }
+        }
+        "equijoin" => {
+            match realize::equijoin_instance(&g) {
+                Some((r, s)) => {
+                    let rebuilt = jp_relalg::equijoin_graph(&r, &s);
+                    writeln!(
+                        out,
+                        "equijoin instance: {r}, {s}; join graph round-trip: {}",
+                        if rebuilt == g { "ok" } else { "MISMATCH" }
+                    )
+                    .map_err(CliError::io)?;
+                }
+                None => return Err(rt(
+                    "graph is not equijoin-realizable (some component is not complete bipartite)",
+                )),
+            }
+        }
+        other => return Err(CliError::Usage(format!("unknown realization `{other}`"))),
+    }
+    Ok(())
+}
+
+/// `jp replay <scheme.json> <graph.json>` — validate a stored scheme.
+pub fn replay(args: &[String], out: Out) -> Result<(), CliError> {
+    let a = ParsedArgs::parse(args)?;
+    let scheme_path = a.pos(0, "scheme file")?;
+    let text = std::fs::read_to_string(scheme_path)
+        .map_err(|e| rt(format!("reading {scheme_path}: {e}")))?;
+    let scheme: PebblingScheme =
+        serde_json::from_str(&text).map_err(|e| rt(format!("parsing {scheme_path}: {e}")))?;
+    let g = load_graph(a.pos(1, "graph file")?)?;
+    match scheme.validate(&g) {
+        Ok(()) => {
+            let report = SchemeReport::new(&g, &scheme);
+            writeln!(out, "scheme is valid for the graph").map_err(CliError::io)?;
+            writeln!(out, "{report}").map_err(CliError::io)?;
+            Ok(())
+        }
+        Err(e) => Err(rt(format!("scheme invalid: {e}"))),
+    }
+}
+
+/// `jp fragment <graph.json> [--p P] [--q Q] [--slack S]` — the §5 plan.
+pub fn fragment(args: &[String], out: Out) -> Result<(), CliError> {
+    use jp_pebble::fragmentation::{
+        balanced_capacity, component_pack, connected_lower_bound, local_search,
+    };
+    let a = ParsedArgs::parse(args)?;
+    let g = load_graph(a.pos(0, "graph file")?)?;
+    let p: u32 = a.opt_parse("p", 4)?;
+    let q: u32 = a.opt_parse("q", 4)?;
+    let slack: usize = a.opt_parse("slack", 1)?;
+    let cap_l = balanced_capacity(g.left_count() as usize, p) + slack;
+    let cap_r = balanced_capacity(g.right_count() as usize, q) + slack;
+    let m = local_search(&g, component_pack(&g, p, q, cap_l, cap_r), cap_l, cap_r, 4);
+    m.validate(&g, cap_l, cap_r).map_err(rt)?;
+    writeln!(
+        out,
+        "fragment plan: {p}×{q} grid, caps {cap_l}/{cap_r}: {} sub-joins scheduled (full grid {}, connected lower bound {})",
+        m.cost(&g),
+        p * q,
+        connected_lower_bound(&g, cap_l, cap_r),
+    )
+    .map_err(CliError::io)?;
+    Ok(())
+}
+
+/// `jp buffers <graph.json> [--b B]` — the B-buffer schedule (E21).
+pub fn buffers(args: &[String], out: Out) -> Result<(), CliError> {
+    use jp_pebble::buffers::{lower_bound, schedule_greedy};
+    let a = ParsedArgs::parse(args)?;
+    let g = load_graph(a.pos(0, "graph file")?)?;
+    let b: usize = a.opt_parse("b", 2)?;
+    let s = schedule_greedy(&g, b).map_err(rt)?;
+    s.validate(&g, b).map_err(rt)?;
+    writeln!(
+        out,
+        "B = {b}: {} loads (floor = every vertex once = {}; B = 2 is the paper's two-pebble game)",
+        s.cost(),
+        lower_bound(&g),
+    )
+    .map_err(CliError::io)?;
+    Ok(())
+}
+
+/// `jp join --workload zipf|sets|rects [opts]`
+pub fn join(args: &[String], out: Out) -> Result<(), CliError> {
+    let a = ParsedArgs::parse(args)?;
+    let wl = a
+        .opt("workload")
+        .ok_or_else(|| CliError::Usage("join needs --workload zipf|sets|rects".into()))?;
+    let n: usize = a.opt_parse("n", 1_000)?;
+    let seed: u64 = a.opt_parse("seed", 42)?;
+    let timed = |name: &str, f: &dyn Fn() -> usize, out: &mut dyn Write| -> Result<(), CliError> {
+        let t0 = Instant::now();
+        let count = f();
+        writeln!(
+            out,
+            "  {name:<16} {count:>8} pairs  {:>9.3} ms",
+            t0.elapsed().as_secs_f64() * 1e3
+        )
+        .map_err(CliError::io)
+    };
+    match wl {
+        "zipf" => {
+            let keys: usize = a.opt_parse("keys", n / 10 + 1)?;
+            let theta: f64 = a.opt_parse("theta", 0.8)?;
+            let (r, s) = workload::zipf_equijoin(n, n, keys, theta, seed);
+            writeln!(
+                out,
+                "equijoin workload: {r} ⋈ {s}, {keys} keys, θ = {theta}"
+            )
+            .map_err(CliError::io)?;
+            timed(
+                "hash_join",
+                &|| algorithms::equi::hash_join(&r, &s).len(),
+                out,
+            )?;
+            timed(
+                "sort_merge",
+                &|| algorithms::equi::sort_merge(&r, &s).len(),
+                out,
+            )?;
+            timed(
+                "index_nl",
+                &|| algorithms::equi::index_nested_loops(&r, &s).len(),
+                out,
+            )?;
+        }
+        "sets" => {
+            let universe: u32 = a.opt_parse("universe", 2_000)?;
+            let planted: f64 = a.opt_parse("planted", 0.4)?;
+            let (r, s) = workload::set_workload(n, n, universe, 3..=8, 8..=20, planted, seed);
+            writeln!(out, "containment workload: {r} ⋈ {s}, universe {universe}")
+                .map_err(CliError::io)?;
+            timed(
+                "inverted_index",
+                &|| algorithms::containment::inverted_index(&r, &s).len(),
+                out,
+            )?;
+            timed(
+                "signature",
+                &|| algorithms::containment::signature(&r, &s).len(),
+                out,
+            )?;
+            timed(
+                "partitioned",
+                &|| algorithms::containment::partitioned(&r, &s, 64).len(),
+                out,
+            )?;
+        }
+        "rects" => {
+            let extent: i64 = a.opt_parse("extent", 20_000)?;
+            let side: i64 = a.opt_parse("side", 80)?;
+            let r = workload::uniform_rects(n, extent, side, seed);
+            let s = workload::uniform_rects(n, extent, side, seed + 1);
+            writeln!(
+                out,
+                "spatial workload: {r} ⋈ {s}, extent {extent}, max side {side}"
+            )
+            .map_err(CliError::io)?;
+            timed("sweep", &|| algorithms::spatial::sweep(&r, &s).len(), out)?;
+            timed("pbsm", &|| algorithms::spatial::pbsm(&r, &s).len(), out)?;
+            timed("rtree", &|| algorithms::spatial::rtree(&r, &s).len(), out)?;
+            timed(
+                "rtree_inl",
+                &|| algorithms::spatial::index_nested_loops(&r, &s).len(),
+                out,
+            )?;
+        }
+        other => return Err(CliError::Usage(format!("unknown workload `{other}`"))),
+    }
+    Ok(())
+}

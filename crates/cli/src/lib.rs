@@ -1,0 +1,182 @@
+//! Implementation of the `jp` command-line tool.
+//!
+//! Kept as a library so the command dispatch and argument parsing are
+//! unit-testable; [`run`] writes to any `Write` sink.
+
+mod args;
+mod commands;
+
+pub use args::{CliError, ParsedArgs};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+jp — the join-predicates pebbling toolbox (PODS 2001 reproduction)
+
+USAGE:
+  jp generate <family> [params…] [--out FILE]   create a join graph
+  jp info <graph.json>                          stats, bounds, classification
+  jp pebble <graph.json> [--algo A] [--out F] [--steps true]
+                                                pebble a join graph
+  jp realize <graph.json> --as KIND             build a join instance for it
+  jp join --workload W [opts]                   run join algorithms
+  jp replay <scheme.json> <graph.json>          validate a stored scheme
+  jp fragment <graph.json> [--p P] [--q Q]      §5 fragment-mapping plan
+  jp buffers <graph.json> [--b B]               B-buffer fetch schedule
+  jp help                                       this text
+
+FAMILIES (jp generate):
+  complete-bipartite K L      equijoin component K_{K,L} (Lemma 3.2)
+  matching M                  M disjoint edges (Lemma 2.4)
+  path M | cycle K | star N   classic traceable families
+  spider N                    the Figure 1 worst-case family G_N (Thm 3.3)
+  random K L P SEED           Erdős–Rényi bipartite G(K,L,P)
+  random-connected K L M SEED connected with exactly M edges
+
+ALGORITHMS (jp pebble --algo):
+  auto       equijoin pebbler when applicable, else dfs (default)
+  equijoin   Theorem 4.1 linear-time perfect pebbler (equijoin graphs only)
+  dfs        Theorem 3.1 construction, guaranteed ≤ 1.25m
+  euler      linear-time Euler-trail pebbler
+  cover      greedy path cover
+  nn         nearest neighbour
+  exact      Held–Karp optimum (components ≤ 20 edges)
+  bb         branch-and-bound optimum (budgeted)
+  all        run every applicable solver and compare
+
+REALIZATIONS (jp realize --as):
+  containment   Lemma 3.3: r_i = {i}, s_j = {neighbours of j}
+  spatial       comb-shaped rectilinear regions (universal)
+  equijoin      only for unions of complete bipartite graphs
+
+WORKLOADS (jp join --workload):
+  zipf    equijoin on Zipf keys    [--n N] [--keys K] [--theta T] [--seed S]
+  sets    set containment          [--n N] [--universe U] [--planted P] [--seed S]
+  rects   spatial overlap          [--n N] [--extent E] [--side L] [--seed S]
+";
+
+/// Runs the CLI with the given arguments, writing reports to `out`.
+pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err(CliError::Usage("no command given".into()));
+    };
+    match cmd.as_str() {
+        "generate" => commands::generate(rest, out),
+        "info" => commands::info(rest, out),
+        "pebble" => commands::pebble(rest, out),
+        "realize" => commands::realize(rest, out),
+        "join" => commands::join(rest, out),
+        "replay" => commands::replay(rest, out),
+        "fragment" => commands::fragment(rest, out),
+        "buffers" => commands::buffers(rest, out),
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{USAGE}").map_err(CliError::io)?;
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(args: &[&str]) -> Result<String, CliError> {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut buf = Vec::new();
+        run(&args, &mut buf)?;
+        Ok(String::from_utf8(buf).unwrap())
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_str(&["help"]).unwrap();
+        assert!(out.contains("jp generate"));
+    }
+
+    #[test]
+    fn no_command_is_usage_error() {
+        assert!(matches!(run_str(&[]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn unknown_command_is_usage_error() {
+        assert!(matches!(run_str(&["frobnicate"]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn generate_info_pebble_pipeline() {
+        let dir = std::env::temp_dir().join(format!("jp-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.json");
+        let p = path.to_str().unwrap();
+
+        let out = run_str(&["generate", "spider", "6", "--out", p]).unwrap();
+        assert!(out.contains("m = 12"));
+
+        let out = run_str(&["info", p]).unwrap();
+        assert!(out.contains("β₀ = 1"));
+        assert!(out.contains("equijoin-realizable: no"));
+
+        let out = run_str(&["pebble", p, "--algo", "exact"]).unwrap();
+        assert!(out.contains("π = 14"), "G_6 optimum is 14, got:\n{out}");
+
+        let out = run_str(&["pebble", p, "--algo", "dfs"]).unwrap();
+        assert!(out.contains("jumps"));
+
+        let out = run_str(&["pebble", p, "--algo", "all"]).unwrap();
+        assert!(out.contains("exact"));
+        assert!(out.contains("euler-trails"));
+
+        let out = run_str(&["realize", p, "--as", "containment"]).unwrap();
+        assert!(out.contains("round-trip: ok"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pebble_equijoin_on_wrong_graph_is_runtime_error() {
+        let dir = std::env::temp_dir().join(format!("jp-cli-test2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.json");
+        let p = path.to_str().unwrap();
+        run_str(&["generate", "spider", "3", "--out", p]).unwrap();
+        let err = run_str(&["pebble", p, "--algo", "equijoin"]).unwrap_err();
+        assert!(matches!(err, CliError::Runtime(_)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_and_fragment_commands() {
+        let dir = std::env::temp_dir().join(format!("jp-cli-test3-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let gp = dir.join("g.json");
+        let sp = dir.join("s.json");
+        run_str(&["generate", "spider", "5", "--out", gp.to_str().unwrap()]).unwrap();
+        run_str(&[
+            "pebble",
+            gp.to_str().unwrap(),
+            "--algo",
+            "euler",
+            "--out",
+            sp.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run_str(&["replay", sp.to_str().unwrap(), gp.to_str().unwrap()]).unwrap();
+        assert!(out.contains("scheme is valid"));
+        let out = run_str(&["fragment", gp.to_str().unwrap(), "--p", "2", "--q", "2"]).unwrap();
+        assert!(out.contains("sub-joins scheduled"));
+        let out = run_str(&["buffers", gp.to_str().unwrap(), "--b", "3"]).unwrap();
+        assert!(out.contains("loads"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn join_workloads_run() {
+        let out = run_str(&["join", "--workload", "zipf", "--n", "200"]).unwrap();
+        assert!(out.contains("hash_join"));
+        let out = run_str(&["join", "--workload", "sets", "--n", "80"]).unwrap();
+        assert!(out.contains("inverted_index"));
+        let out = run_str(&["join", "--workload", "rects", "--n", "150"]).unwrap();
+        assert!(out.contains("rtree"));
+    }
+}

@@ -1,0 +1,29 @@
+//! `jp` — command-line interface for the join-predicates reproduction.
+//!
+//! ```text
+//! jp generate spider 8 --out g.json      # graph families as JSON
+//! jp info g.json                         # m, β₀, bounds, classification
+//! jp pebble g.json --algo exact          # pebble with any solver
+//! jp realize g.json --as containment     # Lemma 3.3 / 3.4 instances
+//! jp join --workload zipf --n 1000       # run join algorithms
+//! ```
+//!
+//! Run `jp help` for the full reference.
+
+use jp_cli::{run, CliError};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args, &mut std::io::stdout()) {
+        Ok(()) => {}
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}\n");
+            eprintln!("{}", jp_cli::USAGE);
+            std::process::exit(2);
+        }
+        Err(CliError::Runtime(msg)) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Scheme statistics and comparison reports for the experiment harness.
+
+use crate::bounds;
+use crate::scheme::PebblingScheme;
+use jp_graph::{betti_number, BipartiteGraph};
+use std::fmt;
+
+/// A summary of one scheme against one graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemeReport {
+    /// Number of edges `m` (= join output size).
+    pub edges: usize,
+    /// Connected components containing edges, `β₀`.
+    pub betti: u32,
+    /// Total cost `π̂(P)`.
+    pub total_cost: usize,
+    /// Effective cost `π(P)`.
+    pub effective_cost: usize,
+    /// Configurations that delete no fresh edge.
+    pub jumps: usize,
+    /// `π(P) / m` — 1.0 means a perfect pebbling (Definition 2.3).
+    pub ratio_to_m: f64,
+    /// `π(P)` divided by the best known lower bound on `π(G)`.
+    pub ratio_to_lower_bound: f64,
+}
+
+impl SchemeReport {
+    /// Builds the report; the scheme must be valid for `g`.
+    pub fn new(g: &BipartiteGraph, scheme: &PebblingScheme) -> Self {
+        debug_assert!(scheme.validate(g).is_ok());
+        let m = g.edge_count();
+        let eff = scheme.effective_cost(g);
+        let lb = bounds::best_lower_bound(g);
+        SchemeReport {
+            edges: m,
+            betti: betti_number(g),
+            total_cost: scheme.cost(),
+            effective_cost: eff,
+            jumps: scheme.jumps(g),
+            ratio_to_m: if m == 0 { 1.0 } else { eff as f64 / m as f64 },
+            ratio_to_lower_bound: if lb == 0 { 1.0 } else { eff as f64 / lb as f64 },
+        }
+    }
+
+    /// Whether the scheme is perfect (`π = m`, Definition 2.3).
+    pub fn is_perfect(&self) -> bool {
+        self.effective_cost == self.edges
+    }
+}
+
+impl fmt::Display for SchemeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "m={} β₀={} π̂={} π={} jumps={} π/m={:.3}",
+            self.edges,
+            self.betti,
+            self.total_cost,
+            self.effective_cost,
+            self.jumps,
+            self.ratio_to_m
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::equijoin::pebble_equijoin;
+    use crate::approx::nearest_neighbor::pebble_nearest_neighbor;
+    use jp_graph::generators;
+
+    #[test]
+    fn perfect_scheme_reports_ratio_one() {
+        let g = generators::complete_bipartite(3, 4);
+        let s = pebble_equijoin(&g).unwrap();
+        let r = SchemeReport::new(&g, &s);
+        assert!(r.is_perfect());
+        assert_eq!(r.ratio_to_m, 1.0);
+        assert_eq!(r.jumps, 0);
+        assert_eq!(r.betti, 1);
+        assert_eq!(r.total_cost, 13);
+    }
+
+    #[test]
+    fn imperfect_scheme_reports_jumps() {
+        let g = generators::spider(4);
+        let s = pebble_nearest_neighbor(&g).unwrap();
+        let r = SchemeReport::new(&g, &s);
+        assert!(r.effective_cost >= r.edges);
+        assert_eq!(r.effective_cost, r.edges + r.jumps);
+        assert!(r.ratio_to_lower_bound >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let g = generators::path(3);
+        let s = pebble_nearest_neighbor(&g).unwrap();
+        let text = SchemeReport::new(&g, &s).to_string();
+        assert!(text.contains("m=3"));
+        assert!(text.contains("π"));
+    }
+}
+
+/// Converts a join algorithm's *trace* (its result pairs in visit order,
+/// as `(left, right)` tuple ids) into the pebbling scheme it implies —
+/// the §2 modelling step made executable: "any join algorithm has to
+/// consider this pair of tuples at some point of time in its execution
+/// and produce a result tuple… the join algorithm places one pebble on
+/// each vertex".
+///
+/// Errors if the trace misses a join-graph edge or references a
+/// non-edge.
+pub fn implied_scheme(
+    g: &BipartiteGraph,
+    trace: &[(u32, u32)],
+) -> Result<PebblingScheme, crate::PebbleError> {
+    let mut order = Vec::with_capacity(trace.len());
+    for &(l, r) in trace {
+        match g.edge_index(l, r) {
+            Some(e) => order.push(e),
+            None => return Err(crate::PebbleError::NotAnEdge { left: l, right: r }),
+        }
+    }
+    PebblingScheme::from_edge_sequence(g, &order)
+}
+
+#[cfg(test)]
+mod implied_tests {
+    use super::*;
+    use jp_graph::generators;
+
+    #[test]
+    fn identity_trace_round_trips() {
+        let g = generators::complete_bipartite(2, 3);
+        let trace: Vec<(u32, u32)> = g.edges().to_vec();
+        let s = implied_scheme(&g, &trace).unwrap();
+        s.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn missing_pair_is_an_error() {
+        let g = generators::path(3);
+        let partial = &g.edges()[..2];
+        assert!(implied_scheme(&g, partial).is_err());
+    }
+
+    #[test]
+    fn non_edge_is_an_error() {
+        let g = generators::matching(2);
+        assert!(implied_scheme(&g, &[(0, 1)]).is_err());
+    }
+}
+
+/// Comparison of every applicable pebbler on one graph: algorithm name
+/// and its report, exact solvers included when the instance is small
+/// enough.
+pub fn compare_all(g: &BipartiteGraph) -> Vec<(&'static str, SchemeReport)> {
+    use crate::approx::{
+        pebble_dfs_partition, pebble_equijoin, pebble_euler_trails, pebble_nearest_neighbor,
+        pebble_path_cover,
+    };
+    let mut out = Vec::new();
+    if let Ok(s) = pebble_equijoin(g) {
+        out.push(("equijoin (Thm 4.1)", SchemeReport::new(g, &s)));
+    }
+    for (name, res) in [
+        ("dfs-partition (Thm 3.1)", pebble_dfs_partition(g)),
+        ("euler-trails", pebble_euler_trails(g)),
+        ("path-cover", pebble_path_cover(g)),
+        (
+            "matching-cover (P&Y-style)",
+            crate::approx::pebble_matching_cover(g),
+        ),
+        ("nearest-neighbor", pebble_nearest_neighbor(g)),
+    ] {
+        if let Ok(s) = res {
+            out.push((name, SchemeReport::new(g, &s)));
+        }
+    }
+    if let Ok(s) = crate::exact::optimal_scheme(g) {
+        out.push(("exact (Held–Karp)", SchemeReport::new(g, &s)));
+    } else if let Ok(s) = crate::exact_bb::optimal_scheme_bb(g, 20_000_000) {
+        out.push(("exact (branch & bound)", SchemeReport::new(g, &s)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod compare_tests {
+    use super::*;
+    use jp_graph::generators;
+
+    #[test]
+    fn compare_all_on_equijoin_graph_includes_linear_pebbler() {
+        let g = generators::complete_bipartite(3, 4);
+        let rows = compare_all(&g);
+        assert!(rows.iter().any(|(n, _)| n.starts_with("equijoin")));
+        assert!(rows.iter().any(|(n, _)| n.starts_with("exact")));
+        // every report is for a valid scheme with π >= m
+        for (name, r) in &rows {
+            assert!(r.effective_cost >= g.edge_count(), "{name}");
+        }
+    }
+
+    #[test]
+    fn compare_all_on_spider_excludes_equijoin_pebbler() {
+        let g = generators::spider(4);
+        let rows = compare_all(&g);
+        assert!(!rows.iter().any(|(n, _)| n.starts_with("equijoin")));
+        let exact = rows.iter().find(|(n, _)| n.starts_with("exact")).unwrap();
+        assert_eq!(exact.1.effective_cost, 9);
+        // exact is the minimum of all rows
+        assert!(rows
+            .iter()
+            .all(|(_, r)| r.effective_cost >= exact.1.effective_cost));
+    }
+}

@@ -1,0 +1,208 @@
+//! Combinatorial bounds on pebbling cost (§2.1 and §3).
+//!
+//! * Lemma 2.1: `m + 1 ≤ π̂(G) ≤ 2m` for any graph with `m ≥ 1` edges;
+//! * Corollary 2.1 / Lemma 2.3: `m ≤ π(G) ≤ 2m − 1` for connected `G`
+//!   (and for general `G` by additivity);
+//! * Theorem 3.1: `π(G) ≤ 1.25m − 1` for connected bipartite `G`
+//!   (`⌈1.25m⌉ − 1` in integer form — see [`upper_bound_effective`]);
+//! * a pendant-vertex *lower* bound distilled from Theorem 3.3's
+//!   `B⁺`/`B⁻` jump-counting argument, which certifies the spiders'
+//!   worst-case optimality without brute force.
+
+use jp_graph::{betti_number, line_graph, BipartiteGraph, ComponentMap};
+
+/// Lemma 2.1 lower bound on the total cost: `π̂(G) ≥ m + β₀` (each edge
+/// deletion is a distinct configuration, each costing at least one move;
+/// entering each component costs one extra placement). The paper states
+/// the connected form `m + 1`.
+pub fn lower_bound_total(g: &BipartiteGraph) -> usize {
+    g.edge_count() + betti_number(g) as usize
+}
+
+/// Lemma 2.1 upper bound on the total cost: `π̂(G) ≤ 2m` ("in an optimal
+/// scheme, at most two moves are required to delete a given edge").
+pub fn upper_bound_total(g: &BipartiteGraph) -> usize {
+    2 * g.edge_count()
+}
+
+/// Lemma 2.3 lower bound on the effective cost: `π(G) ≥ m`.
+pub fn lower_bound_effective(g: &BipartiteGraph) -> usize {
+    g.edge_count()
+}
+
+/// Theorem 3.1 upper bound on the effective cost, summed per component:
+/// `π ≤ Σ_c (⌈1.25·m_c⌉ − 1)` where `m_c` ranges over component edge
+/// counts. For a single connected component this is `⌈1.25m⌉ − 1`, the
+/// integer form of the paper's `1.25m − 1`.
+pub fn upper_bound_effective(g: &BipartiteGraph) -> usize {
+    let cm = ComponentMap::new(g);
+    let mut per_comp = vec![0usize; cm.count as usize];
+    for &c in &cm.edge {
+        per_comp[c as usize] += 1;
+    }
+    per_comp.iter().map(|&m| theorem_3_1_bound(m)).sum()
+}
+
+/// The Theorem 3.1 bound for one connected component with `m` edges:
+/// `⌈5m/4⌉ − 1`, except tiny components where the trivial `2m − 1` bound
+/// is smaller is still dominated by it (for `m ≥ 1`, `⌈5m/4⌉ − 1 ≤ 2m−1`).
+pub fn theorem_3_1_bound(m: usize) -> usize {
+    if m == 0 {
+        return 0;
+    }
+    (5 * m).div_ceil(4) - 1
+}
+
+/// Weak upper bound from Corollary 2.1, per component: `π ≤ Σ (2m_c − 1)`.
+pub fn weak_upper_bound_effective(g: &BipartiteGraph) -> usize {
+    let cm = ComponentMap::new(g);
+    let mut per_comp = vec![0usize; cm.count as usize];
+    for &c in &cm.edge {
+        per_comp[c as usize] += 1;
+    }
+    per_comp.iter().map(|&m| 2 * m - 1).sum()
+}
+
+/// Pendant lower bound (the Theorem 3.3 counting argument, generalized):
+/// in the completed line graph, every degree-1 vertex of `L(G)` must be
+/// entered or left via a bad edge except possibly the tour's two ends, so
+/// a tour over a connected component has at least `⌈(p − 2)/2⌉` jumps,
+/// where `p` counts the component's pendant `L(G)` vertices. Hence
+/// `π(G) ≥ Σ_c (m_c + max(0, ⌈(p_c − 2)/2⌉))`.
+///
+/// For the spider `G_n` this evaluates to `2n + ⌈n/2⌉ − 1 + 1`… precisely
+/// `m + ⌈(n − 2)/2⌉`, which matches the optimum (see
+/// [`crate::families::spider_optimal_cost`]).
+pub fn pendant_lower_bound(g: &BipartiteGraph) -> usize {
+    // A pendant vertex of L(G) is an edge of G adjacent to exactly one
+    // other edge: deg(u) + deg(v) − 2 == 1 for its endpoints (u, v).
+    let cm = ComponentMap::new(g);
+    let mut m_per = vec![0usize; cm.count as usize];
+    let mut p_per = vec![0usize; cm.count as usize];
+    for (e, &(l, r)) in g.edges().iter().enumerate() {
+        let c = cm.edge[e] as usize;
+        m_per[c] += 1;
+        let ldeg = g.left_neighbors(l).len();
+        let rdeg = g.right_neighbors(r).len();
+        if ldeg + rdeg - 2 == 1 {
+            p_per[c] += 1;
+        }
+    }
+    (0..m_per.len())
+        .map(|c| {
+            let jumps = p_per[c].saturating_sub(2).div_ceil(2);
+            m_per[c] + jumps
+        })
+        .sum()
+}
+
+/// The best general lower bound on `π(G)` this crate knows:
+/// `max(m, pendant bound)`.
+pub fn best_lower_bound(g: &BipartiteGraph) -> usize {
+    lower_bound_effective(g).max(pendant_lower_bound(g))
+}
+
+/// Definition 2.3: `G` has a *perfect* pebbling scheme iff `π(G) = m`.
+/// This checks the property exactly via Proposition 2.1 (`L(G)` of every
+/// component has a Hamiltonian path) — exponential, small graphs only.
+pub fn has_perfect_scheme(g: &BipartiteGraph) -> bool {
+    let cm = ComponentMap::new(g);
+    cm.edges_by_component().into_iter().all(|edges| {
+        let sub = g.edge_subgraph(&edges);
+        jp_graph::hamilton::has_hamiltonian_path(&line_graph(&sub))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jp_graph::generators;
+
+    #[test]
+    fn bound_sandwich_on_families() {
+        for g in [
+            generators::complete_bipartite(3, 3),
+            generators::spider(4),
+            generators::path(6),
+            generators::matching(5),
+            generators::cycle(3),
+        ] {
+            let m = g.edge_count();
+            assert!(lower_bound_total(&g) > m);
+            assert!(lower_bound_total(&g) <= upper_bound_total(&g), "{g}");
+            assert!(
+                lower_bound_effective(&g) <= upper_bound_effective(&g),
+                "{g}"
+            );
+            assert!(
+                upper_bound_effective(&g) <= weak_upper_bound_effective(&g),
+                "{g}"
+            );
+            assert!(best_lower_bound(&g) <= upper_bound_effective(&g), "{g}");
+        }
+    }
+
+    #[test]
+    fn theorem_3_1_bound_values() {
+        assert_eq!(theorem_3_1_bound(0), 0);
+        assert_eq!(theorem_3_1_bound(1), 1); // ceil(1.25)-1 = 1
+        assert_eq!(theorem_3_1_bound(4), 4);
+        assert_eq!(theorem_3_1_bound(8), 9); // 10-1
+        assert_eq!(theorem_3_1_bound(10), 12); // ceil(12.5)-1
+    }
+
+    #[test]
+    fn pendant_bound_on_spiders() {
+        // Theorem 3.3: π(G_n) = 1.25m − 1 for even n; the pendant bound
+        // must certify it.
+        for n in [4u32, 6, 8, 20] {
+            let g = generators::spider(n);
+            let m = 2 * n as usize;
+            assert_eq!(pendant_lower_bound(&g), m + (n as usize - 2).div_ceil(2));
+            assert_eq!(
+                pendant_lower_bound(&g),
+                5 * m / 4 - 1,
+                "even n exact 1.25m-1"
+            );
+        }
+        // odd n: bound is m + (n-2+1)/2 = m + (n-1)/2
+        let g5 = generators::spider(5);
+        assert_eq!(pendant_lower_bound(&g5), 10 + 2);
+    }
+
+    #[test]
+    fn pendant_bound_is_trivial_without_pendants() {
+        let g = generators::complete_bipartite(3, 3);
+        assert_eq!(pendant_lower_bound(&g), g.edge_count());
+        // matchings: every edge is isolated in L(G); p_c = 0 per component
+        // (deg sums to 1? deg(u)+deg(v)-2 = 0, not 1) so bound = m.
+        let m = generators::matching(4);
+        assert_eq!(pendant_lower_bound(&m), 4);
+    }
+
+    #[test]
+    fn paths_have_pendant_bound_m() {
+        // A path's line graph is a path: 2 pendant vertices -> 0 extra.
+        let g = generators::path(7);
+        assert_eq!(pendant_lower_bound(&g), 7);
+    }
+
+    #[test]
+    fn perfect_scheme_detection() {
+        assert!(has_perfect_scheme(&generators::complete_bipartite(3, 4)));
+        assert!(has_perfect_scheme(&generators::path(5)));
+        assert!(has_perfect_scheme(&generators::matching(3)));
+        assert!(has_perfect_scheme(&generators::cycle(3)));
+        assert!(!has_perfect_scheme(&generators::spider(3)));
+        assert!(!has_perfect_scheme(&generators::spider(5)));
+    }
+
+    #[test]
+    fn empty_graph_bounds() {
+        let g = jp_graph::BipartiteGraph::new(2, 2, vec![]);
+        assert_eq!(lower_bound_total(&g), 0);
+        assert_eq!(upper_bound_effective(&g), 0);
+        assert_eq!(pendant_lower_bound(&g), 0);
+        assert!(has_perfect_scheme(&g));
+    }
+}

@@ -1,0 +1,322 @@
+//! Exact optimal pebbling — the `PEBBLE` problem of Definition 4.1.
+//!
+//! `PEBBLE` is NP-complete (Theorem 4.2), so exactness costs exponential
+//! time: we solve the equivalent minimum-jump Hamiltonian-path problem on
+//! `L(G)` (Proposition 2.2) with a Held–Karp bitmask DP, per connected
+//! component (justified by the additivity Lemma 2.2). `O(2^m · m · Δ)`
+//! time and `O(2^m · m)` bytes per component — practical to `m ≈ 20`
+//! edges per component, which is exactly the regime the experiments need
+//! (closed-form families cover the large instances).
+
+use crate::scheme::PebblingScheme;
+use crate::tsp::Tsp12;
+use crate::PebbleError;
+use jp_graph::{BipartiteGraph, ComponentMap, Graph};
+
+/// Default per-component edge limit for the exact solver.
+pub const MAX_EXACT_EDGES: usize = 20;
+
+const INF: u8 = u8::MAX;
+
+/// Minimum-jump Hamiltonian path over the weight-1 graph `ones`:
+/// returns `(tour, jumps)` minimizing the number of weight-2 steps.
+///
+/// # Panics
+/// Panics if `ones` has more than [`MAX_EXACT_EDGES`] vertices (callers
+/// gate on size first) or zero vertices.
+pub fn min_jump_tour(ones: &Graph) -> (Vec<u32>, usize) {
+    let n = ones.vertex_count() as usize;
+    assert!(n >= 1, "empty TSP instance");
+    assert!(
+        n <= MAX_EXACT_EDGES,
+        "instance too large for exact DP ({n} nodes)"
+    );
+    if n == 1 {
+        return (vec![0], 0);
+    }
+    let full = (1usize << n) - 1;
+    let mut dp = vec![INF; (full + 1) * n];
+    for v in 0..n {
+        dp[(1usize << v) * n + v] = 0;
+    }
+    for mask in 1..=full {
+        for v in 0..n {
+            let cur = dp[mask * n + v];
+            if cur == INF || mask & (1 << v) == 0 {
+                continue;
+            }
+            // good transitions
+            for &w in ones.neighbors(v as u32) {
+                let w = w as usize;
+                if mask & (1 << w) == 0 {
+                    let slot = &mut dp[(mask | (1 << w)) * n + w];
+                    if cur < *slot {
+                        *slot = cur;
+                    }
+                }
+            }
+            // bad transitions (jump to any unvisited node)
+            let cost = cur.saturating_add(1);
+            let mut rest = !mask & full;
+            while rest != 0 {
+                let w = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                let slot = &mut dp[(mask | (1 << w)) * n + w];
+                if cost < *slot {
+                    *slot = cost;
+                }
+            }
+        }
+    }
+    let (mut best_v, mut best) = (0usize, INF);
+    for v in 0..n {
+        if dp[full * n + v] < best {
+            best = dp[full * n + v];
+            best_v = v;
+        }
+    }
+    // Reconstruct backwards.
+    let mut tour = vec![best_v as u32];
+    let mut mask = full;
+    let mut v = best_v;
+    let mut jumps_left = best;
+    while mask.count_ones() > 1 {
+        let prev_mask = mask & !(1usize << v);
+        let mut found = false;
+        for u in 0..n {
+            if prev_mask & (1 << u) == 0 {
+                continue;
+            }
+            let step = if ones.has_edge(u as u32, v as u32) {
+                0
+            } else {
+                1
+            };
+            if step <= jumps_left && dp[prev_mask * n + u] == jumps_left - step {
+                tour.push(u as u32);
+                mask = prev_mask;
+                v = u;
+                jumps_left -= step;
+                found = true;
+                break;
+            }
+        }
+        debug_assert!(found, "DP table inconsistent");
+        if !found {
+            break;
+        }
+    }
+    tour.reverse();
+    (tour, best as usize)
+}
+
+/// Per-component exact solution: `(edge order, jumps)` for each connected
+/// component, in component order.
+fn solve_components(
+    g: &BipartiteGraph,
+    limit: usize,
+) -> Result<Vec<(Vec<usize>, usize)>, PebbleError> {
+    let cm = ComponentMap::new(g);
+    let mut out = Vec::with_capacity(cm.count as usize);
+    for edges in cm.edges_by_component() {
+        if edges.len() > limit {
+            return Err(PebbleError::TooLarge {
+                component_edges: edges.len(),
+                limit,
+            });
+        }
+        let sub = g.edge_subgraph(&edges);
+        // edge_subgraph keeps edges in the order of `edges` after sorting?
+        // BipartiteGraph::new sorts edges; map subgraph edge ids back to
+        // original ids through coordinates.
+        let lg = jp_graph::line_graph(&sub);
+        let (tour, jumps) = min_jump_tour(&lg);
+        // sub's edge e corresponds to original edge: reconstruct by the
+        // sorted order of `edges` — subgraph construction preserves the
+        // relative lexicographic order of edges, and `edges` came sorted
+        // from edges_by_component (ascending ids = lexicographic).
+        let order: Vec<usize> = tour.iter().map(|&e| edges[e as usize]).collect();
+        out.push((order, jumps));
+    }
+    Ok(out)
+}
+
+/// The optimal effective cost `π(G)`: `Σ_c (m_c + J_c)` over components.
+///
+/// ```
+/// use jp_graph::generators;
+/// use jp_pebble::exact::optimal_effective_cost;
+///
+/// // Theorem 3.3: the Figure 1 spider G_4 costs 1.25·m − 1.
+/// let g = generators::spider(4);
+/// assert_eq!(optimal_effective_cost(&g).unwrap(), 9); // m = 8
+/// // Complete bipartite graphs pebble perfectly (Lemma 3.2).
+/// let k = generators::complete_bipartite(3, 3);
+/// assert_eq!(optimal_effective_cost(&k).unwrap(), 9); // = m
+/// ```
+pub fn optimal_effective_cost(g: &BipartiteGraph) -> Result<usize, PebbleError> {
+    optimal_effective_cost_with_limit(g, MAX_EXACT_EDGES)
+}
+
+/// [`optimal_effective_cost`] with a caller-chosen per-component limit
+/// (memory grows as `2^limit`; beyond ~24 is unreasonable).
+pub fn optimal_effective_cost_with_limit(
+    g: &BipartiteGraph,
+    limit: usize,
+) -> Result<usize, PebbleError> {
+    let comps = solve_components(g, limit)?;
+    Ok(comps.iter().map(|(order, jumps)| order.len() + jumps).sum())
+}
+
+/// The optimal total cost `π̂(G) = π(G) + β₀(G)`.
+pub fn optimal_total_cost(g: &BipartiteGraph) -> Result<usize, PebbleError> {
+    Ok(optimal_effective_cost(g)? + jp_graph::betti_number(g) as usize)
+}
+
+/// An optimal pebbling scheme, concatenating per-component optimal edge
+/// orders (Lemma 2.2: nothing is gained by interleaving components).
+pub fn optimal_scheme(g: &BipartiteGraph) -> Result<PebblingScheme, PebbleError> {
+    let comps = solve_components(g, MAX_EXACT_EDGES)?;
+    let order: Vec<usize> = comps.into_iter().flat_map(|(o, _)| o).collect();
+    PebblingScheme::from_edge_sequence(g, &order)
+}
+
+/// `PEBBLE(D)` (Definition 4.1): decide whether `π(G) ≤ K`. Decidable
+/// exactly only for small components; NP-complete in general
+/// (Theorem 4.2).
+pub fn pebble_decision(g: &BipartiteGraph, k: usize) -> Result<bool, PebbleError> {
+    Ok(optimal_effective_cost(g)? <= k)
+}
+
+/// Exact minimum TSP(1,2) tour cost over an arbitrary instance (used by
+/// the §4 reduction experiments, where instances are not line graphs).
+///
+/// # Panics
+/// Panics if the instance has more than [`MAX_EXACT_EDGES`] nodes (the
+/// Held–Karp memory wall); gate on [`Tsp12::n`] first.
+pub fn optimal_tsp_cost(tsp: &Tsp12) -> usize {
+    let n = tsp.n();
+    if n == 0 {
+        return 0;
+    }
+    let (_, jumps) = min_jump_tour(tsp.ones());
+    n - 1 + jumps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jp_graph::generators;
+
+    #[test]
+    fn perfect_families_cost_m() {
+        for g in [
+            generators::complete_bipartite(2, 3),
+            generators::complete_bipartite(3, 3),
+            generators::path(6),
+            generators::cycle(3),
+            generators::star(5),
+        ] {
+            assert_eq!(optimal_effective_cost(&g).unwrap(), g.edge_count(), "{g}");
+        }
+    }
+
+    #[test]
+    fn matching_total_cost_2m() {
+        // Lemma 2.4 via the exact solver.
+        for m in 1..6 {
+            let g = generators::matching(m);
+            assert_eq!(optimal_total_cost(&g).unwrap(), 2 * m as usize);
+            assert_eq!(optimal_effective_cost(&g).unwrap(), m as usize);
+        }
+    }
+
+    #[test]
+    fn spider_optima_match_closed_form() {
+        // π(G_n) = m + ceil((n−2)/2); equals 1.25m − 1 for even n (T3.3).
+        for n in 2..8u32 {
+            let g = generators::spider(n);
+            let m = 2 * n as usize;
+            let expect = m + (n as usize).saturating_sub(2).div_ceil(2);
+            assert_eq!(optimal_effective_cost(&g).unwrap(), expect, "G_{n}");
+        }
+        // even-n paper form
+        let g6 = generators::spider(6);
+        assert_eq!(optimal_effective_cost(&g6).unwrap(), 5 * 12 / 4 - 1);
+    }
+
+    #[test]
+    fn additivity_lemma_2_2() {
+        let a = generators::spider(3);
+        let b = generators::path(4);
+        let u = a.disjoint_union(&b);
+        assert_eq!(
+            optimal_effective_cost(&u).unwrap(),
+            optimal_effective_cost(&a).unwrap() + optimal_effective_cost(&b).unwrap()
+        );
+        assert_eq!(
+            optimal_total_cost(&u).unwrap(),
+            optimal_total_cost(&a).unwrap() + optimal_total_cost(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn optimal_scheme_is_valid_and_matches_cost() {
+        for g in [
+            generators::spider(4),
+            generators::random_connected_bipartite(4, 4, 9, 5),
+            generators::matching(3).disjoint_union(&generators::path(3)),
+        ] {
+            let s = optimal_scheme(&g).unwrap();
+            s.validate(&g).unwrap();
+            assert_eq!(
+                s.effective_cost(&g),
+                optimal_effective_cost(&g).unwrap(),
+                "{g}"
+            );
+        }
+    }
+
+    #[test]
+    fn decision_procedure() {
+        let g = generators::spider(4); // π = 9
+        assert!(pebble_decision(&g, 9).unwrap());
+        assert!(!pebble_decision(&g, 8).unwrap());
+        assert!(pebble_decision(&g, 100).unwrap());
+    }
+
+    #[test]
+    fn too_large_reports_error() {
+        let g = generators::complete_bipartite(5, 5); // 25 edges in one component
+        match optimal_effective_cost(&g) {
+            Err(PebbleError::TooLarge {
+                component_edges: 25,
+                limit,
+            }) => {
+                assert_eq!(limit, MAX_EXACT_EDGES);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn optimal_cost_within_bounds() {
+        use crate::bounds;
+        for seed in 0..8 {
+            let g = generators::random_connected_bipartite(3, 4, 8, seed);
+            let opt = optimal_effective_cost(&g).unwrap();
+            assert!(opt >= bounds::best_lower_bound(&g), "seed {seed}");
+            assert!(opt <= bounds::upper_bound_effective(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn min_jump_tour_reconstruction_is_consistent() {
+        let g = generators::spider(5);
+        let lg = jp_graph::line_graph(&g);
+        let (tour, jumps) = min_jump_tour(&lg);
+        assert_eq!(tour.len(), lg.vertex_count() as usize);
+        let recount = tour.windows(2).filter(|w| !lg.has_edge(w[0], w[1])).count();
+        assert_eq!(recount, jumps);
+    }
+}

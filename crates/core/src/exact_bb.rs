@@ -1,0 +1,346 @@
+//! Branch-and-bound exact solver for minimum-jump Hamiltonian paths.
+//!
+//! [`crate::exact`]'s Held–Karp DP is memory-bound at ~20 line-graph
+//! vertices (`2^m` words). This module trades guaranteed polynomial
+//! *space* for worst-case exponential time: depth-first search over
+//! partial tours with
+//!
+//! * an incumbent seeded from the greedy path cover + 2-opt (so pruning
+//!   starts strong),
+//! * an admissible lower bound on remaining jumps: unvisited vertices
+//!   whose *unvisited* good-degree is zero must each be entered and left
+//!   by jumps, contributing `≥ ⌈(isolated − 1)/1⌉`-ish; we use the safe
+//!   count `max(stranded − 1, 0)` where `stranded` counts unvisited
+//!   vertices with no unvisited good neighbour and no good edge to the
+//!   current endpoint,
+//! * a node budget, returning `None` when exhausted (the caller falls
+//!   back or reports).
+//!
+//! Cross-validated against Held–Karp on every instance both can solve.
+
+use crate::approx::path_cover::greedy_path_cover;
+use crate::approx::stitch_paths;
+use crate::approx::two_opt::improve_two_opt;
+use crate::scheme::PebblingScheme;
+use crate::tsp::Tsp12;
+use crate::PebbleError;
+use jp_graph::{BipartiteGraph, ComponentMap, Graph};
+
+/// Result of a budgeted search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BbOutcome {
+    /// Proven optimal tour and its jump count.
+    Optimal(Vec<u32>, usize),
+    /// Budget exhausted; best tour found so far (not proven optimal).
+    BudgetExhausted(Vec<u32>, usize),
+}
+
+impl BbOutcome {
+    /// The tour, optimal or not.
+    pub fn tour(&self) -> &[u32] {
+        match self {
+            BbOutcome::Optimal(t, _) | BbOutcome::BudgetExhausted(t, _) => t,
+        }
+    }
+
+    /// The jump count of the returned tour.
+    pub fn jumps(&self) -> usize {
+        match self {
+            BbOutcome::Optimal(_, j) | BbOutcome::BudgetExhausted(_, j) => *j,
+        }
+    }
+
+    /// Whether optimality was proven.
+    pub fn is_optimal(&self) -> bool {
+        matches!(self, BbOutcome::Optimal(..))
+    }
+}
+
+struct Searcher<'a> {
+    ones: &'a Graph,
+    n: usize,
+    best_jumps: usize,
+    best_tour: Vec<u32>,
+    nodes: u64,
+    budget: u64,
+    truncated: bool,
+}
+
+impl Searcher<'_> {
+    /// Admissible bound — the paper's `B⁺/B⁻` degree-deficiency argument
+    /// (Theorem 3.3), applied to the remaining instance: every unvisited
+    /// vertex is incident to two remaining-path edges (one for the final
+    /// endpoint), and good incidences are capped by its available good
+    /// degree `avail(v)` (unvisited neighbours plus the current
+    /// endpoint). With `S = Σ max(0, 2 − avail(v)) − 1` bad incidences
+    /// forced and each jump absorbing at most two, the remaining jumps
+    /// are at least `⌈max(S, 0) / 2⌉`. Tight on the spider family.
+    fn lower_bound(&self, visited: &[bool], cur: u32) -> usize {
+        let mut deficiency = 0usize;
+        for v in 0..self.n as u32 {
+            if visited[v as usize] {
+                continue;
+            }
+            let avail = self
+                .ones
+                .neighbors(v)
+                .iter()
+                .filter(|&&w| w == cur || !visited[w as usize])
+                .take(2)
+                .count();
+            deficiency += 2 - avail;
+        }
+        deficiency.saturating_sub(1).div_ceil(2)
+    }
+
+    fn dfs(
+        &mut self,
+        visited: &mut [bool],
+        cur: u32,
+        placed: usize,
+        jumps: usize,
+        tour: &mut Vec<u32>,
+    ) {
+        if self.nodes >= self.budget {
+            self.truncated = true;
+            return;
+        }
+        if jumps >= self.best_jumps {
+            return;
+        }
+        self.nodes += 1;
+        if placed == self.n {
+            self.best_jumps = jumps;
+            self.best_tour = tour.clone();
+            return;
+        }
+        if jumps + self.lower_bound(visited, cur) >= self.best_jumps {
+            return;
+        }
+        // good moves first, lowest unvisited-good-degree first
+        let mut good: Vec<(usize, u32)> = self
+            .ones
+            .neighbors(cur)
+            .iter()
+            .copied()
+            .filter(|&w| !visited[w as usize])
+            .map(|w| {
+                let deg = self
+                    .ones
+                    .neighbors(w)
+                    .iter()
+                    .filter(|&&x| !visited[x as usize] && x != w)
+                    .count();
+                (deg, w)
+            })
+            .collect();
+        good.sort_unstable();
+        for (_, w) in good {
+            visited[w as usize] = true;
+            tour.push(w);
+            self.dfs(visited, w, placed + 1, jumps, tour);
+            tour.pop();
+            visited[w as usize] = false;
+        }
+        // jump moves (cost 1): only try jump targets that are stranded or
+        // low-degree first; trying all is required for exactness
+        if jumps + 1 < self.best_jumps {
+            let mut targets: Vec<(usize, u32)> = (0..self.n as u32)
+                .filter(|&w| !visited[w as usize] && !self.ones.has_edge(cur, w))
+                .map(|w| {
+                    let deg = self
+                        .ones
+                        .neighbors(w)
+                        .iter()
+                        .filter(|&&x| !visited[x as usize])
+                        .count();
+                    (deg, w)
+                })
+                .collect();
+            targets.sort_unstable();
+            for (_, w) in targets {
+                visited[w as usize] = true;
+                tour.push(w);
+                self.dfs(visited, w, placed + 1, jumps + 1, tour);
+                tour.pop();
+                visited[w as usize] = false;
+            }
+        }
+    }
+}
+
+/// Minimum-jump Hamiltonian path by branch and bound with a node budget.
+pub fn bb_min_jump_tour(ones: &Graph, budget: u64) -> BbOutcome {
+    let n = ones.vertex_count() as usize;
+    if n == 0 {
+        return BbOutcome::Optimal(Vec::new(), 0);
+    }
+    // incumbent: greedy path cover, stitched and 2-opted
+    let mut incumbent = stitch_paths(ones, greedy_path_cover(ones));
+    let tsp = Tsp12::new(ones.clone());
+    improve_two_opt(&tsp, &mut incumbent, 6);
+    let inc_jumps = tsp.tour_jumps(&incumbent);
+    let mut s = Searcher {
+        ones,
+        n,
+        best_jumps: inc_jumps, // search only for strictly better tours
+        best_tour: incumbent,
+        nodes: 0,
+        budget,
+        truncated: false,
+    };
+    if inc_jumps > 0 {
+        // try every start vertex, lowest degree first
+        let mut starts: Vec<(usize, u32)> = (0..n as u32).map(|v| (ones.degree(v), v)).collect();
+        starts.sort_unstable();
+        let mut visited = vec![false; n];
+        let mut tour = Vec::with_capacity(n);
+        for (_, v) in starts {
+            visited[v as usize] = true;
+            tour.push(v);
+            s.dfs(&mut visited, v, 1, 0, &mut tour);
+            tour.pop();
+            visited[v as usize] = false;
+            if s.best_jumps == 0 {
+                break; // zero jumps cannot be beaten: proven optimal
+            }
+            if s.nodes >= s.budget {
+                s.truncated = true; // starts remain unexplored
+                break;
+            }
+        }
+    }
+    let proven = !s.truncated;
+    // best_jumps was initialized to incumbent+1; if the search improved,
+    // best_tour holds the better tour, else the incumbent stands.
+    let tour = s.best_tour;
+    let final_jumps = tsp.tour_jumps(&tour);
+    debug_assert!(final_jumps <= inc_jumps);
+    if proven {
+        BbOutcome::Optimal(tour, final_jumps)
+    } else {
+        BbOutcome::BudgetExhausted(tour, final_jumps)
+    }
+}
+
+/// Optimal effective cost by branch and bound (per component). Returns
+/// [`PebbleError::BudgetExhausted`] when optimality was not proven
+/// within `budget` search nodes on some component.
+pub fn optimal_effective_cost_bb(g: &BipartiteGraph, budget: u64) -> Result<usize, PebbleError> {
+    let cm = ComponentMap::new(g);
+    let mut total = 0usize;
+    for edges in cm.edges_by_component() {
+        let sub = g.edge_subgraph(&edges);
+        let lg = jp_graph::line_graph(&sub);
+        match bb_min_jump_tour(&lg, budget) {
+            BbOutcome::Optimal(_, jumps) => total += edges.len() + jumps,
+            BbOutcome::BudgetExhausted(..) => {
+                return Err(PebbleError::BudgetExhausted { budget })
+            }
+        }
+    }
+    Ok(total)
+}
+
+/// Optimal scheme via branch and bound.
+pub fn optimal_scheme_bb(g: &BipartiteGraph, budget: u64) -> Result<PebblingScheme, PebbleError> {
+    let cm = ComponentMap::new(g);
+    let mut order: Vec<usize> = Vec::with_capacity(g.edge_count());
+    for edges in cm.edges_by_component() {
+        let sub = g.edge_subgraph(&edges);
+        let lg = jp_graph::line_graph(&sub);
+        match bb_min_jump_tour(&lg, budget) {
+            BbOutcome::Optimal(tour, _) => {
+                order.extend(tour.iter().map(|&e| edges[e as usize]));
+            }
+            BbOutcome::BudgetExhausted(..) => {
+                return Err(PebbleError::BudgetExhausted { budget })
+            }
+        }
+    }
+    PebblingScheme::from_edge_sequence(g, &order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact;
+    use jp_graph::{generators, line_graph};
+
+    const BUDGET: u64 = 5_000_000;
+
+    #[test]
+    fn agrees_with_held_karp_on_families() {
+        for g in [
+            generators::spider(5),
+            generators::path(8),
+            generators::complete_bipartite(3, 4),
+            generators::cycle(4),
+            generators::star(6),
+        ] {
+            let hk = exact::optimal_effective_cost(&g).unwrap();
+            let bb = optimal_effective_cost_bb(&g, BUDGET).unwrap();
+            assert_eq!(bb, hk, "{g}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_held_karp_on_random_graphs() {
+        for seed in 0..20 {
+            let g = generators::random_connected_bipartite(5, 5, 13, seed);
+            let hk = exact::optimal_effective_cost(&g).unwrap();
+            let bb = optimal_effective_cost_bb(&g, BUDGET).unwrap();
+            assert_eq!(bb, hk, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn reaches_beyond_held_karp_memory_limit() {
+        // G_12 has m = 24 > MAX_EXACT_EDGES; closed form is known.
+        let g = generators::spider(12);
+        assert!(exact::optimal_effective_cost(&g).is_err());
+        let bb = optimal_effective_cost_bb(&g, BUDGET).unwrap();
+        assert_eq!(bb as u64, crate::families::spider_optimal_cost(12));
+    }
+
+    #[test]
+    fn scheme_is_valid_and_optimal() {
+        let g = generators::random_connected_bipartite(4, 5, 11, 3);
+        let s = optimal_scheme_bb(&g, BUDGET).unwrap();
+        s.validate(&g).unwrap();
+        assert_eq!(
+            s.effective_cost(&g),
+            exact::optimal_effective_cost(&g).unwrap()
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        // budget of 1 node cannot prove anything non-trivial
+        let g = generators::spider(6);
+        let lg = line_graph(&g);
+        let out = bb_min_jump_tour(&lg, 1);
+        assert!(!out.is_optimal());
+        // but the incumbent is still a valid tour
+        let tsp = Tsp12::new(lg);
+        assert!(tsp.is_valid_tour(out.tour()));
+    }
+
+    #[test]
+    fn zero_jump_instances_terminate_immediately() {
+        // star: L = K_n, incumbent already perfect, no search needed
+        let g = generators::star(30);
+        let bb = optimal_effective_cost_bb(&g, 10).unwrap();
+        assert_eq!(bb, 30);
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let g = generators::path(4);
+        let lg = line_graph(&g);
+        let out = bb_min_jump_tour(&lg, BUDGET);
+        assert!(out.is_optimal());
+        assert_eq!(out.jumps(), 0);
+        assert_eq!(out.tour().len(), 4);
+    }
+}

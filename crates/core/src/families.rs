@@ -1,0 +1,233 @@
+//! Closed-form optima and explicit optimal schemes for the structured
+//! graph families of §2–§3 — exact answers at any scale, where the
+//! general solver is exponential.
+//!
+//! | family | optimal `π` | source |
+//! |---|---|---|
+//! | `K_{k,l}` | `m = k·l` | Lemma 3.2 (boustrophedon) |
+//! | matching | `m` (`π̂ = 2m`) | Lemma 2.4 |
+//! | path / even cycle | `m` | `L(G)` is a path/cycle (Prop 2.1) |
+//! | spider `G_n` | `m + ⌈n/2⌉ − 1` | Theorem 3.3 (`= 1.25m − 1` for even `n`) |
+
+use crate::scheme::PebblingScheme;
+use jp_graph::{generators, BipartiteGraph};
+
+/// `π(K_{k,l}) = k·l` (Lemma 3.2).
+pub fn complete_bipartite_optimal_cost(k: u64, l: u64) -> u64 {
+    k * l
+}
+
+/// `π̂(matching with m edges) = 2m`, `π = m` (Lemma 2.4).
+pub fn matching_optimal_total_cost(m: u64) -> u64 {
+    2 * m
+}
+
+/// `π(G_n)` for the Figure 1 spider family: `2n + ⌈n/2⌉ − 1`.
+///
+/// For even `n` this is exactly the paper's `1.25m − 1` with `m = 2n`
+/// (Theorem 3.3); for odd `n` the same `B⁺/B⁻` argument gives the integer
+/// round-up. `n = 1` and `n = 2` are paths (`π = m`).
+pub fn spider_optimal_cost(n: u64) -> u64 {
+    assert!(n >= 1);
+    if n <= 2 {
+        return 2 * n; // a path: perfect pebbling
+    }
+    2 * n + n.div_ceil(2) - 1
+}
+
+/// The jump count of the optimal spider scheme: `⌈n/2⌉ − 1` for `n ≥ 3`.
+pub fn spider_optimal_jumps(n: u64) -> u64 {
+    spider_optimal_cost(n) - 2 * n
+}
+
+/// An explicit optimal scheme for `G_n`, pairing consecutive legs: each
+/// jump-free run covers two legs as
+/// `(w_i, v_i), (v_i, c), (c, v_{i+1}), (v_{i+1}, w_{i+1})`; runs are
+/// separated by one jump. Cost matches [`spider_optimal_cost`].
+pub fn spider_optimal_scheme(n: u32) -> (BipartiteGraph, PebblingScheme) {
+    let g = generators::spider(n);
+    // Edge ids in generators::spider: edges are sorted by (left, right):
+    // left 0 (=c) has edges to all rights 0..n first — ids 0..n are
+    // (c, v_i); then (w_i = left i+1, v_i) gets id n + i.
+    let spoke = |i: u32| i as usize; // (c, v_i)
+    let foot = |i: u32| (n + i) as usize; // (v_i, w_i)
+    let mut order: Vec<usize> = Vec::with_capacity(2 * n as usize);
+    let mut i = 0;
+    while i < n {
+        if i + 1 < n {
+            order.extend([foot(i), spoke(i), spoke(i + 1), foot(i + 1)]);
+            i += 2;
+        } else {
+            order.extend([spoke(i), foot(i)]);
+            i += 1;
+        }
+    }
+    let s = PebblingScheme::from_edge_sequence(&g, &order).expect("order covers all edges");
+    (g, s)
+}
+
+/// The `B⁺/B⁻` lower-bound certificate of Theorem 3.3, checked against a
+/// concrete scheme: every scheme for `G_n` has
+/// `π ≥ 2n + ⌈(n − 2)/2⌉` (each pendant line-graph vertex must be entered
+/// or left via a jump, except possibly the tour's two ends). Returns true
+/// when `scheme`'s cost respects the bound — i.e. the certificate can
+/// never be violated; failing this test would falsify the paper.
+pub fn spider_bound_certificate(n: u32, scheme: &PebblingScheme, g: &BipartiteGraph) -> bool {
+    let m = 2 * n as usize;
+    let bound = m + (n as usize).saturating_sub(2).div_ceil(2);
+    scheme.validate(g).is_ok() && scheme.effective_cost(g) >= bound
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::equijoin::pebble_equijoin;
+    use crate::exact::{optimal_effective_cost, optimal_total_cost};
+
+    #[test]
+    fn closed_forms_match_exact_solver() {
+        for (k, l) in [(1u32, 1u32), (2, 3), (3, 3), (4, 4)] {
+            let g = generators::complete_bipartite(k, l);
+            assert_eq!(
+                optimal_effective_cost(&g).unwrap() as u64,
+                complete_bipartite_optimal_cost(k as u64, l as u64)
+            );
+        }
+        for m in 1..6u32 {
+            let g = generators::matching(m);
+            assert_eq!(
+                optimal_total_cost(&g).unwrap() as u64,
+                matching_optimal_total_cost(m as u64)
+            );
+        }
+        for n in 1..8u32 {
+            let g = generators::spider(n);
+            assert_eq!(
+                optimal_effective_cost(&g).unwrap() as u64,
+                spider_optimal_cost(n as u64),
+                "G_{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem_3_3_even_n_is_125m_minus_1() {
+        for n in [4u64, 6, 8, 100, 10_000] {
+            let m = 2 * n;
+            assert_eq!(spider_optimal_cost(n), 5 * m / 4 - 1, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn spider_scheme_achieves_closed_form_at_scale() {
+        for n in [3u32, 4, 5, 10, 101, 500] {
+            let (g, s) = spider_optimal_scheme(n);
+            s.validate(&g).unwrap();
+            assert_eq!(
+                s.effective_cost(&g) as u64,
+                spider_optimal_cost(n as u64),
+                "G_{n}"
+            );
+            assert_eq!(s.jumps(&g) as u64, spider_optimal_jumps(n as u64), "G_{n}");
+        }
+    }
+
+    #[test]
+    fn certificate_accepts_optimal_and_any_valid_scheme() {
+        for n in [3u32, 5, 8] {
+            let (g, s) = spider_optimal_scheme(n);
+            assert!(spider_bound_certificate(n, &s, &g));
+            // a deliberately wasteful scheme also respects the lower bound
+            let waste =
+                PebblingScheme::from_edge_sequence(&g, &(0..g.edge_count()).collect::<Vec<_>>())
+                    .unwrap();
+            assert!(spider_bound_certificate(n, &waste, &g));
+        }
+    }
+
+    #[test]
+    fn certificate_rejects_invalid_schemes() {
+        let (g, _) = spider_optimal_scheme(3);
+        let partial = PebblingScheme::from_configs(vec![]).unwrap();
+        assert!(!spider_bound_certificate(3, &partial, &g));
+    }
+
+    #[test]
+    fn equijoin_pebbler_realizes_lemma_3_2_closed_form() {
+        let g = generators::complete_bipartite(20, 30);
+        let s = pebble_equijoin(&g).unwrap();
+        assert_eq!(
+            s.effective_cost(&g) as u64,
+            complete_bipartite_optimal_cost(20, 30)
+        );
+    }
+}
+
+/// Empirical companion to [`spider_optimal_cost`]: the worst-case ratio
+/// is *specific to leg length 2*. For the long-legged spiders
+/// `S(n, len)` the pendant count of `L(G)` stays `n` while `m = n·len`
+/// grows, so `π/m → 1` as legs lengthen — the Figure 1 family is the
+/// densest way to pack pendants. Returns the pendant-bound ratio
+/// `(m + ⌈(n − 2)/2⌉) / m` as an `f64` (exact for `len = 2`, a lower
+/// bound otherwise).
+pub fn spider_legs_ratio_bound(n: u64, len: u64) -> f64 {
+    assert!(n >= 1 && len >= 1);
+    let m = n * len;
+    (m + n.saturating_sub(2).div_ceil(2)) as f64 / m as f64
+}
+
+#[cfg(test)]
+mod spider_legs_tests {
+    use super::*;
+    use crate::exact::optimal_effective_cost;
+
+    #[test]
+    fn ratio_decays_with_leg_length() {
+        // exact optima for S(4, len), len = 2..4 (m = 8, 12, 16); the
+        // star (len = 1) is perfect, the peak is at len = 2, and ratios
+        // decay monotonically beyond it
+        let mut prev_ratio = f64::INFINITY;
+        for len in 2..=4u32 {
+            let g = generators::spider_legs(4, len);
+            let m = g.edge_count();
+            let pi = optimal_effective_cost(&g).unwrap();
+            let ratio = pi as f64 / m as f64;
+            assert!(
+                ratio <= prev_ratio + 1e-9,
+                "ratio must not increase with leg length: S(4,{len}) = {ratio}"
+            );
+            prev_ratio = ratio;
+            // the pendant bound stays valid for every leg length
+            assert!(pi >= crate::bounds::pendant_lower_bound(&g));
+        }
+    }
+
+    #[test]
+    fn leg_length_two_maximizes_the_ratio() {
+        // among S(3, len) for len = 1..5, the Figure 1 shape (len = 2)
+        // has the highest exact π/m
+        let mut best = (0u32, 0.0f64);
+        for len in 1..=5u32 {
+            let g = generators::spider_legs(3, len);
+            let pi = optimal_effective_cost(&g).unwrap() as f64;
+            let ratio = pi / g.edge_count() as f64;
+            if ratio > best.1 {
+                best = (len, ratio);
+            }
+        }
+        assert_eq!(best.0, 2, "Figure 1's leg length is extremal, got {best:?}");
+    }
+
+    #[test]
+    fn ratio_bound_formula_matches_exact_for_len_2() {
+        for n in [3u64, 4, 6] {
+            let g = generators::spider(n as u32);
+            let pi = optimal_effective_cost(&g).unwrap() as f64;
+            let m = g.edge_count() as f64;
+            assert!(
+                (pi / m - spider_legs_ratio_bound(n, 2)).abs() < 1e-9,
+                "n = {n}"
+            );
+        }
+    }
+}

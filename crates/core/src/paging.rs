@@ -1,0 +1,269 @@
+//! Page-level pebbling — the model the paper's pebble game descends from.
+//!
+//! §2, related work: "a similar pebbling game was considered in \[6\]
+//! (Merrett, Kambayashi, Yasuura). There, the nodes of the graph were
+//! *disk pages* of tuples, and the pebbling cost was used to capture the
+//! I/O cost of scheduling page fetches for this specific layout of disk
+//! pages. The main result of that paper was that the problem of finding
+//! the optimal pebbling scheme is NP-Complete. It was shown in \[7\]
+//! (Neyer, Widmayer) that finding the optimal pebbling scheme for
+//! spatial joins is NP-Complete" — the two results Theorem 4.2 imports.
+//!
+//! This module reconstructs that page-level view on top of the
+//! tuple-level machinery: a [`PageLayout`] groups tuples into fixed-size
+//! pages; the *page graph* is the quotient of the join graph under the
+//! layout; pebbling the page graph with two pebbles is exactly the
+//! two-buffer page-fetch scheduling problem of \[6\] (each pebble move =
+//! one page fetch into a two-page buffer pool; an edge deletion = the
+//! chance to join all tuple pairs across the two resident pages).
+//!
+//! The interesting phenomenon (experiment E18): *layout quality decides
+//! everything*. A value-clustered layout of an equijoin keeps the page
+//! graph a union of complete bipartite graphs — perfect pebbling, one
+//! fetch per page in the best case — while a scattered layout of the
+//! same relations produces a dense general page graph whose optimal
+//! schedule is NP-hard to find and strictly more expensive per page.
+
+use crate::scheme::PebblingScheme;
+use crate::PebbleError;
+use jp_graph::{quotient, BipartiteGraph};
+
+/// An assignment of tuples to fixed-capacity pages, per side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageLayout {
+    /// Page id per left tuple.
+    pub left_page: Vec<u32>,
+    /// Page id per right tuple.
+    pub right_page: Vec<u32>,
+    /// Number of left pages.
+    pub left_pages: u32,
+    /// Number of right pages.
+    pub right_pages: u32,
+}
+
+impl PageLayout {
+    /// Sequential layout: tuples in storage order, `cap` per page — the
+    /// value-clustered layout when the relation is sorted on the join
+    /// key (or tiled by spatial locality).
+    pub fn sequential(n_left: usize, n_right: usize, cap: usize) -> Self {
+        assert!(cap > 0, "page capacity must be positive");
+        let left_page: Vec<u32> = (0..n_left).map(|i| (i / cap) as u32).collect();
+        let right_page: Vec<u32> = (0..n_right).map(|i| (i / cap) as u32).collect();
+        PageLayout {
+            left_pages: n_left.div_ceil(cap).max(1) as u32,
+            right_pages: n_right.div_ceil(cap).max(1) as u32,
+            left_page,
+            right_page,
+        }
+    }
+
+    /// Scattered layout: tuple `i` goes to page `hash(i) mod pages`,
+    /// pages as in [`PageLayout::sequential`] — the unclustered heap-file
+    /// regime.
+    pub fn scattered(n_left: usize, n_right: usize, cap: usize, seed: u64) -> Self {
+        assert!(cap > 0, "page capacity must be positive");
+        let lp = n_left.div_ceil(cap).max(1) as u32;
+        let rp = n_right.div_ceil(cap).max(1) as u32;
+        let h = |i: usize, salt: u64| -> u32 {
+            let x = (i as u64 ^ salt)
+                .wrapping_mul(0x9e3779b97f4a7c15)
+                .rotate_left(29)
+                .wrapping_mul(0xd1b54a32d192ed03);
+            (x >> 33) as u32
+        };
+        // Balanced scatter: sort tuples by hash, deal into pages round-
+        // robin so capacities hold exactly.
+        let mut lorder: Vec<usize> = (0..n_left).collect();
+        lorder.sort_by_key(|&i| h(i, seed));
+        let mut left_page = vec![0u32; n_left];
+        for (rank, &i) in lorder.iter().enumerate() {
+            left_page[i] = (rank / cap) as u32;
+        }
+        let mut rorder: Vec<usize> = (0..n_right).collect();
+        rorder.sort_by_key(|&i| h(i, seed ^ 0xabcdef));
+        let mut right_page = vec![0u32; n_right];
+        for (rank, &i) in rorder.iter().enumerate() {
+            right_page[i] = (rank / cap) as u32;
+        }
+        PageLayout {
+            left_page,
+            right_page,
+            left_pages: lp,
+            right_pages: rp,
+        }
+    }
+
+    /// The page graph: the quotient of the join graph under this layout.
+    /// Vertices are pages; pages are adjacent iff some tuple pair across
+    /// them joins — the graph whose pebbling is page-fetch scheduling.
+    pub fn page_graph(&self, g: &BipartiteGraph) -> BipartiteGraph {
+        quotient(
+            g,
+            &self.left_page,
+            self.left_pages,
+            &self.right_page,
+            self.right_pages,
+        )
+    }
+
+    /// Validates the layout against a graph and a page capacity.
+    pub fn validate(&self, g: &BipartiteGraph, cap: usize) -> Result<(), String> {
+        if self.left_page.len() != g.left_count() as usize
+            || self.right_page.len() != g.right_count() as usize
+        {
+            return Err("layout length mismatch".into());
+        }
+        let mut lcount = vec![0usize; self.left_pages as usize];
+        for &p in &self.left_page {
+            let c = lcount
+                .get_mut(p as usize)
+                .ok_or(format!("left page {p} out of range"))?;
+            *c += 1;
+            if *c > cap {
+                return Err(format!("left page {p} over capacity {cap}"));
+            }
+        }
+        let mut rcount = vec![0usize; self.right_pages as usize];
+        for &p in &self.right_page {
+            let c = rcount
+                .get_mut(p as usize)
+                .ok_or(format!("right page {p} out of range"))?;
+            *c += 1;
+            if *c > cap {
+                return Err(format!("right page {p} over capacity {cap}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The page-fetch count of a pebbling scheme of the page graph under the
+/// two-page buffer model of \[6\]: the initial configuration fetches two
+/// pages and every subsequent configuration fetches one — i.e. exactly
+/// `π̂(P)`. Provided as a named alias so call sites read as I/O.
+pub fn page_fetches(scheme: &PebblingScheme) -> usize {
+    scheme.cost()
+}
+
+/// Schedules page fetches for a join under a layout: builds the page
+/// graph and pebbles it (equijoin-perfect pebbler when the page graph
+/// permits, the Theorem 3.1 construction otherwise). Returns the page
+/// graph and the schedule.
+pub fn schedule_page_fetches(
+    g: &BipartiteGraph,
+    layout: &PageLayout,
+) -> Result<(BipartiteGraph, PebblingScheme), PebbleError> {
+    let pg = layout.page_graph(g);
+    let scheme = match crate::approx::pebble_equijoin(&pg) {
+        Ok(s) => s,
+        Err(PebbleError::NotEquijoinGraph) => crate::approx::pebble_dfs_partition(&pg)?,
+        Err(e) => return Err(e),
+    };
+    Ok((pg, scheme))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact;
+    use jp_graph::{generators, properties};
+    use jp_relalg::{equijoin_graph, workload};
+
+    /// A sorted equijoin: clustering by key keeps the page graph an
+    /// equijoin graph.
+    fn sorted_equijoin(n: usize, keys: usize, seed: u64) -> BipartiteGraph {
+        let (r, s) = workload::zipf_equijoin(n, n, keys, 0.4, seed);
+        // sort both relations by value to emulate clustered storage
+        let mut rv: Vec<i64> = r.values().iter().map(|v| v.as_int().unwrap()).collect();
+        let mut sv: Vec<i64> = s.values().iter().map(|v| v.as_int().unwrap()).collect();
+        rv.sort_unstable();
+        sv.sort_unstable();
+        let r = jp_relalg::Relation::from_ints("R", rv);
+        let s = jp_relalg::Relation::from_ints("S", sv);
+        equijoin_graph(&r, &s)
+    }
+
+    #[test]
+    fn sequential_layout_shape() {
+        let l = PageLayout::sequential(10, 7, 4);
+        assert_eq!(l.left_pages, 3);
+        assert_eq!(l.right_pages, 2);
+        assert_eq!(l.left_page[9], 2);
+        assert_eq!(l.right_page[3], 0);
+    }
+
+    #[test]
+    fn scattered_layout_respects_capacity() {
+        let g = generators::complete_bipartite(9, 9);
+        for seed in 0..5 {
+            let l = PageLayout::scattered(9, 9, 4, seed);
+            l.validate(&g, 4).unwrap();
+        }
+    }
+
+    #[test]
+    fn page_graph_is_quotient() {
+        // matching of 4 edges, 2 tuples per page, aligned: page graph is
+        // a matching of 2 edges
+        let g = generators::matching(4);
+        let l = PageLayout::sequential(4, 4, 2);
+        let pg = l.page_graph(&g);
+        assert_eq!(pg.edge_count(), 2);
+        assert!(properties::is_matching(&pg));
+    }
+
+    #[test]
+    fn clustered_equijoin_pages_stay_equijoin() {
+        // sorted relations + sequential pages: each page spans few keys;
+        // the page graph may stop being a *union of complete bipartite*
+        // graphs only through boundary pages — with capacity dividing the
+        // group sizes evenly here, it stays interval-banded; we assert the
+        // weaker, always-true property: scheduling cost within the Lemma
+        // 2.1 window and far below the scattered layout's (see below).
+        let g = sorted_equijoin(64, 8, 11);
+        let layout = PageLayout::sequential(g.left_count() as usize, g.right_count() as usize, 8);
+        let (pg, scheme) = schedule_page_fetches(&g, &layout).unwrap();
+        scheme.validate(&pg).unwrap();
+        assert!(page_fetches(&scheme) > pg.edge_count());
+        assert!(page_fetches(&scheme) <= 2 * pg.edge_count());
+    }
+
+    #[test]
+    fn scattered_layout_densifies_the_page_graph() {
+        let g = sorted_equijoin(64, 8, 12);
+        let nl = g.left_count() as usize;
+        let nr = g.right_count() as usize;
+        let seq = PageLayout::sequential(nl, nr, 8).page_graph(&g);
+        let scat = PageLayout::scattered(nl, nr, 8, 3).page_graph(&g);
+        assert!(
+            scat.edge_count() > seq.edge_count(),
+            "scatter {} should exceed clustered {}",
+            scat.edge_count(),
+            seq.edge_count()
+        );
+    }
+
+    #[test]
+    fn page_schedule_cost_tracks_optimum_on_small_page_graphs() {
+        let g = sorted_equijoin(36, 6, 13);
+        let layout = PageLayout::sequential(g.left_count() as usize, g.right_count() as usize, 9);
+        let (pg, scheme) = schedule_page_fetches(&g, &layout).unwrap();
+        if pg.edge_count() <= exact::MAX_EXACT_EDGES {
+            let opt = exact::optimal_total_cost(&pg).unwrap();
+            assert!(page_fetches(&scheme) >= opt);
+            assert!(
+                page_fetches(&scheme) <= 2 * opt,
+                "schedule within 2x of optimal fetches"
+            );
+        }
+    }
+
+    #[test]
+    fn single_page_relations_need_two_fetches() {
+        let g = generators::complete_bipartite(3, 3);
+        let layout = PageLayout::sequential(3, 3, 10);
+        let (pg, scheme) = schedule_page_fetches(&g, &layout).unwrap();
+        assert_eq!(pg.edge_count(), 1);
+        assert_eq!(page_fetches(&scheme), 2);
+    }
+}

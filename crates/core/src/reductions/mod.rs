@@ -1,0 +1,136 @@
+//! The L-reductions of §4.
+//!
+//! * [`diamond`] — the degree-reduction gadget of Figure 2;
+//! * [`tsp4_to_tsp3`] — Theorem 4.3: TSP-4(1,2) L-reduces to TSP-3(1,2),
+//!   by replacing degree-4 nodes with diamonds;
+//! * [`tsp3_to_pebble`] — Theorem 4.4: TSP-3(1,2) L-reduces to `PEBBLE`,
+//!   via incidence graphs.
+//!
+//! Definition 4.2 (L-reduction `(f, g)` from `A` to `B`): polynomial
+//! `f` maps instances with `OPT(f(x)) ≤ α·OPT(x)`, polynomial `g` maps
+//! feasible solutions back with
+//! `OPT(x) − Cost(g(s)) ≤ β·(OPT(f(x)) − Cost(s))`
+//! (for minimization, `Cost(g(s)) − OPT(x) ≤ β·(Cost(s) − OPT(f(x)))`).
+//! The experiment harness (E12/E13) verifies both inequalities on
+//! exhaustively solved instances.
+
+pub mod diamond;
+pub mod tsp3_to_pebble;
+pub mod tsp4_to_tsp3;
+
+pub use diamond::Diamond;
+
+/// Segment-based group ordering — the shared "nice tour" machinery of
+/// Theorems 4.3 and 4.4's `g` maps.
+///
+/// `tour` visits nodes that each belong to a group (`group_of[node]`); a
+/// *segment* is a maximal run of consecutive tour positions within one
+/// group. For each group the proof keeps one segment — a *perfect* one
+/// (all internal steps good, entered and left via good steps) if
+/// available, else the longest — and bypasses the rest; the reduced tour
+/// visits groups in the order their kept segments appear.
+///
+/// Returns the groups (each exactly once) in that order.
+pub fn order_groups_by_segment(
+    tour: &[u32],
+    group_of: &[u32],
+    n_groups: usize,
+    good: impl Fn(u32, u32) -> bool,
+) -> Vec<u32> {
+    #[derive(Clone, Copy)]
+    struct Seg {
+        start: usize,
+        len: usize,
+        perfect: bool,
+    }
+    let mut best: Vec<Option<Seg>> = vec![None; n_groups];
+    let mut i = 0;
+    while i < tour.len() {
+        let grp = group_of[tour[i] as usize] as usize;
+        let mut j = i;
+        let mut internal_good = true;
+        while j + 1 < tour.len() && group_of[tour[j + 1] as usize] as usize == grp {
+            if !good(tour[j], tour[j + 1]) {
+                internal_good = false;
+            }
+            j += 1;
+        }
+        let entered_good = i == 0 || good(tour[i - 1], tour[i]);
+        let left_good = j + 1 >= tour.len() || good(tour[j], tour[j + 1]);
+        let seg = Seg {
+            start: i,
+            len: j - i + 1,
+            perfect: internal_good && entered_good && left_good,
+        };
+        let better = match best[grp] {
+            None => true,
+            Some(old) => (seg.perfect, seg.len) > (old.perfect, old.len),
+        };
+        if better {
+            best[grp] = Some(seg);
+        }
+        i = j + 1;
+    }
+    let mut order: Vec<(usize, u32)> = best
+        .iter()
+        .enumerate()
+        .filter_map(|(grp, seg)| seg.map(|s| (s.start, grp as u32)))
+        .collect();
+    order.sort_unstable();
+    order.into_iter().map(|(_, grp)| grp).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_segment_per_group_orders_naturally() {
+        // nodes 0..6, groups [0,0,1,1,1,2,2] visited in order
+        let tour: Vec<u32> = (0..7).collect();
+        let group_of = vec![0, 0, 1, 1, 1, 2, 2];
+        let order = order_groups_by_segment(&tour, &group_of, 3, |_, _| true);
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn prefers_perfect_segments() {
+        // group 1 appears twice: positions 1 (singleton, entered/left via
+        // bad steps) and 4-5 (perfect). Good steps: only 3-4, 4-5, 5-6.
+        let tour = vec![0u32, 10, 1, 2, 11, 12, 3];
+        let group_of = {
+            let mut g = vec![0u32; 13];
+            g[10] = 1;
+            g[11] = 1;
+            g[12] = 1;
+            // others group 0: give each its own group to keep order visible
+            g[0] = 0;
+            g[1] = 2;
+            g[2] = 3;
+            g[3] = 4;
+            g
+        };
+        let good = |a: u32, b: u32| {
+            let pair = (a.min(b), a.max(b));
+            [(2, 11), (11, 12), (3, 12)].contains(&pair)
+        };
+        let order = order_groups_by_segment(&tour, &group_of, 5, good);
+        // group 1's kept segment is the perfect one at positions 4-5, so
+        // group 1 comes after groups 2 and 3 (positions 2, 3).
+        assert_eq!(order, vec![0, 2, 3, 1, 4]);
+    }
+
+    #[test]
+    fn longest_segment_wins_without_perfection() {
+        // group 1 = {4, 5, 6}; segments: [5] at position 0, [6, 4] at 2-3.
+        // With no good steps, the longer segment is kept, so group 1's key
+        // (position 2) follows group 0's (position 1).
+        let tour = vec![5u32, 0, 6, 4];
+        let mut group_of = vec![0u32; 7];
+        group_of[5] = 1;
+        group_of[6] = 1;
+        group_of[4] = 1;
+        let order = order_groups_by_segment(&tour, &group_of, 2, |_, _| false);
+        assert_eq!(order, vec![0, 1]);
+    }
+}

@@ -1,0 +1,251 @@
+//! Theorem 4.4: TSP-3(1,2) L-reduces to `PEBBLE` — the MAX-SNP-
+//! completeness of finding optimal pebblings.
+//!
+//! `f` maps a TSP-3(1,2) instance `G = (V, E)` to its *incidence graph*
+//! `B = (X, Y, E′)` with `X = V`, `Y = E`, and `(x, e) ∈ E′` iff `x` is an
+//! endpoint of `e`. The line graph `L(B)` is `G` with every vertex of
+//! degree `i` blown up into a clique of `i` vertices — so tours of `G`
+//! and pebblings of `B` translate back and forth:
+//!
+//! * forward: a tour of `G` becomes a pebbling of `B` that sweeps, at
+//!   each visited vertex, the clique of its incident `B`-edges, chaining
+//!   consecutive sweeps through the shared edge-vertex when the tour step
+//!   is good;
+//! * backward (`g`): a pebbling's deletion order is a tour of `L(B)`;
+//!   contracting each vertex-clique to its `G` vertex (keeping the
+//!   perfect-preferred segment, as in Theorem 4.3) yields a tour of `G`.
+
+use crate::reductions::order_groups_by_segment;
+use crate::scheme::PebblingScheme;
+use crate::tsp::{scheme_to_tour, Tsp12};
+use crate::PebbleError;
+use jp_graph::{generators, BipartiteGraph};
+
+/// The reduction output: the `PEBBLE` instance and conversion maps.
+#[derive(Debug, Clone)]
+pub struct Tsp3ToPebble {
+    /// The incidence graph — the `PEBBLE` instance.
+    b: BipartiteGraph,
+    /// The source instance's weight-1 graph (kept for conversions).
+    ones: jp_graph::Graph,
+}
+
+/// Applies `f` to a TSP-3(1,2) instance.
+///
+/// # Panics
+/// Panics if the weight-1 graph has a node of degree > 3.
+pub fn reduce(g: &Tsp12) -> Tsp3ToPebble {
+    assert!(g.ones().max_degree() <= 3, "input must be TSP-3(1,2)");
+    Tsp3ToPebble {
+        b: generators::incidence_graph(g.ones()),
+        ones: g.ones().clone(),
+    }
+}
+
+impl Tsp3ToPebble {
+    /// The produced `PEBBLE` instance `B`.
+    pub fn b(&self) -> &BipartiteGraph {
+        &self.b
+    }
+
+    /// `α` for this reduction (the paper's value: 3).
+    pub fn alpha(&self) -> usize {
+        3
+    }
+
+    /// Forward construction: a tour of `G` becomes a pebbling scheme of
+    /// `B` whose jumps equal the tour's jumps.
+    ///
+    /// `B`'s edges are pairs `(v, e)`; at tour position `i` we sweep all
+    /// of `v_i`'s incident pairs, placing the pair of the incoming good
+    /// edge first and the outgoing good edge last, so consecutive sweeps
+    /// chain through the shared `Y`-vertex.
+    pub fn forward_scheme(&self, g_tour: &[u32]) -> Result<PebblingScheme, PebbleError> {
+        let ones = &self.ones;
+        // incident edge ids per vertex
+        let mut incident: Vec<Vec<usize>> = vec![Vec::new(); ones.vertex_count() as usize];
+        for (e, &(u, v)) in ones.edges().iter().enumerate() {
+            incident[u as usize].push(e);
+            incident[v as usize].push(e);
+        }
+        let edge_id = |a: u32, b: u32| -> Option<usize> {
+            let key = if a < b { (a, b) } else { (b, a) };
+            ones.edges().binary_search(&key).ok()
+        };
+        let mut order: Vec<usize> = Vec::with_capacity(self.b.edge_count());
+        for (i, &v) in g_tour.iter().enumerate() {
+            let f_prev = if i > 0 {
+                edge_id(g_tour[i - 1], v)
+            } else {
+                None
+            };
+            let f_next = if i + 1 < g_tour.len() {
+                edge_id(v, g_tour[i + 1])
+            } else {
+                None
+            };
+            let mut sweep: Vec<usize> = Vec::with_capacity(incident[v as usize].len());
+            if let Some(e) = f_prev {
+                sweep.push(e);
+            }
+            for &e in &incident[v as usize] {
+                if Some(e) != f_prev && Some(e) != f_next {
+                    sweep.push(e);
+                }
+            }
+            if let Some(e) = f_next {
+                if f_prev != f_next {
+                    sweep.push(e);
+                }
+            }
+            // B edge (v, e) has index via b.edge_index(v, e as u32)
+            for e in sweep {
+                let id = self
+                    .b
+                    .edge_index(v, e as u32)
+                    .expect("incidence edge exists");
+                order.push(id);
+            }
+        }
+        PebblingScheme::from_edge_sequence(&self.b, &order)
+    }
+
+    /// The `g` map: converts any valid pebbling scheme of `B` into a tour
+    /// of `G` by contracting vertex-cliques of `L(B)` (keeping
+    /// perfect-preferred segments).
+    pub fn back_tour(&self, scheme: &PebblingScheme) -> Vec<u32> {
+        let lb_tour = scheme_to_tour(&self.b, scheme);
+        // L(B) vertex = B edge (v, e); group = v (the G vertex).
+        let group_of: Vec<u32> = self.b.edges().iter().map(|&(v, _)| v).collect();
+        let lb = jp_graph::line_graph(&self.b);
+        let mut tour = order_groups_by_segment(
+            &lb_tour,
+            &group_of,
+            self.ones.vertex_count() as usize,
+            |a, b| lb.has_edge(a, b),
+        );
+        // isolated G vertices have no incidence edges and never appear in
+        // the pebbling; a tour of G must still visit them (each costs a
+        // weight-2 step, mirroring the pebbling's inability to help them)
+        let mut present = vec![false; self.ones.vertex_count() as usize];
+        for &v in &tour {
+            present[v as usize] = true;
+        }
+        tour.extend((0..self.ones.vertex_count()).filter(|&v| !present[v as usize]));
+        tour
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::{min_jump_tour, optimal_effective_cost, optimal_scheme};
+    use jp_graph::Graph;
+
+    fn connected_tsp3(seed: u64, n: u32, m: usize) -> Option<Tsp12> {
+        let g = generators::random_bounded_degree(n, 3, m, seed);
+        g.is_connected().then(|| Tsp12::new(g))
+    }
+
+    #[test]
+    fn incidence_graph_shape() {
+        let g = Tsp12::new(Graph::new(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]));
+        let red = reduce(&g);
+        assert_eq!(red.b().left_count(), 4);
+        assert_eq!(red.b().right_count(), 4);
+        assert_eq!(red.b().edge_count(), 8);
+    }
+
+    #[test]
+    fn forward_scheme_is_valid_with_matching_jumps() {
+        for seed in 0..20 {
+            let Some(g) = connected_tsp3(seed, 6, 8) else {
+                continue;
+            };
+            let (tour, jumps) = min_jump_tour(g.ones());
+            let red = reduce(&g);
+            let s = red.forward_scheme(&tour).unwrap();
+            s.validate(red.b()).unwrap();
+            assert_eq!(s.jumps(red.b()), jumps, "seed {seed}");
+            // effective cost = 2|E| + jumps for connected G
+            assert_eq!(s.effective_cost(red.b()), 2 * g.ones().edge_count() + jumps);
+        }
+    }
+
+    #[test]
+    fn alpha_bound_holds_with_documented_slack() {
+        // The paper's α = 3 (π(B) ≤ 3·OPT(G)); for jump-free traceable
+        // instances at maximum density the bound carries +2 slack (see
+        // DESIGN.md). We assert the measured form.
+        for seed in 0..20 {
+            let Some(g) = connected_tsp3(seed, 6, 7) else {
+                continue;
+            };
+            let red = reduce(&g);
+            if red.b().edge_count() > 18 {
+                continue;
+            }
+            let opt_b = optimal_effective_cost(red.b()).unwrap();
+            let (_, gj) = min_jump_tour(g.ones());
+            let opt_g = g.n() - 1 + gj;
+            assert!(
+                opt_b <= 3 * opt_g + 2,
+                "seed {seed}: {opt_b} > 3·{opt_g} + 2"
+            );
+        }
+    }
+
+    #[test]
+    fn back_tour_is_permutation() {
+        for seed in 0..10 {
+            let Some(g) = connected_tsp3(seed, 5, 6) else {
+                continue;
+            };
+            let red = reduce(&g);
+            let (tour, _) = min_jump_tour(g.ones());
+            let s = red.forward_scheme(&tour).unwrap();
+            let back = red.back_tour(&s);
+            let mut sorted = back.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..g.n() as u32).collect::<Vec<_>>(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn beta_inequality_on_optimal_schemes() {
+        // β = 1: cost(g(s)) − OPT(G) ≤ cost_tsp(s) − OPT_tsp(B), with the
+        // tour-side costs of Proposition 2.2 (π − 1).
+        for seed in 0..15 {
+            let Some(g) = connected_tsp3(seed, 5, 6) else {
+                continue;
+            };
+            let red = reduce(&g);
+            if red.b().edge_count() > 14 {
+                continue;
+            }
+            let opt_b = optimal_effective_cost(red.b()).unwrap();
+            let (g_opt_tour, gj) = min_jump_tour(g.ones());
+            let opt_g = g.n() - 1 + gj;
+            let schemes = [
+                optimal_scheme(red.b()).unwrap(),
+                red.forward_scheme(&g_opt_tour).unwrap(),
+            ];
+            for s in schemes {
+                let cost_s = s.effective_cost(red.b());
+                let back = red.back_tour(&s);
+                let cost_back = g.tour_cost(&back);
+                assert!(
+                    cost_back.saturating_sub(opt_g) <= cost_s - opt_b,
+                    "seed {seed}: β=1 violated ({cost_back}−{opt_g} > {cost_s}−{opt_b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "TSP-3")]
+    fn rejects_degree_4() {
+        let star = Graph::new(5, vec![(0, 1), (0, 2), (0, 3), (0, 4)]);
+        reduce(&Tsp12::new(star));
+    }
+}

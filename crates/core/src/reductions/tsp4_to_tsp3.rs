@@ -1,0 +1,318 @@
+//! Theorem 4.3: TSP-4(1,2) L-reduces to TSP-3(1,2).
+//!
+//! `f` replaces every node of (weight-1) degree 4 with a diamond gadget,
+//! attaching each of its four edges to a distinct corner. `g` converts a
+//! tour of `H = f(G)` back to a tour of `G` by keeping, per diamond, one
+//! segment (a perfect one when available) and visiting `G`'s nodes in the
+//! order the kept segments appear — the proof's "nice tour" conversion.
+//!
+//! The L-reduction constants: our gadget has 9 nodes, so
+//! `OPT(H) ≤ 9·OPT(G)` (the paper's gadget gives 11); `β = 1`.
+
+use crate::reductions::diamond::{Diamond, CORNERS, SIZE};
+use crate::reductions::order_groups_by_segment;
+use crate::tsp::Tsp12;
+use jp_graph::Graph;
+
+/// Where a `G` node landed in `H`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NodeImage {
+    /// Kept as a single `H` node.
+    Kept(u32),
+    /// Replaced by a diamond whose nodes occupy `base..base + SIZE`.
+    Diamond(u32),
+}
+
+/// The reduction output: the TSP-3(1,2) instance plus the maps needed for
+/// the `f`-direction tour construction and the `g`-direction conversion.
+#[derive(Debug, Clone)]
+pub struct Tsp4To3 {
+    /// The produced TSP-3(1,2) instance.
+    h: Tsp12,
+    /// Per `G` node: its image.
+    image: Vec<NodeImage>,
+    /// Per `H` node: the `G` node it belongs to.
+    group: Vec<u32>,
+    /// Per `G` node of degree 4: its incident edge ids in `G`, in order —
+    /// edge `k` attaches to corner `k`.
+    incident: Vec<Vec<usize>>,
+    diamond: Diamond,
+    g_nodes: u32,
+}
+
+/// Applies `f` to a TSP-4(1,2) instance.
+///
+/// # Panics
+/// Panics if the weight-1 graph has a node of degree > 4.
+pub fn reduce(g: &Tsp12) -> Tsp4To3 {
+    let ones = g.ones();
+    let n = ones.vertex_count();
+    assert!(ones.max_degree() <= 4, "input must be TSP-4(1,2)");
+    let diamond = Diamond::new();
+    let mut image = Vec::with_capacity(n as usize);
+    let mut group: Vec<u32> = Vec::new();
+    let mut next = 0u32;
+    for v in 0..n {
+        if ones.degree(v) == 4 {
+            image.push(NodeImage::Diamond(next));
+            group.extend(std::iter::repeat_n(v, SIZE as usize));
+            next += SIZE;
+        } else {
+            image.push(NodeImage::Kept(next));
+            group.push(v);
+            next += 1;
+        }
+    }
+    // incident edge lists (edge ids into ones.edges())
+    let mut incident: Vec<Vec<usize>> = vec![Vec::new(); n as usize];
+    for (e, &(u, v)) in ones.edges().iter().enumerate() {
+        incident[u as usize].push(e);
+        incident[v as usize].push(e);
+    }
+    // H edges
+    let mut h_edges: Vec<(u32, u32)> = Vec::new();
+    for v in 0..n {
+        if let NodeImage::Diamond(base) = image[v as usize] {
+            h_edges.extend(
+                crate::reductions::diamond::EDGES
+                    .iter()
+                    .map(|&(a, b)| (base + a, base + b)),
+            );
+        }
+    }
+    let attach = |v: u32, e: usize, image: &[NodeImage], incident: &[Vec<usize>]| -> u32 {
+        match image[v as usize] {
+            NodeImage::Kept(h) => h,
+            NodeImage::Diamond(base) => {
+                let k = incident[v as usize]
+                    .iter()
+                    .position(|&x| x == e)
+                    .expect("edge incident to v") as u32;
+                base + CORNERS[k as usize]
+            }
+        }
+    };
+    for (e, &(u, v)) in ones.edges().iter().enumerate() {
+        h_edges.push((
+            attach(u, e, &image, &incident),
+            attach(v, e, &image, &incident),
+        ));
+    }
+    let h = Tsp12::new(Graph::new(next, h_edges));
+    Tsp4To3 {
+        h,
+        image,
+        group,
+        incident,
+        diamond,
+        g_nodes: n,
+    }
+}
+
+impl Tsp4To3 {
+    /// The TSP-3(1,2) instance `H`.
+    pub fn h(&self) -> &Tsp12 {
+        &self.h
+    }
+
+    /// `α` for this reduction: the gadget size (each `G` node maps to at
+    /// most this many `H` nodes).
+    pub fn alpha(&self) -> usize {
+        SIZE as usize
+    }
+
+    fn attach(&self, v: u32, e: usize) -> u32 {
+        match self.image[v as usize] {
+            NodeImage::Kept(h) => h,
+            NodeImage::Diamond(base) => {
+                let k = self.incident[v as usize]
+                    .iter()
+                    .position(|&x| x == e)
+                    .expect("incident");
+                base + CORNERS[k]
+            }
+        }
+    }
+
+    /// The `f`-direction tour construction: converts a tour of `G` into a
+    /// tour of `H` with the *same* jump count (each diamond is traversed
+    /// by a corner-to-corner Hamiltonian path whose entry/exit corners
+    /// align with the tour's good edges).
+    pub fn forward_tour(&self, g_tour: &[u32], g: &Tsp12) -> Vec<u32> {
+        let ones = g.ones();
+        let mut out: Vec<u32> = Vec::with_capacity(self.group.len());
+        for (p, &v) in g_tour.iter().enumerate() {
+            match self.image[v as usize] {
+                NodeImage::Kept(h) => out.push(h),
+                NodeImage::Diamond(base) => {
+                    // entry corner: aligned with a good previous step
+                    let corner_for = |other: u32| -> Option<u32> {
+                        if !ones.has_edge(v, other) {
+                            return None;
+                        }
+                        let (a, b) = if v < other { (v, other) } else { (other, v) };
+                        let e = ones.edges().binary_search(&(a, b)).expect("edge exists");
+                        Some(self.attach(v, e) - base)
+                    };
+                    let c1 = if p > 0 {
+                        corner_for(g_tour[p - 1])
+                    } else {
+                        None
+                    };
+                    let c2 = if p + 1 < g_tour.len() {
+                        corner_for(g_tour[p + 1])
+                    } else {
+                        None
+                    };
+                    let (c1, c2) = match (c1, c2) {
+                        (Some(a), Some(b)) => (a, b),
+                        (Some(a), None) => (a, CORNERS.iter().copied().find(|&c| c != a).unwrap()),
+                        (None, Some(b)) => (CORNERS.iter().copied().find(|&c| c != b).unwrap(), b),
+                        (None, None) => (0, 1),
+                    };
+                    debug_assert_ne!(c1, c2, "distinct edges attach to distinct corners");
+                    out.extend(self.diamond.corner_path(c1, c2).iter().map(|&x| base + x));
+                }
+            }
+        }
+        out
+    }
+
+    /// The `g`-direction conversion ("nice tour"): a tour of `H` becomes a
+    /// tour of `G` by visiting `G` nodes in the order of their kept
+    /// (perfect-preferred) segments.
+    pub fn back_tour(&self, h_tour: &[u32]) -> Vec<u32> {
+        order_groups_by_segment(h_tour, &self.group, self.g_nodes as usize, |a, b| {
+            self.h.ones().has_edge(a, b)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::min_jump_tour;
+    use jp_graph::generators;
+
+    /// A TSP-4(1,2) instance with at least one degree-4 node, small enough
+    /// for exact solving on both sides.
+    fn sample_instance(seed: u64) -> Tsp12 {
+        // 5 nodes, push edges until some node has degree 4
+        let g = generators::random_bounded_degree(5, 4, 8, seed);
+        Tsp12::new(g)
+    }
+
+    #[test]
+    fn reduction_degree_bound() {
+        for seed in 0..10 {
+            let g = sample_instance(seed);
+            let red = reduce(&g);
+            assert!(
+                red.h().ones().max_degree() <= 3,
+                "seed {seed}: H must be TSP-3"
+            );
+        }
+    }
+
+    #[test]
+    fn forward_tour_is_valid_and_preserves_jumps() {
+        for seed in 0..10 {
+            let g = sample_instance(seed);
+            if !g.ones().is_connected() {
+                continue;
+            }
+            let red = reduce(&g);
+            let (g_tour, g_jumps) = min_jump_tour(g.ones());
+            let h_tour = red.forward_tour(&g_tour, &g);
+            assert!(red.h().is_valid_tour(&h_tour), "seed {seed}");
+            assert_eq!(
+                red.h().tour_jumps(&h_tour),
+                g_jumps,
+                "seed {seed}: jumps preserved"
+            );
+        }
+    }
+
+    #[test]
+    fn alpha_bound_holds() {
+        // OPT(H) ≤ α·OPT(G) with α = 9.
+        for seed in 0..8 {
+            let g = sample_instance(seed);
+            if !g.ones().is_connected() || g.ones().vertex_count() == 0 {
+                continue;
+            }
+            let red = reduce(&g);
+            if red.h().n() > 20 {
+                continue; // exact solver limit
+            }
+            let (_, gj) = min_jump_tour(g.ones());
+            let (_, hj) = min_jump_tour(red.h().ones());
+            let opt_g = g.n() - 1 + gj;
+            let opt_h = red.h().n() - 1 + hj;
+            assert!(
+                opt_h <= red.alpha() * opt_g,
+                "seed {seed}: {opt_h} > 9·{opt_g}"
+            );
+        }
+    }
+
+    #[test]
+    fn back_tour_is_a_permutation_of_g_nodes() {
+        for seed in 0..10 {
+            let g = sample_instance(seed);
+            let red = reduce(&g);
+            let h_n = red.h().n();
+            // any tour of H, e.g. identity order
+            let h_tour: Vec<u32> = (0..h_n as u32).collect();
+            let back = red.back_tour(&h_tour);
+            let mut sorted = back.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..g.n() as u32).collect::<Vec<_>>(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn beta_inequality_on_optimal_tours() {
+        // β = 1: cost(g(s)) − OPT(G) ≤ cost(s) − OPT(H), tested with s the
+        // optimal H tour (forcing g to return an optimal G tour) and with
+        // the forward tour of the optimal G tour.
+        for seed in 0..8 {
+            let g = sample_instance(seed);
+            if !g.ones().is_connected() {
+                continue;
+            }
+            let red = reduce(&g);
+            if red.h().n() > 20 {
+                continue;
+            }
+            let (g_opt_tour, gj) = min_jump_tour(g.ones());
+            let opt_g = g.n() - 1 + gj;
+            let (h_opt_tour, hj) = min_jump_tour(red.h().ones());
+            let opt_h = red.h().n() - 1 + hj;
+            for s in [h_opt_tour, red.forward_tour(&g_opt_tour, &g)] {
+                let cost_s = red.h().tour_cost(&s);
+                let back = red.back_tour(&s);
+                let cost_back = g.tour_cost(&back);
+                assert!(
+                    cost_back - opt_g <= cost_s - opt_h,
+                    "seed {seed}: β=1 violated: {cost_back}−{opt_g} > {cost_s}−{opt_h}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_degree_4_nodes_means_identity_like_reduction() {
+        let g = Tsp12::new(generators::random_bounded_degree(6, 3, 7, 3));
+        let red = reduce(&g);
+        assert_eq!(red.h().n(), 6);
+        assert_eq!(red.h().ones().edges(), g.ones().edges());
+    }
+
+    #[test]
+    #[should_panic(expected = "TSP-4")]
+    fn rejects_degree_5() {
+        let star5 = jp_graph::Graph::new(6, vec![(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]);
+        reduce(&Tsp12::new(star5));
+    }
+}

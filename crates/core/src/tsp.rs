@@ -1,0 +1,199 @@
+//! The TSP(1,2) view of pebbling (§2.2 of the paper).
+//!
+//! View `L(G)` as a complete weighted graph: weight 1 between adjacent
+//! line-graph vertices ("good" edges), weight 2 otherwise ("bad" edges —
+//! traversing one is a *jump*). Then:
+//!
+//! * Proposition 2.1: `π(G) = m` iff `L(G)` has a Hamiltonian path;
+//! * Proposition 2.2: the optimal TSP tour (a path visiting every node
+//!   exactly once) in completed `L(G)` costs exactly `π(G) − 1`;
+//! * the cost of any tour is `m − 1 + J` where `J` is its jump count.
+//!
+//! [`tour_to_scheme`] and [`scheme_to_tour`] realize the two directions of
+//! that correspondence constructively, cost-preservingly.
+
+use crate::scheme::PebblingScheme;
+use crate::PebbleError;
+use jp_graph::{line_graph, BipartiteGraph, Graph};
+
+/// A TSP(1,2) instance: a complete graph whose weight-1 edges are the
+/// edges of an underlying simple graph; all other pairs have weight 2.
+#[derive(Debug, Clone)]
+pub struct Tsp12 {
+    ones: Graph,
+}
+
+impl Tsp12 {
+    /// Wraps a weight-1 graph.
+    pub fn new(weight_one_graph: Graph) -> Self {
+        Tsp12 {
+            ones: weight_one_graph,
+        }
+    }
+
+    /// The instance over the line graph of a bipartite graph — the object
+    /// Propositions 2.1/2.2 talk about. Node `e` of the instance is edge
+    /// `e` of `g`.
+    pub fn from_join_graph(g: &BipartiteGraph) -> Self {
+        Tsp12 {
+            ones: line_graph(g),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.ones.vertex_count() as usize
+    }
+
+    /// The weight-1 graph.
+    pub fn ones(&self) -> &Graph {
+        &self.ones
+    }
+
+    /// Edge weight: 1 for good edges, 2 for bad ones.
+    pub fn weight(&self, u: u32, v: u32) -> usize {
+        if self.ones.has_edge(u, v) {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// Whether `tour` is a permutation of the nodes.
+    pub fn is_valid_tour(&self, tour: &[u32]) -> bool {
+        if tour.len() != self.n() {
+            return false;
+        }
+        let mut seen = vec![false; self.n()];
+        for &v in tour {
+            if (v as usize) >= self.n() || seen[v as usize] {
+                return false;
+            }
+            seen[v as usize] = true;
+        }
+        true
+    }
+
+    /// Cost of a tour (a Hamiltonian *path*, per the paper's convention
+    /// that "the first vertex of the tour counts 0"): sum of the `n − 1`
+    /// step weights, i.e. `n − 1 + jumps`.
+    pub fn tour_cost(&self, tour: &[u32]) -> usize {
+        debug_assert!(self.is_valid_tour(tour));
+        tour.windows(2).map(|w| self.weight(w[0], w[1])).sum()
+    }
+
+    /// Number of bad (weight-2) steps in the tour — its *extra cost* `J`.
+    pub fn tour_jumps(&self, tour: &[u32]) -> usize {
+        tour.windows(2)
+            .filter(|w| !self.ones.has_edge(w[0], w[1]))
+            .count()
+    }
+}
+
+/// Converts a TSP tour over `L(G)` (an edge order of `g`) into a pebbling
+/// scheme of the same effective cost: `π(P) = tour_cost + 1` for connected
+/// `g` (Proposition 2.2 constructively).
+pub fn tour_to_scheme(g: &BipartiteGraph, tour: &[u32]) -> Result<PebblingScheme, PebbleError> {
+    let order: Vec<usize> = tour.iter().map(|&e| e as usize).collect();
+    PebblingScheme::from_edge_sequence(g, &order)
+}
+
+/// Converts a pebbling scheme into a TSP tour over `L(G)` — the edges in
+/// deletion order. For *connected* `g` the tour costs at most
+/// `π̂(P) − 2 = π(P) − 1` (Proposition 2.2's other direction); for
+/// disconnected graphs each component boundary costs one weight-2 step,
+/// so the bound is `π̂(P) − 2` overall. The scheme must be valid for `g`.
+pub fn scheme_to_tour(g: &BipartiteGraph, scheme: &PebblingScheme) -> Vec<u32> {
+    scheme
+        .deletion_order(g)
+        .into_iter()
+        .flatten()
+        .map(|e| e as u32)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jp_graph::generators;
+
+    #[test]
+    fn weights_and_validity() {
+        let g = generators::path(3); // L(G) is a path e0-e1-e2
+        let tsp = Tsp12::from_join_graph(&g);
+        assert_eq!(tsp.n(), 3);
+        assert_eq!(tsp.weight(0, 1), 1);
+        assert_eq!(tsp.weight(0, 2), 2);
+        assert!(tsp.is_valid_tour(&[2, 1, 0]));
+        assert!(!tsp.is_valid_tour(&[0, 1]));
+        assert!(!tsp.is_valid_tour(&[0, 1, 1]));
+        assert!(!tsp.is_valid_tour(&[0, 1, 3]));
+    }
+
+    #[test]
+    fn tour_cost_is_m_minus_1_plus_jumps() {
+        let g = generators::spider(3); // m = 6
+        let tsp = Tsp12::from_join_graph(&g);
+        let tour: Vec<u32> = (0..6).collect();
+        assert_eq!(tsp.tour_cost(&tour), 5 + tsp.tour_jumps(&tour));
+    }
+
+    #[test]
+    fn good_tour_converts_to_perfect_scheme() {
+        // path graph: edge order 0,1,2 is jump-free
+        let g = generators::path(3);
+        let tsp = Tsp12::from_join_graph(&g);
+        let tour = vec![0u32, 1, 2];
+        assert_eq!(tsp.tour_jumps(&tour), 0);
+        let s = tour_to_scheme(&g, &tour).unwrap();
+        s.validate(&g).unwrap();
+        // Proposition 2.2: π(P) = tour cost + 1
+        assert_eq!(s.effective_cost(&g), tsp.tour_cost(&tour) + 1);
+        assert_eq!(s.effective_cost(&g), 3); // perfect
+    }
+
+    #[test]
+    fn tour_with_jumps_costs_proportionally() {
+        let g = generators::matching(3);
+        let tsp = Tsp12::from_join_graph(&g);
+        let tour = vec![0u32, 1, 2];
+        assert_eq!(tsp.tour_jumps(&tour), 2);
+        let s = tour_to_scheme(&g, &tour).unwrap();
+        s.validate(&g).unwrap();
+        // π̂ = m + jumps + β₀ = 3 + 2 + ... careful: matching has β₀ = 3;
+        // π = π̂ − 3. Tour cost = 2 + 2·1... = m−1+J = 4.
+        assert_eq!(tsp.tour_cost(&tour), 4);
+        assert_eq!(s.cost(), 6); // Lemma 2.4: 2m
+        assert_eq!(s.effective_cost(&g), 3);
+    }
+
+    #[test]
+    fn scheme_round_trips_through_tour() {
+        let g = generators::spider(4);
+        let tour: Vec<u32> = vec![0, 2, 1, 3, 4, 6, 5, 7];
+        let s = tour_to_scheme(&g, &tour).unwrap();
+        let back = scheme_to_tour(&g, &s);
+        assert_eq!(back, tour);
+        // and the tour cost matches the scheme's effective cost − 1
+        let tsp = Tsp12::from_join_graph(&g);
+        assert_eq!(tsp.tour_cost(&back) + 1, s.effective_cost(&g));
+    }
+
+    #[test]
+    fn proposition_2_1_on_small_graphs() {
+        // π(G) = m iff L(G) has a Hamiltonian path: check both directions
+        // against the exact solver.
+        use crate::exact::optimal_effective_cost;
+        for g in [
+            generators::path(4),
+            generators::cycle(3),
+            generators::complete_bipartite(2, 3),
+            generators::spider(3),
+            generators::spider(4),
+        ] {
+            let traceable = jp_graph::hamilton::has_hamiltonian_path(&line_graph(&g));
+            let perfect = optimal_effective_cost(&g).unwrap() == g.edge_count();
+            assert_eq!(traceable, perfect, "{g}");
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Property-based tests for the pebble game: every algorithm yields
+//! valid schemes within the paper's bounds, exactness dominates
+//! heuristics, and the structural lemmas hold on arbitrary graphs.
+
+use jp_graph::{betti_number, generators, BipartiteGraph};
+use jp_pebble::approx::{
+    pebble_dfs_partition, pebble_equijoin, pebble_euler_trails, pebble_nearest_neighbor,
+    pebble_path_cover,
+};
+use jp_pebble::{bounds, exact, tsp};
+use proptest::prelude::*;
+
+fn bipartite() -> impl Strategy<Value = BipartiteGraph> {
+    (1u32..=5, 1u32..=5).prop_flat_map(|(k, l)| {
+        proptest::collection::vec((0..k, 0..l), 0..=12)
+            .prop_map(move |edges| BipartiteGraph::new(k, l, edges))
+    })
+}
+
+fn connected_bipartite() -> impl Strategy<Value = BipartiteGraph> {
+    (2u32..=5, 2u32..=4, any::<u64>()).prop_flat_map(|(k, l, seed)| {
+        let min = (k + l - 1) as usize;
+        let max = ((k * l) as usize).min(14);
+        (min..=max).prop_map(move |m| generators::random_connected_bipartite(k, l, m, seed))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_pebblers_produce_valid_schemes(g in bipartite()) {
+        for scheme in [
+            pebble_dfs_partition(&g).unwrap(),
+            pebble_euler_trails(&g).unwrap(),
+            pebble_path_cover(&g).unwrap(),
+            pebble_nearest_neighbor(&g).unwrap(),
+        ] {
+            prop_assert!(scheme.validate(&g).is_ok());
+            let m = g.edge_count();
+            let b0 = betti_number(&g) as usize;
+            // Lemma 2.1 window
+            prop_assert!(scheme.cost() >= m + b0);
+            prop_assert!(scheme.effective_cost(&g) >= m);
+            // jumps accounting: π̂ = m + jumps + 1 for non-empty schemes,
+            // so π = m + jumps + 1 − β₀ (equals m + jumps when connected)
+            if m > 0 {
+                prop_assert_eq!(scheme.effective_cost(&g), m + scheme.jumps(&g) + 1 - b0);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_is_a_lower_bound_for_every_heuristic(g in connected_bipartite()) {
+        let opt = exact::optimal_effective_cost(&g).unwrap();
+        let m = g.edge_count();
+        prop_assert!(opt >= bounds::best_lower_bound(&g));
+        prop_assert!(opt <= bounds::upper_bound_effective(&g));
+        for scheme in [
+            pebble_dfs_partition(&g).unwrap(),
+            pebble_euler_trails(&g).unwrap(),
+            pebble_path_cover(&g).unwrap(),
+            pebble_nearest_neighbor(&g).unwrap(),
+        ] {
+            prop_assert!(scheme.effective_cost(&g) >= opt);
+        }
+        // Theorem 3.1 algorithmic guarantee
+        let dfs = pebble_dfs_partition(&g).unwrap();
+        prop_assert!(dfs.effective_cost(&g) <= (5 * m).div_ceil(4));
+    }
+
+    #[test]
+    fn additivity_of_exact_cost(a in connected_bipartite(), b in connected_bipartite()) {
+        // Lemma 2.2 on arbitrary pairs (sizes kept small for Held–Karp)
+        let u = a.disjoint_union(&b);
+        let lhs = exact::optimal_effective_cost(&u).unwrap();
+        let rhs =
+            exact::optimal_effective_cost(&a).unwrap() + exact::optimal_effective_cost(&b).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn equijoin_pebbler_agrees_with_classifier(g in bipartite()) {
+        match pebble_equijoin(&g) {
+            Ok(s) => {
+                prop_assert!(jp_graph::properties::is_equijoin_graph(&g));
+                prop_assert_eq!(s.effective_cost(&g), g.edge_count());
+            }
+            Err(_) => prop_assert!(!jp_graph::properties::is_equijoin_graph(&g)),
+        }
+    }
+
+    #[test]
+    fn tour_scheme_cost_correspondence(g in connected_bipartite()) {
+        // Proposition 2.2 constructively, on the optimal tour
+        let lg = jp_graph::line_graph(&g);
+        let (tour, jumps) = exact::min_jump_tour(&lg);
+        let scheme = tsp::tour_to_scheme(&g, &tour).unwrap();
+        prop_assert!(scheme.validate(&g).is_ok());
+        let m = g.edge_count();
+        prop_assert_eq!(scheme.effective_cost(&g), m + jumps);
+        prop_assert_eq!(scheme.effective_cost(&g), exact::optimal_effective_cost(&g).unwrap());
+        // and back: deletion order reproduces the tour
+        prop_assert_eq!(tsp::scheme_to_tour(&g, &scheme), tour);
+    }
+
+    #[test]
+    fn perfect_iff_traceable(g in connected_bipartite()) {
+        // Proposition 2.1 via independent implementations
+        let perfect = exact::optimal_effective_cost(&g).unwrap() == g.edge_count();
+        prop_assert_eq!(perfect, bounds::has_perfect_scheme(&g));
+    }
+
+    #[test]
+    fn two_opt_never_worsens_and_stays_valid(g in connected_bipartite()) {
+        let lg = jp_graph::line_graph(&g);
+        let tsp12 = tsp::Tsp12::new(lg.clone());
+        let mut tour = jp_pebble::approx::nearest_neighbor::nearest_neighbor_tour(&lg);
+        let before = tsp12.tour_cost(&tour);
+        jp_pebble::approx::improve_two_opt(&tsp12, &mut tour, 4);
+        prop_assert!(tsp12.is_valid_tour(&tour));
+        prop_assert!(tsp12.tour_cost(&tour) <= before);
+        let scheme = tsp::tour_to_scheme(&g, &tour).unwrap();
+        prop_assert!(scheme.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn pendant_bound_never_exceeds_optimum(g in connected_bipartite()) {
+        let lb = bounds::pendant_lower_bound(&g);
+        let opt = exact::optimal_effective_cost(&g).unwrap();
+        prop_assert!(lb <= opt, "pendant bound {lb} exceeded optimum {opt}");
+    }
+
+    #[test]
+    fn decision_matches_optimal(g in connected_bipartite(), k in 0usize..40) {
+        let opt = exact::optimal_effective_cost(&g).unwrap();
+        prop_assert_eq!(exact::pebble_decision(&g, k).unwrap(), opt <= k);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bb_agrees_with_held_karp(g in connected_bipartite()) {
+        let hk = exact::optimal_effective_cost(&g).unwrap();
+        let bb = jp_pebble::exact_bb::optimal_effective_cost_bb(&g, 20_000_000).unwrap();
+        prop_assert_eq!(bb, hk);
+    }
+
+    #[test]
+    fn implied_schemes_from_shuffled_traces_are_valid(g in connected_bipartite(), seed in any::<u64>()) {
+        // any permutation of the edge set is a valid trace
+        let mut trace: Vec<(u32, u32)> = g.edges().to_vec();
+        let mut state = seed | 1;
+        for i in (1..trace.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            trace.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        let s = jp_pebble::analysis::implied_scheme(&g, &trace).unwrap();
+        prop_assert!(s.validate(&g).is_ok());
+        let m = g.edge_count();
+        prop_assert!(s.cost() > m);
+        prop_assert!(s.cost() <= 2 * m);
+    }
+
+    #[test]
+    fn fragment_mappings_cost_equals_quotient_edges(
+        g in bipartite(),
+        p in 1u32..4,
+        q in 1u32..4,
+        seed in any::<u64>(),
+    ) {
+        // a pseudo-random capacity-free assignment
+        let lf: Vec<u32> = (0..g.left_count() as u64)
+            .map(|i| ((i ^ seed).wrapping_mul(0x9e3779b97f4a7c15) >> 33) as u32 % p)
+            .collect();
+        let rf: Vec<u32> = (0..g.right_count() as u64)
+            .map(|i| ((i ^ seed).wrapping_mul(0xd1b54a32d192ed03) >> 33) as u32 % q)
+            .collect();
+        let m = jp_pebble::fragmentation::FragmentMapping {
+            left: lf.clone(),
+            right: rf.clone(),
+            p,
+            q,
+        };
+        let quot = jp_graph::quotient(&g, &lf, p, &rf, q);
+        prop_assert_eq!(m.cost(&g), quot.edge_count());
+    }
+
+    #[test]
+    fn component_pack_respects_capacity_and_lower_bound(g in bipartite()) {
+        use jp_pebble::fragmentation::{balanced_capacity, component_pack, connected_lower_bound};
+        let (p, q) = (2u32, 2u32);
+        let cap_l = balanced_capacity(g.left_count() as usize, p) + 1;
+        let cap_r = balanced_capacity(g.right_count() as usize, q) + 1;
+        let m = component_pack(&g, p, q, cap_l, cap_r);
+        prop_assert!(m.validate(&g, cap_l, cap_r).is_ok());
+        if g.edge_count() > 0 {
+            prop_assert!(m.cost(&g) >= 1);
+        }
+        prop_assert!(m.cost(&g) >= connected_lower_bound(&g, cap_l, cap_r).min(m.cost(&g)));
+    }
+
+    #[test]
+    fn page_graph_pebbles_within_bounds(g in connected_bipartite(), cap in 1usize..4) {
+        use jp_pebble::paging::{page_fetches, schedule_page_fetches, PageLayout};
+        let layout = PageLayout::sequential(
+            g.left_count() as usize,
+            g.right_count() as usize,
+            cap,
+        );
+        let (pg, scheme) = schedule_page_fetches(&g, &layout).unwrap();
+        prop_assert!(scheme.validate(&pg).is_ok());
+        let mpg = pg.edge_count();
+        prop_assert!(page_fetches(&scheme) > mpg);
+        prop_assert!(page_fetches(&scheme) <= 2 * mpg);
+        // quotient never has more edges than the original
+        prop_assert!(mpg <= g.edge_count());
+    }
+
+    #[test]
+    fn or_opt_preserves_validity_through_schemes(g in connected_bipartite()) {
+        use jp_pebble::approx::{improve_or_opt, nearest_neighbor::nearest_neighbor_tour};
+        let lg = jp_graph::line_graph(&g);
+        let tsp12 = tsp::Tsp12::new(lg.clone());
+        let mut tour = nearest_neighbor_tour(&lg);
+        improve_or_opt(&tsp12, &mut tour, 4);
+        let s = tsp::tour_to_scheme(&g, &tour).unwrap();
+        prop_assert!(s.validate(&g).is_ok());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn matching_cover_respects_its_jump_bound(g in connected_bipartite()) {
+        use jp_pebble::approx::pebble_matching_cover;
+        let s = pebble_matching_cover(&g).unwrap();
+        prop_assert!(s.validate(&g).is_ok());
+        let lg = jp_graph::line_graph(&g);
+        let nu = jp_graph::matching::maximum_matching(&lg).len();
+        prop_assert!(s.jumps(&g) <= g.edge_count() - 1 - nu);
+        prop_assert!(s.effective_cost(&g) >= exact::optimal_effective_cost(&g).unwrap());
+    }
+
+    #[test]
+    fn compress_is_sound_and_monotone(g in connected_bipartite(), reps in 1usize..3) {
+        // wasteful scheme: the edge list repeated
+        let mut order: Vec<usize> = Vec::new();
+        for _ in 0..reps {
+            order.extend(0..g.edge_count());
+        }
+        let s = jp_pebble::PebblingScheme::from_edge_sequence(&g, &order).unwrap();
+        let c = s.compress(&g);
+        prop_assert!(c.validate(&g).is_ok());
+        prop_assert!(c.cost() <= s.cost());
+        prop_assert!(c.effective_cost(&g) >= g.edge_count());
+        prop_assert_eq!(c.compress(&g), c.clone());
+    }
+
+    #[test]
+    fn buffer_schedules_scale_down_with_capacity(g in connected_bipartite()) {
+        use jp_pebble::buffers::{lower_bound, schedule_greedy};
+        let mut prev = usize::MAX;
+        for b in [2usize, 3, 6] {
+            let s = schedule_greedy(&g, b).unwrap();
+            prop_assert!(s.validate(&g, b).is_ok());
+            prop_assert!(s.cost() >= lower_bound(&g));
+            prop_assert!(s.cost() <= prev);
+            prev = s.cost();
+        }
+        // B = 2 is the pebble game: cost within Lemma 2.1's window
+        let two = schedule_greedy(&g, 2).unwrap();
+        prop_assert!(two.cost() <= 2 * g.edge_count());
+    }
+
+    #[test]
+    fn page_layouts_quotient_consistently(g in connected_bipartite(), cap in 1usize..4, seed in any::<u64>()) {
+        use jp_pebble::paging::PageLayout;
+        let nl = g.left_count() as usize;
+        let nr = g.right_count() as usize;
+        for layout in [
+            PageLayout::sequential(nl, nr, cap),
+            PageLayout::scattered(nl, nr, cap, seed),
+        ] {
+            prop_assert!(layout.validate(&g, cap).is_ok());
+            let pg = layout.page_graph(&g);
+            prop_assert!(pg.edge_count() <= g.edge_count());
+            // every original edge lands on a page edge
+            for &(l, r) in g.edges() {
+                prop_assert!(pg.has_edge(
+                    layout.left_page[l as usize],
+                    layout.right_page[r as usize]
+                ));
+            }
+        }
+    }
+}

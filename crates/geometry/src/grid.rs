@@ -1,0 +1,217 @@
+//! Uniform-grid partitioned rectangle join (PBSM-style).
+//!
+//! Partition-Based Spatial-Merge join (Patel & DeWitt, cited as \[13\] in
+//! the paper) overlays a uniform grid, replicates each rectangle into
+//! every cell it intersects, and joins cell-by-cell. Replication would
+//! report a pair once per shared cell; the standard *reference-point*
+//! trick deduplicates for free: a pair is reported only in the cell
+//! containing the top-left corner of its intersection rectangle.
+
+use crate::rect::Rect;
+use std::collections::HashMap;
+
+/// A uniform grid over a bounding universe.
+#[derive(Debug, Clone)]
+pub struct UniformGrid {
+    universe: Rect,
+    cells_x: i64,
+    cells_y: i64,
+    cell_w: i64,
+    cell_h: i64,
+}
+
+impl UniformGrid {
+    /// Builds a `cells_x × cells_y` grid covering `universe`.
+    ///
+    /// # Panics
+    /// Panics if either cell count is zero or the universe is degenerate.
+    pub fn new(universe: Rect, cells_x: i64, cells_y: i64) -> Self {
+        assert!(cells_x > 0 && cells_y > 0, "cell counts must be positive");
+        assert!(
+            universe.width() > 0 && universe.height() > 0,
+            "universe must have positive area"
+        );
+        // Ceiling division; all quantities are positive here (signed
+        // `div_ceil` is not yet stable).
+        let ceil_div = |a: i64, b: i64| (a + b - 1) / b;
+        UniformGrid {
+            universe,
+            cells_x,
+            cells_y,
+            cell_w: ceil_div(universe.width(), cells_x),
+            cell_h: ceil_div(universe.height(), cells_y),
+        }
+    }
+
+    /// The cell coordinates containing a point, clamped to the grid (so
+    /// rectangles sticking out of the universe still land in edge cells).
+    fn cell_of(&self, x: i64, y: i64) -> (i64, i64) {
+        let cx = ((x - self.universe.min.x) / self.cell_w).clamp(0, self.cells_x - 1);
+        let cy = ((y - self.universe.min.y) / self.cell_h).clamp(0, self.cells_y - 1);
+        (cx, cy)
+    }
+
+    /// Range of cells a rectangle overlaps.
+    fn cell_range(&self, r: &Rect) -> (i64, i64, i64, i64) {
+        let (x0, y0) = self.cell_of(r.min.x, r.min.y);
+        let (x1, y1) = self.cell_of(r.max.x, r.max.y);
+        (x0, y0, x1, y1)
+    }
+}
+
+/// Joins two rectangle sets over a uniform grid, reporting every
+/// intersecting pair exactly once via `f`. The grid resolution is chosen
+/// as `⌈√(max(|a|,|b|))⌉` per axis over the union bounding box.
+pub fn grid_join(a: &[(Rect, u32)], b: &[(Rect, u32)], mut f: impl FnMut(u32, u32)) {
+    let Some(bb_a) = Rect::bounding(&a.iter().map(|(r, _)| *r).collect::<Vec<_>>()) else {
+        return;
+    };
+    let Some(bb_b) = Rect::bounding(&b.iter().map(|(r, _)| *r).collect::<Vec<_>>()) else {
+        return;
+    };
+    let universe = bb_a.union(&bb_b);
+    if universe.width() == 0 || universe.height() == 0 {
+        // Degenerate universe (all rects on a line): fall back to a sweep.
+        crate::sweep::sweep_join(a, b, f);
+        return;
+    }
+    let cells = (a.len().max(b.len()) as f64).sqrt().ceil().max(1.0) as i64;
+    grid_join_with(&UniformGrid::new(universe, cells, cells), a, b, &mut f);
+}
+
+/// Grid join with an explicit grid (exposed for tuning experiments).
+pub fn grid_join_with(
+    grid: &UniformGrid,
+    a: &[(Rect, u32)],
+    b: &[(Rect, u32)],
+    f: &mut impl FnMut(u32, u32),
+) {
+    // Bucket B's rectangles by cell.
+    let mut buckets: HashMap<(i64, i64), Vec<(Rect, u32)>> = HashMap::new();
+    for &(r, id) in b {
+        let (x0, y0, x1, y1) = grid.cell_range(&r);
+        for cx in x0..=x1 {
+            for cy in y0..=y1 {
+                buckets.entry((cx, cy)).or_default().push((r, id));
+            }
+        }
+    }
+    // Probe with A, deduplicating via the reference point of the
+    // intersection.
+    for &(ra, ia) in a {
+        let (x0, y0, x1, y1) = grid.cell_range(&ra);
+        for cx in x0..=x1 {
+            for cy in y0..=y1 {
+                let Some(bucket) = buckets.get(&(cx, cy)) else {
+                    continue;
+                };
+                for &(rb, ib) in bucket {
+                    let Some(ix) = ra.intersection(&rb) else {
+                        continue;
+                    };
+                    // Report only in the cell owning the intersection's
+                    // lower-left corner.
+                    if grid.cell_of(ix.min.x, ix.min.y) == (cx, cy) {
+                        f(ia, ib);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &[(Rect, u32)], b: &[(Rect, u32)]) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for (ra, ia) in a {
+            for (rb, ib) in b {
+                if ra.intersects(rb) {
+                    out.push((*ia, *ib));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn collect_grid(a: &[(Rect, u32)], b: &[(Rect, u32)]) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        grid_join(a, b, |x, y| out.push((x, y)));
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let r = [(Rect::new(0, 0, 1, 1), 0u32)];
+        assert!(collect_grid(&[], &r).is_empty());
+        assert!(collect_grid(&r, &[]).is_empty());
+    }
+
+    #[test]
+    fn pairs_reported_exactly_once_despite_replication() {
+        // One huge rectangle spanning many cells against many small ones.
+        let a = [(Rect::new(0, 0, 1000, 1000), 0)];
+        let b: Vec<(Rect, u32)> = (0..50)
+            .map(|i| {
+                (
+                    Rect::new(i * 20, i * 20, i * 20 + 10, i * 20 + 10),
+                    i as u32,
+                )
+            })
+            .collect();
+        let got = collect_grid(&a, &b);
+        assert_eq!(got, naive(&a, &b));
+        assert_eq!(got.len(), 50);
+    }
+
+    #[test]
+    fn matches_naive_on_scattered_rects() {
+        let mk = |set: u64, n: u64| -> Vec<(Rect, u32)> {
+            (0..n)
+                .map(|i| {
+                    let h = i
+                        .wrapping_mul(0x9e3779b97f4a7c15)
+                        .wrapping_add(set.wrapping_mul(0xd1b54a32d192ed03))
+                        .rotate_left(23);
+                    let x = (h % 500) as i64;
+                    let y = ((h >> 9) % 500) as i64;
+                    let w = ((h >> 18) % 60) as i64;
+                    let hh = ((h >> 27) % 60) as i64;
+                    (Rect::new(x, y, x + w, y + hh), i as u32)
+                })
+                .collect()
+        };
+        let a = mk(7, 120);
+        let b = mk(13, 90);
+        assert_eq!(collect_grid(&a, &b), naive(&a, &b));
+    }
+
+    #[test]
+    fn degenerate_universe_falls_back() {
+        // All rectangles on the line y = 0 with zero height.
+        let a = [(Rect::new(0, 0, 10, 0), 0), (Rect::new(20, 0, 30, 0), 1)];
+        let b = [(Rect::new(5, 0, 25, 0), 0)];
+        assert_eq!(collect_grid(&a, &b), vec![(0, 0), (1, 0)]);
+    }
+
+    #[test]
+    fn explicit_grid_resolution_sanity() {
+        let universe = Rect::new(0, 0, 100, 100);
+        let grid = UniformGrid::new(universe, 4, 4);
+        let a = [(Rect::new(0, 0, 99, 99), 0)];
+        let b = [(Rect::new(98, 98, 99, 99), 1)];
+        let mut out = Vec::new();
+        grid_join_with(&grid, &a, &b, &mut |x, y| out.push((x, y)));
+        assert_eq!(out, vec![(0, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cells_rejected() {
+        UniformGrid::new(Rect::new(0, 0, 10, 10), 0, 4);
+    }
+}

@@ -1,0 +1,66 @@
+//! Integer 2-D points.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A point with `i64` coordinates. Integer coordinates keep every overlap
+/// predicate in the crate exact (no epsilon comparisons anywhere).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: i64,
+    /// Vertical coordinate.
+    pub y: i64,
+}
+
+impl Point {
+    /// Constructs a point.
+    pub const fn new(x: i64, y: i64) -> Self {
+        Point { x, y }
+    }
+
+    /// Cross product of `(b − self)` and `(c − self)`: positive when
+    /// `a→b→c` turns left, negative when right, zero when collinear.
+    /// Computed in `i128` to avoid overflow on large coordinates.
+    pub fn cross(self, b: Point, c: Point) -> i128 {
+        let abx = (b.x - self.x) as i128;
+        let aby = (b.y - self.y) as i128;
+        let acx = (c.x - self.x) as i128;
+        let acy = (c.y - self.y) as i128;
+        abx * acy - aby * acx
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_orientation() {
+        let a = Point::new(0, 0);
+        let b = Point::new(1, 0);
+        assert!(a.cross(b, Point::new(1, 1)) > 0); // left turn
+        assert!(a.cross(b, Point::new(1, -1)) < 0); // right turn
+        assert_eq!(a.cross(b, Point::new(2, 0)), 0); // collinear
+    }
+
+    #[test]
+    fn cross_no_overflow_on_extremes() {
+        let a = Point::new(i64::MIN / 4, i64::MIN / 4);
+        let b = Point::new(i64::MAX / 4, 0);
+        let c = Point::new(0, i64::MAX / 4);
+        // Just checking it does not panic and has the right sign.
+        assert!(a.cross(b, c) > 0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Point::new(-3, 9).to_string(), "(-3, 9)");
+    }
+}

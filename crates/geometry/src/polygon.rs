@@ -1,0 +1,198 @@
+//! Convex polygons with an exact separating-axis overlap test.
+//!
+//! Kept to honour the paper's framing ("the elements of the domain are
+//! typically polygons over some coordinate system"). The join algorithms
+//! themselves operate on [`crate::Region`]s; convex polygons are converted
+//! through [`ConvexPolygon::mbr`] for indexing and compared exactly here
+//! for refinement.
+
+use crate::point::Point;
+use crate::rect::Rect;
+use serde::{Deserialize, Serialize};
+
+/// A convex polygon given by its vertices in counter-clockwise order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ConvexPolygon {
+    vertices: Vec<Point>,
+}
+
+impl ConvexPolygon {
+    /// Builds a convex polygon from CCW vertices.
+    ///
+    /// # Panics
+    /// Panics if fewer than 3 vertices are given, if the vertices are not
+    /// in strictly convex CCW position (collinear triples are rejected to
+    /// keep the representation canonical), or on repeated vertices.
+    pub fn new(vertices: Vec<Point>) -> Self {
+        assert!(vertices.len() >= 3, "a polygon needs at least 3 vertices");
+        let n = vertices.len();
+        for i in 0..n {
+            let a = vertices[i];
+            let b = vertices[(i + 1) % n];
+            let c = vertices[(i + 2) % n];
+            assert!(
+                a.cross(b, c) > 0,
+                "vertices must be in strictly convex CCW order (violated at index {i})"
+            );
+        }
+        ConvexPolygon { vertices }
+    }
+
+    /// Axis-aligned rectangle as a polygon.
+    pub fn from_rect(r: Rect) -> Self {
+        assert!(
+            r.width() > 0 && r.height() > 0,
+            "degenerate rect is not a polygon"
+        );
+        ConvexPolygon::new(vec![
+            r.min,
+            Point::new(r.max.x, r.min.y),
+            r.max,
+            Point::new(r.min.x, r.max.y),
+        ])
+    }
+
+    /// The vertices, CCW.
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Minimum bounding rectangle.
+    pub fn mbr(&self) -> Rect {
+        let xs: Vec<i64> = self.vertices.iter().map(|p| p.x).collect();
+        let ys: Vec<i64> = self.vertices.iter().map(|p| p.y).collect();
+        Rect::new(
+            *xs.iter().min().unwrap(),
+            *ys.iter().min().unwrap(),
+            *xs.iter().max().unwrap(),
+            *ys.iter().max().unwrap(),
+        )
+    }
+
+    /// Whether the (closed) polygon contains a point.
+    pub fn contains_point(&self, p: Point) -> bool {
+        let n = self.vertices.len();
+        (0..n).all(|i| {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            a.cross(b, p) >= 0
+        })
+    }
+
+    /// Exact closed-overlap test via the separating-axis theorem: two
+    /// convex polygons are disjoint iff some edge normal of one strictly
+    /// separates them. Touching polygons count as overlapping.
+    pub fn intersects(&self, other: &ConvexPolygon) -> bool {
+        !self.separates(other) && !other.separates(self)
+    }
+
+    /// True if some edge of `self` strictly separates `other` from `self`.
+    fn separates(&self, other: &ConvexPolygon) -> bool {
+        let n = self.vertices.len();
+        (0..n).any(|i| {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            // All of `other` strictly right of directed edge a->b?
+            other.vertices.iter().all(|&p| a.cross(b, p) < 0)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> ConvexPolygon {
+        ConvexPolygon::new(vec![Point::new(0, 0), Point::new(10, 0), Point::new(0, 10)])
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn too_few_vertices() {
+        ConvexPolygon::new(vec![Point::new(0, 0), Point::new(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "CCW")]
+    fn clockwise_rejected() {
+        ConvexPolygon::new(vec![Point::new(0, 0), Point::new(0, 10), Point::new(10, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "CCW")]
+    fn collinear_rejected() {
+        ConvexPolygon::new(vec![
+            Point::new(0, 0),
+            Point::new(5, 0),
+            Point::new(10, 0),
+            Point::new(0, 10),
+        ]);
+    }
+
+    #[test]
+    fn from_rect_roundtrip() {
+        let p = ConvexPolygon::from_rect(Rect::new(1, 2, 5, 9));
+        assert_eq!(p.mbr(), Rect::new(1, 2, 5, 9));
+        assert_eq!(p.vertices().len(), 4);
+    }
+
+    #[test]
+    fn point_containment() {
+        let t = triangle();
+        assert!(t.contains_point(Point::new(1, 1)));
+        assert!(t.contains_point(Point::new(0, 0))); // vertex
+        assert!(t.contains_point(Point::new(5, 0))); // edge
+        assert!(!t.contains_point(Point::new(6, 6))); // beyond hypotenuse
+        assert!(!t.contains_point(Point::new(-1, 0)));
+    }
+
+    #[test]
+    fn overlap_basic() {
+        let t = triangle();
+        let far = ConvexPolygon::from_rect(Rect::new(20, 20, 30, 30));
+        assert!(!t.intersects(&far));
+        let inside = ConvexPolygon::from_rect(Rect::new(1, 1, 2, 2));
+        assert!(t.intersects(&inside));
+        assert!(inside.intersects(&t));
+        assert!(t.intersects(&t));
+    }
+
+    #[test]
+    fn overlap_without_vertex_containment() {
+        // A plus-sign configuration: neither polygon contains a vertex of
+        // the other, yet they overlap. The SAT test must catch this.
+        let horizontal = ConvexPolygon::from_rect(Rect::new(-10, -1, 10, 1));
+        let vertical = ConvexPolygon::from_rect(Rect::new(-1, -10, 1, 10));
+        assert!(horizontal.intersects(&vertical));
+    }
+
+    #[test]
+    fn touching_counts_as_overlap() {
+        let a = ConvexPolygon::from_rect(Rect::new(0, 0, 5, 5));
+        let b = ConvexPolygon::from_rect(Rect::new(5, 0, 10, 5)); // shares edge x=5
+        assert!(a.intersects(&b));
+        let c = ConvexPolygon::from_rect(Rect::new(5, 5, 10, 10)); // shares corner
+        assert!(a.intersects(&c));
+        let d = ConvexPolygon::from_rect(Rect::new(6, 0, 10, 5));
+        assert!(!a.intersects(&d));
+    }
+
+    #[test]
+    fn sat_agrees_with_rect_overlap() {
+        // Rectangle polygons must agree with Rect::intersects.
+        let rects = [
+            Rect::new(0, 0, 4, 4),
+            Rect::new(2, 2, 6, 6),
+            Rect::new(4, 0, 8, 4),
+            Rect::new(5, 5, 9, 9),
+            Rect::new(-3, -3, -1, -1),
+        ];
+        for a in &rects {
+            for b in &rects {
+                let pa = ConvexPolygon::from_rect(*a);
+                let pb = ConvexPolygon::from_rect(*b);
+                assert_eq!(pa.intersects(&pb), a.intersects(b), "{a} vs {b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Closed axis-aligned rectangles.
+
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A closed axis-aligned rectangle `[x_min, x_max] × [y_min, y_max]`.
+///
+/// Rectangles are *closed*: two rectangles sharing only a boundary point
+/// overlap. This matches the usual spatial-join convention (filter step on
+/// minimum bounding rectangles must never miss a refinement hit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Rect {
+    /// Lower-left corner.
+    pub min: Point,
+    /// Upper-right corner.
+    pub max: Point,
+}
+
+impl Rect {
+    /// Builds a rectangle from corner coordinates.
+    ///
+    /// # Panics
+    /// Panics if `x_min > x_max` or `y_min > y_max`.
+    pub fn new(x_min: i64, y_min: i64, x_max: i64, y_max: i64) -> Self {
+        assert!(x_min <= x_max, "x_min {x_min} > x_max {x_max}");
+        assert!(y_min <= y_max, "y_min {y_min} > y_max {y_max}");
+        Rect {
+            min: Point::new(x_min, y_min),
+            max: Point::new(x_max, y_max),
+        }
+    }
+
+    /// A degenerate rectangle covering a single point.
+    pub fn point(p: Point) -> Self {
+        Rect { min: p, max: p }
+    }
+
+    /// Width along x (0 for a degenerate rectangle).
+    pub fn width(&self) -> i64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height along y.
+    pub fn height(&self) -> i64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area, computed in `i128` to avoid overflow.
+    pub fn area(&self) -> i128 {
+        self.width() as i128 * self.height() as i128
+    }
+
+    /// Closed-overlap test: true when the rectangles share at least one
+    /// point (touching boundaries count).
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min.x <= other.max.x
+            && other.min.x <= self.max.x
+            && self.min.y <= other.max.y
+            && other.min.y <= self.max.y
+    }
+
+    /// The intersection rectangle, if the rectangles overlap.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Rect::new(
+            self.min.x.max(other.min.x),
+            self.min.y.max(other.min.y),
+            self.max.x.min(other.max.x),
+            self.max.y.min(other.max.y),
+        ))
+    }
+
+    /// Whether `self` fully contains `other`.
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        self.min.x <= other.min.x
+            && self.min.y <= other.min.y
+            && self.max.x >= other.max.x
+            && self.max.y >= other.max.y
+    }
+
+    /// Whether the (closed) rectangle contains a point.
+    pub fn contains_point(&self, p: Point) -> bool {
+        self.min.x <= p.x && p.x <= self.max.x && self.min.y <= p.y && p.y <= self.max.y
+    }
+
+    /// Smallest rectangle covering both.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect::new(
+            self.min.x.min(other.min.x),
+            self.min.y.min(other.min.y),
+            self.max.x.max(other.max.x),
+            self.max.y.max(other.max.y),
+        )
+    }
+
+    /// Bounding box of a non-empty rectangle slice.
+    pub fn bounding(rects: &[Rect]) -> Option<Rect> {
+        let (first, rest) = rects.split_first()?;
+        Some(rest.iter().fold(*first, |acc, r| acc.union(r)))
+    }
+
+    /// Centre point with truncating division (used only for space-driven
+    /// partitioning heuristics, never for predicates).
+    pub fn center(&self) -> Point {
+        Point::new(
+            self.min.x + self.width() / 2,
+            self.min.y + self.height() / 2,
+        )
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}..{}]×[{}..{}]",
+            self.min.x, self.max.x, self.min.y, self.max.y
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let r = Rect::new(0, 1, 4, 7);
+        assert_eq!(r.width(), 4);
+        assert_eq!(r.height(), 6);
+        assert_eq!(r.area(), 24);
+        assert_eq!(r.center(), Point::new(2, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "x_min")]
+    fn rejects_inverted() {
+        Rect::new(5, 0, 0, 5);
+    }
+
+    #[test]
+    fn overlap_cases() {
+        let a = Rect::new(0, 0, 10, 10);
+        assert!(a.intersects(&Rect::new(5, 5, 15, 15))); // proper overlap
+        assert!(a.intersects(&Rect::new(10, 0, 20, 10))); // shared edge
+        assert!(a.intersects(&Rect::new(10, 10, 20, 20))); // shared corner
+        assert!(a.intersects(&Rect::new(2, 2, 3, 3))); // containment
+        assert!(!a.intersects(&Rect::new(11, 0, 20, 10))); // disjoint in x
+        assert!(!a.intersects(&Rect::new(0, 11, 10, 20))); // disjoint in y
+    }
+
+    #[test]
+    fn intersection_geometry() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(5, -5, 15, 5);
+        assert_eq!(a.intersection(&b), Some(Rect::new(5, 0, 10, 5)));
+        assert_eq!(a.intersection(&Rect::new(20, 20, 30, 30)), None);
+        // intersection is symmetric
+        assert_eq!(a.intersection(&b), b.intersection(&a));
+    }
+
+    #[test]
+    fn containment() {
+        let a = Rect::new(0, 0, 10, 10);
+        assert!(a.contains_rect(&Rect::new(2, 2, 8, 8)));
+        assert!(a.contains_rect(&a));
+        assert!(!a.contains_rect(&Rect::new(2, 2, 11, 8)));
+        assert!(a.contains_point(Point::new(0, 10)));
+        assert!(!a.contains_point(Point::new(-1, 5)));
+    }
+
+    #[test]
+    fn union_and_bounding() {
+        let a = Rect::new(0, 0, 1, 1);
+        let b = Rect::new(5, -2, 6, 0);
+        assert_eq!(a.union(&b), Rect::new(0, -2, 6, 1));
+        assert_eq!(Rect::bounding(&[a, b]), Some(Rect::new(0, -2, 6, 1)));
+        assert_eq!(Rect::bounding(&[]), None);
+    }
+
+    #[test]
+    fn degenerate_point_rect() {
+        let p = Rect::point(Point::new(3, 3));
+        assert_eq!(p.area(), 0);
+        assert!(p.intersects(&Rect::new(3, 3, 5, 5)));
+        assert!(!p.intersects(&Rect::new(4, 4, 5, 5)));
+    }
+}

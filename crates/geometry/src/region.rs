@@ -1,0 +1,240 @@
+//! Rectilinear regions — finite unions of rectangles.
+//!
+//! This is the crate's polygon stand-in (see DESIGN.md §1): every
+//! rectilinear polygon is a finite union of rectangles, and unions of
+//! rectangles are closed under the constructions the paper needs. In
+//! particular the comb-shaped regions built by
+//! `jp_relalg::realize::spatial_universal` show that *every* bipartite
+//! graph is the join graph of a spatial-overlap join over such regions —
+//! the spatial analogue of the paper's Lemma 3.3 universality argument,
+//! and a strengthening of Lemma 3.4 (which only needs plain rectangles).
+
+use crate::rect::Rect;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A region of the plane given as a finite union of closed rectangles.
+/// The rectangles may overlap each other; the region is their union.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Region {
+    rects: Vec<Rect>,
+}
+
+impl Region {
+    /// Region consisting of a single rectangle.
+    pub fn rect(r: Rect) -> Self {
+        Region { rects: vec![r] }
+    }
+
+    /// Region from a list of rectangles.
+    ///
+    /// # Panics
+    /// Panics if the list is empty — an empty region never overlaps
+    /// anything and would silently disappear from every join graph.
+    pub fn new(rects: Vec<Rect>) -> Self {
+        assert!(!rects.is_empty(), "a region needs at least one rectangle");
+        Region { rects }
+    }
+
+    /// The constituent rectangles.
+    pub fn rects(&self) -> &[Rect] {
+        &self.rects
+    }
+
+    /// Number of constituent rectangles.
+    pub fn len(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// Never true (regions are non-empty by construction), provided for
+    /// clippy-idiomatic pairing with [`Region::len`].
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+
+    /// Minimum bounding rectangle of the region — the filter-step geometry
+    /// every spatial join algorithm indexes.
+    pub fn mbr(&self) -> Rect {
+        Rect::bounding(&self.rects).expect("regions are non-empty")
+    }
+
+    /// Exact overlap test: true iff some rectangle of `self` intersects
+    /// some rectangle of `other`. This is the refinement step of the
+    /// filter-and-refine spatial join.
+    pub fn intersects(&self, other: &Region) -> bool {
+        // Cheap reject on MBRs first (the common case in joins is "no").
+        if !self.mbr().intersects(&other.mbr()) {
+            return false;
+        }
+        self.rects
+            .iter()
+            .any(|a| other.rects.iter().any(|b| a.intersects(b)))
+    }
+
+    /// Translates the region by `(dx, dy)`.
+    pub fn translate(&self, dx: i64, dy: i64) -> Region {
+        Region {
+            rects: self
+                .rects
+                .iter()
+                .map(|r| Rect::new(r.min.x + dx, r.min.y + dy, r.max.x + dx, r.max.y + dy))
+                .collect(),
+        }
+    }
+}
+
+impl From<Rect> for Region {
+    fn from(r: Rect) -> Self {
+        Region::rect(r)
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Region({} rects, mbr {})", self.rects.len(), self.mbr())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l_shape() -> Region {
+        // An L: vertical bar + horizontal foot.
+        Region::new(vec![Rect::new(0, 0, 2, 10), Rect::new(0, 0, 10, 2)])
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rectangle")]
+    fn empty_region_rejected() {
+        Region::new(vec![]);
+    }
+
+    #[test]
+    fn mbr_covers_all_parts() {
+        assert_eq!(l_shape().mbr(), Rect::new(0, 0, 10, 10));
+    }
+
+    #[test]
+    fn mbr_overlap_without_region_overlap() {
+        // A square sitting inside the L's bounding box but outside the L
+        // itself: the filter step would pass it, refinement must reject.
+        let l = l_shape();
+        let hole = Region::rect(Rect::new(5, 5, 9, 9));
+        assert!(l.mbr().intersects(&hole.mbr()));
+        assert!(!l.intersects(&hole));
+    }
+
+    #[test]
+    fn region_overlap_cases() {
+        let l = l_shape();
+        assert!(l.intersects(&Region::rect(Rect::new(1, 5, 1, 5)))); // in the bar
+        assert!(l.intersects(&Region::rect(Rect::new(8, 0, 12, 1)))); // in the foot
+        assert!(l.intersects(&l)); // self overlap
+        assert!(!l.intersects(&Region::rect(Rect::new(20, 20, 30, 30))));
+    }
+
+    #[test]
+    fn overlap_is_symmetric() {
+        let a = l_shape();
+        let b = Region::rect(Rect::new(5, 5, 9, 9));
+        let c = Region::rect(Rect::new(1, 1, 3, 3));
+        assert_eq!(a.intersects(&b), b.intersects(&a));
+        assert_eq!(a.intersects(&c), c.intersects(&a));
+    }
+
+    #[test]
+    fn translation_preserves_shape() {
+        let l = l_shape().translate(100, -50);
+        assert_eq!(l.mbr(), Rect::new(100, -50, 110, -40));
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn from_rect() {
+        let r: Region = Rect::new(0, 0, 1, 1).into();
+        assert_eq!(r.len(), 1);
+        assert!(!r.is_empty());
+    }
+}
+
+impl Region {
+    /// Exact area of the region (the measure of the union — overlapping
+    /// constituent rectangles are not double-counted). Coordinate-
+    /// compression sweep: `O(k² log k)` for `k` rectangles.
+    pub fn area(&self) -> i128 {
+        // gather and sort distinct x coordinates
+        let mut xs: Vec<i64> = self.rects.iter().flat_map(|r| [r.min.x, r.max.x]).collect();
+        xs.sort_unstable();
+        xs.dedup();
+        let mut total: i128 = 0;
+        for w in xs.windows(2) {
+            let (x0, x1) = (w[0], w[1]);
+            if x0 == x1 {
+                continue;
+            }
+            // y-intervals of rects spanning this x slab, merged
+            let mut ys: Vec<(i64, i64)> = self
+                .rects
+                .iter()
+                .filter(|r| r.min.x <= x0 && r.max.x >= x1)
+                .map(|r| (r.min.y, r.max.y))
+                .collect();
+            ys.sort_unstable();
+            let mut covered: i128 = 0;
+            let mut cur: Option<(i64, i64)> = None;
+            for (lo, hi) in ys {
+                match cur {
+                    None => cur = Some((lo, hi)),
+                    Some((clo, chi)) => {
+                        if lo <= chi {
+                            cur = Some((clo, chi.max(hi)));
+                        } else {
+                            covered += (chi - clo) as i128;
+                            cur = Some((lo, hi));
+                        }
+                    }
+                }
+            }
+            if let Some((clo, chi)) = cur {
+                covered += (chi - clo) as i128;
+            }
+            total += covered * (x1 - x0) as i128;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod area_tests {
+    use super::*;
+
+    #[test]
+    fn single_rect_area() {
+        assert_eq!(Region::rect(Rect::new(0, 0, 4, 3)).area(), 12);
+        assert_eq!(Region::rect(Rect::new(5, 5, 5, 9)).area(), 0); // degenerate
+    }
+
+    #[test]
+    fn overlapping_rects_not_double_counted() {
+        let r = Region::new(vec![Rect::new(0, 0, 4, 4), Rect::new(2, 2, 6, 6)]);
+        // 16 + 16 − 4 overlap
+        assert_eq!(r.area(), 28);
+        // identical duplicates collapse entirely
+        let d = Region::new(vec![Rect::new(0, 0, 3, 3), Rect::new(0, 0, 3, 3)]);
+        assert_eq!(d.area(), 9);
+    }
+
+    #[test]
+    fn disjoint_rects_sum() {
+        let r = Region::new(vec![Rect::new(0, 0, 2, 2), Rect::new(10, 10, 13, 12)]);
+        assert_eq!(r.area(), 4 + 6);
+    }
+
+    #[test]
+    fn l_shape_area() {
+        // vertical 2×10 bar + horizontal 10×2 foot, overlapping in 2×2
+        let l = Region::new(vec![Rect::new(0, 0, 2, 10), Rect::new(0, 0, 10, 2)]);
+        assert_eq!(l.area(), 20 + 20 - 4);
+    }
+}

@@ -1,0 +1,313 @@
+//! STR bulk-loaded R-tree.
+//!
+//! Sort-Tile-Recursive packing (Leutenegger et al.): entries are sorted by
+//! x-centre, cut into vertical slabs of `√(n/fanout)` pages each, and each
+//! slab is sorted by y-centre and packed into leaves. The tree supports
+//! range queries and a synchronized-traversal join — the index-based
+//! spatial join that `jp-relalg` benchmarks against plane sweep and PBSM.
+
+use crate::rect::Rect;
+
+/// Maximum number of entries per node.
+pub const DEFAULT_FANOUT: usize = 8;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        mbr: Rect,
+        entries: Vec<(Rect, u32)>,
+    },
+    Inner {
+        mbr: Rect,
+        children: Vec<u32>,
+    },
+}
+
+impl Node {
+    fn mbr(&self) -> Rect {
+        match self {
+            Node::Leaf { mbr, .. } | Node::Inner { mbr, .. } => *mbr,
+        }
+    }
+}
+
+/// An immutable R-tree over `(Rect, id)` entries, bulk-loaded with STR.
+#[derive(Debug, Clone)]
+pub struct RTree {
+    nodes: Vec<Node>,
+    root: Option<u32>,
+    len: usize,
+    height: usize,
+}
+
+impl RTree {
+    /// Bulk-loads a tree with the default fanout.
+    pub fn build(entries: &[(Rect, u32)]) -> Self {
+        Self::build_with_fanout(entries, DEFAULT_FANOUT)
+    }
+
+    /// Bulk-loads a tree with a custom fanout (`≥ 2`).
+    pub fn build_with_fanout(entries: &[(Rect, u32)], fanout: usize) -> Self {
+        assert!(fanout >= 2, "fanout must be at least 2");
+        let mut tree = RTree {
+            nodes: Vec::new(),
+            root: None,
+            len: entries.len(),
+            height: 0,
+        };
+        if entries.is_empty() {
+            return tree;
+        }
+        // STR leaf packing.
+        let mut sorted: Vec<(Rect, u32)> = entries.to_vec();
+        sorted.sort_by_key(|(r, id)| (r.center().x, *id));
+        let n_leaves = sorted.len().div_ceil(fanout);
+        let n_slabs = (n_leaves as f64).sqrt().ceil() as usize;
+        let slab_cap = n_leaves.div_ceil(n_slabs) * fanout;
+        let mut level: Vec<u32> = Vec::with_capacity(n_leaves);
+        for slab in sorted.chunks(slab_cap.max(1)) {
+            let mut slab: Vec<(Rect, u32)> = slab.to_vec();
+            slab.sort_by_key(|(r, id)| (r.center().y, *id));
+            for leaf in slab.chunks(fanout) {
+                let mbr = leaf
+                    .iter()
+                    .map(|(r, _)| *r)
+                    .reduce(|a, b| a.union(&b))
+                    .expect("chunks are non-empty");
+                tree.nodes.push(Node::Leaf {
+                    mbr,
+                    entries: leaf.to_vec(),
+                });
+                level.push(tree.nodes.len() as u32 - 1);
+            }
+        }
+        tree.height = 1;
+        // Pack upper levels until a single root remains.
+        while level.len() > 1 {
+            let mut next: Vec<u32> = Vec::with_capacity(level.len().div_ceil(fanout));
+            for group in level.chunks(fanout) {
+                let mbr = group
+                    .iter()
+                    .map(|&c| tree.nodes[c as usize].mbr())
+                    .reduce(|a, b| a.union(&b))
+                    .expect("chunks are non-empty");
+                tree.nodes.push(Node::Inner {
+                    mbr,
+                    children: group.to_vec(),
+                });
+                next.push(tree.nodes.len() as u32 - 1);
+            }
+            level = next;
+            tree.height += 1;
+        }
+        tree.root = Some(level[0]);
+        tree
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree indexes no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height in levels (0 for the empty tree, 1 for a single leaf).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Ids of all entries whose rectangle intersects `query`, in
+    /// unspecified order.
+    pub fn query(&self, query: &Rect) -> Vec<u32> {
+        let mut out = Vec::new();
+        let Some(root) = self.root else { return out };
+        let mut stack = vec![root];
+        while let Some(idx) = stack.pop() {
+            match &self.nodes[idx as usize] {
+                Node::Leaf { mbr, entries } => {
+                    if mbr.intersects(query) {
+                        out.extend(
+                            entries
+                                .iter()
+                                .filter(|(r, _)| r.intersects(query))
+                                .map(|(_, id)| *id),
+                        );
+                    }
+                }
+                Node::Inner { mbr, children } => {
+                    if mbr.intersects(query) {
+                        stack.extend_from_slice(children);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Synchronized-traversal join: invokes `f(a_id, b_id)` for every pair
+    /// of entries whose rectangles intersect. Each qualifying pair is
+    /// reported exactly once.
+    pub fn join(&self, other: &RTree, mut f: impl FnMut(u32, u32)) {
+        let (Some(ra), Some(rb)) = (self.root, other.root) else {
+            return;
+        };
+        let mut stack = vec![(ra, rb)];
+        while let Some((ia, ib)) = stack.pop() {
+            let na = &self.nodes[ia as usize];
+            let nb = &other.nodes[ib as usize];
+            if !na.mbr().intersects(&nb.mbr()) {
+                continue;
+            }
+            match (na, nb) {
+                (Node::Leaf { entries: ea, .. }, Node::Leaf { entries: eb, .. }) => {
+                    for (r1, id1) in ea {
+                        for (r2, id2) in eb {
+                            if r1.intersects(r2) {
+                                f(*id1, *id2);
+                            }
+                        }
+                    }
+                }
+                (Node::Inner { children, .. }, Node::Leaf { .. }) => {
+                    for &c in children {
+                        stack.push((c, ib));
+                    }
+                }
+                (Node::Leaf { .. }, Node::Inner { children, .. }) => {
+                    for &c in children {
+                        stack.push((ia, c));
+                    }
+                }
+                (Node::Inner { children: ca, .. }, Node::Inner { children: cb, .. }) => {
+                    for &a in ca {
+                        for &b in cb {
+                            stack.push((a, b));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_rects(n: i64, size: i64, stride: i64) -> Vec<(Rect, u32)> {
+        // n x n grid of size×size squares spaced by stride.
+        let mut out = Vec::new();
+        let mut id = 0;
+        for i in 0..n {
+            for j in 0..n {
+                out.push((
+                    Rect::new(i * stride, j * stride, i * stride + size, j * stride + size),
+                    id,
+                ));
+                id += 1;
+            }
+        }
+        out
+    }
+
+    fn naive_query(entries: &[(Rect, u32)], q: &Rect) -> Vec<u32> {
+        let mut v: Vec<u32> = entries
+            .iter()
+            .filter(|(r, _)| r.intersects(q))
+            .map(|(_, id)| *id)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = RTree::build(&[]);
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 0);
+        assert!(t.query(&Rect::new(0, 0, 100, 100)).is_empty());
+        t.join(&t, |_, _| panic!("no pairs in empty join"));
+    }
+
+    #[test]
+    fn single_entry() {
+        let t = RTree::build(&[(Rect::new(0, 0, 5, 5), 42)]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.query(&Rect::new(3, 3, 8, 8)), vec![42]);
+        assert!(t.query(&Rect::new(6, 6, 8, 8)).is_empty());
+    }
+
+    #[test]
+    fn query_matches_naive_on_grid() {
+        let entries = grid_rects(10, 5, 7); // overlapping neighbours
+        let t = RTree::build(&entries);
+        assert_eq!(t.len(), 100);
+        assert!(t.height() >= 2);
+        for q in [
+            Rect::new(0, 0, 10, 10),
+            Rect::new(33, 33, 34, 34),
+            Rect::new(-5, -5, -1, -1),
+            Rect::new(0, 0, 100, 100),
+        ] {
+            let mut got = t.query(&q);
+            got.sort_unstable();
+            assert_eq!(got, naive_query(&entries, &q), "query {q}");
+        }
+    }
+
+    #[test]
+    fn join_matches_naive() {
+        let a = grid_rects(6, 6, 8);
+        let b: Vec<(Rect, u32)> = grid_rects(6, 6, 8)
+            .into_iter()
+            .map(|(r, id)| {
+                (
+                    Rect::new(r.min.x + 3, r.min.y + 3, r.max.x + 3, r.max.y + 3),
+                    id,
+                )
+            })
+            .collect();
+        let ta = RTree::build(&a);
+        let tb = RTree::build(&b);
+        let mut got = Vec::new();
+        ta.join(&tb, |x, y| got.push((x, y)));
+        got.sort_unstable();
+        let mut expect = Vec::new();
+        for (r1, i1) in &a {
+            for (r2, i2) in &b {
+                if r1.intersects(r2) {
+                    expect.push((*i1, *i2));
+                }
+            }
+        }
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+        // no duplicates
+        let mut dedup = got.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), got.len());
+    }
+
+    #[test]
+    fn custom_fanout_same_results() {
+        let entries = grid_rects(8, 4, 5);
+        let q = Rect::new(10, 10, 25, 25);
+        let expect = naive_query(&entries, &q);
+        for fanout in [2, 3, 16, 64] {
+            let t = RTree::build_with_fanout(&entries, fanout);
+            let mut got = t.query(&q);
+            got.sort_unstable();
+            assert_eq!(got, expect, "fanout {fanout}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fanout")]
+    fn fanout_one_rejected() {
+        RTree::build_with_fanout(&[(Rect::new(0, 0, 1, 1), 0)], 1);
+    }
+}

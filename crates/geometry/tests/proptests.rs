@@ -1,0 +1,139 @@
+//! Property-based tests for the spatial substrate: every accelerated
+//! structure must agree with the naive predicate.
+
+use jp_geometry::{grid, sweep, ConvexPolygon, Point, RTree, Rect, Region};
+use proptest::prelude::*;
+
+fn rect() -> impl Strategy<Value = Rect> {
+    (-500i64..500, -500i64..500, 0i64..80, 0i64..80)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+}
+
+fn rects(n: usize) -> impl Strategy<Value = Vec<(Rect, u32)>> {
+    proptest::collection::vec(rect(), 0..n).prop_map(|v| {
+        v.into_iter()
+            .enumerate()
+            .map(|(i, r)| (r, i as u32))
+            .collect()
+    })
+}
+
+fn region() -> impl Strategy<Value = Region> {
+    proptest::collection::vec(rect(), 1..4).prop_map(Region::new)
+}
+
+fn naive_pairs(a: &[(Rect, u32)], b: &[(Rect, u32)]) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    for (ra, ia) in a {
+        for (rb, ib) in b {
+            if ra.intersects(rb) {
+                out.push((*ia, *ib));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+proptest! {
+    #[test]
+    fn rect_intersection_consistent(a in rect(), b in rect()) {
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+        match a.intersection(&b) {
+            Some(i) => {
+                prop_assert!(a.intersects(&b));
+                prop_assert!(a.contains_rect(&i));
+                prop_assert!(b.contains_rect(&i));
+            }
+            None => prop_assert!(!a.intersects(&b)),
+        }
+    }
+
+    #[test]
+    fn union_contains_both(a in rect(), b in rect()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+    }
+
+    #[test]
+    fn sweep_equals_naive(a in rects(30), b in rects(30)) {
+        let mut got = Vec::new();
+        sweep::sweep_join(&a, &b, |x, y| got.push((x, y)));
+        got.sort_unstable();
+        prop_assert_eq!(got, naive_pairs(&a, &b));
+    }
+
+    #[test]
+    fn grid_equals_naive(a in rects(30), b in rects(30)) {
+        let mut got = Vec::new();
+        grid::grid_join(&a, &b, |x, y| got.push((x, y)));
+        got.sort_unstable();
+        prop_assert_eq!(got, naive_pairs(&a, &b));
+    }
+
+    #[test]
+    fn rtree_join_equals_naive(a in rects(30), b in rects(30)) {
+        let ta = RTree::build(&a);
+        let tb = RTree::build(&b);
+        let mut got = Vec::new();
+        ta.join(&tb, |x, y| got.push((x, y)));
+        got.sort_unstable();
+        prop_assert_eq!(got, naive_pairs(&a, &b));
+    }
+
+    #[test]
+    fn rtree_query_equals_filter(entries in rects(40), q in rect()) {
+        let t = RTree::build(&entries);
+        let mut got = t.query(&q);
+        got.sort_unstable();
+        let mut expect: Vec<u32> = entries
+            .iter()
+            .filter(|(r, _)| r.intersects(&q))
+            .map(|(_, id)| *id)
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn region_overlap_symmetric_and_mbr_sound(a in region(), b in region()) {
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+        // region overlap implies MBR overlap (filter step never misses)
+        if a.intersects(&b) {
+            prop_assert!(a.mbr().intersects(&b.mbr()));
+        }
+    }
+
+    #[test]
+    fn region_translate_invariance(a in region(), b in region(), dx in -50i64..50, dy in -50i64..50) {
+        prop_assert_eq!(
+            a.intersects(&b),
+            a.translate(dx, dy).intersects(&b.translate(dx, dy))
+        );
+    }
+
+    #[test]
+    fn polygon_rect_overlap_agrees(a in rect(), b in rect()) {
+        // only non-degenerate rects are polygons
+        if a.width() > 0 && a.height() > 0 && b.width() > 0 && b.height() > 0 {
+            let pa = ConvexPolygon::from_rect(a);
+            let pb = ConvexPolygon::from_rect(b);
+            prop_assert_eq!(pa.intersects(&pb), a.intersects(&b));
+        }
+    }
+
+    #[test]
+    fn polygon_contains_its_vertices(a in rect()) {
+        if a.width() > 0 && a.height() > 0 {
+            let p = ConvexPolygon::from_rect(a);
+            for &v in p.vertices() {
+                prop_assert!(p.contains_point(v));
+            }
+            prop_assert!(p.contains_point(Point::new(
+                a.min.x + a.width() / 2,
+                a.min.y + a.height() / 2
+            )));
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Connected components of bipartite graphs and the 0th Betti number `β₀`.
+//!
+//! Definition 2.2 of the paper defines the *effective* pebbling cost as
+//! `π(P) = π̂(P) − β₀(G)` — every connected component costs one unavoidable
+//! pebble placement, which `β₀` discounts. The additivity lemma (Lemma 2.2)
+//! then says `π` is additive over disjoint unions, so all bounds are stated
+//! for connected graphs.
+
+use crate::bipartite::{BipartiteGraph, Side, Vertex};
+
+/// Component decomposition of a bipartite graph.
+///
+/// Isolated vertices are *not* assigned components (the paper strips them);
+/// `β₀` counts only components that contain at least one edge.
+#[derive(Debug, Clone)]
+pub struct ComponentMap {
+    /// Component id per left vertex (`u32::MAX` for isolated vertices).
+    pub left: Vec<u32>,
+    /// Component id per right vertex (`u32::MAX` for isolated vertices).
+    pub right: Vec<u32>,
+    /// Component id per edge (same indexing as `g.edges()`).
+    pub edge: Vec<u32>,
+    /// Number of components containing at least one edge — the `β₀(G)` of
+    /// Definition 2.2.
+    pub count: u32,
+}
+
+impl ComponentMap {
+    /// Computes the component decomposition by BFS over the bipartite
+    /// adjacency. Runs in `O(|V| + |E|)`.
+    pub fn new(g: &BipartiteGraph) -> Self {
+        let mut left = vec![u32::MAX; g.left_count() as usize];
+        let mut right = vec![u32::MAX; g.right_count() as usize];
+        let mut next = 0u32;
+        let mut stack: Vec<Vertex> = Vec::new();
+        for start in 0..g.left_count() {
+            if left[start as usize] != u32::MAX || g.left_neighbors(start).is_empty() {
+                continue;
+            }
+            left[start as usize] = next;
+            stack.push(Vertex::left(start));
+            while let Some(v) = stack.pop() {
+                match v.side {
+                    Side::Left => {
+                        for &r in g.left_neighbors(v.index) {
+                            if right[r as usize] == u32::MAX {
+                                right[r as usize] = next;
+                                stack.push(Vertex::right(r));
+                            }
+                        }
+                    }
+                    Side::Right => {
+                        for &l in g.right_neighbors(v.index) {
+                            if left[l as usize] == u32::MAX {
+                                left[l as usize] = next;
+                                stack.push(Vertex::left(l));
+                            }
+                        }
+                    }
+                }
+            }
+            next += 1;
+        }
+        let edge = g.edges().iter().map(|&(l, _)| left[l as usize]).collect();
+        ComponentMap {
+            left,
+            right,
+            edge,
+            count: next,
+        }
+    }
+
+    /// Groups edge ids by component: `result[c]` lists the edges of
+    /// component `c`, in edge-list order.
+    pub fn edges_by_component(&self) -> Vec<Vec<usize>> {
+        let mut groups = vec![Vec::new(); self.count as usize];
+        for (e, &c) in self.edge.iter().enumerate() {
+            groups[c as usize].push(e);
+        }
+        groups
+    }
+
+    /// Component of a vertex, if it is not isolated.
+    pub fn component_of(&self, v: Vertex) -> Option<u32> {
+        let c = match v.side {
+            Side::Left => self.left[v.index as usize],
+            Side::Right => self.right[v.index as usize],
+        };
+        (c != u32::MAX).then_some(c)
+    }
+}
+
+/// `β₀(G)`: the number of connected components containing at least one
+/// edge (Definition 2.2). Isolated vertices are ignored, per §2.
+pub fn betti_number(g: &BipartiteGraph) -> u32 {
+    ComponentMap::new(g).count
+}
+
+/// Whether the graph, after stripping isolated vertices, is connected
+/// (i.e. `β₀ = 1`). The edgeless graph is not connected in this sense.
+pub fn is_connected(g: &BipartiteGraph) -> bool {
+    betti_number(g) == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_edge() {
+        let g = BipartiteGraph::new(1, 1, vec![(0, 0)]);
+        let cm = ComponentMap::new(&g);
+        assert_eq!(cm.count, 1);
+        assert_eq!(betti_number(&g), 1);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn matching_has_m_components() {
+        // Lemma 2.4 context: a matching with m edges has β₀ = m.
+        let m = 5;
+        let edges = (0..m).map(|i| (i, i)).collect();
+        let g = BipartiteGraph::new(m, m, edges);
+        assert_eq!(betti_number(&g), m);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn isolated_vertices_ignored() {
+        let g = BipartiteGraph::new(3, 3, vec![(0, 0)]);
+        let cm = ComponentMap::new(&g);
+        assert_eq!(cm.count, 1);
+        assert_eq!(cm.component_of(Vertex::left(0)), Some(0));
+        assert_eq!(cm.component_of(Vertex::left(1)), None);
+        assert_eq!(cm.component_of(Vertex::right(2)), None);
+    }
+
+    #[test]
+    fn edge_components_follow_vertices() {
+        // two components: {r0,s0,r1} and {r2,s1}
+        let g = BipartiteGraph::new(3, 2, vec![(0, 0), (1, 0), (2, 1)]);
+        let cm = ComponentMap::new(&g);
+        assert_eq!(cm.count, 2);
+        assert_eq!(cm.edge, vec![0, 0, 1]);
+        let groups = cm.edges_by_component();
+        assert_eq!(groups, vec![vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn edgeless_graph_has_zero_betti() {
+        let g = BipartiteGraph::new(4, 4, vec![]);
+        assert_eq!(betti_number(&g), 0);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn disjoint_union_adds_betti() {
+        let g = BipartiteGraph::new(2, 2, vec![(0, 0), (1, 1)]);
+        let h = BipartiteGraph::new(1, 2, vec![(0, 0), (0, 1)]);
+        assert_eq!(
+            betti_number(&g.disjoint_union(&h)),
+            betti_number(&g) + betti_number(&h)
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! DOT (Graphviz) export — used by the `figures` binary to regenerate the
+//! paper's Figure 1 (the family `G_3, G_4, G_5` and the line graph
+//! `L(G_5)`) and Figure 2 (the diamond gadget).
+
+use crate::bipartite::BipartiteGraph;
+use crate::graph::Graph;
+use std::fmt::Write;
+
+/// Renders a bipartite graph in DOT, left vertices as boxes (`r#`), right
+/// vertices as circles (`s#`), laid out in two ranks.
+pub fn bipartite_to_dot(g: &BipartiteGraph, name: &str) -> String {
+    let mut s = String::new();
+    writeln!(s, "graph \"{name}\" {{").unwrap();
+    writeln!(s, "  rankdir=LR;").unwrap();
+    writeln!(s, "  {{ rank=same; edge[style=invis];").unwrap();
+    for l in 0..g.left_count() {
+        writeln!(s, "    r{l} [shape=box];").unwrap();
+    }
+    writeln!(s, "  }}").unwrap();
+    writeln!(s, "  {{ rank=same;").unwrap();
+    for r in 0..g.right_count() {
+        writeln!(s, "    s{r} [shape=circle];").unwrap();
+    }
+    writeln!(s, "  }}").unwrap();
+    for &(l, r) in g.edges() {
+        writeln!(s, "  r{l} -- s{r};").unwrap();
+    }
+    writeln!(s, "}}").unwrap();
+    s
+}
+
+/// Renders a general graph in DOT with optional vertex labels.
+pub fn graph_to_dot(g: &Graph, name: &str, labels: Option<&[String]>) -> String {
+    let mut s = String::new();
+    writeln!(s, "graph \"{name}\" {{").unwrap();
+    for v in 0..g.vertex_count() {
+        match labels {
+            Some(ls) => writeln!(s, "  v{v} [label=\"{}\"];", ls[v as usize]).unwrap(),
+            None => writeln!(s, "  v{v};").unwrap(),
+        }
+    }
+    for &(u, v) in g.edges() {
+        writeln!(s, "  v{u} -- v{v};").unwrap();
+    }
+    writeln!(s, "}}").unwrap();
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn bipartite_dot_contains_all_edges() {
+        let g = generators::spider(3);
+        let dot = bipartite_to_dot(&g, "G_3");
+        assert!(dot.starts_with("graph \"G_3\""));
+        for &(l, r) in g.edges() {
+            assert!(
+                dot.contains(&format!("r{l} -- s{r};")),
+                "missing edge ({l},{r})"
+            );
+        }
+    }
+
+    #[test]
+    fn graph_dot_labels() {
+        let g = Graph::new(2, vec![(0, 1)]);
+        let dot = graph_to_dot(&g, "t", Some(&["a".into(), "b".into()]));
+        assert!(dot.contains("label=\"a\""));
+        assert!(dot.contains("v0 -- v1;"));
+        let plain = graph_to_dot(&g, "t", None);
+        assert!(!plain.contains("label"));
+    }
+}

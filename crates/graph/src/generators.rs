@@ -1,0 +1,477 @@
+//! Generators for every graph family the paper touches.
+//!
+//! * [`complete_bipartite`] — equijoin components (Lemma 3.2);
+//! * [`matching`] — the `π̂ = 2m` extreme (Lemma 2.4);
+//! * [`spider`] — the worst-case family `G_n` of Figure 1 / Theorem 3.3;
+//! * [`incidence_graph`] — the bipartite incidence graph used by the
+//!   Theorem 4.4 L-reduction;
+//! * random bipartite graphs for the statistical experiments.
+
+use crate::bipartite::BipartiteGraph;
+use crate::graph::Graph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Complete bipartite graph `K_{k,l}` — the shape of every connected
+/// component of an equijoin join graph (§3.1).
+pub fn complete_bipartite(k: u32, l: u32) -> BipartiteGraph {
+    let mut edges = Vec::with_capacity(k as usize * l as usize);
+    for i in 0..k {
+        for j in 0..l {
+            edges.push((i, j));
+        }
+    }
+    BipartiteGraph::new(k, l, edges)
+}
+
+/// A perfect matching with `m` edges: `r_i — s_i`. Lemma 2.4: `π̂ = 2m`,
+/// `π = m`.
+pub fn matching(m: u32) -> BipartiteGraph {
+    BipartiteGraph::new(m, m, (0..m).map(|i| (i, i)).collect())
+}
+
+/// A path with `m` edges, alternating sides and starting on the left:
+/// `r0 — s0 — r1 — s1 — …`.
+pub fn path(m: u32) -> BipartiteGraph {
+    let left = m / 2 + 1;
+    let right = m.div_ceil(2);
+    let mut edges = Vec::with_capacity(m as usize);
+    for e in 0..m {
+        let l = e / 2 + e % 2; // 0,1,1,2,2,...
+        let r = e / 2;
+        edges.push((l, r));
+    }
+    BipartiteGraph::new(left.max(1), right.max(1), edges)
+}
+
+/// An even cycle with `2k` edges (`k ≥ 2`): `r0 — s0 — r1 — … — s_{k-1} — r0`.
+pub fn cycle(k: u32) -> BipartiteGraph {
+    assert!(k >= 2, "a bipartite cycle needs at least 4 edges");
+    let mut edges = Vec::with_capacity(2 * k as usize);
+    for i in 0..k {
+        edges.push((i, i));
+        edges.push(((i + 1) % k, i));
+    }
+    BipartiteGraph::new(k, k, edges)
+}
+
+/// The star `K_{1,n}` with the centre on the left.
+pub fn star(n: u32) -> BipartiteGraph {
+    complete_bipartite(1, n)
+}
+
+/// The Figure 1 family `G_n` (Theorem 3.3): the *spider* with centre `c`,
+/// middle vertices `v_1..v_n` and feet `w_1..w_n`, edges `c—v_i` and
+/// `v_i—w_i`.
+///
+/// Layout: left partition is `{c} ∪ {w_i}` (`c` is left 0, `w_i` is left
+/// `i`), right partition is `{v_i}` (`v_i` is right `i − 1`).
+///
+/// Its line graph is `K_n` plus `n` pendant vertices attached 1–1 (Fig
+/// 1(b)), giving `π(G_n) = 1.25·m − 1` with `m = 2n` — the worst case over
+/// all join graphs, realizable by both set-containment (Lemma 3.3) and
+/// spatial-overlap (Lemma 3.4) joins but never by an equijoin.
+pub fn spider(n: u32) -> BipartiteGraph {
+    assert!(n >= 1);
+    let mut edges = Vec::with_capacity(2 * n as usize);
+    for i in 0..n {
+        edges.push((0, i)); // c — v_i
+        edges.push((i + 1, i)); // w_i — v_i
+    }
+    BipartiteGraph::new(n + 1, n, edges)
+}
+
+/// The incidence graph `B = (X, Y, E′)` of a general graph `G = (V, E)`:
+/// `X = V`, `Y = E`, and `(x, e) ∈ E′` iff `x` is an endpoint of `e`
+/// (Theorem 4.4's reduction `f`). Every vertex of `Y` has degree exactly 2.
+pub fn incidence_graph(g: &Graph) -> BipartiteGraph {
+    let mut edges = Vec::with_capacity(2 * g.edge_count());
+    for (e, &(u, v)) in g.edges().iter().enumerate() {
+        edges.push((u, e as u32));
+        edges.push((v, e as u32));
+    }
+    BipartiteGraph::new(g.vertex_count(), g.edge_count() as u32, edges)
+}
+
+/// Erdős–Rényi bipartite graph `G(k, l, p)`: each of the `k·l` possible
+/// edges present independently with probability `p`. Isolated vertices are
+/// *kept* (strip with [`BipartiteGraph::strip_isolated`] if unwanted).
+pub fn random_bipartite(k: u32, l: u32, p: f64, seed: u64) -> BipartiteGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for i in 0..k {
+        for j in 0..l {
+            if rng.random_bool(p) {
+                edges.push((i, j));
+            }
+        }
+    }
+    BipartiteGraph::new(k, l, edges)
+}
+
+/// Random *connected* bipartite graph with exactly `m ≥ k + l − 1` edges:
+/// a random spanning tree over `k + l` vertices (alternating construction)
+/// plus uniformly chosen extra edges. Panics if `m > k·l` or the tree does
+/// not fit.
+pub fn random_connected_bipartite(k: u32, l: u32, m: usize, seed: u64) -> BipartiteGraph {
+    assert!(k >= 1 && l >= 1);
+    let min = (k + l - 1) as usize;
+    let max = k as usize * l as usize;
+    assert!(
+        m >= min,
+        "need at least {min} edges for connectivity, got {m}"
+    );
+    assert!(m <= max, "at most {max} edges possible, got {m}");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(m);
+    // Spanning tree: attach each new vertex (alternating sides while both
+    // remain) to a random already-attached vertex of the other side.
+    let mut left_in: Vec<u32> = vec![0];
+    let mut right_in: Vec<u32> = Vec::new();
+    let mut next_l = 1u32;
+    let mut next_r = 0u32;
+    while next_l < k || next_r < l {
+        let take_right = next_r < l && (next_l >= k || right_in.len() <= left_in.len());
+        if take_right {
+            let l_anchor = left_in[rng.random_range(0..left_in.len())];
+            edges.push((l_anchor, next_r));
+            right_in.push(next_r);
+            next_r += 1;
+        } else {
+            let r_anchor = right_in[rng.random_range(0..right_in.len())];
+            edges.push((next_l, r_anchor));
+            left_in.push(next_l);
+            next_l += 1;
+        }
+    }
+    // Extra edges, sampled without replacement.
+    let mut have: std::collections::HashSet<(u32, u32)> = edges.iter().copied().collect();
+    while edges.len() < m {
+        let e = (rng.random_range(0..k), rng.random_range(0..l));
+        if have.insert(e) {
+            edges.push(e);
+        }
+    }
+    BipartiteGraph::new(k, l, edges)
+}
+
+/// Random general graph on `n` vertices with maximum degree `≤ d`, grown by
+/// sampling random non-adjacent pairs with spare degree. Used to generate
+/// TSP-k(1,2) instances for the §4 reductions.
+pub fn random_bounded_degree(n: u32, d: usize, target_edges: usize, seed: u64) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = Graph::empty(n);
+    let mut attempts = 0usize;
+    let budget = 50 * target_edges.max(1) + 200;
+    while g.edge_count() < target_edges && attempts < budget {
+        attempts += 1;
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if u == v || g.has_edge(u, v) || g.degree(u) >= d || g.degree(v) >= d {
+            continue;
+        }
+        g.add_edge(u, v);
+    }
+    g
+}
+
+/// Enumerates all distinct edge sets on a `k × l` vertex grid with exactly
+/// `m` edges and no isolated vertices — exhaustive small-instance testing
+/// (E1 uses it). The count grows as `C(k·l, m)`; keep `k·l` tiny.
+pub fn enumerate_bipartite(k: u32, l: u32, m: usize) -> Vec<BipartiteGraph> {
+    let all: Vec<(u32, u32)> = (0..k).flat_map(|i| (0..l).map(move |j| (i, j))).collect();
+    let mut out = Vec::new();
+    let mut pick = Vec::with_capacity(m);
+    fn rec(
+        all: &[(u32, u32)],
+        start: usize,
+        m: usize,
+        pick: &mut Vec<(u32, u32)>,
+        k: u32,
+        l: u32,
+        out: &mut Vec<BipartiteGraph>,
+    ) {
+        if pick.len() == m {
+            let g = BipartiteGraph::new(k, l, pick.clone());
+            let (s, _, _) = g.strip_isolated();
+            if s.edge_count() == m {
+                out.push(s);
+            }
+            return;
+        }
+        if all.len() - start < m - pick.len() {
+            return;
+        }
+        for i in start..all.len() {
+            pick.push(all[i]);
+            rec(all, i + 1, m, pick, k, l, out);
+            pick.pop();
+        }
+    }
+    rec(&all, 0, m, &mut pick, k, l, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::betti_number;
+    use crate::line_graph::line_graph;
+    use crate::properties;
+
+    #[test]
+    fn complete_bipartite_shape() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.edge_count(), 12);
+        assert!(properties::is_complete_bipartite(&g));
+        assert_eq!(betti_number(&g), 1);
+    }
+
+    #[test]
+    fn matching_shape() {
+        let g = matching(6);
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(betti_number(&g), 6);
+        assert!(properties::is_matching(&g));
+    }
+
+    #[test]
+    fn path_shape() {
+        for m in 1..8 {
+            let g = path(m);
+            assert_eq!(g.edge_count(), m as usize, "path({m})");
+            assert_eq!(betti_number(&g), 1);
+            // paths have exactly two degree-1 endpoints (for m >= 2)
+            let deg1 = g.vertices().filter(|&v| g.degree(v) == 1).count();
+            assert_eq!(deg1, 2, "path({m})");
+        }
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(4);
+        assert_eq!(g.edge_count(), 8);
+        assert_eq!(betti_number(&g), 1);
+        assert!(g.vertices().all(|v| g.degree(v) == 2));
+    }
+
+    #[test]
+    fn spider_matches_figure_1() {
+        // L(G_n) must be K_n plus n pendants attached 1-1 (Fig 1(b)).
+        for n in 3..7u32 {
+            let g = spider(n);
+            assert_eq!(g.edge_count(), 2 * n as usize);
+            assert_eq!(betti_number(&g), 1);
+            let l = line_graph(&g);
+            let deg1: Vec<u32> = (0..l.vertex_count())
+                .filter(|&v| l.degree(v) == 1)
+                .collect();
+            let core: Vec<u32> = (0..l.vertex_count()).filter(|&v| l.degree(v) > 1).collect();
+            assert_eq!(deg1.len(), n as usize, "n pendants");
+            assert_eq!(core.len(), n as usize, "K_n core");
+            assert!(l.is_clique(&core), "core is a clique");
+            // each core vertex has exactly one pendant
+            for &c in &core {
+                let pendants = l.neighbors(c).iter().filter(|&&x| l.degree(x) == 1).count();
+                assert_eq!(pendants, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn spider_is_never_an_equijoin_graph() {
+        // the paper: "the above graph cannot be the join graph for an
+        // equijoin since it is not a complete bipartite graph"
+        for n in 2..6 {
+            assert!(!properties::is_equijoin_graph(&spider(n)));
+        }
+    }
+
+    #[test]
+    fn incidence_graph_degrees() {
+        let g = Graph::new(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let b = incidence_graph(&g);
+        assert_eq!(b.left_count(), 4);
+        assert_eq!(b.right_count(), 4);
+        assert_eq!(b.edge_count(), 8);
+        // every edge-vertex has degree exactly 2
+        for e in 0..4 {
+            assert_eq!(b.right_neighbors(e).len(), 2);
+        }
+        // vertex degrees carry over
+        for v in 0..4 {
+            assert_eq!(b.left_neighbors(v).len(), g.degree(v));
+        }
+    }
+
+    #[test]
+    fn random_bipartite_is_deterministic_per_seed() {
+        let a = random_bipartite(10, 10, 0.3, 42);
+        let b = random_bipartite(10, 10, 0.3, 42);
+        let c = random_bipartite(10, 10, 0.3, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_connected_is_connected_with_exact_m() {
+        for seed in 0..20 {
+            let g = random_connected_bipartite(5, 6, 14, seed);
+            assert_eq!(g.edge_count(), 14);
+            assert_eq!(betti_number(&g), 1, "seed {seed}");
+            assert!(!g.has_isolated_vertices());
+        }
+    }
+
+    #[test]
+    fn random_connected_tree_case() {
+        let g = random_connected_bipartite(4, 4, 7, 1);
+        assert_eq!(g.edge_count(), 7); // exactly spanning tree
+        assert_eq!(betti_number(&g), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn random_connected_rejects_too_few_edges() {
+        random_connected_bipartite(4, 4, 6, 0);
+    }
+
+    #[test]
+    fn random_bounded_degree_respects_bound() {
+        for seed in 0..10 {
+            let g = random_bounded_degree(12, 4, 20, seed);
+            assert!(g.max_degree() <= 4, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn enumerate_small() {
+        // 2x2 grid, 2 edges, no isolated vertices after stripping:
+        // any 2-subset of the 4 possible edges covers >= 1 vertex each;
+        // all C(4,2)=6 subsets qualify once stripped.
+        let gs = enumerate_bipartite(2, 2, 2);
+        assert_eq!(gs.len(), 6);
+        for g in &gs {
+            assert_eq!(g.edge_count(), 2);
+            assert!(!g.has_isolated_vertices());
+        }
+    }
+}
+
+/// Long-legged spider `S(n, len)`: centre `c` with `n` legs, each a path
+/// of `len` edges (`len = 2` gives the Figure 1 family `G_n`). Left
+/// partition holds `c` and every vertex at even distance from it; right
+/// partition holds odd-distance vertices. Longer legs dilute the pendant
+/// density of `L(G)`, so the worst-case ratio 1.25 is *specific* to
+/// `len = 2` — the extension experiments measure the decay.
+pub fn spider_legs(n: u32, len: u32) -> BipartiteGraph {
+    assert!(n >= 1 && len >= 1);
+    // vertices per leg: `len` beyond the shared centre
+    let left_per_leg = len / 2; // even-distance vertices (excluding c)
+    let right_per_leg = len.div_ceil(2);
+    let left_total = 1 + n * left_per_leg;
+    let right_total = n * right_per_leg;
+    let mut edges = Vec::with_capacity((n * len) as usize);
+    for leg in 0..n {
+        // walk the leg: distance d = 1..=len; vertex at distance d is
+        // right[(d-1)/2] of the leg when d odd, left[d/2 - 1] when even
+        let left_base = 1 + leg * left_per_leg;
+        let right_base = leg * right_per_leg;
+        for d in 1..=len {
+            let (l, r) = if d % 2 == 1 {
+                // edge from even-distance vertex (d-1) to odd vertex d
+                let l = if d == 1 {
+                    0
+                } else {
+                    left_base + (d - 1) / 2 - 1
+                };
+                (l, right_base + (d - 1) / 2)
+            } else {
+                // edge from odd vertex (d-1) to even vertex d
+                (left_base + d / 2 - 1, right_base + (d - 2) / 2)
+            };
+            edges.push((l, r));
+        }
+    }
+    BipartiteGraph::new(left_total, right_total, edges)
+}
+
+/// The crown graph `K_{n,n}` minus a perfect matching: every left vertex
+/// joins every right vertex except its partner. Dense but *not* complete
+/// bipartite — a natural near-equijoin stress case for the classifier.
+pub fn crown(n: u32) -> BipartiteGraph {
+    assert!(n >= 2);
+    let mut edges = Vec::with_capacity((n * (n - 1)) as usize);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                edges.push((i, j));
+            }
+        }
+    }
+    BipartiteGraph::new(n, n, edges)
+}
+
+/// A caterpillar: a spine path of `spine` edges with one pendant leaf
+/// hanging off every *left* spine vertex. Caterpillar line graphs keep a
+/// moderate pendant count — between the path (ratio 1) and spider
+/// (ratio 1.25) regimes.
+pub fn caterpillar(spine: u32) -> BipartiteGraph {
+    assert!(spine >= 1);
+    let base = path(spine);
+    let spine_left = base.left_count();
+    let spine_right = base.right_count();
+    let mut edges = base.edges().to_vec();
+    // pendant leaf (right side) for each left spine vertex
+    for l in 0..spine_left {
+        edges.push((l, spine_right + l));
+    }
+    BipartiteGraph::new(spine_left, spine_right + spine_left, edges)
+}
+
+#[cfg(test)]
+mod extended_family_tests {
+    use super::*;
+    use crate::components::betti_number;
+
+    #[test]
+    fn spider_legs_2_is_the_figure_1_family() {
+        for n in 1..6 {
+            assert_eq!(spider_legs(n, 2), spider(n), "S({n}, 2) = G_{n}");
+        }
+    }
+
+    #[test]
+    fn spider_legs_shapes() {
+        for (n, len) in [(3u32, 1u32), (3, 3), (4, 4), (2, 5)] {
+            let g = spider_legs(n, len);
+            assert_eq!(g.edge_count(), (n * len) as usize, "S({n},{len}) edges");
+            assert_eq!(betti_number(&g), 1, "S({n},{len}) connected");
+            // centre degree n (for len >= 1), n leaves of degree 1
+            assert_eq!(g.left_neighbors(0).len(), n as usize);
+            let deg1 = g.vertices().filter(|&v| g.degree(v) == 1).count();
+            assert_eq!(deg1, n as usize, "S({n},{len}) has n leaf feet");
+        }
+        // legs of length 1 form a star
+        assert_eq!(spider_legs(5, 1), star(5));
+    }
+
+    #[test]
+    fn crown_shape() {
+        let g = crown(4);
+        assert_eq!(g.edge_count(), 12);
+        assert!(!crate::properties::is_complete_bipartite(&g));
+        assert!(!crate::properties::is_equijoin_graph(&g));
+        assert!(g.vertices().all(|v| g.degree(v) == 3));
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let g = caterpillar(4);
+        // spine path(4): 3 left, 2 right; + 3 pendant leaves
+        assert_eq!(g.edge_count(), 7);
+        assert_eq!(betti_number(&g), 1);
+        let deg1 = g.vertices().filter(|&v| g.degree(v) == 1).count();
+        assert!(deg1 >= 3);
+    }
+}

@@ -1,0 +1,313 @@
+//! General undirected graphs.
+//!
+//! Used for line graphs `L(G)` (§2.2), the TSP(1,2) instances of §4 (whose
+//! weight-1 edges form a bounded-degree graph), and the diamond gadget of
+//! Figure 2.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A simple undirected graph on vertices `0..n` with adjacency lists and a
+/// sorted edge list (`u < v` for every stored edge).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(from = "GraphData", into = "GraphData")]
+pub struct Graph {
+    n: u32,
+    edges: Vec<(u32, u32)>,
+    adj: Vec<Vec<u32>>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct GraphData {
+    n: u32,
+    edges: Vec<(u32, u32)>,
+}
+
+impl From<GraphData> for Graph {
+    fn from(d: GraphData) -> Self {
+        Graph::new(d.n, d.edges)
+    }
+}
+
+impl From<Graph> for GraphData {
+    fn from(g: Graph) -> Self {
+        GraphData {
+            n: g.n,
+            edges: g.edges,
+        }
+    }
+}
+
+impl Graph {
+    /// Builds a graph on `n` vertices from an edge list. Edges are
+    /// normalized to `u < v`, sorted, and deduplicated; self-loops are
+    /// rejected.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints or self-loops.
+    pub fn new(n: u32, edges: Vec<(u32, u32)>) -> Self {
+        let mut norm: Vec<(u32, u32)> = edges
+            .into_iter()
+            .map(|(u, v)| {
+                assert!(u < n && v < n, "edge ({u},{v}) out of range (n={n})");
+                assert!(u != v, "self-loop at {u}");
+                if u < v {
+                    (u, v)
+                } else {
+                    (v, u)
+                }
+            })
+            .collect();
+        norm.sort_unstable();
+        norm.dedup();
+        let mut adj = vec![Vec::new(); n as usize];
+        for &(u, v) in &norm {
+            adj[u as usize].push(v);
+            adj[v as usize].push(u);
+        }
+        for a in &mut adj {
+            a.sort_unstable();
+        }
+        Graph {
+            n,
+            edges: norm,
+            adj,
+        }
+    }
+
+    /// Empty graph on `n` vertices.
+    pub fn empty(n: u32) -> Self {
+        Graph::new(n, Vec::new())
+    }
+
+    /// Complete graph `K_n`.
+    pub fn complete(n: u32) -> Self {
+        let mut edges = Vec::with_capacity(n as usize * (n as usize).saturating_sub(1) / 2);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                edges.push((u, v));
+            }
+        }
+        Graph::new(n, edges)
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Sorted `(u, v)` edge list with `u < v`.
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// Sorted neighbours of `v`.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.adj[v as usize]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: u32) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// Maximum degree, or 0 for the empty graph.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Adjacency test (binary search over the sorted neighbour list).
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.adj[u as usize].binary_search(&v).is_ok()
+    }
+
+    /// Adds an edge, keeping invariants. No-op if present.
+    pub fn add_edge(&mut self, u: u32, v: u32) {
+        assert!(u < self.n && v < self.n && u != v);
+        if self.has_edge(u, v) {
+            return;
+        }
+        let e = if u < v { (u, v) } else { (v, u) };
+        let pos = self.edges.binary_search(&e).unwrap_err();
+        self.edges.insert(pos, e);
+        let pu = self.adj[u as usize].binary_search(&v).unwrap_err();
+        self.adj[u as usize].insert(pu, v);
+        let pv = self.adj[v as usize].binary_search(&u).unwrap_err();
+        self.adj[v as usize].insert(pv, u);
+    }
+
+    /// Removes an edge if present.
+    pub fn remove_edge(&mut self, u: u32, v: u32) {
+        let e = if u < v { (u, v) } else { (v, u) };
+        if let Ok(pos) = self.edges.binary_search(&e) {
+            self.edges.remove(pos);
+            let pu = self.adj[u as usize].binary_search(&v).unwrap();
+            self.adj[u as usize].remove(pu);
+            let pv = self.adj[v as usize].binary_search(&u).unwrap();
+            self.adj[v as usize].remove(pv);
+        }
+    }
+
+    /// Whether the graph is connected. The empty graph and the one-vertex
+    /// graph count as connected.
+    pub fn is_connected(&self) -> bool {
+        if self.n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; self.n as usize];
+        let mut queue = VecDeque::from([0u32]);
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = queue.pop_front() {
+            for &v in self.neighbors(u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    count += 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        count == self.n
+    }
+
+    /// Connected component ids (`0..k`, in order of first vertex).
+    pub fn component_ids(&self) -> Vec<u32> {
+        let mut comp = vec![u32::MAX; self.n as usize];
+        let mut next = 0;
+        for start in 0..self.n {
+            if comp[start as usize] != u32::MAX {
+                continue;
+            }
+            comp[start as usize] = next;
+            let mut queue = VecDeque::from([start]);
+            while let Some(u) = queue.pop_front() {
+                for &v in self.neighbors(u) {
+                    if comp[v as usize] == u32::MAX {
+                        comp[v as usize] = next;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            next += 1;
+        }
+        comp
+    }
+
+    /// The subgraph induced by `keep` (vertices re-indexed densely in the
+    /// order they appear in `keep`). Returns the subgraph and the map from
+    /// new indices back to old.
+    pub fn induced_subgraph(&self, keep: &[u32]) -> (Graph, Vec<u32>) {
+        let mut new_of = vec![u32::MAX; self.n as usize];
+        for (new, &old) in keep.iter().enumerate() {
+            assert!(
+                new_of[old as usize] == u32::MAX,
+                "duplicate vertex {old} in keep"
+            );
+            new_of[old as usize] = new as u32;
+        }
+        let mut edges = Vec::new();
+        for &(u, v) in &self.edges {
+            let (nu, nv) = (new_of[u as usize], new_of[v as usize]);
+            if nu != u32::MAX && nv != u32::MAX {
+                edges.push((nu, nv));
+            }
+        }
+        (Graph::new(keep.len() as u32, edges), keep.to_vec())
+    }
+
+    /// Whether `vs` are pairwise adjacent (a clique).
+    pub fn is_clique(&self, vs: &[u32]) -> bool {
+        for (i, &u) in vs.iter().enumerate() {
+            for &v in &vs[i + 1..] {
+                if !self.has_edge(u, v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Graph(n={}, m={})", self.n, self.edges.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_normalizes() {
+        let g = Graph::new(4, vec![(2, 1), (1, 2), (0, 3)]);
+        assert_eq!(g.edges(), &[(0, 3), (1, 2)]);
+        assert!(g.has_edge(2, 1));
+        assert!(g.has_edge(1, 2));
+        assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loops() {
+        Graph::new(2, vec![(1, 1)]);
+    }
+
+    #[test]
+    fn complete_graph() {
+        let k5 = Graph::complete(5);
+        assert_eq!(k5.edge_count(), 10);
+        assert_eq!(k5.max_degree(), 4);
+        assert!(k5.is_clique(&[0, 1, 2, 3, 4]));
+        assert!(k5.is_connected());
+    }
+
+    #[test]
+    fn add_remove_edge() {
+        let mut g = Graph::empty(3);
+        g.add_edge(0, 2);
+        g.add_edge(2, 0); // no-op
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.neighbors(2), &[0]);
+        g.remove_edge(0, 2);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.neighbors(0), &[] as &[u32]);
+        g.remove_edge(0, 2); // no-op
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(Graph::empty(0).is_connected());
+        assert!(Graph::empty(1).is_connected());
+        assert!(!Graph::empty(2).is_connected());
+        let path = Graph::new(3, vec![(0, 1), (1, 2)]);
+        assert!(path.is_connected());
+        let split = Graph::new(4, vec![(0, 1), (2, 3)]);
+        assert!(!split.is_connected());
+        assert_eq!(split.component_ids(), vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn induced_subgraph_reindexes() {
+        let g = Graph::new(5, vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let (sub, back) = g.induced_subgraph(&[1, 2, 4]);
+        assert_eq!(sub.vertex_count(), 3);
+        assert_eq!(sub.edges(), &[(0, 1)]); // only 1-2 survives
+        assert_eq!(back, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn clique_detection() {
+        let g = Graph::new(4, vec![(0, 1), (0, 2), (1, 2), (2, 3)]);
+        assert!(g.is_clique(&[0, 1, 2]));
+        assert!(!g.is_clique(&[0, 1, 3]));
+        assert!(g.is_clique(&[2]));
+        assert!(g.is_clique(&[]));
+    }
+}

@@ -1,0 +1,312 @@
+//! Exact Hamiltonian-path search.
+//!
+//! Proposition 2.1 of the paper: a connected graph `G` with `m` edges has a
+//! *perfect* pebbling scheme (`π(G) = m`) iff its line graph `L(G)` has a
+//! Hamiltonian path. This module provides the exact (exponential) search
+//! used to verify that equivalence on small instances and to certify the
+//! Figure 2 diamond gadget (which needs *all* Hamiltonian paths inspected).
+//!
+//! The existence search is a Held–Karp-style bitmask DP: `dp[mask]` is the
+//! set of possible endpoints of a path visiting exactly `mask`. This is
+//! `O(2ⁿ · n · Δ)` time and `O(2ⁿ)` words of memory, practical to `n ≈ 24`.
+
+use crate::graph::Graph;
+
+/// Hard cap for the bitmask DP (memory is `2ⁿ` u32 words).
+pub const MAX_DP_VERTICES: u32 = 26;
+
+fn endpoint_sets(g: &Graph) -> Vec<u32> {
+    let n = g.vertex_count();
+    assert!(
+        n <= MAX_DP_VERTICES,
+        "hamiltonian path DP supports at most {MAX_DP_VERTICES} vertices, got {n}"
+    );
+    let n = n as usize;
+    let mut dp = vec![0u32; 1 << n];
+    for v in 0..n {
+        dp[1 << v] = 1 << v;
+    }
+    for mask in 1..(1usize << n) {
+        let ends = dp[mask];
+        if ends == 0 {
+            continue;
+        }
+        let mut e = ends;
+        while e != 0 {
+            let v = e.trailing_zeros();
+            e &= e - 1;
+            for &w in g.neighbors(v) {
+                let bit = 1usize << w;
+                if mask & bit == 0 {
+                    dp[mask | bit] |= bit as u32;
+                }
+            }
+        }
+    }
+    dp
+}
+
+/// Whether `g` has a Hamiltonian path. Graphs with 0 or 1 vertices count
+/// as trivially traceable.
+pub fn has_hamiltonian_path(g: &Graph) -> bool {
+    let n = g.vertex_count() as usize;
+    if n <= 1 {
+        return true;
+    }
+    let dp = endpoint_sets(g);
+    dp[(1usize << n) - 1] != 0
+}
+
+/// Finds a Hamiltonian path, if one exists, as a vertex sequence.
+pub fn hamiltonian_path(g: &Graph) -> Option<Vec<u32>> {
+    let n = g.vertex_count() as usize;
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    if n == 1 {
+        return Some(vec![0]);
+    }
+    let dp = endpoint_sets(g);
+    let full = (1usize << n) - 1;
+    if dp[full] == 0 {
+        return None;
+    }
+    Some(reconstruct(g, &dp, full, dp[full].trailing_zeros()))
+}
+
+/// Finds a Hamiltonian path with prescribed endpoints `s` and `t`, if one
+/// exists. The returned path starts at `s` and ends at `t`.
+pub fn hamiltonian_path_between(g: &Graph, s: u32, t: u32) -> Option<Vec<u32>> {
+    let n = g.vertex_count() as usize;
+    assert!(s != t, "endpoints must differ");
+    assert!(
+        n as u32 <= MAX_DP_VERTICES,
+        "hamiltonian path DP supports at most {MAX_DP_VERTICES} vertices, got {n}"
+    );
+    if n == 2 {
+        return g.has_edge(s, t).then(|| vec![s, t]);
+    }
+    let full = (1usize << n) - 1;
+    // Start-constrained DP: dp2[mask] = endpoints of paths that start at s
+    // and visit exactly mask.
+    let mut dp2 = vec![0u32; 1 << n];
+    dp2[1usize << s] = 1 << s;
+    for mask in 1..(1usize << n) {
+        let ends = dp2[mask];
+        if ends == 0 {
+            continue;
+        }
+        let mut e = ends;
+        while e != 0 {
+            let v = e.trailing_zeros();
+            e &= e - 1;
+            for &w in g.neighbors(v) {
+                let bit = 1usize << w;
+                if mask & bit == 0 {
+                    dp2[mask | bit] |= bit as u32;
+                }
+            }
+        }
+    }
+    if dp2[full] & (1 << t) == 0 {
+        return None;
+    }
+    let mut path = reconstruct(g, &dp2, full, t);
+    // reconstruct returns the path reversed from endpoint back to the
+    // single-vertex mask, which here is forced to start at s.
+    debug_assert_eq!(path[0], t);
+    path.reverse();
+    debug_assert_eq!((path[0], *path.last().unwrap()), (s, t));
+    Some(path)
+}
+
+fn reconstruct(g: &Graph, dp: &[u32], mut mask: usize, mut v: u32) -> Vec<u32> {
+    let mut path = vec![v];
+    while mask.count_ones() > 1 {
+        let prev_mask = mask & !(1usize << v);
+        let candidates = dp[prev_mask];
+        let mut found = None;
+        for &u in g.neighbors(v) {
+            if candidates & (1 << u) != 0 && prev_mask & (1usize << u) != 0 {
+                found = Some(u);
+                break;
+            }
+        }
+        let u = found.expect("dp table is consistent");
+        path.push(u);
+        mask = prev_mask;
+        v = u;
+    }
+    path
+}
+
+/// Enumerates every Hamiltonian path of `g` (up to direction: each path is
+/// reported once, with `path[0] ≤ path[last]`), invoking `f` for each.
+/// Backtracking search — use only on small graphs (the Figure 2 gadget has
+/// 11 vertices).
+pub fn for_each_hamiltonian_path(g: &Graph, mut f: impl FnMut(&[u32])) {
+    let n = g.vertex_count() as usize;
+    if n == 0 {
+        return;
+    }
+    if n == 1 {
+        f(&[0]);
+        return;
+    }
+    let mut path: Vec<u32> = Vec::with_capacity(n);
+    let mut used = vec![false; n];
+    fn rec(
+        g: &Graph,
+        path: &mut Vec<u32>,
+        used: &mut [bool],
+        n: usize,
+        f: &mut impl FnMut(&[u32]),
+    ) {
+        if path.len() == n {
+            if path[0] <= *path.last().unwrap() {
+                f(path);
+            }
+            return;
+        }
+        let last = *path.last().unwrap();
+        for &w in g.neighbors(last) {
+            if !used[w as usize] {
+                used[w as usize] = true;
+                path.push(w);
+                rec(g, path, used, n, f);
+                path.pop();
+                used[w as usize] = false;
+            }
+        }
+    }
+    for start in 0..n as u32 {
+        used[start as usize] = true;
+        path.push(start);
+        rec(g, &mut path, &mut used, n, &mut f);
+        path.pop();
+        used[start as usize] = false;
+    }
+}
+
+/// The set of unordered endpoint pairs over all Hamiltonian paths of `g`.
+pub fn hamiltonian_endpoint_pairs(g: &Graph) -> Vec<(u32, u32)> {
+    let mut pairs = Vec::new();
+    for_each_hamiltonian_path(g, |p| {
+        let e = (p[0], *p.last().unwrap());
+        let e = if e.0 <= e.1 { e } else { (e.1, e.0) };
+        if !pairs.contains(&e) {
+            pairs.push(e);
+        }
+    });
+    pairs.sort_unstable();
+    pairs
+}
+
+/// Validates that `path` is a Hamiltonian path of `g`.
+pub fn is_hamiltonian_path(g: &Graph, path: &[u32]) -> bool {
+    let n = g.vertex_count() as usize;
+    if path.len() != n {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    for &v in path {
+        if (v as usize) >= n || seen[v as usize] {
+            return false;
+        }
+        seen[v as usize] = true;
+    }
+    path.windows(2).all(|w| g.has_edge(w[0], w[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_graphs() {
+        assert!(has_hamiltonian_path(&Graph::empty(0)));
+        assert!(has_hamiltonian_path(&Graph::empty(1)));
+        assert!(!has_hamiltonian_path(&Graph::empty(2)));
+    }
+
+    #[test]
+    fn path_graph_is_traceable() {
+        let g = Graph::new(4, vec![(0, 1), (1, 2), (2, 3)]);
+        let p = hamiltonian_path(&g).unwrap();
+        assert!(is_hamiltonian_path(&g, &p));
+        assert_eq!(hamiltonian_endpoint_pairs(&g), vec![(0, 3)]);
+    }
+
+    #[test]
+    fn star_is_not_traceable() {
+        // K_{1,3} has no Hamiltonian path.
+        let g = Graph::new(4, vec![(0, 1), (0, 2), (0, 3)]);
+        assert!(!has_hamiltonian_path(&g));
+        assert!(hamiltonian_path(&g).is_none());
+    }
+
+    #[test]
+    fn complete_graph_any_endpoints() {
+        let g = Graph::complete(5);
+        assert!(has_hamiltonian_path(&g));
+        for s in 0..5 {
+            for t in 0..5 {
+                if s != t {
+                    let p = hamiltonian_path_between(&g, s, t).unwrap();
+                    assert!(is_hamiltonian_path(&g, &p));
+                    assert_eq!(p[0], s);
+                    assert_eq!(*p.last().unwrap(), t);
+                }
+            }
+        }
+        // K5 has paths between all 10 pairs
+        assert_eq!(hamiltonian_endpoint_pairs(&g).len(), 10);
+    }
+
+    #[test]
+    fn constrained_endpoints_respected() {
+        // path 0-1-2-3: only 0..3 works
+        let g = Graph::new(4, vec![(0, 1), (1, 2), (2, 3)]);
+        assert!(hamiltonian_path_between(&g, 0, 3).is_some());
+        assert!(hamiltonian_path_between(&g, 3, 0).is_some());
+        assert!(hamiltonian_path_between(&g, 0, 2).is_none());
+        assert!(hamiltonian_path_between(&g, 1, 2).is_none());
+    }
+
+    #[test]
+    fn cycle_has_all_adjacent_breaks() {
+        // C5: hamiltonian paths are the cycle minus one edge.
+        let g = Graph::new(5, vec![(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]);
+        let pairs = hamiltonian_endpoint_pairs(&g);
+        // endpoints of each path are the two ends of a removed edge
+        assert_eq!(pairs, vec![(0, 1), (0, 4), (1, 2), (2, 3), (3, 4)]);
+    }
+
+    #[test]
+    fn enumeration_counts_k4() {
+        // K4 has 4!/2 = 12 Hamiltonian paths up to direction.
+        let mut count = 0;
+        for_each_hamiltonian_path(&Graph::complete(4), |_| count += 1);
+        assert_eq!(count, 12);
+    }
+
+    #[test]
+    fn spider_line_graph_is_not_traceable() {
+        // L(G_n) for the Fig 1 family: K_n + n pendants. For n >= 3 there
+        // is no Hamiltonian path (two pendants force >2 endpoints).
+        use crate::{generators, line_graph::line_graph};
+        assert!(!has_hamiltonian_path(&line_graph(&generators::spider(3))));
+        assert!(!has_hamiltonian_path(&line_graph(&generators::spider(4))));
+        // n = 2: G_2 is a path of 4 edges, L is a path -> traceable.
+        assert!(has_hamiltonian_path(&line_graph(&generators::spider(2))));
+    }
+
+    #[test]
+    fn validator_rejects_bad_paths() {
+        let g = Graph::new(3, vec![(0, 1), (1, 2)]);
+        assert!(is_hamiltonian_path(&g, &[0, 1, 2]));
+        assert!(!is_hamiltonian_path(&g, &[0, 2, 1])); // 0-2 not an edge
+        assert!(!is_hamiltonian_path(&g, &[0, 1])); // too short
+        assert!(!is_hamiltonian_path(&g, &[0, 1, 1])); // repeat
+    }
+}

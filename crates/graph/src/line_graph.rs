@@ -1,0 +1,167 @@
+//! Line graphs `L(G)` (§2.2 of the paper).
+//!
+//! "The line graph `L(G)` of a graph `G` is a graph in which each edge in
+//! `G` is represented by a node. Two nodes in `L(G)` are adjacent iff the
+//! corresponding edges in `G` share an end point."
+//!
+//! Pebbling `G` is a traveling-salesman path over `L(G)` viewed as a
+//! complete graph with weight 1 on `L(G)`'s edges and 2 elsewhere
+//! (Propositions 2.1 and 2.2). Two classical facts the paper uses in the
+//! proof of Theorem 3.1 — `L(G)` is connected when `G` is, and `L(G)` is
+//! `K_{1,3}`-free — are exposed here as checkable properties.
+
+use crate::bipartite::BipartiteGraph;
+use crate::graph::Graph;
+
+/// Builds `L(G)` for a bipartite graph. Vertex `e` of the result
+/// corresponds to edge `g.edges()[e]`; two vertices are adjacent iff the
+/// edges share an endpoint (in either partition).
+///
+/// Runs in `O(Σ_v deg(v)²)` — the size of the output.
+pub fn line_graph(g: &BipartiteGraph) -> Graph {
+    let m = g.edge_count();
+    // For each vertex, collect the ids of its incident edges, then join
+    // every pair within a bucket.
+    let mut left_bucket: Vec<Vec<u32>> = vec![Vec::new(); g.left_count() as usize];
+    let mut right_bucket: Vec<Vec<u32>> = vec![Vec::new(); g.right_count() as usize];
+    for (e, &(l, r)) in g.edges().iter().enumerate() {
+        left_bucket[l as usize].push(e as u32);
+        right_bucket[r as usize].push(e as u32);
+    }
+    let mut edges = Vec::new();
+    for bucket in left_bucket.iter().chain(right_bucket.iter()) {
+        for (i, &a) in bucket.iter().enumerate() {
+            for &b in &bucket[i + 1..] {
+                edges.push((a, b));
+            }
+        }
+    }
+    Graph::new(m as u32, edges)
+}
+
+/// Line graph of a *general* graph (used by Theorem 4.4's incidence-graph
+/// reduction, where `L(B)` is described as "replace every vertex of degree
+/// `i` by a clique of `i` vertices").
+pub fn line_graph_general(g: &Graph) -> Graph {
+    let m = g.edge_count();
+    let mut bucket: Vec<Vec<u32>> = vec![Vec::new(); g.vertex_count() as usize];
+    for (e, &(u, v)) in g.edges().iter().enumerate() {
+        bucket[u as usize].push(e as u32);
+        bucket[v as usize].push(e as u32);
+    }
+    let mut edges = Vec::new();
+    for b in &bucket {
+        for (i, &a) in b.iter().enumerate() {
+            for &c in &b[i + 1..] {
+                edges.push((a, c));
+            }
+        }
+    }
+    Graph::new(m as u32, edges)
+}
+
+/// Finds an induced claw (`K_{1,3}`) in `g`, if any: returns
+/// `(center, [leaf; 3])` where the leaves are pairwise non-adjacent
+/// neighbours of the centre. Line graphs never contain one (Harary; used
+/// by Theorem 3.1).
+pub fn find_claw(g: &Graph) -> Option<(u32, [u32; 3])> {
+    for c in 0..g.vertex_count() {
+        let nbrs = g.neighbors(c);
+        if nbrs.len() < 3 {
+            continue;
+        }
+        for (i, &a) in nbrs.iter().enumerate() {
+            for (j, &b) in nbrs.iter().enumerate().skip(i + 1) {
+                if g.has_edge(a, b) {
+                    continue;
+                }
+                for &d in nbrs.iter().skip(j + 1) {
+                    if !g.has_edge(a, d) && !g.has_edge(b, d) {
+                        return Some((c, [a, b, d]));
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Whether `g` is `K_{1,3}`-free (claw-free).
+pub fn is_claw_free(g: &Graph) -> bool {
+    find_claw(g).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_graph_of_single_edge() {
+        let g = BipartiteGraph::new(1, 1, vec![(0, 0)]);
+        let l = line_graph(&g);
+        assert_eq!(l.vertex_count(), 1);
+        assert_eq!(l.edge_count(), 0);
+    }
+
+    #[test]
+    fn line_graph_of_path() {
+        // r0-s0-r1-s1: edges e0=(0,0) e1=(1,0) e2=(1,1); L is a path.
+        let g = BipartiteGraph::new(2, 2, vec![(0, 0), (1, 0), (1, 1)]);
+        let l = line_graph(&g);
+        assert_eq!(l.vertex_count(), 3);
+        assert_eq!(l.edges(), &[(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn line_graph_of_star_is_clique() {
+        // K_{1,4}: all edges share the centre, L = K4.
+        let g = BipartiteGraph::new(1, 4, vec![(0, 0), (0, 1), (0, 2), (0, 3)]);
+        let l = line_graph(&g);
+        assert_eq!(l, Graph::complete(4));
+    }
+
+    #[test]
+    fn line_graph_of_k22_is_c4_plus_diagonals() {
+        // K_{2,2} has 4 edges; every pair shares an endpoint except the two
+        // disjoint "diagonal" pairs. L(K_{2,2}) = C4.
+        let g = BipartiteGraph::new(2, 2, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+        let l = line_graph(&g);
+        assert_eq!(l.edge_count(), 4);
+        // e0=(0,0), e3=(1,1) disjoint; e1=(0,1), e2=(1,0) disjoint.
+        assert!(!l.has_edge(0, 3));
+        assert!(!l.has_edge(1, 2));
+    }
+
+    #[test]
+    fn line_graphs_are_claw_free_and_inherit_connectivity() {
+        use crate::generators;
+        for g in [
+            generators::complete_bipartite(3, 4),
+            generators::spider(5),
+            generators::path(7),
+        ] {
+            let l = line_graph(&g);
+            assert!(is_claw_free(&l), "L(G) must be claw-free for {g}");
+            assert!(l.is_connected(), "L(G) must be connected for connected {g}");
+        }
+    }
+
+    #[test]
+    fn claw_is_detected() {
+        // K_{1,3} itself.
+        let claw = Graph::new(4, vec![(0, 1), (0, 2), (0, 3)]);
+        let (c, leaves) = find_claw(&claw).expect("claw exists");
+        assert_eq!(c, 0);
+        assert_eq!(leaves, [1, 2, 3]);
+        assert!(!is_claw_free(&claw));
+        assert!(is_claw_free(&Graph::complete(5)));
+    }
+
+    #[test]
+    fn general_line_graph_matches_bipartite_one() {
+        let b = BipartiteGraph::new(2, 3, vec![(0, 0), (0, 1), (1, 1), (1, 2)]);
+        // Same graph as a general graph: left vertices 0..2, right 2..5.
+        let g = Graph::new(5, vec![(0, 2), (0, 3), (1, 3), (1, 4)]);
+        assert_eq!(line_graph(&b), line_graph_general(&g));
+    }
+}

@@ -1,0 +1,154 @@
+//! Structural metrics of bipartite join graphs.
+//!
+//! Used by the CLI's `info` command and the census experiments to
+//! characterize where a join graph sits between the paper's extremes
+//! (unions of complete bipartite graphs vs the spider family).
+
+use crate::bipartite::BipartiteGraph;
+use crate::components::ComponentMap;
+use std::collections::VecDeque;
+
+/// A summary of a join graph's structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphMetrics {
+    /// Edge count `m`.
+    pub edges: usize,
+    /// Non-isolated vertex count.
+    pub vertices: usize,
+    /// Connected components with edges (`β₀`).
+    pub components: u32,
+    /// Edge density `m / (|R'|·|S'|)` over non-isolated vertices
+    /// (1.0 for a single complete bipartite component).
+    pub density: f64,
+    /// Largest component's edge count.
+    pub largest_component_edges: usize,
+    /// Diameter of the largest component (edges on the longest shortest
+    /// path), or 0 for the edgeless graph.
+    pub diameter: usize,
+    /// Number of degree-1 vertices (the pendant fuel of Theorem 3.3's
+    /// lower bound).
+    pub leaves: usize,
+}
+
+/// Computes the metrics. Diameter uses BFS from every vertex of the
+/// largest component — `O(V·E)`; fine for the CLI/census sizes.
+pub fn metrics(g: &BipartiteGraph) -> GraphMetrics {
+    let (s, _, _) = g.strip_isolated();
+    let cm = ComponentMap::new(&s);
+    let mut comp_edges = vec![0usize; cm.count as usize];
+    for &c in &cm.edge {
+        comp_edges[c as usize] += 1;
+    }
+    let largest = comp_edges.iter().copied().max().unwrap_or(0);
+    let density = if s.vertex_count() == 0 {
+        0.0
+    } else {
+        s.edge_count() as f64 / (s.left_count() as f64 * s.right_count() as f64)
+    };
+    GraphMetrics {
+        edges: s.edge_count(),
+        vertices: s.vertex_count() as usize,
+        components: cm.count,
+        density,
+        largest_component_edges: largest,
+        diameter: diameter_of(&s),
+        leaves: s.vertices().filter(|&v| s.degree(v) == 1).count(),
+    }
+}
+
+/// Diameter of the largest (by edges) component of a stripped graph.
+fn diameter_of(s: &BipartiteGraph) -> usize {
+    if s.edge_count() == 0 {
+        return 0;
+    }
+    let n = s.vertex_count() as usize;
+    let mut best = 0usize;
+    let mut dist = vec![usize::MAX; n];
+    for start in 0..n {
+        dist.iter_mut().for_each(|d| *d = usize::MAX);
+        dist[start] = 0;
+        let mut q = VecDeque::from([start]);
+        while let Some(u) = q.pop_front() {
+            let v = s.unflatten(u);
+            let nbrs: Vec<usize> = match v.side {
+                crate::Side::Left => s
+                    .left_neighbors(v.index)
+                    .iter()
+                    .map(|&r| s.flat_index(crate::Vertex::right(r)))
+                    .collect(),
+                crate::Side::Right => s
+                    .right_neighbors(v.index)
+                    .iter()
+                    .map(|&l| s.flat_index(crate::Vertex::left(l)))
+                    .collect(),
+            };
+            for w in nbrs {
+                if dist[w] == usize::MAX {
+                    dist[w] = dist[u] + 1;
+                    best = best.max(dist[w]);
+                    q.push_back(w);
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn complete_bipartite_metrics() {
+        let m = metrics(&generators::complete_bipartite(3, 4));
+        assert_eq!(m.edges, 12);
+        assert_eq!(m.vertices, 7);
+        assert_eq!(m.components, 1);
+        assert!((m.density - 1.0).abs() < 1e-12);
+        assert_eq!(m.diameter, 2);
+        assert_eq!(m.leaves, 0);
+    }
+
+    #[test]
+    fn spider_metrics() {
+        let m = metrics(&generators::spider(4));
+        assert_eq!(m.edges, 8);
+        assert_eq!(m.leaves, 4); // the feet
+        assert_eq!(m.diameter, 4); // w_i .. v_i .. c .. v_j .. w_j
+        assert_eq!(m.components, 1);
+    }
+
+    #[test]
+    fn path_diameter_is_its_length() {
+        for len in [1u32, 4, 7] {
+            assert_eq!(metrics(&generators::path(len)).diameter, len as usize);
+        }
+    }
+
+    #[test]
+    fn disconnected_and_isolated_handling() {
+        let g = jp_graph_test_union();
+        let m = metrics(&g);
+        assert_eq!(m.components, 2);
+        assert_eq!(m.largest_component_edges, 6);
+        // isolated vertices are excluded everywhere
+        assert_eq!(m.vertices, 5 + 6);
+    }
+
+    fn jp_graph_test_union() -> BipartiteGraph {
+        // K_{2,3} (6 edges, 5 vertices) + path(5) (5 edges, 6 vertices) +
+        // isolated padding
+        let u = generators::complete_bipartite(2, 3).disjoint_union(&generators::path(5));
+        BipartiteGraph::new(u.left_count() + 2, u.right_count() + 2, u.edges().to_vec())
+    }
+
+    #[test]
+    fn edgeless_graph_metrics() {
+        let m = metrics(&BipartiteGraph::new(3, 3, vec![]));
+        assert_eq!(m.edges, 0);
+        assert_eq!(m.vertices, 0);
+        assert_eq!(m.diameter, 0);
+        assert_eq!(m.density, 0.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Structural predicates on bipartite graphs.
+//!
+//! The paper's Theorem 3.2 rests on a structural fact: *every connected
+//! component of an equijoin join graph is a complete bipartite graph* (all
+//! tuples with the same key value join pairwise, and distinct keys never
+//! mix). [`is_equijoin_graph`] checks exactly that, and the linear-time
+//! pebbler of Theorem 4.1 uses it as its admission test.
+
+use crate::bipartite::BipartiteGraph;
+use crate::components::ComponentMap;
+
+/// Whether `g` (after ignoring isolated vertices) is a single complete
+/// bipartite graph: every left vertex adjacent to every right vertex.
+pub fn is_complete_bipartite(g: &BipartiteGraph) -> bool {
+    let (s, _, _) = g.strip_isolated();
+    s.edge_count() == s.left_count() as usize * s.right_count() as usize
+}
+
+/// Whether every connected component of `g` is a complete bipartite graph
+/// — the characterization of equijoin join graphs (§3.1).
+///
+/// Runs in `O(|V| + |E|)`: component `c` with `k_c` left vertices, `l_c`
+/// right vertices and `m_c` edges is complete bipartite iff
+/// `m_c = k_c · l_c` (a component can never have more).
+pub fn is_equijoin_graph(g: &BipartiteGraph) -> bool {
+    let cm = ComponentMap::new(g);
+    let n = cm.count as usize;
+    let mut lefts = vec![0usize; n];
+    let mut rights = vec![0usize; n];
+    let mut edges = vec![0usize; n];
+    for &c in &cm.left {
+        if c != u32::MAX {
+            lefts[c as usize] += 1;
+        }
+    }
+    for &c in &cm.right {
+        if c != u32::MAX {
+            rights[c as usize] += 1;
+        }
+    }
+    for &c in &cm.edge {
+        edges[c as usize] += 1;
+    }
+    (0..n).all(|c| edges[c] == lefts[c] * rights[c])
+}
+
+/// Whether `g` is a matching: every non-isolated vertex has degree 1.
+pub fn is_matching(g: &BipartiteGraph) -> bool {
+    g.vertices().all(|v| g.degree(v) <= 1)
+}
+
+/// Degree statistics `(min, max)` over non-isolated vertices; `None` for an
+/// edgeless graph.
+pub fn degree_range(g: &BipartiteGraph) -> Option<(usize, usize)> {
+    let degs: Vec<usize> = g
+        .vertices()
+        .map(|v| g.degree(v))
+        .filter(|&d| d > 0)
+        .collect();
+    if degs.is_empty() {
+        return None;
+    }
+    Some((*degs.iter().min().unwrap(), *degs.iter().max().unwrap()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn complete_bipartite_detection() {
+        assert!(is_complete_bipartite(&generators::complete_bipartite(3, 5)));
+        assert!(is_complete_bipartite(&generators::star(4)));
+        assert!(!is_complete_bipartite(&generators::path(3)));
+        // with isolated vertices: still complete after stripping
+        let g = BipartiteGraph::new(3, 2, vec![(0, 0), (0, 1), (2, 0), (2, 1)]);
+        assert!(is_complete_bipartite(&g));
+    }
+
+    #[test]
+    fn equijoin_graph_is_union_of_complete_bipartite() {
+        let a = generators::complete_bipartite(2, 3);
+        let b = generators::complete_bipartite(4, 1);
+        let u = a.disjoint_union(&b);
+        assert!(is_equijoin_graph(&u));
+        assert!(is_equijoin_graph(&generators::matching(5)));
+        assert!(!is_equijoin_graph(&generators::path(3)));
+        assert!(!is_equijoin_graph(&generators::spider(3)));
+        assert!(!is_equijoin_graph(&generators::cycle(3)));
+        // C4 = K_{2,2} is complete bipartite
+        assert!(is_equijoin_graph(&generators::cycle(2)));
+    }
+
+    #[test]
+    fn equijoin_graph_accepts_edgeless() {
+        assert!(is_equijoin_graph(&BipartiteGraph::new(3, 3, vec![])));
+    }
+
+    #[test]
+    fn matching_detection() {
+        assert!(is_matching(&generators::matching(4)));
+        assert!(is_matching(&BipartiteGraph::new(2, 2, vec![])));
+        assert!(!is_matching(&generators::path(2)));
+    }
+
+    #[test]
+    fn degree_range_works() {
+        assert_eq!(degree_range(&generators::spider(4)), Some((1, 4)));
+        assert_eq!(degree_range(&BipartiteGraph::new(2, 2, vec![])), None);
+        assert_eq!(
+            degree_range(&generators::complete_bipartite(2, 2)),
+            Some((2, 2))
+        );
+    }
+}

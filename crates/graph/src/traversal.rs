@@ -1,0 +1,201 @@
+//! DFS forests over general graphs.
+//!
+//! The constructive proof of Theorem 3.1 works on a *rooted DFS tree* of
+//! the line graph `L(G)` and relies on two DFS facts:
+//!
+//! 1. in a DFS tree of an undirected graph, the children of any node are
+//!    pairwise non-adjacent (a cross edge between two children would have
+//!    been explored as a tree edge), and
+//! 2. because `L(G)` is `K_{1,3}`-free, (1) implies every node of the DFS
+//!    tree has at most two children.
+//!
+//! [`DfsTree`] exposes the rooted-tree view (parent, children, preorder)
+//! that the 1.25-approximation of `jp-pebble` manipulates.
+
+use crate::graph::Graph;
+
+/// A rooted spanning tree of one connected component, produced by DFS.
+#[derive(Debug, Clone)]
+pub struct DfsTree {
+    /// The root vertex.
+    pub root: u32,
+    /// `parent[v]` for every vertex in the component; `u32::MAX` for the
+    /// root and for vertices outside the component.
+    pub parent: Vec<u32>,
+    /// Children lists, in DFS discovery order.
+    pub children: Vec<Vec<u32>>,
+    /// Vertices of the component in preorder.
+    pub preorder: Vec<u32>,
+}
+
+impl DfsTree {
+    /// Runs an iterative DFS from `root` over `g`, visiting neighbours in
+    /// sorted order. Only the component of `root` is covered.
+    pub fn new(g: &Graph, root: u32) -> Self {
+        let n = g.vertex_count() as usize;
+        let mut parent = vec![u32::MAX; n];
+        let mut children = vec![Vec::new(); n];
+        let mut preorder = Vec::new();
+        let mut visited = vec![false; n];
+        // stack of (vertex, next neighbour position)
+        let mut stack: Vec<(u32, usize)> = vec![(root, 0)];
+        visited[root as usize] = true;
+        preorder.push(root);
+        while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+            let nbrs = g.neighbors(v);
+            let mut advanced = false;
+            while *i < nbrs.len() {
+                let w = nbrs[*i];
+                *i += 1;
+                if !visited[w as usize] {
+                    visited[w as usize] = true;
+                    parent[w as usize] = v;
+                    children[v as usize].push(w);
+                    preorder.push(w);
+                    stack.push((w, 0));
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                stack.pop();
+            }
+        }
+        DfsTree {
+            root,
+            parent,
+            children,
+            preorder,
+        }
+    }
+
+    /// Whether `v` belongs to the tree.
+    pub fn contains(&self, v: u32) -> bool {
+        v == self.root || self.parent[v as usize] != u32::MAX
+    }
+
+    /// Number of vertices in the tree.
+    pub fn len(&self) -> usize {
+        self.preorder.len()
+    }
+
+    /// True when the tree is empty (never the case for a valid root).
+    pub fn is_empty(&self) -> bool {
+        self.preorder.is_empty()
+    }
+
+    /// Subtree sizes (number of descendants including self), indexed by
+    /// vertex; 0 for vertices outside the tree.
+    pub fn subtree_sizes(&self) -> Vec<u32> {
+        let mut size = vec![0u32; self.parent.len()];
+        // preorder reversed is a valid bottom-up order
+        for &v in self.preorder.iter().rev() {
+            size[v as usize] += 1;
+            let p = self.parent[v as usize];
+            if p != u32::MAX {
+                size[p as usize] += size[v as usize];
+            }
+        }
+        size
+    }
+
+    /// Checks that children of every node are pairwise non-adjacent in `g`
+    /// — the DFS-tree property the Theorem 3.1 construction relies on.
+    pub fn children_independent(&self, g: &Graph) -> bool {
+        self.children.iter().all(|ch| {
+            ch.iter()
+                .enumerate()
+                .all(|(i, &a)| ch[i + 1..].iter().all(|&b| !g.has_edge(a, b)))
+        })
+    }
+}
+
+/// BFS order of the component containing `root`.
+pub fn bfs_order(g: &Graph, root: u32) -> Vec<u32> {
+    let mut visited = vec![false; g.vertex_count() as usize];
+    let mut order = vec![root];
+    visited[root as usize] = true;
+    let mut head = 0;
+    while head < order.len() {
+        let v = order[head];
+        head += 1;
+        for &w in g.neighbors(v) {
+            if !visited[w as usize] {
+                visited[w as usize] = true;
+                order.push(w);
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dfs_path() {
+        let g = Graph::new(4, vec![(0, 1), (1, 2), (2, 3)]);
+        let t = DfsTree::new(&g, 0);
+        assert_eq!(t.preorder, vec![0, 1, 2, 3]);
+        assert_eq!(t.parent[3], 2);
+        assert_eq!(t.children[1], vec![2]);
+        assert!(t.contains(3));
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.subtree_sizes(), vec![4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn dfs_covers_only_component() {
+        let g = Graph::new(4, vec![(0, 1), (2, 3)]);
+        let t = DfsTree::new(&g, 0);
+        assert_eq!(t.len(), 2);
+        assert!(!t.contains(2));
+    }
+
+    #[test]
+    fn dfs_children_independent_on_clique() {
+        // In K4 a DFS from 0 is a path, so every node has <= 1 child.
+        let g = Graph::complete(4);
+        let t = DfsTree::new(&g, 0);
+        assert!(t.children_independent(&g));
+        assert!(t.children.iter().all(|c| c.len() <= 1));
+    }
+
+    #[test]
+    fn dfs_children_independent_on_star() {
+        // DFS of a star from the centre: children are the leaves, pairwise
+        // non-adjacent.
+        let g = Graph::new(5, vec![(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let t = DfsTree::new(&g, 0);
+        assert_eq!(t.children[0].len(), 4);
+        assert!(t.children_independent(&g));
+    }
+
+    #[test]
+    fn subtree_sizes_on_branching_tree() {
+        //    0
+        //   / \
+        //  1   2
+        //      |
+        //      3
+        let g = Graph::new(4, vec![(0, 1), (0, 2), (2, 3)]);
+        let t = DfsTree::new(&g, 0);
+        let s = t.subtree_sizes();
+        assert_eq!(s[0], 4);
+        assert_eq!(s[1], 1);
+        assert_eq!(s[2], 2);
+        assert_eq!(s[3], 1);
+    }
+
+    #[test]
+    fn bfs_order_levels() {
+        let g = Graph::new(5, vec![(0, 1), (0, 2), (1, 3), (2, 4)]);
+        let order = bfs_order(&g, 0);
+        assert_eq!(order[0], 0);
+        assert_eq!(order.len(), 5);
+        let pos = |v: u32| order.iter().position(|&x| x == v).unwrap();
+        assert!(pos(1) < pos(3));
+        assert!(pos(2) < pos(4));
+    }
+}

@@ -1,0 +1,192 @@
+//! Property-based tests for the graph substrate.
+
+use jp_graph::{betti_number, generators, line_graph, properties, BipartiteGraph, Graph};
+use proptest::prelude::*;
+
+/// Strategy: a bipartite graph on up to 6×6 vertices with 0..=14 edges
+/// (duplicates collapse).
+fn bipartite() -> impl Strategy<Value = BipartiteGraph> {
+    (1u32..=6, 1u32..=6).prop_flat_map(|(k, l)| {
+        proptest::collection::vec((0..k, 0..l), 0..=14)
+            .prop_map(move |edges| BipartiteGraph::new(k, l, edges))
+    })
+}
+
+/// Strategy: a connected bipartite graph (via the generator, seeded).
+fn connected_bipartite() -> impl Strategy<Value = BipartiteGraph> {
+    (2u32..=5, 2u32..=5, any::<u64>()).prop_flat_map(|(k, l, seed)| {
+        let min = (k + l - 1) as usize;
+        let max = (k * l) as usize;
+        (Just(k), Just(l), min..=max, Just(seed))
+            .prop_map(|(k, l, m, seed)| generators::random_connected_bipartite(k, l, m, seed))
+    })
+}
+
+proptest! {
+    #[test]
+    fn edges_are_sorted_and_unique(g in bipartite()) {
+        let edges = g.edges();
+        for w in edges.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn strip_isolated_preserves_edges(g in bipartite()) {
+        let (s, lmap, rmap) = g.strip_isolated();
+        prop_assert_eq!(s.edge_count(), g.edge_count());
+        prop_assert!(!s.has_isolated_vertices());
+        // mapped-back edges equal the original edge set
+        let mut mapped: Vec<(u32, u32)> = s
+            .edges()
+            .iter()
+            .map(|&(l, r)| (lmap[l as usize], rmap[r as usize]))
+            .collect();
+        mapped.sort_unstable();
+        prop_assert_eq!(&mapped[..], g.edges());
+    }
+
+    #[test]
+    fn betti_is_additive_under_disjoint_union(a in bipartite(), b in bipartite()) {
+        let u = a.disjoint_union(&b);
+        prop_assert_eq!(betti_number(&u), betti_number(&a) + betti_number(&b));
+        prop_assert_eq!(u.edge_count(), a.edge_count() + b.edge_count());
+    }
+
+    #[test]
+    fn line_graph_shape(g in bipartite()) {
+        let lg = line_graph(&g);
+        prop_assert_eq!(lg.vertex_count() as usize, g.edge_count());
+        // adjacency iff shared endpoint
+        for (i, &(l1, r1)) in g.edges().iter().enumerate() {
+            for (j, &(l2, r2)) in g.edges().iter().enumerate().skip(i + 1) {
+                let shares = l1 == l2 || r1 == r2;
+                prop_assert_eq!(lg.has_edge(i as u32, j as u32), shares);
+            }
+        }
+    }
+
+    #[test]
+    fn line_graphs_are_claw_free(g in bipartite()) {
+        prop_assert!(jp_graph::line_graph::is_claw_free(&line_graph(&g)));
+    }
+
+    #[test]
+    fn line_graph_of_connected_is_connected(g in connected_bipartite()) {
+        prop_assert!(line_graph(&g).is_connected());
+    }
+
+    #[test]
+    fn dfs_tree_covers_component_with_independent_children(g in connected_bipartite()) {
+        let lg = line_graph(&g);
+        let t = jp_graph::traversal::DfsTree::new(&lg, 0);
+        prop_assert_eq!(t.len() as u32, lg.vertex_count());
+        prop_assert!(t.children_independent(&lg));
+        // claw-freeness + children independence => at most 2 children
+        prop_assert!(t.children.iter().all(|c| c.len() <= 2));
+    }
+
+    #[test]
+    fn equijoin_graph_closed_under_union(k in 1u32..4, l in 1u32..4, k2 in 1u32..4, l2 in 1u32..4) {
+        let g = generators::complete_bipartite(k, l)
+            .disjoint_union(&generators::complete_bipartite(k2, l2));
+        prop_assert!(properties::is_equijoin_graph(&g));
+    }
+
+    #[test]
+    fn serde_roundtrip(g in bipartite()) {
+        let json = serde_json::to_string(&g).unwrap();
+        let back: BipartiteGraph = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&back, &g);
+        // adjacency is rebuilt, not persisted
+        if g.edge_count() > 0 {
+            let (l, _r) = g.edges()[0];
+            prop_assert_eq!(back.left_neighbors(l), g.left_neighbors(l));
+        }
+    }
+
+    #[test]
+    fn general_graph_add_remove_inverse(n in 2u32..8, edges in proptest::collection::vec((0u32..8, 0u32..8), 0..10)) {
+        let valid: Vec<(u32, u32)> = edges.into_iter()
+            .filter(|&(u, v)| u < n && v < n && u != v)
+            .collect();
+        let mut g = Graph::empty(n);
+        for &(u, v) in &valid {
+            g.add_edge(u, v);
+        }
+        let g2 = Graph::new(n, valid.clone());
+        prop_assert_eq!(&g, &g2);
+        for &(u, v) in &valid {
+            g.remove_edge(u, v);
+        }
+        prop_assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn hamiltonian_path_found_is_valid(g in connected_bipartite()) {
+        let lg = line_graph(&g);
+        if lg.vertex_count() <= 12 {
+            if let Some(p) = jp_graph::hamilton::hamiltonian_path(&lg) {
+                prop_assert!(jp_graph::hamilton::is_hamiltonian_path(&lg, &p));
+            }
+        }
+    }
+
+    #[test]
+    fn incidence_graph_right_degree_two(n in 2u32..8, seed in any::<u64>()) {
+        let base = generators::random_bounded_degree(n, 3, n as usize, seed);
+        let b = generators::incidence_graph(&base);
+        for e in 0..b.right_count() {
+            prop_assert_eq!(b.right_neighbors(e).len(), 2);
+        }
+        prop_assert_eq!(b.edge_count(), 2 * base.edge_count());
+    }
+}
+
+proptest! {
+    #[test]
+    fn maximum_matching_is_valid_and_maximal(g in connected_bipartite()) {
+        use jp_graph::matching::{maximum_matching, maximum_matching_size_brute};
+        let lg = line_graph(&g);
+        let m = maximum_matching(&lg);
+        prop_assert!(m.validate(&lg));
+        if lg.edge_count() <= 18 {
+            prop_assert_eq!(m.len(), maximum_matching_size_brute(&lg));
+        }
+        // maximality (weaker than maximum): no free edge remains
+        for &(u, v) in lg.edges() {
+            prop_assert!(
+                m.mate[u as usize] != u32::MAX || m.mate[v as usize] != u32::MAX,
+                "free edge ({u},{v}) next to an unmatched pair"
+            );
+        }
+    }
+
+    #[test]
+    fn quotient_preserves_edge_incidence(g in bipartite(), p in 1u32..4, q in 1u32..4) {
+        let lf: Vec<u32> = (0..g.left_count()).map(|i| i % p).collect();
+        let rf: Vec<u32> = (0..g.right_count()).map(|j| j % q).collect();
+        let quot = jp_graph::quotient(&g, &lf, p, &rf, q);
+        // every original edge maps to a quotient edge
+        for &(l, r) in g.edges() {
+            prop_assert!(quot.has_edge(lf[l as usize], rf[r as usize]));
+        }
+        // and every quotient edge has a preimage
+        for &(cl, cr) in quot.edges() {
+            prop_assert!(g.edges().iter().any(|&(l, r)| lf[l as usize] == cl && rf[r as usize] == cr));
+        }
+    }
+
+    #[test]
+    fn metrics_are_consistent(g in bipartite()) {
+        let m = jp_graph::metrics::metrics(&g);
+        prop_assert_eq!(m.edges, g.edge_count());
+        prop_assert_eq!(m.components, betti_number(&g));
+        prop_assert!(m.largest_component_edges <= m.edges);
+        prop_assert!(m.density >= 0.0 && m.density <= 1.0);
+        if m.edges > 0 {
+            prop_assert!(m.diameter >= 1);
+            prop_assert!(m.vertices >= 2);
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Spatial-overlap join algorithms.
+//!
+//! The paper cites Günther \[3\], Orenstein \[8\], and Patel–DeWitt's PBSM
+//! \[13\]. All practical spatial joins are *filter and refine*: an index or
+//! partitioning structure proposes MBR-overlapping candidate pairs, and
+//! the exact geometry test keeps the true ones. Four variants over
+//! region-valued relations:
+//!
+//! * [`naive`] — exact test over the cross product;
+//! * [`sweep`] — plane sweep on MBRs + refinement;
+//! * [`pbsm`] — uniform-grid partitioned join (replicates into cells,
+//!   deduplicates by reference point) + refinement;
+//! * [`rtree`] — STR R-tree synchronized traversal + refinement;
+//! * [`index_nested_loops`] — R-tree probe per outer tuple + refinement.
+
+use super::JoinResult;
+use crate::relation::Relation;
+use jp_geometry::{grid::grid_join, sweep::sweep_join, RTree, Region};
+
+fn region_of(rel: &Relation, i: u32) -> &Region {
+    rel.value(i as usize)
+        .as_region()
+        .unwrap_or_else(|| panic!("{} tuple {i} is not a region", rel.name()))
+}
+
+/// Exact overlap test over the cross product. `O(|R|·|S|)` region tests.
+pub fn naive(r: &Relation, s: &Relation) -> JoinResult {
+    let mut out = Vec::new();
+    for i in 0..r.len() as u32 {
+        for j in 0..s.len() as u32 {
+            if region_of(r, i).intersects(region_of(s, j)) {
+                out.push((i, j));
+            }
+        }
+    }
+    out
+}
+
+/// Plane-sweep filter on MBRs, exact refinement on regions.
+pub fn sweep(r: &Relation, s: &Relation) -> JoinResult {
+    let mut out = Vec::new();
+    sweep_join(&r.mbrs(), &s.mbrs(), |i, j| {
+        if region_of(r, i).intersects(region_of(s, j)) {
+            out.push((i, j));
+        }
+    });
+    out.sort_unstable();
+    out
+}
+
+/// PBSM-style uniform-grid filter, exact refinement.
+pub fn pbsm(r: &Relation, s: &Relation) -> JoinResult {
+    let mut out = Vec::new();
+    grid_join(&r.mbrs(), &s.mbrs(), |i, j| {
+        if region_of(r, i).intersects(region_of(s, j)) {
+            out.push((i, j));
+        }
+    });
+    out.sort_unstable();
+    out
+}
+
+/// R-tree synchronized-traversal filter, exact refinement.
+pub fn rtree(r: &Relation, s: &Relation) -> JoinResult {
+    let tr = RTree::build(&r.mbrs());
+    let ts = RTree::build(&s.mbrs());
+    let mut out = Vec::new();
+    tr.join(&ts, |i, j| {
+        if region_of(r, i).intersects(region_of(s, j)) {
+            out.push((i, j));
+        }
+    });
+    out.sort_unstable();
+    out
+}
+
+/// Index nested loops: bulk-load an R-tree on `S`, probe it once per `R`
+/// tuple with the tuple's MBR, refine on exact geometry. The classical
+/// "one indexed input" spatial join.
+pub fn index_nested_loops(r: &Relation, s: &Relation) -> JoinResult {
+    let index = RTree::build(&s.mbrs());
+    let mut out = Vec::new();
+    for (mbr, i) in r.mbrs() {
+        for j in index.query(&mbr) {
+            if region_of(r, i).intersects(region_of(s, j)) {
+                out.push((i, j));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Whether a relation holds convex polygons ([`crate::value::Value::Polygon`]).
+fn polygon_of(rel: &Relation, i: u32) -> &jp_geometry::ConvexPolygon {
+    match rel.value(i as usize) {
+        crate::value::Value::Polygon(p) => p,
+        other => panic!(
+            "{} tuple {i} is {}, not a polygon",
+            rel.name(),
+            other.domain()
+        ),
+    }
+}
+
+/// Exact overlap join over convex-polygon relations (the paper's literal
+/// spatial domain): separating-axis test over the cross product.
+pub fn polygon_naive(r: &Relation, s: &Relation) -> JoinResult {
+    let mut out = Vec::new();
+    for i in 0..r.len() as u32 {
+        for j in 0..s.len() as u32 {
+            if polygon_of(r, i).intersects(polygon_of(s, j)) {
+                out.push((i, j));
+            }
+        }
+    }
+    out
+}
+
+/// Filter-and-refine overlap join over convex-polygon relations: plane
+/// sweep on the polygons' MBRs, exact SAT refinement.
+pub fn polygon_sweep(r: &Relation, s: &Relation) -> JoinResult {
+    let mut out = Vec::new();
+    sweep_join(&r.mbrs(), &s.mbrs(), |i, j| {
+        if polygon_of(r, i).intersects(polygon_of(s, j)) {
+            out.push((i, j));
+        }
+    });
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jp_geometry::Rect;
+
+    fn scattered(name: &str, set: u64, n: u64) -> Relation {
+        Relation::from_rects(
+            name,
+            (0..n).map(|i| {
+                let h = i
+                    .wrapping_mul(0x9e3779b97f4a7c15)
+                    .wrapping_add(set.wrapping_mul(0xd1b54a32d192ed03))
+                    .rotate_left(29);
+                let x = (h % 400) as i64;
+                let y = ((h >> 10) % 400) as i64;
+                let w = ((h >> 20) % 50) as i64;
+                let hh = ((h >> 28) % 50) as i64;
+                Rect::new(x, y, x + w, y + hh)
+            }),
+        )
+    }
+
+    fn check_all(r: &Relation, s: &Relation) -> JoinResult {
+        let expect = naive(r, s);
+        assert_eq!(sweep(r, s), expect, "sweep");
+        assert_eq!(pbsm(r, s), expect, "pbsm");
+        assert_eq!(rtree(r, s), expect, "rtree");
+        assert_eq!(index_nested_loops(r, s), expect, "index_nested_loops");
+        expect
+    }
+
+    #[test]
+    fn all_agree_on_scattered_rects() {
+        let r = scattered("R", 3, 100);
+        let s = scattered("S", 11, 80);
+        let res = check_all(&r, &s);
+        assert!(!res.is_empty(), "workload should produce overlaps");
+    }
+
+    #[test]
+    fn refinement_filters_mbr_false_positives() {
+        // L-shaped region whose MBR covers a disjoint square.
+        let l = Region::new(vec![Rect::new(0, 0, 2, 20), Rect::new(0, 0, 20, 2)]);
+        let r = Relation::from_regions("R", [l]);
+        let s = Relation::from_rects("S", [Rect::new(10, 10, 15, 15)]);
+        assert!(check_all(&r, &s).is_empty());
+    }
+
+    #[test]
+    fn empty_relations() {
+        let e = Relation::from_rects("E", []);
+        let s = scattered("S", 1, 10);
+        assert!(check_all(&e, &s).is_empty());
+        assert!(check_all(&s, &e).is_empty());
+    }
+
+    #[test]
+    fn identical_relations_all_self_pairs() {
+        let r = Relation::from_rects("R", [Rect::new(0, 0, 1, 1), Rect::new(10, 10, 11, 11)]);
+        let res = check_all(&r, &r.clone());
+        assert_eq!(res, vec![(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn lemma_3_4_spider_realization_joins_correctly() {
+        // The rectangles realizing G_3 (Lemma 3.4) must join into exactly
+        // the spider's edge set under every algorithm.
+        use crate::realize::spatial_spider_instance;
+        use jp_graph::generators::spider;
+        let (r, s) = spatial_spider_instance(3);
+        let res = check_all(&r, &s);
+        assert_eq!(res, spider(3).edges().to_vec());
+    }
+}
+
+#[cfg(test)]
+mod polygon_tests {
+    use super::*;
+    use crate::value::Value;
+    use jp_geometry::{ConvexPolygon, Point, Rect};
+
+    fn poly_relation(name: &str, polys: Vec<ConvexPolygon>) -> Relation {
+        Relation::new(name, polys.into_iter().map(Value::Polygon).collect())
+    }
+
+    #[test]
+    fn polygon_sweep_matches_naive() {
+        let tri = |x: i64, y: i64| {
+            ConvexPolygon::new(vec![
+                Point::new(x, y),
+                Point::new(x + 8, y),
+                Point::new(x, y + 8),
+            ])
+        };
+        let r = poly_relation("R", (0..12).map(|i| tri(i * 5, (i % 4) * 3)).collect());
+        let s = poly_relation(
+            "S",
+            (0..10)
+                .map(|i| ConvexPolygon::from_rect(Rect::new(i * 6, 0, i * 6 + 4, 6)))
+                .collect(),
+        );
+        let naive = polygon_naive(&r, &s);
+        assert_eq!(polygon_sweep(&r, &s), naive);
+        assert!(!naive.is_empty());
+        // agrees with the generic predicate-based join too
+        let mut by_def = crate::algorithms::nested_loops(&r, &s, &crate::predicate::SpatialOverlap);
+        by_def.sort_unstable();
+        assert_eq!(naive, by_def);
+    }
+
+    #[test]
+    fn spider_with_literal_polygons() {
+        // Lemma 3.4 with the paper's literal domain: the spider's
+        // rectangles as convex polygons.
+        use crate::realize::spatial_spider_instance;
+        let (r, s) = spatial_spider_instance(4);
+        let to_poly = |rel: &Relation, name: &str| {
+            poly_relation(
+                name,
+                rel.values()
+                    .iter()
+                    .map(|v| {
+                        let rect = v.as_region().unwrap().rects()[0];
+                        ConvexPolygon::from_rect(rect)
+                    })
+                    .collect(),
+            )
+        };
+        let rp = to_poly(&r, "R");
+        let sp = to_poly(&s, "S");
+        let pairs = polygon_sweep(&rp, &sp);
+        assert_eq!(pairs, jp_graph::generators::spider(4).edges().to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a polygon")]
+    fn rejects_region_relations() {
+        let r = Relation::from_rects("R", [Rect::new(0, 0, 1, 1)]);
+        polygon_naive(&r, &r.clone());
+    }
+}

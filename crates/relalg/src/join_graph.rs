@@ -1,0 +1,225 @@
+//! Join-graph construction (§2 of the paper).
+//!
+//! "We model an instance of the join problem as a bipartite graph
+//! `G = (R, S, E)` … Vertices `u ∈ R` and `v ∈ S` are connected by an edge
+//! in `E` if the corresponding tuples join under the join predicate."
+//!
+//! [`join_graph`] is the definition itself (a nested loop over the cross
+//! product — total, works for every predicate). The per-predicate builders
+//! ([`equijoin_graph`], [`containment_graph`], [`spatial_graph`]) produce
+//! the same graph faster and are cross-validated against the definition in
+//! tests. Note that the *vertex sets are the full relations*; callers that
+//! want the paper's normalized graphs strip isolated vertices afterwards.
+
+use crate::predicate::JoinPredicate;
+use crate::relation::Relation;
+use crate::value::Value;
+use jp_graph::BipartiteGraph;
+use std::collections::HashMap;
+
+/// Builds the join graph by evaluating `pred` on the full cross product —
+/// the literal Definition from §2. `O(|R|·|S|)` predicate evaluations.
+pub fn join_graph(r: &Relation, s: &Relation, pred: &dyn JoinPredicate) -> BipartiteGraph {
+    let mut edges = Vec::new();
+    for (i, a) in r.iter() {
+        for (j, b) in s.iter() {
+            if pred.matches(a, b) {
+                edges.push((i, j));
+            }
+        }
+    }
+    BipartiteGraph::new(r.len() as u32, s.len() as u32, edges)
+}
+
+/// Equijoin join graph via hashing: groups both relations by value and
+/// emits the complete bipartite graph of every matching group. Expected
+/// `O(|R| + |S| + |E|)`.
+pub fn equijoin_graph(r: &Relation, s: &Relation) -> BipartiteGraph {
+    let mut groups: HashMap<&Value, Vec<u32>> = HashMap::new();
+    for (j, b) in s.iter() {
+        groups.entry(b).or_default().push(j);
+    }
+    let mut edges = Vec::new();
+    for (i, a) in r.iter() {
+        if let Some(js) = groups.get(a) {
+            edges.extend(js.iter().map(|&j| (i, j)));
+        }
+    }
+    BipartiteGraph::new(r.len() as u32, s.len() as u32, edges)
+}
+
+/// Set-containment join graph (`r.A ⊆ s.B`) via an inverted index on the
+/// `S` sets: each element maps to the postings list of `S` tuples
+/// containing it; an `R` set's matches are the intersection of its
+/// elements' postings. Empty `R` sets are contained in every `S` set.
+///
+/// # Panics
+/// Panics if any tuple in either relation is not set-valued.
+pub fn containment_graph(r: &Relation, s: &Relation) -> BipartiteGraph {
+    let mut postings: HashMap<u32, Vec<u32>> = HashMap::new();
+    for (j, b) in s.iter() {
+        let set = b
+            .as_set()
+            .unwrap_or_else(|| panic!("S tuple {j} is not a set"));
+        for &e in set.elems() {
+            postings.entry(e).or_default().push(j);
+        }
+    }
+    let empty: Vec<u32> = Vec::new();
+    let mut edges = Vec::new();
+    for (i, a) in r.iter() {
+        let set = a
+            .as_set()
+            .unwrap_or_else(|| panic!("R tuple {i} is not a set"));
+        if set.is_empty() {
+            edges.extend((0..s.len() as u32).map(|j| (i, j)));
+            continue;
+        }
+        // Intersect postings, smallest list first.
+        let mut lists: Vec<&Vec<u32>> = set
+            .elems()
+            .iter()
+            .map(|e| postings.get(e).unwrap_or(&empty))
+            .collect();
+        lists.sort_by_key(|l| l.len());
+        if lists[0].is_empty() {
+            continue;
+        }
+        let mut candidates: Vec<u32> = lists[0].clone();
+        for list in &lists[1..] {
+            if candidates.is_empty() {
+                break;
+            }
+            // postings are sorted by construction (S scanned in order)
+            candidates.retain(|c| list.binary_search(c).is_ok());
+        }
+        edges.extend(candidates.into_iter().map(|j| (i, j)));
+    }
+    BipartiteGraph::new(r.len() as u32, s.len() as u32, edges)
+}
+
+/// Spatial-overlap join graph via plane sweep on MBRs with exact region
+/// refinement. `O(n log n + candidates)`.
+///
+/// # Panics
+/// Panics if any tuple in either relation is not region-valued
+/// (`Value::Spatial`).
+pub fn spatial_graph(r: &Relation, s: &Relation) -> BipartiteGraph {
+    let ra = r.mbrs();
+    let sb = s.mbrs();
+    let mut edges = Vec::new();
+    jp_geometry::sweep::sweep_join(&ra, &sb, |i, j| {
+        let x = r
+            .value(i as usize)
+            .as_region()
+            .expect("R tuple is a region");
+        let y = s
+            .value(j as usize)
+            .as_region()
+            .expect("S tuple is a region");
+        if x.intersects(y) {
+            edges.push((i, j));
+        }
+    });
+    BipartiteGraph::new(r.len() as u32, s.len() as u32, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{Equality, SetContainment, SpatialOverlap};
+    use crate::value::IdSet;
+    use jp_geometry::{Rect, Region};
+    use jp_graph::properties::is_equijoin_graph;
+
+    #[test]
+    fn equijoin_graph_matches_definition() {
+        let r = Relation::from_ints("R", [1, 1, 2, 7, 9]);
+        let s = Relation::from_ints("S", [1, 2, 2, 9, 9, 4]);
+        let by_def = join_graph(&r, &s, &Equality);
+        let fast = equijoin_graph(&r, &s);
+        assert_eq!(by_def, fast);
+        // Theorem 3.2's premise: equijoin graphs are unions of complete
+        // bipartite graphs.
+        assert!(is_equijoin_graph(&by_def));
+        // 2 ones x 1 one + 1 two x 2 twos + 1 nine x 2 nines = 2+2+2
+        assert_eq!(by_def.edge_count(), 6);
+    }
+
+    #[test]
+    fn containment_graph_matches_definition() {
+        let sets_r = [
+            IdSet::new(vec![1]),
+            IdSet::new(vec![1, 2]),
+            IdSet::empty(),
+            IdSet::new(vec![5]),
+        ];
+        let sets_s = [
+            IdSet::new(vec![1, 2, 3]),
+            IdSet::new(vec![2]),
+            IdSet::new(vec![1]),
+        ];
+        let r = Relation::from_sets("R", sets_r);
+        let s = Relation::from_sets("S", sets_s);
+        let by_def = join_graph(&r, &s, &SetContainment);
+        let fast = containment_graph(&r, &s);
+        assert_eq!(by_def, fast);
+        // r2 = {} joins everything; r3 = {5} joins nothing.
+        assert!(by_def.has_edge(2, 0) && by_def.has_edge(2, 1) && by_def.has_edge(2, 2));
+        assert_eq!(by_def.left_neighbors(3), &[] as &[u32]);
+    }
+
+    #[test]
+    fn spatial_graph_matches_definition() {
+        let r = Relation::from_regions(
+            "R",
+            [
+                Region::rect(Rect::new(0, 0, 10, 10)),
+                Region::new(vec![Rect::new(0, 20, 2, 30), Rect::new(0, 20, 12, 22)]),
+            ],
+        );
+        let s = Relation::from_regions(
+            "S",
+            [
+                Region::rect(Rect::new(5, 5, 6, 6)),
+                Region::rect(Rect::new(11, 21, 11, 21)), // touches r1's foot
+                Region::rect(Rect::new(5, 27, 9, 29)),   // inside r1's MBR, outside region
+            ],
+        );
+        let by_def = join_graph(&r, &s, &SpatialOverlap);
+        let fast = spatial_graph(&r, &s);
+        assert_eq!(by_def, fast);
+        assert!(by_def.has_edge(0, 0));
+        assert!(by_def.has_edge(1, 1));
+        assert!(
+            !by_def.has_edge(1, 2),
+            "MBR hit but region miss must be refined away"
+        );
+    }
+
+    #[test]
+    fn empty_relations() {
+        let r = Relation::from_ints("R", []);
+        let s = Relation::from_ints("S", [1]);
+        let g = join_graph(&r, &s, &Equality);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(equijoin_graph(&r, &s).edge_count(), 0);
+    }
+
+    #[test]
+    fn multiset_duplicates_become_distinct_vertices() {
+        let r = Relation::from_ints("R", [5, 5]);
+        let s = Relation::from_ints("S", [5]);
+        let g = equijoin_graph(&r, &s);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.left_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a set")]
+    fn containment_rejects_wrong_domain() {
+        let r = Relation::from_ints("R", [1]);
+        let s = Relation::from_sets("S", [IdSet::empty()]);
+        containment_graph(&r, &s);
+    }
+}

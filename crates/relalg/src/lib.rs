@@ -1,0 +1,27 @@
+//! Relational substrate for the reproduction of *On the Complexity of
+//! Join Predicates* (PODS 2001).
+//!
+//! Implements §2's model exactly: single-column multiset relations
+//! ([`relation::Relation`]), join predicates ([`predicate`]), and the
+//! join graph ([`mod@join_graph`]) that the pebble game is played on —
+//! plus real join algorithms ([`algorithms`]), the realization lemmas
+//! ([`realize`]: Lemma 3.3 set-containment universality, Lemma 3.4
+//! spatial realization), synthetic workload generators ([`workload`]),
+//! and join-algorithm access traces ([`trace`]) whose implied pebbling
+//! cost experiment E16 measures.
+
+pub mod algorithms;
+pub mod join_graph;
+pub mod parallel;
+pub mod predicate;
+pub mod query;
+pub mod realize;
+pub mod relation;
+pub mod trace;
+pub mod value;
+pub mod workload;
+
+pub use join_graph::{containment_graph, equijoin_graph, join_graph, spatial_graph};
+pub use predicate::JoinPredicate;
+pub use relation::Relation;
+pub use value::{IdSet, Value};

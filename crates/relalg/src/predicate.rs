@@ -1,0 +1,204 @@
+//! Join predicates `θ` — the objects the paper classifies.
+//!
+//! "Given two relations `R(A)` and `S(B)` and a join predicate `θ`,
+//! generate pairs of tuples `(r, s)` … such that `r θ s` holds."
+//!
+//! The three predicates the paper studies are [`Equality`] (equijoin),
+//! [`SpatialOverlap`] (polygon overlap) and [`SetContainment`]
+//! (`r.A ⊆ s.B`). A few neighbours ([`SetOverlap`], [`SetEquality`],
+//! [`Band`], [`LessThan`]) are included because their join graphs make
+//! instructive comparison points in the experiments (set *equality*, for
+//! example, is just an equijoin over the set domain and pebbles
+//! perfectly).
+
+use crate::value::Value;
+
+/// A boolean predicate over a pair of column values.
+///
+/// Predicates are total over [`Value`]: value pairs from the wrong domain
+/// simply do not join (returning `false` rather than erroring keeps join
+/// graphs well-defined for heterogeneous relations).
+pub trait JoinPredicate {
+    /// Human-readable predicate name, used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Whether tuple values `a θ b` holds.
+    fn matches(&self, a: &Value, b: &Value) -> bool;
+}
+
+/// The equijoin predicate `r.A = s.B`, over any domain.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Equality;
+
+impl JoinPredicate for Equality {
+    fn name(&self) -> &'static str {
+        "equality"
+    }
+
+    fn matches(&self, a: &Value, b: &Value) -> bool {
+        a == b
+    }
+}
+
+/// Set containment `r.A ⊆ s.B`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SetContainment;
+
+impl JoinPredicate for SetContainment {
+    fn name(&self) -> &'static str {
+        "set-containment"
+    }
+
+    fn matches(&self, a: &Value, b: &Value) -> bool {
+        match (a, b) {
+            (Value::Set(x), Value::Set(y)) => x.is_subset_of(y),
+            _ => false,
+        }
+    }
+}
+
+/// Set overlap `r.A ∩ s.B ≠ ∅`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SetOverlap;
+
+impl JoinPredicate for SetOverlap {
+    fn name(&self) -> &'static str {
+        "set-overlap"
+    }
+
+    fn matches(&self, a: &Value, b: &Value) -> bool {
+        match (a, b) {
+            (Value::Set(x), Value::Set(y)) => x.intersects(y),
+            _ => false,
+        }
+    }
+}
+
+/// Set equality `r.A = s.B` — an equijoin over the set domain; included to
+/// demonstrate that the *predicate*, not the domain, drives hardness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SetEquality;
+
+impl JoinPredicate for SetEquality {
+    fn name(&self) -> &'static str {
+        "set-equality"
+    }
+
+    fn matches(&self, a: &Value, b: &Value) -> bool {
+        matches!((a, b), (Value::Set(x), Value::Set(y)) if x == y)
+    }
+}
+
+/// Spatial overlap: regions (or convex polygons) sharing at least one
+/// point. Mixed region/polygon pairs are compared through MBR filtering
+/// plus the polygon's bounding box — exact for the rectilinear stand-in.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpatialOverlap;
+
+impl JoinPredicate for SpatialOverlap {
+    fn name(&self) -> &'static str {
+        "spatial-overlap"
+    }
+
+    fn matches(&self, a: &Value, b: &Value) -> bool {
+        match (a, b) {
+            (Value::Spatial(x), Value::Spatial(y)) => x.intersects(y),
+            (Value::Polygon(x), Value::Polygon(y)) => x.intersects(y),
+            _ => false,
+        }
+    }
+}
+
+/// Band join `|r.A − s.B| ≤ w` over integers.
+#[derive(Debug, Clone, Copy)]
+pub struct Band(pub i64);
+
+impl JoinPredicate for Band {
+    fn name(&self) -> &'static str {
+        "band"
+    }
+
+    fn matches(&self, a: &Value, b: &Value) -> bool {
+        match (a, b) {
+            (Value::Int(x), Value::Int(y)) => (x - y).abs() <= self.0,
+            _ => false,
+        }
+    }
+}
+
+/// Inequality join `r.A < s.B` over any ordered domain.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LessThan;
+
+impl JoinPredicate for LessThan {
+    fn name(&self) -> &'static str {
+        "less-than"
+    }
+
+    fn matches(&self, a: &Value, b: &Value) -> bool {
+        a.domain() == b.domain() && a < b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::IdSet;
+
+    fn set(v: &[u32]) -> Value {
+        Value::Set(IdSet::new(v.to_vec()))
+    }
+
+    #[test]
+    fn equality_over_domains() {
+        assert!(Equality.matches(&Value::Int(3), &Value::Int(3)));
+        assert!(!Equality.matches(&Value::Int(3), &Value::Int(4)));
+        assert!(Equality.matches(&set(&[1, 2]), &set(&[2, 1])));
+        assert!(!Equality.matches(&Value::Int(3), &set(&[3])));
+    }
+
+    #[test]
+    fn containment_direction() {
+        assert!(SetContainment.matches(&set(&[1]), &set(&[1, 2])));
+        assert!(!SetContainment.matches(&set(&[1, 2]), &set(&[1])));
+        assert!(SetContainment.matches(&set(&[]), &set(&[])));
+        assert!(!SetContainment.matches(&Value::Int(1), &set(&[1])));
+    }
+
+    #[test]
+    fn set_overlap_and_equality() {
+        assert!(SetOverlap.matches(&set(&[1, 9]), &set(&[9])));
+        assert!(!SetOverlap.matches(&set(&[1]), &set(&[2])));
+        assert!(SetEquality.matches(&set(&[4, 2]), &set(&[2, 4])));
+        assert!(!SetEquality.matches(&set(&[2]), &set(&[2, 4])));
+    }
+
+    #[test]
+    fn spatial_overlap() {
+        use jp_geometry::{Rect, Region};
+        let a = Value::Spatial(Region::rect(Rect::new(0, 0, 5, 5)));
+        let b = Value::Spatial(Region::rect(Rect::new(4, 4, 9, 9)));
+        let c = Value::Spatial(Region::rect(Rect::new(6, 6, 9, 9)));
+        assert!(SpatialOverlap.matches(&a, &b));
+        assert!(!SpatialOverlap.matches(&a, &c));
+        assert!(!SpatialOverlap.matches(&a, &Value::Int(0)));
+    }
+
+    #[test]
+    fn band_and_less_than() {
+        assert!(Band(2).matches(&Value::Int(5), &Value::Int(7)));
+        assert!(Band(2).matches(&Value::Int(7), &Value::Int(5)));
+        assert!(!Band(2).matches(&Value::Int(5), &Value::Int(8)));
+        assert!(LessThan.matches(&Value::Int(1), &Value::Int(2)));
+        assert!(!LessThan.matches(&Value::Int(2), &Value::Int(2)));
+        // cross-domain comparisons never join
+        assert!(!LessThan.matches(&Value::Int(1), &Value::Str("z".into())));
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Equality.name(), "equality");
+        assert_eq!(SetContainment.name(), "set-containment");
+        assert_eq!(SpatialOverlap.name(), "spatial-overlap");
+    }
+}

@@ -1,0 +1,232 @@
+//! A fluent join-execution facade.
+//!
+//! The module-level functions in [`crate::algorithms`] are the canonical
+//! API; [`Join`] wraps them for callers who want algorithm selection by
+//! name or automatic dispatch on the predicate — the entry point a
+//! downstream application would actually call.
+//!
+//! ```
+//! use jp_relalg::query::Join;
+//! use jp_relalg::Relation;
+//!
+//! let r = Relation::from_ints("R", [1, 2, 2, 3]);
+//! let s = Relation::from_ints("S", [2, 3, 4]);
+//! let out = Join::new(&r, &s).equality().run();
+//! assert_eq!(out.pairs, vec![(1, 0), (2, 0), (3, 1)]);
+//! assert_eq!(out.algorithm, "hash_join");
+//! ```
+
+use crate::algorithms::{self, JoinResult};
+use crate::predicate::{Band, Equality, SetContainment, SpatialOverlap};
+use crate::relation::Relation;
+use std::time::{Duration, Instant};
+
+/// Which predicate the join runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pred {
+    Equality,
+    SetContainment,
+    SpatialOverlap,
+    Band(i64),
+}
+
+/// The outcome of a join execution: the result pairs, the algorithm that
+/// produced them, and how long it took.
+#[derive(Debug, Clone)]
+pub struct JoinOutput {
+    /// Result tuple-id pairs, sorted (the join graph's edge list).
+    pub pairs: JoinResult,
+    /// The algorithm chosen.
+    pub algorithm: &'static str,
+    /// Wall-clock execution time.
+    pub elapsed: Duration,
+}
+
+/// A fluent join builder over two relations.
+#[derive(Debug, Clone, Copy)]
+pub struct Join<'a> {
+    r: &'a Relation,
+    s: &'a Relation,
+    pred: Pred,
+    algo: Option<&'static str>,
+}
+
+impl<'a> Join<'a> {
+    /// Starts a join between `r` and `s` (equality by default).
+    pub fn new(r: &'a Relation, s: &'a Relation) -> Self {
+        Join {
+            r,
+            s,
+            pred: Pred::Equality,
+            algo: None,
+        }
+    }
+
+    /// Equality predicate (`r.A = s.B`) — dispatches to hash join.
+    pub fn equality(mut self) -> Self {
+        self.pred = Pred::Equality;
+        self
+    }
+
+    /// Set-containment predicate (`r.A ⊆ s.B`) — dispatches to the
+    /// inverted-index join.
+    pub fn containment(mut self) -> Self {
+        self.pred = Pred::SetContainment;
+        self
+    }
+
+    /// Spatial-overlap predicate — dispatches to the plane-sweep join.
+    pub fn overlap(mut self) -> Self {
+        self.pred = Pred::SpatialOverlap;
+        self
+    }
+
+    /// Band predicate `|r.A − s.B| ≤ w` — evaluated by nested loops.
+    pub fn band(mut self, w: i64) -> Self {
+        self.pred = Pred::Band(w);
+        self
+    }
+
+    /// Forces a specific algorithm instead of the predicate default.
+    /// Names match [`crate::algorithms`] function names (e.g.
+    /// `"sort_merge"`, `"signature"`, `"rtree"`).
+    pub fn algorithm(mut self, name: &'static str) -> Self {
+        self.algo = Some(name);
+        self
+    }
+
+    /// Executes the join.
+    ///
+    /// # Panics
+    /// Panics on an unknown algorithm name or an algorithm/predicate
+    /// mismatch (e.g. `"rtree"` under equality).
+    pub fn run(self) -> JoinOutput {
+        let t0 = Instant::now();
+        let (algorithm, mut pairs): (&'static str, JoinResult) = match (self.pred, self.algo) {
+            (Pred::Equality, None | Some("hash_join")) => {
+                ("hash_join", algorithms::equi::hash_join(self.r, self.s))
+            }
+            (Pred::Equality, Some("sort_merge")) => {
+                ("sort_merge", algorithms::equi::sort_merge(self.r, self.s))
+            }
+            (Pred::Equality, Some("index_nested_loops")) => (
+                "index_nested_loops",
+                algorithms::equi::index_nested_loops(self.r, self.s),
+            ),
+            (Pred::Equality, Some("nested_loops")) => (
+                "nested_loops",
+                algorithms::nested_loops(self.r, self.s, &Equality),
+            ),
+            (Pred::SetContainment, None | Some("inverted_index")) => (
+                "inverted_index",
+                algorithms::containment::inverted_index(self.r, self.s),
+            ),
+            (Pred::SetContainment, Some("signature")) => (
+                "signature",
+                algorithms::containment::signature(self.r, self.s),
+            ),
+            (Pred::SetContainment, Some("partitioned")) => (
+                "partitioned",
+                algorithms::containment::partitioned(self.r, self.s, 64),
+            ),
+            (Pred::SetContainment, Some("nested_loops")) => (
+                "nested_loops",
+                algorithms::nested_loops(self.r, self.s, &SetContainment),
+            ),
+            (Pred::SpatialOverlap, None | Some("sweep")) => {
+                ("sweep", algorithms::spatial::sweep(self.r, self.s))
+            }
+            (Pred::SpatialOverlap, Some("pbsm")) => {
+                ("pbsm", algorithms::spatial::pbsm(self.r, self.s))
+            }
+            (Pred::SpatialOverlap, Some("rtree")) => {
+                ("rtree", algorithms::spatial::rtree(self.r, self.s))
+            }
+            (Pred::SpatialOverlap, Some("index_nested_loops")) => (
+                "index_nested_loops",
+                algorithms::spatial::index_nested_loops(self.r, self.s),
+            ),
+            (Pred::SpatialOverlap, Some("nested_loops")) => (
+                "nested_loops",
+                algorithms::nested_loops(self.r, self.s, &SpatialOverlap),
+            ),
+            (Pred::Band(w), None | Some("nested_loops")) => (
+                "nested_loops",
+                algorithms::nested_loops(self.r, self.s, &Band(w)),
+            ),
+            (pred, Some(name)) => {
+                panic!("algorithm {name:?} is not available for predicate {pred:?}")
+            }
+        };
+        pairs.sort_unstable();
+        JoinOutput {
+            pairs,
+            algorithm,
+            elapsed: t0.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::IdSet;
+    use crate::workload;
+
+    #[test]
+    fn default_dispatch_per_predicate() {
+        let r = Relation::from_ints("R", [1, 2]);
+        let s = Relation::from_ints("S", [2]);
+        let out = Join::new(&r, &s).run();
+        assert_eq!(out.algorithm, "hash_join");
+        assert_eq!(out.pairs, vec![(1, 0)]);
+
+        let r = Relation::from_sets("R", [IdSet::new(vec![1])]);
+        let s = Relation::from_sets("S", [IdSet::new(vec![1, 2])]);
+        let out = Join::new(&r, &s).containment().run();
+        assert_eq!(out.algorithm, "inverted_index");
+        assert_eq!(out.pairs, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn all_named_algorithms_agree() {
+        let (r, s) = workload::zipf_equijoin(60, 60, 10, 0.7, 31);
+        let base = Join::new(&r, &s).run().pairs;
+        for name in ["sort_merge", "index_nested_loops", "nested_loops"] {
+            assert_eq!(
+                Join::new(&r, &s).algorithm(name).run().pairs,
+                base,
+                "{name}"
+            );
+        }
+
+        let rs = workload::uniform_rects(60, 800, 40, 32);
+        let ss = workload::uniform_rects(60, 800, 40, 33);
+        let base = Join::new(&rs, &ss).overlap().run().pairs;
+        for name in ["pbsm", "rtree", "index_nested_loops", "nested_loops"] {
+            assert_eq!(
+                Join::new(&rs, &ss).overlap().algorithm(name).run().pairs,
+                base,
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn band_joins_run() {
+        let r = Relation::from_ints("R", [1, 5]);
+        let s = Relation::from_ints("S", [2, 9]);
+        let out = Join::new(&r, &s).band(1).run();
+        assert_eq!(out.pairs, vec![(0, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not available")]
+    fn mismatched_algorithm_panics() {
+        let r = Relation::from_ints("R", [1]);
+        Join::new(&r, &r.clone())
+            .equality()
+            .algorithm("rtree")
+            .run();
+    }
+}

@@ -1,0 +1,293 @@
+//! Realization lemmas: which join graphs can each predicate produce?
+//!
+//! This is the heart of the paper's *combinatorial* separation:
+//!
+//! * Equijoins only produce disjoint unions of complete bipartite graphs
+//!   (§3.1) — [`equijoin_instance`] realizes exactly those;
+//! * Set-containment joins are **universal** (Lemma 3.3): *every*
+//!   bipartite graph is the join graph of some containment instance —
+//!   [`set_containment_instance`] is the paper's construction
+//!   (`r_i = {i}`, `s_j = {i : (r_i, s_j) ∈ E}`);
+//! * Spatial-overlap joins realize the worst-case family `G_n` with plain
+//!   rectangles (Lemma 3.4) — [`spatial_spider_instance`] — and, with
+//!   rectilinear comb regions, *every* bipartite graph —
+//!   [`spatial_universal_instance`] (a strengthening the paper does not
+//!   need but which makes the T4.2 hardness-for-spatial-graphs experiment
+//!   run on arbitrary inputs).
+//!
+//! Every constructor is paired with a test that rebuilds the join graph
+//! from the produced relations and checks it equals the input graph.
+
+use crate::relation::Relation;
+use crate::value::IdSet;
+use jp_geometry::{Rect, Region};
+use jp_graph::{properties, BipartiteGraph};
+
+/// Realizes a disjoint-union-of-complete-bipartite graph as an equijoin
+/// instance: component `c` becomes key value `c` on both sides.
+///
+/// Returns `None` if `g` is not an equijoin join graph (Theorem 3.2's
+/// characterization fails). Isolated vertices become non-joining fresh key
+/// values, preserving vertex counts.
+pub fn equijoin_instance(g: &BipartiteGraph) -> Option<(Relation, Relation)> {
+    if !properties::is_equijoin_graph(g) {
+        return None;
+    }
+    let cm = jp_graph::ComponentMap::new(g);
+    // Keys for isolated vertices start above the component ids and are
+    // globally unique so they join with nothing.
+    let mut next_free = cm.count as i64;
+    let mut r_vals = Vec::with_capacity(g.left_count() as usize);
+    for l in 0..g.left_count() {
+        let c = cm.left[l as usize];
+        if c == u32::MAX {
+            r_vals.push(next_free);
+            next_free += 1;
+        } else {
+            r_vals.push(c as i64);
+        }
+    }
+    let mut s_vals = Vec::with_capacity(g.right_count() as usize);
+    for r in 0..g.right_count() {
+        let c = cm.right[r as usize];
+        if c == u32::MAX {
+            s_vals.push(next_free);
+            next_free += 1;
+        } else {
+            s_vals.push(c as i64);
+        }
+    }
+    Some((
+        Relation::from_ints("R", r_vals),
+        Relation::from_ints("S", s_vals),
+    ))
+}
+
+/// **Lemma 3.3.** Realizes *any* bipartite graph as a set-containment
+/// instance: `r_i` is the singleton `{i}` and `s_j` is the set of left
+/// indices adjacent to `j`. Then `r_i ⊆ s_j ⇔ i ∈ s_j ⇔ (i, j) ∈ E`.
+///
+/// ```
+/// use jp_graph::generators;
+/// use jp_relalg::{containment_graph, realize};
+///
+/// // Even the worst-case spider is a containment join graph.
+/// let g = generators::spider(5);
+/// let (r, s) = realize::set_containment_instance(&g);
+/// assert_eq!(containment_graph(&r, &s), g);
+/// ```
+pub fn set_containment_instance(g: &BipartiteGraph) -> (Relation, Relation) {
+    let r = Relation::from_sets("R", (0..g.left_count()).map(|i| IdSet::new(vec![i])));
+    let s = Relation::from_sets(
+        "S",
+        (0..g.right_count()).map(|j| IdSet::new(g.right_neighbors(j).to_vec())),
+    );
+    (r, s)
+}
+
+/// **Lemma 3.4.** Realizes the Figure 1 family `G_n` as a spatial-overlap
+/// instance using plain axis-aligned rectangles:
+///
+/// * the centre `c` is a long horizontal bar high above the baseline;
+/// * each middle vertex `v_i` is a tall vertical bar crossing `c`;
+/// * each foot `w_i` is a small square at the bottom of `v_i`'s bar,
+///   far below `c` and horizontally clear of every other bar.
+///
+/// Left relation holds `{c, w_1..w_n}` (matching
+/// `jp_graph::generators::spider`'s layout), right relation holds
+/// `{v_1..v_n}`.
+pub fn spatial_spider_instance(n: u32) -> (Relation, Relation) {
+    assert!(n >= 1);
+    let span = 10 * (n as i64 - 1) + 2;
+    let mut left = Vec::with_capacity(n as usize + 1);
+    // c: horizontal bar at height 100..102 spanning all columns.
+    left.push(Rect::new(0, 100, span, 102));
+    // w_i: square in column i at the baseline.
+    for i in 0..n as i64 {
+        left.push(Rect::new(10 * i, 0, 10 * i + 2, 2));
+    }
+    // v_i: vertical bar in column i from the baseline through c.
+    let right: Vec<Rect> = (0..n as i64)
+        .map(|i| Rect::new(10 * i, 0, 10 * i + 2, 102))
+        .collect();
+    (
+        Relation::from_rects("R", left),
+        Relation::from_rects("S", right),
+    )
+}
+
+/// Spatial universality via comb-shaped rectilinear regions: realizes
+/// *any* bipartite graph as a spatial-overlap instance.
+///
+/// Right vertex `j` is a small square in column `j` on the baseline. Left
+/// vertex `i` is a comb: a horizontal spine on private row `i` (rows sit
+/// strictly above every square) plus, for each neighbour `j`, a vertical
+/// tooth from the spine down into square `j`'s column. Teeth of different
+/// left vertices may overlap each other, but `R×R` overlaps are invisible
+/// to the bipartite join graph; a tooth only reaches square `j` in its own
+/// column, so `region(i) ∩ square(j) ≠ ∅ ⇔ (i, j) ∈ E`.
+pub fn spatial_universal_instance(g: &BipartiteGraph) -> (Relation, Relation) {
+    let cols = g.right_count().max(1) as i64;
+    let right: Vec<Region> = (0..g.right_count() as i64)
+        .map(|j| Region::rect(Rect::new(10 * j, 0, 10 * j + 2, 2)))
+        .collect();
+    let left: Vec<Region> = (0..g.left_count())
+        .map(|i| {
+            let row = 10 + 10 * i as i64;
+            let mut rects = vec![Rect::new(0, row, 10 * cols, row + 2)];
+            for &j in g.left_neighbors(i) {
+                // Tooth: overlaps square j (y in [1,2]) and the spine.
+                rects.push(Rect::new(10 * j as i64, 1, 10 * j as i64 + 2, row + 1));
+            }
+            Region::new(rects)
+        })
+        .collect();
+    (
+        Relation::from_regions("R", left),
+        Relation::from_regions("S", right),
+    )
+}
+
+/// Set-*overlap* universality (an extension beyond the paper's Lemma 3.3,
+/// proved the same way): every bipartite graph is the join graph of a
+/// set-overlap join (`r.A ∩ s.B ≠ ∅`). Give each tuple the set of *edge
+/// ids* incident to its vertex: two tuples' sets share an element iff the
+/// vertices share an edge. Isolated vertices get fresh singleton sets so
+/// they overlap nothing.
+pub fn set_overlap_instance(g: &BipartiteGraph) -> (Relation, Relation) {
+    let m = g.edge_count() as u32;
+    let mut fresh = m; // ids above the edge range never collide
+    let mut fresh_set = || {
+        let id = fresh;
+        fresh += 1;
+        IdSet::new(vec![id])
+    };
+    let r_sets: Vec<IdSet> = (0..g.left_count())
+        .map(|l| {
+            let edges: Vec<u32> = g
+                .left_neighbors(l)
+                .iter()
+                .map(|&r| g.edge_index(l, r).expect("adjacent") as u32)
+                .collect();
+            if edges.is_empty() {
+                fresh_set()
+            } else {
+                IdSet::new(edges)
+            }
+        })
+        .collect();
+    let s_sets: Vec<IdSet> = (0..g.right_count())
+        .map(|r| {
+            let edges: Vec<u32> = g
+                .right_neighbors(r)
+                .iter()
+                .map(|&l| g.edge_index(l, r).expect("adjacent") as u32)
+                .collect();
+            if edges.is_empty() {
+                fresh_set()
+            } else {
+                IdSet::new(edges)
+            }
+        })
+        .collect();
+    (
+        Relation::from_sets("R", r_sets),
+        Relation::from_sets("S", s_sets),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join_graph::{containment_graph, equijoin_graph, join_graph, spatial_graph};
+    use crate::predicate::{SetContainment, SpatialOverlap};
+    use jp_graph::generators;
+
+    #[test]
+    fn equijoin_instance_roundtrip() {
+        let g = generators::complete_bipartite(2, 3)
+            .disjoint_union(&generators::complete_bipartite(1, 4))
+            .disjoint_union(&generators::matching(3));
+        let (r, s) = equijoin_instance(&g).expect("is an equijoin graph");
+        assert_eq!(equijoin_graph(&r, &s), g);
+    }
+
+    #[test]
+    fn equijoin_instance_preserves_isolated_vertices() {
+        let g = jp_graph::BipartiteGraph::new(3, 2, vec![(0, 0)]);
+        let (r, s) = equijoin_instance(&g).expect("equijoin graph");
+        assert_eq!(r.len(), 3);
+        assert_eq!(s.len(), 2);
+        let rebuilt = equijoin_graph(&r, &s);
+        assert_eq!(rebuilt, g);
+    }
+
+    #[test]
+    fn equijoin_instance_rejects_non_equijoin_graphs() {
+        assert!(equijoin_instance(&generators::path(3)).is_none());
+        assert!(equijoin_instance(&generators::spider(3)).is_none());
+    }
+
+    #[test]
+    fn lemma_3_3_containment_universality() {
+        // Arbitrary graphs — including ones no equijoin can produce.
+        for g in [
+            generators::spider(4),
+            generators::path(5),
+            generators::cycle(3),
+            generators::random_bipartite(6, 7, 0.4, 9),
+        ] {
+            let (r, s) = set_containment_instance(&g);
+            assert_eq!(containment_graph(&r, &s), g, "fast builder");
+            assert_eq!(join_graph(&r, &s, &SetContainment), g, "by definition");
+        }
+    }
+
+    #[test]
+    fn lemma_3_4_spider_realized_with_rectangles() {
+        for n in 1..8 {
+            let (r, s) = spatial_spider_instance(n);
+            let got = spatial_graph(&r, &s);
+            assert_eq!(got, generators::spider(n), "G_{n}");
+        }
+    }
+
+    #[test]
+    fn spatial_universal_realizes_arbitrary_graphs() {
+        for g in [
+            generators::spider(3),
+            generators::path(6),
+            generators::cycle(4),
+            generators::complete_bipartite(3, 3),
+            generators::random_bipartite(5, 8, 0.35, 4),
+            jp_graph::BipartiteGraph::new(3, 3, vec![]), // edgeless
+        ] {
+            let (r, s) = spatial_universal_instance(&g);
+            assert_eq!(spatial_graph(&r, &s), g, "fast builder");
+            assert_eq!(join_graph(&r, &s, &SpatialOverlap), g, "by definition");
+        }
+    }
+
+    #[test]
+    fn set_overlap_universality() {
+        use crate::predicate::SetOverlap;
+        for g in [
+            generators::spider(4),
+            generators::path(7),
+            generators::complete_bipartite(3, 3),
+            generators::random_bipartite(7, 6, 0.3, 11),
+            jp_graph::BipartiteGraph::new(3, 2, vec![(0, 0)]), // isolated vertices
+        ] {
+            let (r, s) = set_overlap_instance(&g);
+            assert_eq!(join_graph(&r, &s, &SetOverlap), g, "{g}");
+        }
+    }
+
+    #[test]
+    fn spatial_universal_keeps_vertex_counts() {
+        let g = generators::random_bipartite(4, 9, 0.2, 17);
+        let (r, s) = spatial_universal_instance(&g);
+        assert_eq!(r.len() as u32, g.left_count());
+        assert_eq!(s.len() as u32, g.right_count());
+    }
+}

@@ -1,0 +1,167 @@
+//! Single-column relations (multisets of values).
+//!
+//! "In this paper, for simplicity, we assume that all relations have a
+//! single column, and that all joins are on that column. The relations are
+//! allowed to be multi-sets." Tuples keep positional identity: two equal
+//! values are two distinct tuples and become two distinct vertices of the
+//! join graph.
+
+use crate::value::{IdSet, Value};
+use jp_geometry::{Rect, Region};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A named single-column relation. Tuple ids are positions (`0..len`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Relation {
+    name: String,
+    values: Vec<Value>,
+}
+
+impl Relation {
+    /// Builds a relation from raw values.
+    pub fn new(name: impl Into<String>, values: Vec<Value>) -> Self {
+        Relation {
+            name: name.into(),
+            values,
+        }
+    }
+
+    /// Integer-valued relation.
+    pub fn from_ints(name: impl Into<String>, ints: impl IntoIterator<Item = i64>) -> Self {
+        Relation::new(name, ints.into_iter().map(Value::Int).collect())
+    }
+
+    /// String-valued relation.
+    pub fn from_strs<S: Into<String>>(
+        name: impl Into<String>,
+        strs: impl IntoIterator<Item = S>,
+    ) -> Self {
+        Relation::new(
+            name,
+            strs.into_iter().map(|s| Value::Str(s.into())).collect(),
+        )
+    }
+
+    /// Set-valued relation.
+    pub fn from_sets(name: impl Into<String>, sets: impl IntoIterator<Item = IdSet>) -> Self {
+        Relation::new(name, sets.into_iter().map(Value::Set).collect())
+    }
+
+    /// Region-valued (spatial) relation.
+    pub fn from_regions(
+        name: impl Into<String>,
+        regions: impl IntoIterator<Item = Region>,
+    ) -> Self {
+        Relation::new(name, regions.into_iter().map(Value::Spatial).collect())
+    }
+
+    /// Rectangle-valued (spatial) relation — each rectangle becomes a
+    /// single-rectangle region.
+    pub fn from_rects(name: impl Into<String>, rects: impl IntoIterator<Item = Rect>) -> Self {
+        Relation::from_regions(name, rects.into_iter().map(Region::rect))
+    }
+
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of tuples (multiset cardinality).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Value of tuple `i`.
+    pub fn value(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+
+    /// All values, in tuple order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Iterator over `(tuple_id, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &Value)> {
+        self.values.iter().enumerate().map(|(i, v)| (i as u32, v))
+    }
+
+    /// The MBRs of a spatial relation, as `(rect, tuple_id)` pairs for the
+    /// filter step of spatial join algorithms.
+    ///
+    /// # Panics
+    /// Panics if any tuple is not spatial (`Spatial` or `Polygon`).
+    pub fn mbrs(&self) -> Vec<(Rect, u32)> {
+        self.iter()
+            .map(|(i, v)| match v {
+                Value::Spatial(r) => (r.mbr(), i),
+                Value::Polygon(p) => (p.mbr(), i),
+                other => panic!(
+                    "relation {:?} tuple {i} is {}, not spatial",
+                    self.name,
+                    other.domain()
+                ),
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({} tuples)", self.name, self.values.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let r = Relation::from_ints("R", [1, 1, 2]);
+        assert_eq!(r.name(), "R");
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.value(1), &Value::Int(1));
+        assert!(!r.is_empty());
+
+        let s = Relation::from_strs("S", ["a", "b"]);
+        assert_eq!(s.value(0), &Value::Str("a".into()));
+
+        let t = Relation::from_sets("T", [IdSet::new(vec![1, 2])]);
+        assert_eq!(t.value(0).as_set().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn multiset_semantics_preserved() {
+        // duplicates stay distinct tuples
+        let r = Relation::from_ints("R", [7, 7, 7]);
+        assert_eq!(r.len(), 3);
+        let ids: Vec<u32> = r.iter().map(|(i, _)| i).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn mbrs_of_spatial_relation() {
+        let r = Relation::from_rects("R", [Rect::new(0, 0, 2, 2), Rect::new(5, 5, 9, 9)]);
+        let mbrs = r.mbrs();
+        assert_eq!(mbrs.len(), 2);
+        assert_eq!(mbrs[1], (Rect::new(5, 5, 9, 9), 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not spatial")]
+    fn mbrs_rejects_non_spatial() {
+        Relation::from_ints("R", [1]).mbrs();
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Relation::from_ints("R", [1, 2]).to_string(), "R(2 tuples)");
+    }
+}

@@ -1,0 +1,237 @@
+//! Join-algorithm *traces*: the order in which each algorithm considers
+//! joining tuple pairs.
+//!
+//! §2 of the paper: "For every pair of tuples `(r, s)` that joins, any
+//! join algorithm has to consider this pair of tuples at some point of
+//! time in its execution … We model this by stating that the join
+//! algorithm places one pebble on each vertex" — i.e. **every join
+//! algorithm implies a pebbling scheme**: its result-pair visit order, as
+//! an edge order of the join graph. The implied effective cost
+//! `π(trace)` measures how pebble-efficient the algorithm's access
+//! pattern is; the paper's remark that the optimal equijoin pebbling "is
+//! similar to the merge phase of sort-merge join" (Theorem 4.1) becomes
+//! a measurement here (experiment E16):
+//!
+//! * [`sort_merge_boustrophedon`] achieves the optimum `π = m` on
+//!   equijoins — it alternates the inner-group scan direction;
+//! * [`sort_merge_forward`] (the textbook rescan-forward merge) pays one
+//!   jump per outer tuple beyond the first in every group;
+//! * [`nested_loops_trace`] pays a jump for almost every output pair —
+//!   the `2m` worst case of Lemma 2.1;
+//! * [`hash_join_trace`] sits between, depending on build-side clustering.
+//!
+//! All traces must visit exactly the join-graph edge set; conversion to a
+//! scheme and validation happen through
+//! `implied_scheme` in the `jp-pebble` crate's `analysis` module.
+
+use crate::predicate::JoinPredicate;
+use crate::relation::Relation;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A trace: result pairs in the order the algorithm considers them.
+pub type Trace = Vec<(u32, u32)>;
+
+/// Nested loops: row-major scan order.
+pub fn nested_loops_trace(r: &Relation, s: &Relation, pred: &dyn JoinPredicate) -> Trace {
+    let mut out = Vec::new();
+    for (i, a) in r.iter() {
+        for (j, b) in s.iter() {
+            if pred.matches(a, b) {
+                out.push((i, j));
+            }
+        }
+    }
+    out
+}
+
+/// Hash join: build on `S`, probe in `R` order; matches surface in build
+/// insertion order.
+pub fn hash_join_trace(r: &Relation, s: &Relation) -> Trace {
+    let mut table: HashMap<&Value, Vec<u32>> = HashMap::new();
+    for (j, b) in s.iter() {
+        table.entry(b).or_default().push(j);
+    }
+    let mut out = Vec::new();
+    for (i, a) in r.iter() {
+        if let Some(js) = table.get(a) {
+            out.extend(js.iter().map(|&j| (i, j)));
+        }
+    }
+    out
+}
+
+fn sorted_runs(rel: &Relation) -> Vec<(&Value, u32)> {
+    let mut v: Vec<(&Value, u32)> = rel.iter().map(|(i, val)| (val, i)).collect();
+    v.sort();
+    v
+}
+
+/// Textbook sort-merge: for each outer tuple of a matching group, rescan
+/// the inner group *forward*. On a `k × l` group this produces the edge
+/// order `(r1,s1)…(r1,sl), (r2,s1)…` whose group-boundary transitions
+/// `(r_i, s_l) → (r_{i+1}, s_1)` are jumps — `k − 1` jumps per group.
+pub fn sort_merge_forward(r: &Relation, s: &Relation) -> Trace {
+    sort_merge_trace(r, s, false)
+}
+
+/// Boustrophedon sort-merge: alternate the inner scan direction per outer
+/// tuple — the Lemma 3.2 sequence, jump-free within every group. This is
+/// the variant the paper's Theorem 4.1 construction mirrors.
+pub fn sort_merge_boustrophedon(r: &Relation, s: &Relation) -> Trace {
+    sort_merge_trace(r, s, true)
+}
+
+fn sort_merge_trace(r: &Relation, s: &Relation, boustrophedon: bool) -> Trace {
+    let ra = sorted_runs(r);
+    let sb = sorted_runs(s);
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ra.len() && j < sb.len() {
+        match ra[i].0.cmp(sb[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let gi = (i..ra.len()).take_while(|&k| ra[k].0 == ra[i].0).count();
+                let gj = (j..sb.len()).take_while(|&k| sb[k].0 == sb[j].0).count();
+                for (step, a) in ra[i..i + gi].iter().enumerate() {
+                    let inner: Box<dyn Iterator<Item = &(&Value, u32)>> =
+                        if boustrophedon && step % 2 == 1 {
+                            Box::new(sb[j..j + gj].iter().rev())
+                        } else {
+                            Box::new(sb[j..j + gj].iter())
+                        };
+                    for b in inner {
+                        out.push((a.1, b.1));
+                    }
+                }
+                i += gi;
+                j += gj;
+            }
+        }
+    }
+    out
+}
+
+/// Inverted-index containment join: `R`-major order, candidates in
+/// postings order.
+pub fn containment_index_trace(r: &Relation, s: &Relation) -> Trace {
+    let mut postings: HashMap<u32, Vec<u32>> = HashMap::new();
+    for (j, b) in s.iter() {
+        for &e in b.as_set().expect("set-valued S").elems() {
+            postings.entry(e).or_default().push(j);
+        }
+    }
+    let empty: Vec<u32> = Vec::new();
+    let mut out = Vec::new();
+    for (i, a) in r.iter() {
+        let set = a.as_set().expect("set-valued R");
+        if set.is_empty() {
+            out.extend((0..s.len() as u32).map(|j| (i, j)));
+            continue;
+        }
+        let mut lists: Vec<&Vec<u32>> = set
+            .elems()
+            .iter()
+            .map(|e| postings.get(e).unwrap_or(&empty))
+            .collect();
+        lists.sort_by_key(|l| l.len());
+        let mut candidates = lists[0].clone();
+        for list in &lists[1..] {
+            candidates.retain(|c| list.binary_search(c).is_ok());
+        }
+        out.extend(candidates.into_iter().map(|j| (i, j)));
+    }
+    out
+}
+
+/// Plane-sweep spatial join: pairs in sweep-line discovery order.
+pub fn spatial_sweep_trace(r: &Relation, s: &Relation) -> Trace {
+    let mut out = Vec::new();
+    jp_geometry::sweep::sweep_join(&r.mbrs(), &s.mbrs(), |i, j| {
+        let x = r.value(i as usize).as_region().expect("region-valued R");
+        let y = s.value(j as usize).as_region().expect("region-valued S");
+        if x.intersects(y) {
+            out.push((i, j));
+        }
+    });
+    out
+}
+
+/// An unordered executor: the result pairs of an equality join emitted in
+/// pseudo-random order — the access pattern of an unclustered RID-pair
+/// producer (bitmap-index intersection, exchange-shuffled parallel scan).
+/// Its implied pebbling cost approaches Lemma 2.1's `2m` ceiling.
+pub fn unordered_executor_trace(r: &Relation, s: &Relation, seed: u64) -> Trace {
+    let mut pairs = hash_join_trace(r, s);
+    // Fisher–Yates with a splitmix-style generator (deterministic).
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for i in (1..pairs.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        pairs.swap(i, j);
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Equality;
+    use crate::workload;
+
+    fn sorted(mut t: Trace) -> Trace {
+        t.sort_unstable();
+        t
+    }
+
+    #[test]
+    fn all_traces_cover_the_same_pairs() {
+        let (r, s) = workload::zipf_equijoin(60, 60, 10, 0.7, 1);
+        let expect = sorted(nested_loops_trace(&r, &s, &Equality));
+        assert_eq!(sorted(hash_join_trace(&r, &s)), expect);
+        assert_eq!(sorted(sort_merge_forward(&r, &s)), expect);
+        assert_eq!(sorted(sort_merge_boustrophedon(&r, &s)), expect);
+    }
+
+    #[test]
+    fn boustrophedon_differs_from_forward_only_in_order() {
+        let r = Relation::from_ints("R", [1, 1, 1]);
+        let s = Relation::from_ints("S", [1, 1]);
+        let fwd = sort_merge_forward(&r, &s);
+        let bst = sort_merge_boustrophedon(&r, &s);
+        assert_eq!(sorted(fwd.clone()), sorted(bst.clone()));
+        assert_ne!(fwd, bst);
+        // forward: (0,0)(0,1)(1,0)(1,1)... boustrophedon flips row 1
+        assert_eq!(bst[2], (1, 1));
+    }
+
+    #[test]
+    fn unordered_executor_is_permutation_of_result() {
+        let (r, s) = workload::zipf_equijoin(40, 40, 8, 0.5, 9);
+        let base = sorted(hash_join_trace(&r, &s));
+        let shuffled = unordered_executor_trace(&r, &s, 7);
+        assert_ne!(shuffled, hash_join_trace(&r, &s), "shuffle changes order");
+        assert_eq!(sorted(shuffled), base);
+    }
+
+    #[test]
+    fn containment_trace_covers_result() {
+        let (r, s) = workload::set_workload(30, 20, 100, 2..=4, 5..=9, 0.5, 2);
+        let expect = crate::algorithms::containment::naive(&r, &s);
+        assert_eq!(sorted(containment_index_trace(&r, &s)), expect);
+    }
+
+    #[test]
+    fn spatial_trace_covers_result() {
+        let r = workload::uniform_rects(50, 500, 40, 3);
+        let s = workload::uniform_rects(50, 500, 40, 4);
+        let expect = crate::algorithms::spatial::naive(&r, &s);
+        assert_eq!(sorted(spatial_sweep_trace(&r, &s)), expect);
+    }
+}

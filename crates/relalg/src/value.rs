@@ -1,0 +1,257 @@
+//! Column values for single-column relations.
+//!
+//! §2 of the paper: "we assume that all relations have a single column,
+//! and that all joins are on that column. … These new types include
+//! spatial types, in which the elements of the domain are typically
+//! polygons over some coordinate system; and set-valued types, in which
+//! the elements of the domain are sets."
+
+use jp_geometry::{ConvexPolygon, Region};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A set of `u32` element ids, stored as a sorted, deduplicated vector.
+///
+/// This is the set-valued domain of the containment-join literature the
+/// paper cites (\[5\], \[14\]); elements are ids into some dictionary.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct IdSet {
+    elems: Vec<u32>,
+}
+
+impl IdSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        IdSet::default()
+    }
+
+    /// Builds a set, sorting and deduplicating.
+    pub fn new(mut elems: Vec<u32>) -> Self {
+        elems.sort_unstable();
+        elems.dedup();
+        IdSet { elems }
+    }
+
+    /// Sorted elements.
+    pub fn elems(&self) -> &[u32] {
+        &self.elems
+    }
+
+    /// Cardinality.
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, e: u32) -> bool {
+        self.elems.binary_search(&e).is_ok()
+    }
+
+    /// Whether `self ⊆ other`. Linear merge over the sorted vectors.
+    pub fn is_subset_of(&self, other: &IdSet) -> bool {
+        if self.elems.len() > other.elems.len() {
+            return false;
+        }
+        let mut j = 0;
+        for &e in &self.elems {
+            while j < other.elems.len() && other.elems[j] < e {
+                j += 1;
+            }
+            if j >= other.elems.len() || other.elems[j] != e {
+                return false;
+            }
+            j += 1;
+        }
+        true
+    }
+
+    /// Whether the sets share at least one element.
+    pub fn intersects(&self, other: &IdSet) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < self.elems.len() && j < other.elems.len() {
+            match self.elems[i].cmp(&other.elems[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+}
+
+impl FromIterator<u32> for IdSet {
+    fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> Self {
+        IdSet::new(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for IdSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, e) in self.elems.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A single-column value. All variants support equality, hashing, and a
+/// total order, so the generic equijoin algorithms (hash, sort-merge)
+/// work over every domain — exactly the paper's point that *equality* is
+/// easy regardless of domain, while richer predicates over the same
+/// domains are hard.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Value {
+    /// Numeric value (the "flavor of numeric type" of traditional systems).
+    Int(i64),
+    /// Character string.
+    Str(String),
+    /// Set-valued attribute for containment/overlap joins.
+    Set(IdSet),
+    /// Rectilinear spatial region (the polygon stand-in; see DESIGN.md).
+    Spatial(Region),
+    /// Convex polygon (the paper's literal spatial domain).
+    Polygon(ConvexPolygon),
+}
+
+impl Value {
+    /// Short domain name, used in error messages.
+    pub fn domain(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Str(_) => "str",
+            Value::Set(_) => "set",
+            Value::Spatial(_) => "spatial",
+            Value::Polygon(_) => "polygon",
+        }
+    }
+
+    /// The integer, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The set, if this is a [`Value::Set`].
+    pub fn as_set(&self) -> Option<&IdSet> {
+        match self {
+            Value::Set(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The region, if this is a [`Value::Spatial`].
+    pub fn as_region(&self) -> Option<&Region> {
+        match self {
+            Value::Spatial(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Set(s) => write!(f, "{s}"),
+            Value::Spatial(r) => write!(f, "{r}"),
+            Value::Polygon(p) => write!(f, "poly({} vertices)", p.vertices().len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idset_normalizes() {
+        let s = IdSet::new(vec![3, 1, 3, 2]);
+        assert_eq!(s.elems(), &[1, 2, 3]);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(2));
+        assert!(!s.contains(4));
+    }
+
+    #[test]
+    fn subset_cases() {
+        let empty = IdSet::empty();
+        let s12 = IdSet::new(vec![1, 2]);
+        let s123 = IdSet::new(vec![1, 2, 3]);
+        let s14 = IdSet::new(vec![1, 4]);
+        assert!(empty.is_subset_of(&empty));
+        assert!(empty.is_subset_of(&s12));
+        assert!(!s12.is_subset_of(&empty));
+        assert!(s12.is_subset_of(&s123));
+        assert!(!s123.is_subset_of(&s12));
+        assert!(s12.is_subset_of(&s12));
+        assert!(!s14.is_subset_of(&s123));
+    }
+
+    #[test]
+    fn intersects_cases() {
+        let a = IdSet::new(vec![1, 3, 5]);
+        let b = IdSet::new(vec![2, 4, 5]);
+        let c = IdSet::new(vec![2, 4, 6]);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert!(!IdSet::empty().intersects(&a));
+        assert!(!a.intersects(&IdSet::empty()));
+    }
+
+    #[test]
+    fn idset_from_iterator_and_display() {
+        let s: IdSet = [5u32, 1, 5].into_iter().collect();
+        assert_eq!(s.to_string(), "{1,5}");
+        assert_eq!(IdSet::empty().to_string(), "{}");
+    }
+
+    #[test]
+    fn value_accessors() {
+        let v = Value::Int(9);
+        assert_eq!(v.as_int(), Some(9));
+        assert_eq!(v.as_set(), None);
+        assert_eq!(v.domain(), "int");
+        let s = Value::Set(IdSet::new(vec![1]));
+        assert!(s.as_set().is_some());
+        assert_eq!(s.domain(), "set");
+    }
+
+    #[test]
+    fn value_ordering_is_total() {
+        let mut vs = vec![
+            Value::Str("b".into()),
+            Value::Int(2),
+            Value::Int(1),
+            Value::Str("a".into()),
+        ];
+        vs.sort();
+        assert_eq!(
+            vs,
+            vec![
+                Value::Int(1),
+                Value::Int(2),
+                Value::Str("a".into()),
+                Value::Str("b".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn value_display() {
+        assert_eq!(Value::Int(-4).to_string(), "-4");
+        assert_eq!(Value::Str("hi".into()).to_string(), "\"hi\"");
+        assert_eq!(Value::Set(IdSet::new(vec![2, 1])).to_string(), "{1,2}");
+    }
+}

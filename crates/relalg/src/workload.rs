@@ -1,0 +1,250 @@
+//! Synthetic workload generators.
+//!
+//! No public 2001 workloads exist for the paper; these generators produce
+//! the three join-graph regimes it contrasts (see DESIGN.md §1):
+//!
+//! * [`zipf_equijoin`] — skewed-key equijoin inputs whose join graphs are
+//!   unions of complete bipartite graphs of very different sizes;
+//! * [`set_workload`] — set families with *planted* containments (random
+//!   sets almost never contain each other, so the rate is a parameter);
+//! * [`uniform_rects`] / [`clustered_rects`] — spatial inputs with
+//!   controllable selectivity.
+
+use crate::relation::Relation;
+use crate::value::IdSet;
+use jp_geometry::Rect;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Samples from a Zipf(θ) distribution over `1..=n_keys` via an inverse
+/// CDF table. θ = 0 is uniform; θ ≈ 1 is classic Zipf.
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler.
+    ///
+    /// # Panics
+    /// Panics if `n_keys == 0` or `theta < 0`.
+    pub fn new(n_keys: usize, theta: f64) -> Self {
+        assert!(n_keys > 0, "need at least one key");
+        assert!(theta >= 0.0, "theta must be non-negative");
+        let mut cdf = Vec::with_capacity(n_keys);
+        let mut acc = 0.0;
+        for k in 1..=n_keys {
+            acc += 1.0 / (k as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws a key in `0..n_keys` (0 is the most frequent).
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Generates a pair of integer relations with Zipf-distributed keys: the
+/// equijoin workload. Higher `theta` means heavier skew, i.e. a few huge
+/// complete bipartite components in the join graph.
+pub fn zipf_equijoin(
+    n_r: usize,
+    n_s: usize,
+    n_keys: usize,
+    theta: f64,
+    seed: u64,
+) -> (Relation, Relation) {
+    let zipf = Zipf::new(n_keys, theta);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let r: Vec<i64> = (0..n_r).map(|_| zipf.sample(&mut rng) as i64).collect();
+    let s: Vec<i64> = (0..n_s).map(|_| zipf.sample(&mut rng) as i64).collect();
+    (Relation::from_ints("R", r), Relation::from_ints("S", s))
+}
+
+/// Generates a set-containment workload over a `universe`-element
+/// dictionary. `S` sets are random with sizes in `s_size`; each `R` set is,
+/// with probability `planted_rate`, a random subset of a random `S` set
+/// (guaranteeing a containment) and otherwise a random set with sizes in
+/// `r_size` (containments then occur only by chance).
+pub fn set_workload(
+    n_r: usize,
+    n_s: usize,
+    universe: u32,
+    r_size: std::ops::RangeInclusive<usize>,
+    s_size: std::ops::RangeInclusive<usize>,
+    planted_rate: f64,
+    seed: u64,
+) -> (Relation, Relation) {
+    assert!(universe > 0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let random_set = |size_range: &std::ops::RangeInclusive<usize>, rng: &mut SmallRng| {
+        let size = rng.random_range(size_range.clone()).min(universe as usize);
+        let mut elems = Vec::with_capacity(size);
+        while elems.len() < size {
+            let e = rng.random_range(0..universe);
+            if !elems.contains(&e) {
+                elems.push(e);
+            }
+        }
+        IdSet::new(elems)
+    };
+    let s_sets: Vec<IdSet> = (0..n_s).map(|_| random_set(&s_size, &mut rng)).collect();
+    let r_sets: Vec<IdSet> = (0..n_r)
+        .map(|_| {
+            if !s_sets.is_empty() && rng.random_bool(planted_rate) {
+                // subset of a random S set
+                let parent = &s_sets[rng.random_range(0..s_sets.len())];
+                let keep: Vec<u32> = parent
+                    .elems()
+                    .iter()
+                    .copied()
+                    .filter(|_| rng.random_bool(0.5))
+                    .collect();
+                IdSet::new(keep)
+            } else {
+                random_set(&r_size, &mut rng)
+            }
+        })
+        .collect();
+    (
+        Relation::from_sets("R", r_sets),
+        Relation::from_sets("S", s_sets),
+    )
+}
+
+/// Uniformly scattered rectangles over `[0, extent]²` with edge lengths in
+/// `[1, max_side]`.
+pub fn uniform_rects(n: usize, extent: i64, max_side: i64, seed: u64) -> Relation {
+    assert!(extent > 0 && max_side > 0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Relation::from_rects(
+        "R",
+        (0..n).map(|_| {
+            let x = rng.random_range(0..extent);
+            let y = rng.random_range(0..extent);
+            let w = rng.random_range(1..=max_side);
+            let h = rng.random_range(1..=max_side);
+            Rect::new(x, y, x + w, y + h)
+        }),
+    )
+}
+
+/// Gaussian-ish clustered rectangles: `n` rectangles distributed around
+/// `clusters` random centres with triangular-noise offsets — the skewed
+/// regime where grid partitioning overflows cells.
+pub fn clustered_rects(
+    n: usize,
+    extent: i64,
+    max_side: i64,
+    clusters: usize,
+    spread: i64,
+    seed: u64,
+) -> Relation {
+    assert!(extent > 0 && max_side > 0 && clusters > 0 && spread > 0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let centers: Vec<(i64, i64)> = (0..clusters)
+        .map(|_| (rng.random_range(0..extent), rng.random_range(0..extent)))
+        .collect();
+    // Sum of two uniforms gives a triangular distribution around 0.
+    let tri = |rng: &mut SmallRng| {
+        rng.random_range(-spread..=spread) / 2 + rng.random_range(-spread..=spread) / 2
+    };
+    Relation::from_rects(
+        "R",
+        (0..n).map(|_| {
+            let (cx, cy) = centers[rng.random_range(0..centers.len())];
+            let x = (cx + tri(&mut rng)).clamp(0, extent);
+            let y = (cy + tri(&mut rng)).clamp(0, extent);
+            let w = rng.random_range(1..=max_side);
+            let h = rng.random_range(1..=max_side);
+            Rect::new(x, y, x + w, y + h)
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms;
+    use crate::predicate::SetContainment;
+
+    #[test]
+    fn zipf_theta_zero_is_roughly_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (700..1300).contains(&c),
+                "uniform-ish counts, got {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_for_high_theta() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(
+            counts[0] > counts[50].max(1) * 10,
+            "head should dominate: {:?}",
+            &counts[..5]
+        );
+    }
+
+    #[test]
+    fn zipf_equijoin_shapes() {
+        let (r, s) = zipf_equijoin(100, 80, 20, 1.0, 7);
+        assert_eq!(r.len(), 100);
+        assert_eq!(s.len(), 80);
+        let g = crate::join_graph::equijoin_graph(&r, &s);
+        assert!(jp_graph::properties::is_equijoin_graph(&g));
+        assert!(g.edge_count() > 0);
+    }
+
+    #[test]
+    fn set_workload_planting_controls_rate() {
+        let (r0, s0) = set_workload(60, 40, 1000, 4..=8, 8..=16, 0.0, 3);
+        let (r1, s1) = set_workload(60, 40, 1000, 4..=8, 8..=16, 1.0, 3);
+        let none = algorithms::nested_loops(&r0, &s0, &SetContainment).len();
+        let planted = algorithms::nested_loops(&r1, &s1, &SetContainment).len();
+        assert!(planted > none, "planted {planted} vs unplanted {none}");
+        assert!(planted >= 50, "planting guarantees most R tuples join");
+    }
+
+    #[test]
+    fn rect_workloads_in_bounds() {
+        let u = uniform_rects(200, 1000, 20, 5);
+        for (rect, _) in u.mbrs() {
+            assert!(rect.min.x >= 0 && rect.max.x <= 1020);
+            assert!(rect.min.y >= 0 && rect.max.y <= 1020);
+        }
+        let c = clustered_rects(200, 1000, 20, 5, 50, 6);
+        assert_eq!(c.len(), 200);
+    }
+
+    #[test]
+    fn clustered_rects_are_denser_than_uniform() {
+        let u = uniform_rects(150, 5000, 10, 8);
+        let c = clustered_rects(150, 5000, 10, 3, 40, 8);
+        let su = algorithms::spatial::naive(&u, &u).len();
+        let sc = algorithms::spatial::naive(&c, &c).len();
+        assert!(
+            sc > su,
+            "clustered self-join {sc} should exceed uniform {su}"
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for the relational substrate: algorithm
+//! agreement, join-graph consistency, and the realization lemmas on
+//! arbitrary graphs.
+
+use jp_graph::BipartiteGraph;
+use jp_relalg::predicate::{Band, Equality, SetContainment, SetOverlap, SpatialOverlap};
+use jp_relalg::{
+    algorithms, containment_graph, equijoin_graph, join_graph, realize, spatial_graph,
+};
+use jp_relalg::{IdSet, Relation};
+use proptest::prelude::*;
+
+fn int_relation(n: usize, key_range: i64) -> impl Strategy<Value = Relation> {
+    proptest::collection::vec(0..key_range, 0..n).prop_map(|v| Relation::from_ints("R", v))
+}
+
+fn set_relation(n: usize) -> impl Strategy<Value = Relation> {
+    proptest::collection::vec(proptest::collection::vec(0u32..12, 0..5), 0..n)
+        .prop_map(|sets| Relation::from_sets("R", sets.into_iter().map(IdSet::new)))
+}
+
+fn rect_relation(n: usize) -> impl Strategy<Value = Relation> {
+    proptest::collection::vec((0i64..200, 0i64..200, 0i64..40, 0i64..40), 0..n).prop_map(|v| {
+        Relation::from_rects(
+            "R",
+            v.into_iter()
+                .map(|(x, y, w, h)| jp_geometry::Rect::new(x, y, x + w, y + h)),
+        )
+    })
+}
+
+fn bipartite() -> impl Strategy<Value = BipartiteGraph> {
+    (1u32..=6, 1u32..=6).prop_flat_map(|(k, l)| {
+        proptest::collection::vec((0..k, 0..l), 0..=15)
+            .prop_map(move |edges| BipartiteGraph::new(k, l, edges))
+    })
+}
+
+proptest! {
+    #[test]
+    fn equijoin_algorithms_agree(r in int_relation(25, 8), s in int_relation(25, 8)) {
+        let mut expect = algorithms::nested_loops(&r, &s, &Equality);
+        expect.sort_unstable();
+        prop_assert_eq!(algorithms::equi::hash_join(&r, &s), expect.clone());
+        prop_assert_eq!(algorithms::equi::sort_merge(&r, &s), expect.clone());
+        prop_assert_eq!(algorithms::equi::index_nested_loops(&r, &s), expect.clone());
+        // join graph = result pairs
+        let g = equijoin_graph(&r, &s);
+        prop_assert_eq!(g.edges(), &expect[..]);
+    }
+
+    #[test]
+    fn equijoin_graph_is_union_of_complete_bipartite(
+        r in int_relation(25, 6),
+        s in int_relation(25, 6),
+    ) {
+        let g = equijoin_graph(&r, &s);
+        prop_assert!(jp_graph::properties::is_equijoin_graph(&g));
+    }
+
+    #[test]
+    fn containment_algorithms_agree(r in set_relation(15), s in set_relation(15)) {
+        let expect = algorithms::containment::naive(&r, &s);
+        prop_assert_eq!(algorithms::containment::inverted_index(&r, &s), expect.clone());
+        prop_assert_eq!(algorithms::containment::signature(&r, &s), expect.clone());
+        prop_assert_eq!(algorithms::containment::partitioned(&r, &s, 7), expect.clone());
+        let g = containment_graph(&r, &s);
+        prop_assert_eq!(g.edges(), &expect[..]);
+        // definitionally correct too
+        let mut by_def = algorithms::nested_loops(&r, &s, &SetContainment);
+        by_def.sort_unstable();
+        prop_assert_eq!(expect, by_def);
+    }
+
+    #[test]
+    fn containment_implies_overlap_unless_empty(r in set_relation(12), s in set_relation(12)) {
+        // r ⊆ s and r ≠ ∅ implies r ∩ s ≠ ∅: containment results are a
+        // subset of overlap results when the left set is non-empty.
+        let cont = algorithms::nested_loops(&r, &s, &SetContainment);
+        let over = algorithms::nested_loops(&r, &s, &SetOverlap);
+        for &(i, j) in &cont {
+            if !r.value(i as usize).as_set().unwrap().is_empty() {
+                prop_assert!(over.contains(&(i, j)));
+            }
+        }
+    }
+
+    #[test]
+    fn spatial_algorithms_agree(r in rect_relation(20), s in rect_relation(20)) {
+        let expect = algorithms::spatial::naive(&r, &s);
+        prop_assert_eq!(algorithms::spatial::sweep(&r, &s), expect.clone());
+        prop_assert_eq!(algorithms::spatial::pbsm(&r, &s), expect.clone());
+        prop_assert_eq!(algorithms::spatial::rtree(&r, &s), expect.clone());
+        prop_assert_eq!(algorithms::spatial::index_nested_loops(&r, &s), expect.clone());
+        let g = spatial_graph(&r, &s);
+        prop_assert_eq!(g.edges(), &expect[..]);
+        let mut by_def = algorithms::nested_loops(&r, &s, &SpatialOverlap);
+        by_def.sort_unstable();
+        prop_assert_eq!(expect, by_def);
+    }
+
+    #[test]
+    fn band_join_contains_equijoin(r in int_relation(20, 10), s in int_relation(20, 10), w in 0i64..4) {
+        let eq = algorithms::nested_loops(&r, &s, &Equality);
+        let band = algorithms::nested_loops(&r, &s, &Band(w));
+        for p in &eq {
+            prop_assert!(band.contains(p));
+        }
+    }
+
+    #[test]
+    fn lemma_3_3_containment_universality(g in bipartite()) {
+        let (r, s) = realize::set_containment_instance(&g);
+        prop_assert_eq!(containment_graph(&r, &s), g);
+    }
+
+    #[test]
+    fn spatial_universality(g in bipartite()) {
+        let (r, s) = realize::spatial_universal_instance(&g);
+        prop_assert_eq!(spatial_graph(&r, &s), g);
+    }
+
+    #[test]
+    fn equijoin_realization_roundtrip(g in bipartite()) {
+        // only unions of complete bipartite graphs are equijoin-realizable
+        match realize::equijoin_instance(&g) {
+            Some((r, s)) => {
+                prop_assert!(jp_graph::properties::is_equijoin_graph(&g));
+                prop_assert_eq!(equijoin_graph(&r, &s), g);
+            }
+            None => prop_assert!(!jp_graph::properties::is_equijoin_graph(&g)),
+        }
+    }
+
+    #[test]
+    fn join_graph_vertex_counts_match_relations(
+        r in int_relation(15, 5),
+        s in int_relation(15, 5),
+    ) {
+        let g = join_graph(&r, &s, &Equality);
+        prop_assert_eq!(g.left_count() as usize, r.len());
+        prop_assert_eq!(g.right_count() as usize, s.len());
+    }
+}

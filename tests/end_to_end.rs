@@ -1,0 +1,90 @@
+//! Cross-crate integration: the full pipeline from relations through join
+//! algorithms, join graphs, and pebbling, for all three predicate
+//! classes the paper studies.
+
+use join_predicates::graph::{betti_number, properties};
+use join_predicates::pebble::approx::{pebble_dfs_partition, pebble_equijoin, pebble_euler_trails};
+use join_predicates::pebble::{analysis::SchemeReport, bounds, exact};
+use join_predicates::relalg::{
+    algorithms, containment_graph, equijoin_graph, spatial_graph, workload,
+};
+
+#[test]
+fn equijoin_pipeline_is_perfect_and_consistent() {
+    let (r, s) = workload::zipf_equijoin(400, 350, 50, 1.0, 99);
+    // algorithm agreement
+    let pairs = algorithms::equi::hash_join(&r, &s);
+    assert_eq!(pairs, algorithms::equi::sort_merge(&r, &s));
+    assert_eq!(pairs, algorithms::equi::index_nested_loops(&r, &s));
+    // join graph equals the result
+    let g = equijoin_graph(&r, &s);
+    assert_eq!(g.edges(), &pairs[..]);
+    assert!(properties::is_equijoin_graph(&g));
+    // perfect pebbling (Theorem 3.2) with exact bookkeeping
+    let scheme = pebble_equijoin(&g).unwrap();
+    let report = SchemeReport::new(&g, &scheme);
+    assert!(report.is_perfect());
+    assert_eq!(
+        report.total_cost,
+        g.edge_count() + betti_number(&g) as usize
+    );
+    assert_eq!(report.jumps, betti_number(&g) as usize - 1);
+}
+
+#[test]
+fn containment_pipeline_hits_general_graph_regime() {
+    let (r, s) = workload::set_workload(150, 120, 600, 2..=5, 6..=12, 0.5, 100);
+    let pairs = algorithms::containment::inverted_index(&r, &s);
+    assert_eq!(pairs, algorithms::containment::naive(&r, &s));
+    assert_eq!(pairs, algorithms::containment::signature(&r, &s));
+    let g = containment_graph(&r, &s);
+    let (g, _, _) = g.strip_isolated();
+    if g.edge_count() == 0 {
+        return;
+    }
+    // general-purpose pebblers apply; equijoin pebbler may not
+    let scheme = pebble_dfs_partition(&g).unwrap();
+    scheme.validate(&g).unwrap();
+    assert!(scheme.effective_cost(&g) <= (5 * g.edge_count()).div_ceil(4));
+    let trails = pebble_euler_trails(&g).unwrap();
+    trails.validate(&g).unwrap();
+}
+
+#[test]
+fn spatial_pipeline_filter_refine_and_pebble() {
+    let r = workload::clustered_rects(300, 5_000, 60, 5, 200, 101);
+    let s = workload::uniform_rects(300, 5_000, 60, 102);
+    let pairs = algorithms::spatial::sweep(&r, &s);
+    assert_eq!(pairs, algorithms::spatial::pbsm(&r, &s));
+    assert_eq!(pairs, algorithms::spatial::rtree(&r, &s));
+    assert_eq!(pairs, algorithms::spatial::naive(&r, &s));
+    let g = spatial_graph(&r, &s);
+    assert_eq!(g.edges(), &pairs[..]);
+    let (g, _, _) = g.strip_isolated();
+    if g.edge_count() == 0 {
+        return;
+    }
+    let scheme = pebble_euler_trails(&g).unwrap();
+    scheme.validate(&g).unwrap();
+    assert!(scheme.effective_cost(&g) >= bounds::lower_bound_effective(&g));
+}
+
+#[test]
+fn small_workloads_exactly_solvable_across_predicates() {
+    // keep join graphs tiny so the exact solver applies end to end
+    let (r, s) = workload::zipf_equijoin(8, 8, 6, 0.4, 103);
+    let g = equijoin_graph(&r, &s);
+    if g.edge_count() > 0 {
+        let opt = exact::optimal_effective_cost(&g).unwrap();
+        assert_eq!(opt, g.edge_count(), "equijoins are perfect");
+    }
+
+    let (r, s) = workload::set_workload(8, 6, 30, 1..=3, 3..=6, 0.6, 104);
+    let g = containment_graph(&r, &s);
+    let (g, _, _) = g.strip_isolated();
+    if g.edge_count() > 0 && g.edge_count() <= exact::MAX_EXACT_EDGES {
+        let opt = exact::optimal_effective_cost(&g).unwrap();
+        assert!(opt >= g.edge_count());
+        assert!(opt <= bounds::upper_bound_effective(&g));
+    }
+}

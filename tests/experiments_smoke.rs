@@ -1,0 +1,24 @@
+//! Smoke test: the fast experiments of the harness must PASS when run as
+//! part of the test suite (the slow ones — E10's 10^6-edge sweep, E11's
+//! exponential exact runs — are exercised by the `experiments` binary and
+//! CI's release-mode job instead).
+
+#[test]
+fn fast_experiments_pass_in_debug() {
+    let fast = ["E2", "E3", "E7", "E9", "E14", "E16", "E17"];
+    for e in jp_bench::all_experiments() {
+        if !fast.contains(&e.id) {
+            continue;
+        }
+        let (report, pass) = (e.run)();
+        assert!(pass, "{} ({}) failed:\n{report}", e.id, e.title);
+    }
+}
+
+#[test]
+fn experiment_ids_match_design_index() {
+    let ids: Vec<&str> = jp_bench::all_experiments().iter().map(|e| e.id).collect();
+    assert_eq!(ids.len(), 21);
+    assert_eq!(ids.first(), Some(&"E1"));
+    assert_eq!(ids.last(), Some(&"E21"));
+}

@@ -1,0 +1,92 @@
+//! Integration tests for the extension layers: join traces (E16),
+//! fragment mappings + parallel execution (E17/§5), and page-fetch
+//! scheduling (E18/related work) — wired together across crates.
+
+use join_predicates::graph::{generators, quotient};
+use join_predicates::pebble::analysis::implied_scheme;
+use join_predicates::pebble::fragmentation::{
+    balanced_capacity, component_pack, connected_lower_bound, exact_min_investigated,
+};
+use join_predicates::pebble::paging::{page_fetches, schedule_page_fetches, PageLayout};
+use join_predicates::pebble::{bounds, exact_bb};
+use join_predicates::relalg::predicate::Equality;
+use join_predicates::relalg::{equijoin_graph, parallel, trace, workload};
+
+#[test]
+fn trace_to_scheme_pipeline_measures_algorithms() {
+    let (r, s) = workload::zipf_equijoin(150, 150, 20, 0.7, 51);
+    let g = equijoin_graph(&r, &s);
+    let bst = implied_scheme(&g, &trace::sort_merge_boustrophedon(&r, &s)).unwrap();
+    let fwd = implied_scheme(&g, &trace::sort_merge_forward(&r, &s)).unwrap();
+    let unord = implied_scheme(&g, &trace::unordered_executor_trace(&r, &s, 3)).unwrap();
+    bst.validate(&g).unwrap();
+    fwd.validate(&g).unwrap();
+    unord.validate(&g).unwrap();
+    // boustrophedon = optimal; monotone ladder; Lemma 2.1 ceiling
+    assert_eq!(bst.cost(), bounds::lower_bound_total(&g));
+    assert!(fwd.cost() >= bst.cost());
+    assert!(unord.cost() >= fwd.cost());
+    assert!(unord.cost() <= bounds::upper_bound_total(&g));
+}
+
+#[test]
+fn fragmentation_plans_execute_in_parallel_and_match() {
+    let (r, s) = workload::zipf_equijoin(200, 180, 60, 0.5, 52);
+    let g = equijoin_graph(&r, &s);
+    let (p, q) = (3u32, 3u32);
+    let cap_l = balanced_capacity(r.len(), p) + 4;
+    let cap_r = balanced_capacity(s.len(), q) + 4;
+    let m = component_pack(&g, p, q, cap_l, cap_r);
+    m.validate(&g, cap_l, cap_r).unwrap();
+    // the plan's cost is the quotient's edge count
+    assert_eq!(
+        m.cost(&g),
+        quotient(&g, &m.left, p, &m.right, q).edge_count()
+    );
+    // executing the plan reproduces the join exactly
+    let pairs = parallel::fragmented_join(&r, &s, &Equality, &m.left, p, &m.right, q, 4);
+    assert_eq!(pairs, g.edges().to_vec());
+}
+
+#[test]
+fn exact_fragmentation_dominates_heuristic_on_tiny_instances() {
+    for (g, p, q) in [
+        (generators::matching(4), 2u32, 2u32),
+        (generators::spider(3), 2, 2),
+        (generators::complete_bipartite(2, 3), 2, 2),
+    ] {
+        let cap_l = balanced_capacity(g.left_count() as usize, p);
+        let cap_r = balanced_capacity(g.right_count() as usize, q);
+        let (_, opt) = exact_min_investigated(&g, p, q, cap_l, cap_r);
+        let heur = component_pack(&g, p, q, cap_l, cap_r).cost(&g);
+        assert!(heur >= opt, "{g}: heuristic {heur} below exact {opt}");
+        assert!(opt >= connected_lower_bound(&g, cap_l, cap_r).min(opt));
+    }
+}
+
+#[test]
+fn page_scheduling_pipeline_across_granularities() {
+    let g = generators::spider(24);
+    let mut prev_edges = usize::MAX;
+    for cap in [1usize, 2, 4, 8] {
+        let layout = PageLayout::sequential(g.left_count() as usize, g.right_count() as usize, cap);
+        let (pg, scheme) = schedule_page_fetches(&g, &layout).unwrap();
+        scheme.validate(&pg).unwrap();
+        assert!(
+            pg.edge_count() <= prev_edges,
+            "coarser pages shrink the page graph"
+        );
+        prev_edges = pg.edge_count();
+        assert!(page_fetches(&scheme) > pg.edge_count());
+    }
+}
+
+#[test]
+fn bb_certifies_spider_optimum_beyond_held_karp() {
+    let g = generators::spider(18); // m = 36 > Held–Karp limit
+    let cost = exact_bb::optimal_effective_cost_bb(&g, 100_000_000).unwrap();
+    assert_eq!(
+        cost as u64,
+        join_predicates::pebble::families::spider_optimal_cost(18)
+    );
+}

@@ -1,0 +1,161 @@
+//! Integration-level verification of the paper's numbered claims, one
+//! test per theorem/lemma, spanning crates. (The per-module unit tests
+//! check the pieces; these check the statements.)
+
+use join_predicates::graph::{generators, hamilton, line_graph, properties};
+use join_predicates::pebble::approx::{pebble_dfs_partition, pebble_equijoin};
+use join_predicates::pebble::reductions::{diamond::Diamond, tsp3_to_pebble, tsp4_to_tsp3};
+use join_predicates::pebble::{bounds, exact, families, tsp::Tsp12};
+use join_predicates::relalg::{containment_graph, realize, spatial_graph};
+
+#[test]
+fn lemma_2_1_and_2_3_cost_window() {
+    for seed in 0..10u64 {
+        let g = generators::random_connected_bipartite(4, 4, 10, seed);
+        let m = g.edge_count();
+        let pi_hat = exact::optimal_total_cost(&g).unwrap();
+        let pi = exact::optimal_effective_cost(&g).unwrap();
+        assert!((m + 1..=2 * m).contains(&pi_hat));
+        assert!((m..=2 * m - 1).contains(&pi));
+    }
+}
+
+#[test]
+fn lemma_2_2_additivity() {
+    let a = generators::spider(3);
+    let b = generators::random_connected_bipartite(3, 3, 7, 9);
+    let u = a.disjoint_union(&b);
+    assert_eq!(
+        exact::optimal_total_cost(&u).unwrap(),
+        exact::optimal_total_cost(&a).unwrap() + exact::optimal_total_cost(&b).unwrap()
+    );
+}
+
+#[test]
+fn lemma_2_4_matchings() {
+    for m in [1u32, 4, 9] {
+        let g = generators::matching(m);
+        assert_eq!(exact::optimal_total_cost(&g).unwrap(), 2 * m as usize);
+        assert_eq!(exact::optimal_effective_cost(&g).unwrap(), m as usize);
+    }
+}
+
+#[test]
+fn proposition_2_1_perfect_iff_traceable() {
+    for (g, expect) in [
+        (generators::path(6), true),
+        (generators::complete_bipartite(3, 3), true),
+        (generators::spider(4), false),
+    ] {
+        let traceable = hamilton::has_hamiltonian_path(&line_graph(&g));
+        assert_eq!(traceable, expect);
+        assert_eq!(
+            exact::optimal_effective_cost(&g).unwrap() == g.edge_count(),
+            expect
+        );
+    }
+}
+
+#[test]
+fn theorem_3_1_upper_bound_via_construction() {
+    for seed in 0..8u64 {
+        let g = generators::random_connected_bipartite(6, 6, 18, seed);
+        let s = pebble_dfs_partition(&g).unwrap();
+        assert!(s.effective_cost(&g) <= (5 * g.edge_count()).div_ceil(4));
+    }
+}
+
+#[test]
+fn theorem_3_2_equijoins_pebble_perfectly() {
+    let g = generators::complete_bipartite(3, 7)
+        .disjoint_union(&generators::complete_bipartite(5, 2))
+        .disjoint_union(&generators::matching(6));
+    let s = pebble_equijoin(&g).unwrap();
+    assert_eq!(s.effective_cost(&g), g.edge_count());
+}
+
+#[test]
+fn lemma_3_3_universality_through_real_joins() {
+    for g in [
+        generators::spider(5),
+        generators::random_bipartite(7, 7, 0.35, 3),
+    ] {
+        let (r, s) = realize::set_containment_instance(&g);
+        assert_eq!(containment_graph(&r, &s), g);
+    }
+}
+
+#[test]
+fn theorem_3_3_spider_worst_case() {
+    for n in [4u32, 6] {
+        let g = generators::spider(n);
+        let m = 2 * n as usize;
+        assert_eq!(exact::optimal_effective_cost(&g).unwrap(), 5 * m / 4 - 1);
+        assert_eq!(bounds::pendant_lower_bound(&g), 5 * m / 4 - 1);
+        assert!(!properties::is_equijoin_graph(&g));
+    }
+    // at scale via witness + certificate
+    let (g, s) = families::spider_optimal_scheme(50_000);
+    assert_eq!(
+        s.effective_cost(&g) as u64,
+        families::spider_optimal_cost(50_000)
+    );
+    assert_eq!(bounds::pendant_lower_bound(&g), s.effective_cost(&g));
+}
+
+#[test]
+fn lemma_3_4_spatial_realization() {
+    for n in [3u32, 8] {
+        let (r, s) = realize::spatial_spider_instance(n);
+        assert_eq!(spatial_graph(&r, &s), generators::spider(n));
+    }
+}
+
+#[test]
+fn theorem_4_1_equijoin_linear_pebbling_is_exact() {
+    let g = generators::complete_bipartite(4, 5).disjoint_union(&generators::matching(3));
+    assert_eq!(
+        pebble_equijoin(&g).unwrap().effective_cost(&g),
+        exact::optimal_effective_cost(&g).unwrap()
+    );
+}
+
+#[test]
+fn theorem_4_2_decision_procedure_exact_on_spatial_graphs() {
+    // PEBBLE(D) instances arising from spatial joins
+    let g0 = generators::random_connected_bipartite(4, 4, 9, 77);
+    let (r, s) = realize::spatial_universal_instance(&g0);
+    let g = spatial_graph(&r, &s);
+    let opt = exact::optimal_effective_cost(&g).unwrap();
+    assert!(exact::pebble_decision(&g, opt).unwrap());
+    assert!(!exact::pebble_decision(&g, opt - 1).unwrap());
+}
+
+#[test]
+fn theorem_4_3_reduction_properties() {
+    let d = Diamond::new();
+    assert!(d.no_two_disjoint_corner_paths_cover());
+    let ones = generators::random_bounded_degree(5, 4, 8, 1);
+    if ones.is_connected() {
+        let g = Tsp12::new(ones);
+        let red = tsp4_to_tsp3::reduce(&g);
+        assert!(red.h().ones().max_degree() <= 3);
+    }
+}
+
+#[test]
+fn theorem_4_4_reduction_round_trip() {
+    let ones = generators::random_bounded_degree(6, 3, 7, 5);
+    if !ones.is_connected() {
+        return;
+    }
+    let g = Tsp12::new(ones);
+    let red = tsp3_to_pebble::reduce(&g);
+    let (tour, jumps) = exact::min_jump_tour(g.ones());
+    let scheme = red.forward_scheme(&tour).unwrap();
+    assert_eq!(scheme.jumps(red.b()), jumps);
+    let back = red.back_tour(&scheme);
+    let mut sorted = back.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, (0..g.n() as u32).collect::<Vec<_>>());
+}
