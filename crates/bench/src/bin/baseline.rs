@@ -1,0 +1,112 @@
+//! Emits `BENCH_pebbling.json`: a seed performance/effort baseline for
+//! the pebbling solver ladder on fixed graph families.
+//!
+//! For every (family, solver) pair the baseline records wall time plus
+//! the solver's own effort counters (branch-and-bound nodes expanded,
+//! Held–Karp subset iterations, local-search improving moves, …) as
+//! captured through `jp-obs`. Timings vary run to run and machine to
+//! machine; the counters are deterministic, so regressions in *work
+//! done* — the signal that matters — diff cleanly against the committed
+//! baseline.
+//!
+//! ```text
+//! cargo run -p jp-bench --bin baseline --release [-- out.json]
+//! ```
+
+use jp_bench::capture;
+use jp_graph::{generators, line_graph, BipartiteGraph};
+use jp_obs::StatsSnapshot;
+use serde::Serialize;
+
+/// A named solver entry point producing a scheme (or `None` when the
+/// solver does not apply to the graph).
+type Solver = (
+    &'static str,
+    fn(&BipartiteGraph) -> Option<jp_pebble::PebblingScheme>,
+);
+
+/// One (family, solver) measurement.
+#[derive(Debug, Clone, Serialize)]
+struct Case {
+    family: String,
+    solver: String,
+    edges: u64,
+    effective_cost: u64,
+    wall_micros: u64,
+    stats: StatsSnapshot,
+}
+
+fn families() -> Vec<(String, BipartiteGraph)> {
+    vec![
+        ("spider_8".into(), generators::spider(8)),
+        ("spider_10".into(), generators::spider(10)),
+        (
+            "complete_bipartite_4x5".into(),
+            generators::complete_bipartite(4, 5),
+        ),
+        ("path_12".into(), generators::path(12)),
+        (
+            "random_connected_8x8_m16_seed5".into(),
+            generators::random_connected_bipartite(8, 8, 16, 5),
+        ),
+    ]
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pebbling.json".to_string());
+    const BB_BUDGET: u64 = 50_000_000;
+    let solvers: Vec<Solver> = vec![
+        ("dfs_partition", |g| {
+            jp_pebble::approx::pebble_dfs_partition(g).ok()
+        }),
+        ("euler_trails", |g| {
+            jp_pebble::approx::pebble_euler_trails(g).ok()
+        }),
+        ("path_cover", |g| {
+            jp_pebble::approx::pebble_path_cover(g).ok()
+        }),
+        ("matching_cover", |g| {
+            jp_pebble::approx::pebble_matching_cover(g).ok()
+        }),
+        ("nearest_neighbor", |g| {
+            jp_pebble::approx::pebble_nearest_neighbor(g).ok()
+        }),
+        ("exact_held_karp", |g| {
+            jp_pebble::exact::optimal_scheme(g).ok()
+        }),
+        ("exact_bb", |g| {
+            jp_pebble::exact_bb::optimal_scheme_bb(g, BB_BUDGET).ok()
+        }),
+        ("two_opt_ladder", |g| {
+            // nearest neighbour + 2-opt + or-opt, the E15 ladder
+            let lg = line_graph(g);
+            let tsp = jp_pebble::tsp::Tsp12::new(lg.clone());
+            let mut tour = jp_pebble::approx::nearest_neighbor::nearest_neighbor_tour(&lg);
+            jp_pebble::approx::improve_two_opt(&tsp, &mut tour, 10);
+            jp_pebble::approx::improve_or_opt(&tsp, &mut tour, 10);
+            let order: Vec<usize> = tour.iter().map(|&e| e as usize).collect();
+            jp_pebble::PebblingScheme::from_edge_sequence(g, &order).ok()
+        }),
+    ];
+
+    let mut cases = Vec::new();
+    for (family, g) in families() {
+        for (solver, run) in &solvers {
+            let (scheme, wall_micros, stats) = capture(|| run(&g));
+            let Some(scheme) = scheme else { continue };
+            cases.push(Case {
+                family: family.clone(),
+                solver: solver.to_string(),
+                edges: g.edge_count() as u64,
+                effective_cost: scheme.effective_cost(&g) as u64,
+                wall_micros,
+                stats,
+            });
+        }
+    }
+    let json = serde_json::to_string_pretty(&cases).expect("baseline serializes");
+    std::fs::write(&out_path, json + "\n").expect("baseline written");
+    eprintln!("{} cases written to {out_path}", cases.len());
+}

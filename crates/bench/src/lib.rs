@@ -9,6 +9,8 @@
 //! solver exponentiality, join-algorithm throughput).
 
 pub mod experiments;
+pub mod metrics;
 pub mod table;
 
 pub use experiments::{all_experiments, Experiment};
+pub use metrics::{capture, write_metrics, RunMetrics};

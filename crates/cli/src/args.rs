@@ -51,7 +51,9 @@ impl ParsedArgs {
                 let Some(value) = value else {
                     return Err(CliError::Usage(format!("option --{key} needs a value")));
                 };
-                out.options.insert(key.to_string(), value.clone());
+                if out.options.insert(key.to_string(), value.clone()).is_some() {
+                    return Err(CliError::Usage(format!("option --{key} given twice")));
+                }
                 i += 2;
             } else {
                 out.positional.push(a.clone());
@@ -148,6 +150,20 @@ mod tests {
         // single-dash negatives still parse as values
         let p = parse(&["--b", "-1"]);
         assert_eq!(p.opt("b"), Some("-1"));
+    }
+
+    #[test]
+    fn duplicate_option_is_usage_error() {
+        // Silently keeping the last value hid typos like
+        // `--seed 1 ... --seed 2`; a duplicate is now rejected.
+        let v: Vec<String> = ["--seed", "1", "--seed", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        match ParsedArgs::parse(&v) {
+            Err(CliError::Usage(m)) => assert!(m.contains("--seed"), "{m}"),
+            other => panic!("expected Usage error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -24,6 +24,12 @@ USAGE:
   jp buffers <graph.json> [--b B]               B-buffer fetch schedule
   jp help                                       this text
 
+GLOBAL OPTIONS (any command):
+  --trace FILE   append instrumentation events (counters, span timings)
+                 as JSON Lines to FILE
+  --stats        print an aggregated counter/span summary after the
+                 command finishes
+
 FAMILIES (jp generate):
   complete-bipartite K L      equijoin component K_{K,L} (Lemma 3.2)
   matching M                  M disjoint edges (Lemma 2.4)
@@ -40,7 +46,7 @@ ALGORITHMS (jp pebble --algo):
   cover      greedy path cover
   nn         nearest neighbour
   exact      Held–Karp optimum (components ≤ 20 edges)
-  bb         branch-and-bound optimum (budgeted)
+  bb         branch-and-bound optimum (budgeted, [--budget NODES])
   all        run every applicable solver and compare
 
 REALIZATIONS (jp realize --as):
@@ -54,12 +60,72 @@ WORKLOADS (jp join --workload):
   rects   spatial overlap          [--n N] [--extent E] [--side L] [--seed S]
 ";
 
+/// Strips the global observability options (`--trace FILE`, `--stats`)
+/// out of `args` before subcommand parsing sees them. `--stats` is the
+/// only value-less option in the CLI, so it is handled here rather than
+/// in [`ParsedArgs`].
+fn split_global_opts(args: &[String]) -> Result<(Vec<String>, Option<String>, bool), CliError> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut trace = None;
+    let mut stats = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trace" => {
+                let Some(path) = args.get(i + 1).filter(|v| !v.starts_with("--")) else {
+                    return Err(CliError::Usage("option --trace needs a file path".into()));
+                };
+                if trace.replace(path.clone()).is_some() {
+                    return Err(CliError::Usage("option --trace given twice".into()));
+                }
+                i += 2;
+            }
+            "--stats" => {
+                stats = true;
+                i += 1;
+            }
+            _ => {
+                rest.push(args[i].clone());
+                i += 1;
+            }
+        }
+    }
+    Ok((rest, trace, stats))
+}
+
 /// Runs the CLI with the given arguments, writing reports to `out`.
 pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let (args, trace, stats) = split_global_opts(args)?;
     let Some((cmd, rest)) = args.split_first() else {
         return Err(CliError::Usage("no command given".into()));
     };
-    match cmd.as_str() {
+
+    // Install the requested sinks for the duration of the command. The
+    // scoped guard serializes concurrent `run` calls that both request
+    // instrumentation (the sink registry is process-wide); runs with
+    // neither option never touch it.
+    let stats_sink = stats.then(|| std::sync::Arc::new(jp_obs::StatsSink::new()));
+    let _scope = if trace.is_some() || stats {
+        let mut sinks: Vec<std::sync::Arc<dyn jp_obs::Sink>> = Vec::new();
+        if let Some(path) = &trace {
+            let jsonl = jp_obs::JsonlSink::to_file(path)
+                .map_err(|e| CliError::Runtime(format!("opening trace file {path}: {e}")))?;
+            sinks.push(std::sync::Arc::new(jsonl));
+        }
+        if let Some(s) = &stats_sink {
+            sinks.push(s.clone());
+        }
+        let sink: std::sync::Arc<dyn jp_obs::Sink> = if sinks.len() == 1 {
+            sinks.pop().expect("one sink")
+        } else {
+            std::sync::Arc::new(jp_obs::FanoutSink::new(sinks))
+        };
+        Some(jp_obs::ScopedSink::install(sink))
+    } else {
+        None
+    };
+
+    let result = match cmd.as_str() {
         "generate" => commands::generate(rest, out),
         "info" => commands::info(rest, out),
         "pebble" => commands::pebble(rest, out),
@@ -73,7 +139,20 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
             Ok(())
         }
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
+    };
+
+    drop(_scope); // flush the trace file before reporting
+    if result.is_ok() {
+        if let Some(s) = &stats_sink {
+            write!(
+                out,
+                "\n== observability summary ==\n{}",
+                s.snapshot().render()
+            )
+            .map_err(CliError::io)?;
+        }
     }
+    result
 }
 
 #[cfg(test)]
@@ -168,6 +247,106 @@ mod tests {
         let out = run_str(&["buffers", gp.to_str().unwrap(), "--b", "3"]).unwrap();
         assert!(out.contains("loads"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bb_budget_exhaustion_is_reported_cleanly() {
+        let dir = std::env::temp_dir().join(format!("jp-cli-test4-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("g.json");
+        run_str(&["generate", "spider", "8", "--out", p.to_str().unwrap()]).unwrap();
+        let err = run_str(&[
+            "pebble",
+            p.to_str().unwrap(),
+            "--algo",
+            "bb",
+            "--budget",
+            "1",
+        ])
+        .unwrap_err();
+        match err {
+            CliError::Runtime(m) => {
+                assert!(m.contains("budget of 1 exhausted"), "{m}");
+                assert!(m.contains("larger --budget"), "{m}");
+            }
+            other => panic!("expected Runtime error, got {other:?}"),
+        }
+        // a generous budget succeeds on the same graph
+        let out = run_str(&[
+            "pebble",
+            p.to_str().unwrap(),
+            "--algo",
+            "bb",
+            "--budget",
+            "5000000",
+        ])
+        .unwrap();
+        assert!(out.contains("π = 19"), "G_8 optimum is 19, got:\n{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_writes_jsonl_and_stats_prints_summary() {
+        let dir = std::env::temp_dir().join(format!("jp-cli-test5-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = dir.join("g.json");
+        let t = dir.join("t.jsonl");
+        run_str(&["generate", "spider", "6", "--out", g.to_str().unwrap()]).unwrap();
+        let out = run_str(&[
+            "pebble",
+            g.to_str().unwrap(),
+            "--algo",
+            "all",
+            "--trace",
+            t.to_str().unwrap(),
+            "--stats",
+        ])
+        .unwrap();
+        assert!(out.contains("exact"));
+        assert!(out.contains("== observability summary =="), "{out}");
+
+        // Every line must round-trip as an Event; each solver must have
+        // produced at least one span and three counters.
+        let text = std::fs::read_to_string(&t).unwrap();
+        let mut spans = std::collections::HashMap::<String, usize>::new();
+        let mut counters = std::collections::HashMap::<String, usize>::new();
+        let mut last_seq = None;
+        for line in text.lines() {
+            let ev: jp_obs::Event = serde_json::from_str(line).unwrap();
+            assert!(Some(ev.seq) > last_seq, "seq must be strictly increasing");
+            last_seq = Some(ev.seq);
+            match ev.kind {
+                jp_obs::EventKind::Span => *spans.entry(ev.component).or_default() += 1,
+                jp_obs::EventKind::Counter => *counters.entry(ev.component).or_default() += 1,
+            }
+        }
+        for component in [
+            "exact",
+            "bb",
+            "approx.dfs_partition",
+            "approx.euler_trails",
+            "approx.path_cover",
+            "approx.matching_cover",
+            "approx.nn",
+        ] {
+            assert!(
+                spans.get(component).copied().unwrap_or(0) >= 1,
+                "expected a span from {component}; spans: {spans:?}"
+            );
+            assert!(
+                counters.get(component).copied().unwrap_or(0) >= 3,
+                "expected ≥3 counters from {component}; counters: {counters:?}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn duplicate_trace_is_usage_error() {
+        let err = run_str(&["help", "--trace", "a", "--trace", "b"]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        let err = run_str(&["help", "--trace"]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
     }
 
     #[test]

@@ -180,7 +180,11 @@ pub fn compare_all(g: &BipartiteGraph) -> Vec<(&'static str, SchemeReport)> {
     }
     if let Ok(s) = crate::exact::optimal_scheme(g) {
         out.push(("exact (Held–Karp)", SchemeReport::new(g, &s)));
-    } else if let Ok(s) = crate::exact_bb::optimal_scheme_bb(g, 20_000_000) {
+    }
+    // Run branch and bound even when Held–Karp succeeded: the two exact
+    // solvers cross-check each other, and bb alone covers instances past
+    // the Held–Karp memory wall.
+    if let Ok(s) = crate::exact_bb::optimal_scheme_bb(g, 20_000_000) {
         out.push(("exact (branch & bound)", SchemeReport::new(g, &s)));
     }
     out

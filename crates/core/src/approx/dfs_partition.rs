@@ -38,8 +38,9 @@ use jp_graph::{BipartiteGraph, Graph};
 /// Pebbles an arbitrary bipartite graph with guaranteed effective cost
 /// `≤ Σ_c ⌈1.25·m_c⌉` over components (Theorem 3.1's algorithmic bound).
 pub fn pebble_dfs_partition(g: &BipartiteGraph) -> Result<PebblingScheme, PebbleError> {
-    per_component_scheme(g, |lg| {
+    per_component_scheme(g, "approx.dfs_partition", |lg| {
         let paths = partition_into_paths(lg);
+        jp_obs::counter("approx.dfs_partition", "paths", paths.len() as u64);
         stitch_paths(lg, paths)
     })
 }

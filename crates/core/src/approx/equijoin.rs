@@ -34,8 +34,11 @@ use jp_graph::{BipartiteGraph, ComponentMap};
 /// assert!(pebble_equijoin(&generators::spider(3)).is_err());
 /// ```
 pub fn pebble_equijoin(g: &BipartiteGraph) -> Result<PebblingScheme, PebbleError> {
+    let _span = jp_obs::span("approx.equijoin", "pebble");
     let cm = ComponentMap::new(g);
     let n_comp = cm.count as usize;
+    jp_obs::counter("approx.equijoin", "components", n_comp as u64);
+    jp_obs::counter("approx.equijoin", "edges", g.edge_count() as u64);
     // Component population counts (completeness check is m_c == k_c·l_c).
     let mut lefts = vec![0usize; n_comp];
     let mut rights = vec![0usize; n_comp];
@@ -84,6 +87,8 @@ pub fn pebble_equijoin(g: &BipartiteGraph) -> Result<PebblingScheme, PebbleError
     }
     let scheme = PebblingScheme::from_edge_sequence(g, &order)?;
     debug_assert_eq!(scheme.effective_cost(g), g.edge_count());
+    // Theorem 4.1's pebbler is perfect whenever it succeeds.
+    jp_obs::counter("approx.equijoin", "jumps", 0);
     Ok(scheme)
 }
 

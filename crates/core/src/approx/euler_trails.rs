@@ -28,14 +28,20 @@ use jp_graph::{BipartiteGraph, ComponentMap};
 /// Pebbles via Euler-trail decomposition, per component, in near-linear
 /// time (see the module docs for the trail-stitching caveat).
 pub fn pebble_euler_trails(g: &BipartiteGraph) -> Result<PebblingScheme, PebbleError> {
+    let _span = jp_obs::span("approx.euler_trails", "pebble");
     let cm = ComponentMap::new(g);
+    jp_obs::counter("approx.euler_trails", "components", u64::from(cm.count));
+    jp_obs::counter("approx.euler_trails", "edges", g.edge_count() as u64);
     let mut order: Vec<usize> = Vec::with_capacity(g.edge_count());
+    let mut n_trails: u64 = 0;
     for edges in cm.edges_by_component() {
         let sub = g.edge_subgraph(&edges);
         let trails = trail_decomposition(&sub);
+        n_trails += trails.len() as u64;
         let tour = stitch_trails(&sub, trails);
         order.extend(tour.iter().map(|&e| edges[e as usize]));
     }
+    jp_obs::counter("approx.euler_trails", "trails", n_trails);
     PebblingScheme::from_edge_sequence(g, &order)
 }
 

@@ -21,8 +21,9 @@ use jp_graph::{matching::maximum_matching, BipartiteGraph, Graph};
 /// Pebbles via a maximum-matching-seeded path cover of each component's
 /// line graph.
 pub fn pebble_matching_cover(g: &BipartiteGraph) -> Result<PebblingScheme, PebbleError> {
-    per_component_scheme(g, |lg| {
+    per_component_scheme(g, "approx.matching_cover", |lg| {
         let paths = matching_path_cover(lg);
+        jp_obs::counter("approx.matching_cover", "paths", paths.len() as u64);
         stitch_paths(lg, paths)
     })
 }

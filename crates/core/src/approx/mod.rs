@@ -41,20 +41,30 @@ use jp_graph::{BipartiteGraph, ComponentMap};
 
 /// Runs a per-component line-graph tour builder over every connected
 /// component and assembles one scheme, in component order (additivity,
-/// Lemma 2.2, says this loses nothing).
+/// Lemma 2.2, says this loses nothing). `obs_component` names the
+/// heuristic in emitted instrumentation events (e.g. `"approx.nn"`).
 pub(crate) fn per_component_scheme(
     g: &BipartiteGraph,
+    obs_component: &'static str,
     mut tour_for: impl FnMut(&jp_graph::Graph) -> Vec<u32>,
 ) -> Result<PebblingScheme, PebbleError> {
+    let _span = jp_obs::span(obs_component, "pebble");
     let cm = ComponentMap::new(g);
+    jp_obs::counter(obs_component, "components", u64::from(cm.count));
+    jp_obs::counter(obs_component, "edges", g.edge_count() as u64);
     let mut order: Vec<usize> = Vec::with_capacity(g.edge_count());
+    let mut jumps: u64 = 0;
     for edges in cm.edges_by_component() {
         let sub = g.edge_subgraph(&edges);
         let lg = jp_graph::line_graph(&sub);
         let tour = tour_for(&lg);
         debug_assert_eq!(tour.len(), edges.len());
+        if jp_obs::enabled() {
+            jumps += tour.windows(2).filter(|w| !lg.has_edge(w[0], w[1])).count() as u64;
+        }
         order.extend(tour.iter().map(|&e| edges[e as usize]));
     }
+    jp_obs::counter(obs_component, "jumps", jumps);
     PebblingScheme::from_edge_sequence(g, &order)
 }
 
@@ -122,7 +132,8 @@ mod tests {
     fn per_component_scheme_covers_all_components() {
         let g = generators::path(3).disjoint_union(&generators::matching(2));
         // trivial tour: identity order per component
-        let s = per_component_scheme(&g, |lg| (0..lg.vertex_count()).collect()).unwrap();
+        let s =
+            per_component_scheme(&g, "approx.test", |lg| (0..lg.vertex_count()).collect()).unwrap();
         s.validate(&g).unwrap();
     }
 }

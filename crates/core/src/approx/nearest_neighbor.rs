@@ -13,7 +13,7 @@ use jp_graph::{BipartiteGraph, Graph};
 
 /// Pebbles via a nearest-neighbour tour of each component's line graph.
 pub fn pebble_nearest_neighbor(g: &BipartiteGraph) -> Result<PebblingScheme, PebbleError> {
-    per_component_scheme(g, nearest_neighbor_tour)
+    per_component_scheme(g, "approx.nn", nearest_neighbor_tour)
 }
 
 /// Nearest-neighbour tour over the weight-1 graph: greedy good-edge steps

@@ -18,9 +18,11 @@ pub fn improve_or_opt(tsp: &Tsp12, tour: &mut Vec<u32>, max_passes: usize) -> us
     if n < 3 {
         return 0;
     }
+    let _span = jp_obs::span("approx.or_opt", "improve");
     let start_cost = tsp.tour_cost(tour);
     let mut improved_any = true;
     let mut passes = 0;
+    let mut moves: u64 = 0;
     while improved_any && passes < max_passes {
         improved_any = false;
         passes += 1;
@@ -57,6 +59,7 @@ pub fn improve_or_opt(tsp: &Tsp12, tour: &mut Vec<u32>, max_passes: usize) -> us
                         if after < before {
                             apply_move(tour, i, j, k, flip);
                             improved_any = true;
+                            moves += 1;
                             continue 'outer;
                         }
                     }
@@ -64,7 +67,13 @@ pub fn improve_or_opt(tsp: &Tsp12, tour: &mut Vec<u32>, max_passes: usize) -> us
             }
         }
     }
-    start_cost - tsp.tour_cost(tour)
+    let saved = start_cost - tsp.tour_cost(tour);
+    if jp_obs::enabled() {
+        jp_obs::counter("approx.or_opt", "passes", passes as u64);
+        jp_obs::counter("approx.or_opt", "improving_moves", moves);
+        jp_obs::counter("approx.or_opt", "cost_saved", saved as u64);
+    }
+    saved
 }
 
 /// Weight of the tour edge between positions `a` and `b`, or 0 when

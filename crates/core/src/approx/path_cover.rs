@@ -14,8 +14,9 @@ use jp_graph::{BipartiteGraph, Graph};
 
 /// Pebbles via a greedy path cover of each component's line graph.
 pub fn pebble_path_cover(g: &BipartiteGraph) -> Result<PebblingScheme, PebbleError> {
-    per_component_scheme(g, |lg| {
+    per_component_scheme(g, "approx.path_cover", |lg| {
         let paths = greedy_path_cover(lg);
+        jp_obs::counter("approx.path_cover", "paths", paths.len() as u64);
         stitch_paths(lg, paths)
     })
 }

@@ -18,9 +18,11 @@ pub fn improve_two_opt(tsp: &Tsp12, tour: &mut [u32], max_passes: usize) -> usiz
     if n < 3 {
         return 0;
     }
+    let _span = jp_obs::span("approx.two_opt", "improve");
     let start_jumps = tsp.tour_jumps(tour);
     let mut improved_any = true;
     let mut passes = 0;
+    let mut moves: u64 = 0;
     while improved_any && passes < max_passes {
         improved_any = false;
         passes += 1;
@@ -42,11 +44,18 @@ pub fn improve_two_opt(tsp: &Tsp12, tour: &mut [u32], max_passes: usize) -> usiz
                 if after < before {
                     tour[i..=j].reverse();
                     improved_any = true;
+                    moves += 1;
                 }
             }
         }
     }
-    start_jumps - tsp.tour_jumps(tour)
+    let removed = start_jumps - tsp.tour_jumps(tour);
+    if jp_obs::enabled() {
+        jp_obs::counter("approx.two_opt", "passes", passes as u64);
+        jp_obs::counter("approx.two_opt", "improving_moves", moves);
+        jp_obs::counter("approx.two_opt", "jumps_removed", removed as u64);
+    }
+    removed
 }
 
 #[cfg(test)]

@@ -25,6 +25,7 @@ const INF: u8 = u8::MAX;
 /// Panics if `ones` has more than [`MAX_EXACT_EDGES`] vertices (callers
 /// gate on size first) or zero vertices.
 pub fn min_jump_tour(ones: &Graph) -> (Vec<u32>, usize) {
+    let _span = jp_obs::span("exact", "min_jump_tour");
     let n = ones.vertex_count() as usize;
     assert!(n >= 1, "empty TSP instance");
     assert!(
@@ -32,10 +33,15 @@ pub fn min_jump_tour(ones: &Graph) -> (Vec<u32>, usize) {
         "instance too large for exact DP ({n} nodes)"
     );
     if n == 1 {
+        jp_obs::counter("exact", "dp_states", 1);
         return (vec![0], 0);
     }
     let full = (1usize << n) - 1;
     let mut dp = vec![INF; (full + 1) * n];
+    jp_obs::counter("exact", "dp_states", dp.len() as u64);
+    jp_obs::counter("exact", "dp_bytes", dp.len() as u64);
+    let mut subset_iterations: u64 = 0;
+    let mut dp_improvements: u64 = 0;
     for v in 0..n {
         dp[(1usize << v) * n + v] = 0;
     }
@@ -45,6 +51,7 @@ pub fn min_jump_tour(ones: &Graph) -> (Vec<u32>, usize) {
             if cur == INF || mask & (1 << v) == 0 {
                 continue;
             }
+            subset_iterations += 1;
             // good transitions
             for &w in ones.neighbors(v as u32) {
                 let w = w as usize;
@@ -52,6 +59,7 @@ pub fn min_jump_tour(ones: &Graph) -> (Vec<u32>, usize) {
                     let slot = &mut dp[(mask | (1 << w)) * n + w];
                     if cur < *slot {
                         *slot = cur;
+                        dp_improvements += 1;
                     }
                 }
             }
@@ -64,10 +72,13 @@ pub fn min_jump_tour(ones: &Graph) -> (Vec<u32>, usize) {
                 let slot = &mut dp[(mask | (1 << w)) * n + w];
                 if cost < *slot {
                     *slot = cost;
+                    dp_improvements += 1;
                 }
             }
         }
     }
+    jp_obs::counter("exact", "subset_iterations", subset_iterations);
+    jp_obs::counter("exact", "dp_improvements", dp_improvements);
     let (mut best_v, mut best) = (0usize, INF);
     for v in 0..n {
         if dp[full * n + v] < best {
@@ -116,7 +127,10 @@ fn solve_components(
     g: &BipartiteGraph,
     limit: usize,
 ) -> Result<Vec<(Vec<usize>, usize)>, PebbleError> {
+    let _span = jp_obs::span("exact", "solve");
     let cm = ComponentMap::new(g);
+    jp_obs::counter("exact", "components", u64::from(cm.count));
+    jp_obs::counter("exact", "edges", g.edge_count() as u64);
     let mut out = Vec::with_capacity(cm.count as usize);
     for edges in cm.edges_by_component() {
         if edges.len() > limit {
@@ -136,6 +150,7 @@ fn solve_components(
         // relative lexicographic order of edges, and `edges` came sorted
         // from edges_by_component (ascending ids = lexicographic).
         let order: Vec<usize> = tour.iter().map(|&e| edges[e as usize]).collect();
+        jp_obs::counter("exact", "jumps", jumps as u64);
         out.push((order, jumps));
     }
     Ok(out)

@@ -26,33 +26,84 @@ use crate::tsp::Tsp12;
 use crate::PebbleError;
 use jp_graph::{BipartiteGraph, ComponentMap, Graph};
 
+/// Search-effort statistics from one [`bb_min_jump_tour`] run.
+///
+/// Previously buried in the private `Searcher`, these are the signals a
+/// caller needs to size a budget: how much of it the search consumed,
+/// how well the lower bound pruned, and how often the incumbent moved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchStats {
+    /// DFS nodes expanded.
+    pub nodes_expanded: u64,
+    /// The node budget the search ran under.
+    pub budget: u64,
+    /// Subtrees cut because partial jumps alone matched the incumbent.
+    pub incumbent_prunes: u64,
+    /// Subtrees cut by the admissible lower bound.
+    pub lb_prunes: u64,
+    /// Times a strictly better tour replaced the incumbent.
+    pub incumbent_improvements: u64,
+}
+
+impl SearchStats {
+    /// Fraction of the node budget consumed, in `[0, 1]`.
+    pub fn budget_used(&self) -> f64 {
+        if self.budget == 0 {
+            1.0
+        } else {
+            (self.nodes_expanded as f64 / self.budget as f64).min(1.0)
+        }
+    }
+}
+
 /// Result of a budgeted search.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BbOutcome {
     /// Proven optimal tour and its jump count.
-    Optimal(Vec<u32>, usize),
+    Optimal {
+        /// The minimum-jump tour.
+        tour: Vec<u32>,
+        /// Its jump count.
+        jumps: usize,
+        /// Search effort expended.
+        stats: SearchStats,
+    },
     /// Budget exhausted; best tour found so far (not proven optimal).
-    BudgetExhausted(Vec<u32>, usize),
+    BudgetExhausted {
+        /// The best tour found.
+        tour: Vec<u32>,
+        /// Its jump count.
+        jumps: usize,
+        /// Search effort expended.
+        stats: SearchStats,
+    },
 }
 
 impl BbOutcome {
     /// The tour, optimal or not.
     pub fn tour(&self) -> &[u32] {
         match self {
-            BbOutcome::Optimal(t, _) | BbOutcome::BudgetExhausted(t, _) => t,
+            BbOutcome::Optimal { tour, .. } | BbOutcome::BudgetExhausted { tour, .. } => tour,
         }
     }
 
     /// The jump count of the returned tour.
     pub fn jumps(&self) -> usize {
         match self {
-            BbOutcome::Optimal(_, j) | BbOutcome::BudgetExhausted(_, j) => *j,
+            BbOutcome::Optimal { jumps, .. } | BbOutcome::BudgetExhausted { jumps, .. } => *jumps,
         }
     }
 
     /// Whether optimality was proven.
     pub fn is_optimal(&self) -> bool {
-        matches!(self, BbOutcome::Optimal(..))
+        matches!(self, BbOutcome::Optimal { .. })
+    }
+
+    /// Search-effort statistics, regardless of outcome.
+    pub fn stats(&self) -> &SearchStats {
+        match self {
+            BbOutcome::Optimal { stats, .. } | BbOutcome::BudgetExhausted { stats, .. } => stats,
+        }
     }
 }
 
@@ -64,6 +115,9 @@ struct Searcher<'a> {
     nodes: u64,
     budget: u64,
     truncated: bool,
+    incumbent_prunes: u64,
+    lb_prunes: u64,
+    incumbent_improvements: u64,
 }
 
 impl Searcher<'_> {
@@ -106,15 +160,18 @@ impl Searcher<'_> {
             return;
         }
         if jumps >= self.best_jumps {
+            self.incumbent_prunes += 1;
             return;
         }
         self.nodes += 1;
         if placed == self.n {
             self.best_jumps = jumps;
             self.best_tour = tour.clone();
+            self.incumbent_improvements += 1;
             return;
         }
         if jumps + self.lower_bound(visited, cur) >= self.best_jumps {
+            self.lb_prunes += 1;
             return;
         }
         // good moves first, lowest unvisited-good-degree first
@@ -171,9 +228,17 @@ impl Searcher<'_> {
 
 /// Minimum-jump Hamiltonian path by branch and bound with a node budget.
 pub fn bb_min_jump_tour(ones: &Graph, budget: u64) -> BbOutcome {
+    let _span = jp_obs::span("bb", "search");
     let n = ones.vertex_count() as usize;
     if n == 0 {
-        return BbOutcome::Optimal(Vec::new(), 0);
+        return BbOutcome::Optimal {
+            tour: Vec::new(),
+            jumps: 0,
+            stats: SearchStats {
+                budget,
+                ..SearchStats::default()
+            },
+        };
     }
     // incumbent: greedy path cover, stitched and 2-opted
     let mut incumbent = stitch_paths(ones, greedy_path_cover(ones));
@@ -188,6 +253,9 @@ pub fn bb_min_jump_tour(ones: &Graph, budget: u64) -> BbOutcome {
         nodes: 0,
         budget,
         truncated: false,
+        incumbent_prunes: 0,
+        lb_prunes: 0,
+        incumbent_improvements: 0,
     };
     if inc_jumps > 0 {
         // try every start vertex, lowest degree first
@@ -216,10 +284,38 @@ pub fn bb_min_jump_tour(ones: &Graph, budget: u64) -> BbOutcome {
     let tour = s.best_tour;
     let final_jumps = tsp.tour_jumps(&tour);
     debug_assert!(final_jumps <= inc_jumps);
+    let stats = SearchStats {
+        nodes_expanded: s.nodes,
+        budget,
+        incumbent_prunes: s.incumbent_prunes,
+        lb_prunes: s.lb_prunes,
+        incumbent_improvements: s.incumbent_improvements,
+    };
+    if jp_obs::enabled() {
+        jp_obs::counter("bb", "nodes_expanded", stats.nodes_expanded);
+        jp_obs::counter("bb", "incumbent_prunes", stats.incumbent_prunes);
+        jp_obs::counter("bb", "lb_prunes", stats.lb_prunes);
+        jp_obs::counter("bb", "incumbent_improvements", stats.incumbent_improvements);
+        jp_obs::counter("bb", "budget", stats.budget);
+        jp_obs::counter(
+            "bb",
+            "budget_used_permille",
+            (stats.budget_used() * 1000.0) as u64,
+        );
+        jp_obs::counter("bb", "truncated", u64::from(!proven));
+    }
     if proven {
-        BbOutcome::Optimal(tour, final_jumps)
+        BbOutcome::Optimal {
+            tour,
+            jumps: final_jumps,
+            stats,
+        }
     } else {
-        BbOutcome::BudgetExhausted(tour, final_jumps)
+        BbOutcome::BudgetExhausted {
+            tour,
+            jumps: final_jumps,
+            stats,
+        }
     }
 }
 
@@ -233,9 +329,12 @@ pub fn optimal_effective_cost_bb(g: &BipartiteGraph, budget: u64) -> Result<usiz
         let sub = g.edge_subgraph(&edges);
         let lg = jp_graph::line_graph(&sub);
         match bb_min_jump_tour(&lg, budget) {
-            BbOutcome::Optimal(_, jumps) => total += edges.len() + jumps,
-            BbOutcome::BudgetExhausted(..) => {
-                return Err(PebbleError::BudgetExhausted { budget })
+            BbOutcome::Optimal { jumps, .. } => total += edges.len() + jumps,
+            BbOutcome::BudgetExhausted { stats, .. } => {
+                return Err(PebbleError::BudgetExhausted {
+                    budget,
+                    nodes: stats.nodes_expanded,
+                })
             }
         }
     }
@@ -250,11 +349,14 @@ pub fn optimal_scheme_bb(g: &BipartiteGraph, budget: u64) -> Result<PebblingSche
         let sub = g.edge_subgraph(&edges);
         let lg = jp_graph::line_graph(&sub);
         match bb_min_jump_tour(&lg, budget) {
-            BbOutcome::Optimal(tour, _) => {
+            BbOutcome::Optimal { tour, .. } => {
                 order.extend(tour.iter().map(|&e| edges[e as usize]));
             }
-            BbOutcome::BudgetExhausted(..) => {
-                return Err(PebbleError::BudgetExhausted { budget })
+            BbOutcome::BudgetExhausted { stats, .. } => {
+                return Err(PebbleError::BudgetExhausted {
+                    budget,
+                    nodes: stats.nodes_expanded,
+                })
             }
         }
     }

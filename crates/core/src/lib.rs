@@ -66,6 +66,14 @@ pub enum PebbleError {
         /// The offending edge id.
         edge: usize,
     },
+    /// A configuration pebbles a vertex that does not exist in the
+    /// graph — the scheme was built for a different (larger) graph.
+    VertexOutOfRange {
+        /// The offending pebble position.
+        vertex: jp_graph::Vertex,
+        /// How many vertices that side of the graph actually has.
+        side_count: u32,
+    },
     /// A tuple pair referenced by a trace is not an edge of the join
     /// graph (the pair does not join).
     NotAnEdge {
@@ -93,6 +101,8 @@ pub enum PebbleError {
     BudgetExhausted {
         /// The exhausted node budget.
         budget: u64,
+        /// Search nodes actually expanded before giving up.
+        nodes: u64,
     },
     /// The instance is too large for the exact solver.
     TooLarge {
@@ -114,6 +124,11 @@ impl std::fmt::Display for PebbleError {
                 )
             }
             PebbleError::EdgeOutOfRange { edge } => write!(f, "edge id {edge} out of range"),
+            PebbleError::VertexOutOfRange { vertex, side_count } => write!(
+                f,
+                "configuration pebbles {vertex}, but that side of the graph has only \
+                 {side_count} vertices"
+            ),
             PebbleError::NotAnEdge { left, right } => {
                 write!(f, "tuple pair ({left}, {right}) is not a join-graph edge")
             }
@@ -129,9 +144,10 @@ impl std::fmt::Display for PebbleError {
                     "buffer capacity {buffer} is below the two-pebble minimum"
                 )
             }
-            PebbleError::BudgetExhausted { budget } => write!(
+            PebbleError::BudgetExhausted { budget, nodes } => write!(
                 f,
-                "branch-and-bound budget of {budget} nodes exhausted before optimality was proven"
+                "branch-and-bound node budget of {budget} exhausted after expanding {nodes} \
+                 nodes without proving optimality; re-run with a larger --budget"
             ),
             PebbleError::TooLarge {
                 component_edges,

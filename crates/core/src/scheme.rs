@@ -130,16 +130,19 @@ impl PebblingScheme {
                     0 => {}
                     1 => configs.push(target),
                     _ => {
-                        // Move the pebble not staying: go through (u, last.b)
-                        // or (last.a, v); either is one move away from both.
-                        let mid = Config::new(u, last.b);
-                        // mid must be 1 move from last and 1 from target;
-                        // that holds unless u == last.b's... it always holds:
-                        // last = (a0, b0), mid = (u, b0), target = (u, v).
-                        let mid = if mid.moves_to(last) == 1 && mid.moves_to(&target) == 1 {
-                            mid
+                        // Both intermediates (u, last.b) and (last.a, v) are
+                        // one move from each end. Prefer one that does not
+                        // land on an edge the sequence has not reached yet —
+                        // otherwise that edge is deleted early and the
+                        // scheme's deletion order diverges from `edge_ids`.
+                        let mid_a = Config::new(u, last.b);
+                        let mid_b = Config::new(last.a, v);
+                        let covers_fresh =
+                            |c: &Config| edge_covered(g, c).is_some_and(|e| !seen[e]);
+                        let mid = if covers_fresh(&mid_a) && !covers_fresh(&mid_b) {
+                            mid_b
                         } else {
-                            Config::new(last.a, v)
+                            mid_a
                         };
                         configs.push(mid);
                         configs.push(target);
@@ -187,9 +190,24 @@ impl PebblingScheme {
         self.cost().saturating_sub(betti_number(g) as usize)
     }
 
-    /// Validates the scheme against a graph: canonical form plus the
-    /// requirement that every edge of `g` is covered by some configuration.
+    /// Validates the scheme against a graph: every pebbled vertex exists,
+    /// the configurations are in canonical form, and every edge of `g` is
+    /// covered by some configuration.
     pub fn validate(&self, g: &BipartiteGraph) -> Result<(), PebbleError> {
+        for c in &self.configs {
+            for v in [c.a, c.b] {
+                let side_count = match v.side {
+                    jp_graph::Side::Left => g.left_count(),
+                    jp_graph::Side::Right => g.right_count(),
+                };
+                if v.index >= side_count {
+                    return Err(PebbleError::VertexOutOfRange {
+                        vertex: v,
+                        side_count,
+                    });
+                }
+            }
+        }
         for (i, w) in self.configs.windows(2).enumerate() {
             if w[0].moves_to(&w[1]) != 1 {
                 return Err(PebbleError::NotCanonical { at: i });
@@ -281,6 +299,21 @@ mod tests {
         assert_eq!(c1.moves_to(&c3), 1);
         assert_eq!(c1.moves_to(&c4), 2);
         assert_eq!(c3.moves_to(&c4), 1);
+    }
+
+    #[test]
+    fn scheme_for_larger_graph_is_rejected() {
+        // A scheme built for spider(4) pebbles vertices that a small path
+        // graph does not have; validate must flag the mismatch even if the
+        // small graph's edges all happen to be covered.
+        let big = generators::spider(4);
+        let order: Vec<usize> = (0..big.edge_count()).collect();
+        let s = PebblingScheme::from_edge_sequence(&big, &order).unwrap();
+        let small = generators::path(2);
+        match s.validate(&small) {
+            Err(PebbleError::VertexOutOfRange { .. }) => {}
+            other => panic!("expected VertexOutOfRange, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! Property tests for the observability layer as driven by the solver
+//! ladder: event sequences are monotone, and per-component counters sum
+//! consistently with what the schemes themselves report.
+//!
+//! Kept in a dedicated test binary: the process-wide sink would record
+//! events from *any* concurrently running test in a shared binary, so
+//! this file must stay the only one here installing a [`ScopedSink`].
+
+use jp_graph::{betti_number, generators, BipartiteGraph};
+use jp_obs::{EventKind, FanoutSink, MemorySink, ScopedSink, StatsSink};
+use jp_pebble::approx::{pebble_euler_trails, pebble_nearest_neighbor, pebble_path_cover};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn connected_bipartite() -> impl Strategy<Value = BipartiteGraph> {
+    (2u32..=5, 2u32..=4, any::<u64>()).prop_flat_map(|(k, l, seed)| {
+        let min = (k + l - 1) as usize;
+        let max = ((k * l) as usize).min(14);
+        (min..=max).prop_map(move |m| generators::random_connected_bipartite(k, l, m, seed))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn counters_are_monotone_and_sum_consistently(g in connected_bipartite()) {
+        let memory = Arc::new(MemorySink::new());
+        let stats = Arc::new(StatsSink::new());
+        let schemes = {
+            let _guard = ScopedSink::install(Arc::new(FanoutSink::new(vec![
+                memory.clone() as Arc<dyn jp_obs::Sink>,
+                stats.clone() as Arc<dyn jp_obs::Sink>,
+            ])));
+            [
+                ("approx.path_cover", pebble_path_cover(&g).unwrap()),
+                ("approx.euler_trails", pebble_euler_trails(&g).unwrap()),
+                ("approx.nn", pebble_nearest_neighbor(&g).unwrap()),
+            ]
+        };
+        let events = memory.events();
+        let snapshot = stats.snapshot();
+
+        // Sequence numbers are strictly increasing — the trace is a
+        // totally ordered log even with fan-out.
+        for pair in events.windows(2) {
+            prop_assert!(pair[0].seq < pair[1].seq);
+        }
+
+        // The aggregate view must equal a manual fold of the raw events:
+        // counter totals per component.name key, span counts likewise.
+        let mut counters = std::collections::BTreeMap::new();
+        let mut span_counts = std::collections::BTreeMap::new();
+        for ev in &events {
+            let key = format!("{}.{}", ev.component, ev.name);
+            match ev.kind {
+                EventKind::Counter => *counters.entry(key).or_insert(0u64) += ev.value,
+                EventKind::Span => *span_counts.entry(key).or_insert(0u64) += 1,
+            }
+        }
+        prop_assert_eq!(&counters, &snapshot.counters);
+        prop_assert_eq!(&span_counts, &snapshot.span_counts);
+
+        // Every solver's counters agree with the graph and its scheme:
+        // `components` and `edges` describe the instance, and `jumps` is
+        // exactly what the scheme reports — instrumentation never drifts
+        // from ground truth.
+        let b0 = u64::from(betti_number(&g));
+        let m = g.edge_count() as u64;
+        for (component, scheme) in &schemes {
+            prop_assert!(scheme.validate(&g).is_ok());
+            prop_assert_eq!(counters[&format!("{component}.components")], b0);
+            prop_assert_eq!(counters[&format!("{component}.edges")], m);
+            prop_assert_eq!(span_counts[&format!("{component}.pebble")], 1);
+            if *component != "approx.euler_trails" {
+                prop_assert_eq!(
+                    counters[&format!("{component}.jumps")],
+                    scheme.jumps(&g) as u64
+                );
+            }
+        }
+
+        // After the scope drops, emission is off again.
+        prop_assert!(!jp_obs::enabled());
+        let before = memory.events().len();
+        jp_obs::counter("approx.path_cover", "jumps", 999);
+        prop_assert_eq!(memory.events().len(), before);
+    }
+}

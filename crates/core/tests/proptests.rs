@@ -100,8 +100,17 @@ proptest! {
         let m = g.edge_count();
         prop_assert_eq!(scheme.effective_cost(&g), m + jumps);
         prop_assert_eq!(scheme.effective_cost(&g), exact::optimal_effective_cost(&g).unwrap());
-        // and back: deletion order reproduces the tour
-        prop_assert_eq!(tsp::scheme_to_tour(&g, &scheme), tour);
+        // and back (Prop 2.2's other direction): the deletion order is a
+        // tour over all edges whose induced scheme is again optimal. (It
+        // need not equal `tour` verbatim: a jump's intermediate config can
+        // be forced onto a fresh edge, deleting it early.)
+        let back = tsp::scheme_to_tour(&g, &scheme);
+        let mut ids = back.clone();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..m as u32).collect::<Vec<u32>>());
+        let rebuilt = tsp::tour_to_scheme(&g, &back).unwrap();
+        prop_assert!(rebuilt.validate(&g).is_ok());
+        prop_assert_eq!(rebuilt.effective_cost(&g), m + jumps);
     }
 
     #[test]

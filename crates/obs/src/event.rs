@@ -1,0 +1,73 @@
+//! The unit of observation.
+
+use serde::{Deserialize, Serialize};
+
+/// What an [`Event`]'s `value` means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// `value` is a count of discrete work items.
+    Counter,
+    /// `value` is an elapsed duration in microseconds.
+    Span,
+}
+
+/// One observation emitted by an instrumented solver.
+///
+/// Serializes to a single flat JSON object — one line of a JSONL trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Process-wide monotone sequence number (assigned at emission).
+    pub seq: u64,
+    /// Counter or span.
+    pub kind: EventKind,
+    /// Which solver produced it, e.g. `"exact"`, `"bb"`, `"approx.dfs"`.
+    pub component: String,
+    /// Which signal, e.g. `"nodes_expanded"`, `"solve"`.
+    pub name: String,
+    /// Count (for counters) or elapsed microseconds (for spans).
+    pub value: u64,
+}
+
+impl Event {
+    /// Builds a counter event (the global emitter fills in `seq`).
+    pub fn counter(component: &str, name: &str, value: u64) -> Self {
+        Event {
+            seq: 0,
+            kind: EventKind::Counter,
+            component: component.to_string(),
+            name: name.to_string(),
+            value,
+        }
+    }
+
+    /// Builds a span event with an elapsed time in microseconds.
+    pub fn span(component: &str, name: &str, micros: u64) -> Self {
+        Event {
+            seq: 0,
+            kind: EventKind::Span,
+            component: component.to_string(),
+            name: name.to_string(),
+            value: micros,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_json() {
+        let e = Event {
+            seq: 42,
+            kind: EventKind::Span,
+            component: "bb".into(),
+            name: "search".into(),
+            value: 1250,
+        };
+        let line = serde_json::to_string(&e).unwrap();
+        assert!(line.contains("\"kind\":\"Span\""), "line = {line}");
+        let back: Event = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, e);
+    }
+}

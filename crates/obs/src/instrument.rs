@@ -1,0 +1,180 @@
+//! Atomic instruments for long-lived, cross-thread aggregation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotone atomic counter.
+///
+/// `add` only ever increases the value, so any sequence of observed
+/// `get()`s is non-decreasing — the property the obs test suite checks.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Self {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Emits the current value as a counter event via the global sink.
+    pub fn emit(&self, component: &str, name: &str) {
+        crate::global::counter(component, name, self.get());
+    }
+}
+
+/// Number of power-of-two buckets a [`Histogram`] tracks: bucket `i`
+/// counts values `v` with `floor(log2(v)) + 1 == i` (bucket 0 counts
+/// zeros), so the full `u64` range is covered.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A lock-free histogram over power-of-two buckets.
+///
+/// Tracks count, sum, and per-bucket totals; good enough to answer
+/// "what was the distribution of component sizes / span durations"
+/// without allocating per observation.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_index(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean of observed values (0 if empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Per-bucket observation counts.
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// An upper bound for the value at quantile `q` in `[0, 1]`: the top
+    /// of the first bucket whose cumulative count reaches `q * count`.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, c) in self.bucket_counts().iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return ((1u128 << i) - 1) as u64;
+            }
+        }
+        u64::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_is_monotone_across_threads() {
+        let c = std::sync::Arc::new(Counter::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    c.inc();
+                }
+            }));
+        }
+        let mut last = 0;
+        while handles.iter().any(|h| !h.is_finished()) {
+            let now = c.get();
+            assert!(now >= last);
+            last = now;
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 4000);
+    }
+
+    #[test]
+    fn histogram_buckets_cover_the_domain() {
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 1023, 1024, u64::MAX] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 8);
+        let buckets = h.bucket_counts();
+        assert_eq!(buckets[0], 1); // the zero
+        assert_eq!(buckets[1], 1); // 1
+        assert_eq!(buckets[2], 2); // 2, 3
+        assert_eq!(buckets[3], 1); // 4
+        assert_eq!(buckets[10], 1); // 1023
+        assert_eq!(buckets[11], 1); // 1024
+        assert_eq!(buckets[64], 1); // u64::MAX
+        assert_eq!(buckets.iter().sum::<u64>(), h.count());
+        assert!(h.quantile_upper_bound(0.5) >= 3);
+    }
+}

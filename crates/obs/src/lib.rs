@@ -1,0 +1,47 @@
+//! `jp-obs` — hand-rolled, std-only observability for the solver ladder.
+//!
+//! The paper measures *tuple-level work* (pebble placements, jumps), not
+//! wall-clock time, so the solvers need to report what they actually did:
+//! how many DP states Held–Karp touched, how many nodes branch-and-bound
+//! expanded and why it pruned, how many improving moves 2-opt found. This
+//! crate is the plumbing: instruments record, a pluggable [`Sink`]
+//! receives, and when no sink is installed the whole layer costs one
+//! relaxed atomic load per call site.
+//!
+//! # Architecture
+//!
+//! * [`Event`] — one observation: a `Counter` value or a `Span` duration,
+//!   tagged with a `component` (which solver) and a `name` (which
+//!   signal). Serializes to one JSON object per line (JSONL).
+//! * [`Sink`] — where events go. Provided: [`JsonlSink`] (file or
+//!   stderr), [`MemorySink`] (tests), [`StatsSink`] (in-process
+//!   aggregation for `--stats` and the bench harness), [`NoopSink`], and
+//!   [`FanoutSink`] (tee).
+//! * [`counter`]/[`span`] — the emission API solvers call. Both check the
+//!   global enabled flag first; with no sink installed they return
+//!   immediately without allocating or reading the clock.
+//! * [`Counter`]/[`Histogram`] — atomic instruments for long-lived
+//!   aggregation (monotone by construction; see the property tests).
+//! * [`ScopedSink`] — RAII installation for tests and CLI runs; restores
+//!   the previous sink on drop and serializes concurrent installers.
+//!
+//! # Event schema
+//!
+//! ```json
+//! {"seq":17,"kind":"Counter","component":"bb","name":"nodes_expanded","value":4093}
+//! {"seq":18,"kind":"Span","component":"bb","name":"search","value":1250}
+//! ```
+//!
+//! `seq` is a process-wide monotone sequence number; `value` is the
+//! counter value for `Counter` events and elapsed microseconds for
+//! `Span` events.
+
+mod event;
+mod global;
+mod instrument;
+mod sink;
+
+pub use event::{Event, EventKind};
+pub use global::{clear_sink, counter, enabled, set_sink, span, ScopedSink, SpanGuard};
+pub use instrument::{Counter, Histogram};
+pub use sink::{FanoutSink, JsonlSink, MemorySink, NoopSink, Sink, StatsSink, StatsSnapshot};

@@ -1,0 +1,247 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A functional wall-clock benchmark harness with criterion's API shape:
+//! [`criterion_group!`]/[`criterion_main!`], [`Criterion::benchmark_group`],
+//! `bench_function`/`bench_with_input`, [`Throughput`], [`BenchmarkId`],
+//! and `Bencher::iter`. No statistics beyond median-of-samples, no HTML
+//! reports — each benchmark prints `name  median  (samples)` to stdout.
+//!
+//! `--bench` and name-filter CLI arguments passed by `cargo bench` are
+//! accepted and the filter is honored.
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Work-per-iteration annotation (printed alongside timings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a name and a parameter.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just a parameter (the group provides the name).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Runs the closure under timing.
+pub struct Bencher {
+    samples: usize,
+    last_median: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, recording the median of `samples` runs (with one
+    /// warm-up call).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            times.push(start.elapsed());
+        }
+        times.sort();
+        self.last_median = times[times.len() / 2];
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: None,
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Reads the name filter from `cargo bench`-style CLI args.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" | "--test" => {}
+                s if s.starts_with("--") => {
+                    // Flags with values we don't implement: skip the value.
+                    if !s.contains('=') {
+                        let _ = args.next();
+                    }
+                }
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl fmt::Display,
+        routine: R,
+    ) -> &mut Self {
+        let sample_size = self.sample_size;
+        self.run_one(&name.to_string(), sample_size, None, routine);
+        self
+    }
+
+    fn run_one<R: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        samples: usize,
+        throughput: Option<Throughput>,
+        mut routine: R,
+    ) {
+        if let Some(f) = &self.filter {
+            if !name.contains(f.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            samples,
+            last_median: Duration::ZERO,
+        };
+        routine(&mut b);
+        let median = b.last_median;
+        let rate = throughput.map(|t| {
+            let secs = median.as_secs_f64().max(1e-12);
+            match t {
+                Throughput::Elements(n) => format!("  {:.3e} elem/s", n as f64 / secs),
+                Throughput::Bytes(n) => format!("  {:.3e} B/s", n as f64 / secs),
+            }
+        });
+        println!(
+            "bench: {name:<50} {:>12.3?}  ({samples} samples){}",
+            median,
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+/// A set of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks a function within the group.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        routine: R,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let throughput = self.throughput;
+        self.criterion.run_one(&full, samples, throughput, routine);
+        self
+    }
+
+    /// Benchmarks a function against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self {
+        self.bench_function(id, |b| routine(b, input))
+    }
+
+    /// Ends the group (kept for API parity; groups need no teardown).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, as in criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

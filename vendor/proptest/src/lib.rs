@@ -1,0 +1,423 @@
+//! Offline stand-in for `proptest`.
+//!
+//! A deterministic, shrink-free property-testing harness covering the
+//! API this workspace uses: the [`proptest!`] macro (with optional
+//! `#![proptest_config(...)]`), integer-range / tuple / [`Just`]
+//! strategies, `prop_map` / `prop_flat_map`, [`collection::vec`],
+//! [`arbitrary::any`], and `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * cases are generated from a **fixed seed**, so failures reproduce
+//!   exactly across runs and machines;
+//! * there is **no shrinking** — on failure the harness prints the
+//!   offending input (`Debug`) and case number, then re-panics;
+//! * `prop_assert!` panics instead of returning `TestCaseError`, which
+//!   is indistinguishable at the `cargo test` level.
+
+use std::fmt::Debug;
+
+/// Deterministic splitmix64 stream used to drive strategies.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator with the given seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy: Sized {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F> {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategies {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategies!(A.0);
+impl_tuple_strategies!(A.0, B.1);
+impl_tuple_strategies!(A.0, B.1, C.2);
+impl_tuple_strategies!(A.0, B.1, C.2, D.3);
+impl_tuple_strategies!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategies!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+/// `any::<T>()` support: types with a canonical full-domain strategy.
+pub mod arbitrary {
+    use super::{Strategy, TestRng};
+
+    /// Types with a canonical "whole domain" strategy.
+    pub trait Arbitrary: Sized {
+        /// The strategy [`any`] returns.
+        type Strategy: Strategy<Value = Self>;
+
+        /// Builds the whole-domain strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Uniform over the entire domain of `T`.
+    pub struct FullDomain<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for FullDomain<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+            impl Arbitrary for $t {
+                type Strategy = FullDomain<$t>;
+
+                fn arbitrary() -> Self::Strategy {
+                    FullDomain { _marker: std::marker::PhantomData }
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for FullDomain<bool> {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = FullDomain<bool>;
+
+        fn arbitrary() -> Self::Strategy {
+            FullDomain {
+                _marker: std::marker::PhantomData,
+            }
+        }
+    }
+
+    /// The whole-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Element count for [`vec()`], convertible from ranges and constants.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// See [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A strategy for vectors whose elements come from `element` and
+    /// whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Test-runner configuration and the case loop.
+pub mod test_runner {
+    use super::{Strategy, TestRng};
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+    /// How many cases each property runs.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of generated cases.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Runs `test` against `config.cases` deterministic samples of
+    /// `strategy`; on panic, reports the input and case index, then
+    /// re-panics.
+    pub fn run<S: Strategy>(config: &Config, strategy: &S, test: impl Fn(S::Value))
+    where
+        S::Value: std::fmt::Debug,
+    {
+        let mut rng = TestRng::new(0xC0FF_EE00_D15E_A5ED);
+        for case in 0..config.cases {
+            let value = strategy.sample(&mut rng);
+            let repr = format!("{value:?}");
+            let outcome = catch_unwind(AssertUnwindSafe(|| test(value)));
+            if let Err(panic) = outcome {
+                eprintln!(
+                    "proptest case {case}/{} failed for input: {repr}",
+                    config.cases
+                );
+                resume_unwind(panic);
+            }
+        }
+    }
+}
+
+/// The glob-importable surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Just, Strategy};
+}
+
+/// Asserts a condition inside a property, failing the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Asserts equality inside a property, failing the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+);
+    };
+}
+
+/// Asserts inequality inside a property, failing the current case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+);
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...)` becomes
+/// a `#[test]` running [`test_runner::run`] over the tuple of strategies.
+#[macro_export]
+macro_rules! proptest {
+    (@with_config ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat_param in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $config;
+                let __strategy = ($($strategy,)+);
+                $crate::test_runner::run(&__config, &__strategy, |($($arg,)+)| $body);
+            }
+        )*
+    };
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config (<$crate::test_runner::Config as ::core::default::Default>::default())
+            $($rest)*
+        );
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn evens() -> impl Strategy<Value = u32> {
+        (0u32..100).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in -4i64..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-4..=4).contains(&y));
+        }
+
+        #[test]
+        fn combinators_compose(v in crate::collection::vec((evens(), Just(7u8)), 0..5)) {
+            prop_assert!(v.len() < 5);
+            for (e, seven) in v {
+                prop_assert_eq!(e % 2, 0);
+                prop_assert_eq!(seven, 7);
+            }
+        }
+
+        #[test]
+        fn flat_map_dependency_holds(pair in (1u32..10).prop_flat_map(|n| (Just(n), 0..n))) {
+            let (n, k) = pair;
+            prop_assert!(k < n);
+        }
+    }
+}

@@ -1,0 +1,523 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real `serde_derive` pulls in `syn`/`quote`/`proc-macro2`, none of
+//! which are available offline, so these derives parse the item with a
+//! small hand-rolled `TokenTree` walker and emit the impl as a source
+//! string. Supported shapes (everything this workspace derives):
+//!
+//! * structs with named fields, tuple structs, unit structs;
+//! * externally tagged enums with unit, newtype, tuple, and struct
+//!   variants;
+//! * container attributes `#[serde(from = "T")]`, `#[serde(into = "T")]`,
+//!   `#[serde(try_from = "T")]`.
+//!
+//! Generic types are rejected with a compile-time panic: nothing in the
+//! workspace derives them, and supporting bounds without `syn` would cost
+//! more than it buys.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the vendored `to_content` flavor).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` (the vendored `from_content` flavor).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// item model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    attrs: ContainerAttrs,
+    shape: Shape,
+}
+
+#[derive(Default)]
+struct ContainerAttrs {
+    from: Option<String>,
+    try_from: Option<String>,
+    into: Option<String>,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut attrs = ContainerAttrs::default();
+
+    // Leading attributes: `#[serde(...)]` is harvested, everything else
+    // (doc comments, cfg, other derives' helpers) is skipped.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    harvest_serde_attr(g.stream(), &mut attrs);
+                    i += 2;
+                } else {
+                    panic!("malformed attribute");
+                }
+            }
+            _ => break,
+        }
+    }
+
+    // Visibility: `pub`, optionally `pub(...)`.
+    if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis) {
+            i += 1;
+        }
+    }
+
+    let kw = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, found {other}"),
+    };
+    i += 1;
+
+    if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '<') {
+        panic!("vendored serde derive does not support generic type `{name}`");
+    }
+
+    let shape = match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("vendored serde derive supports structs and enums, found `{other}`"),
+    };
+
+    Item { name, attrs, shape }
+}
+
+/// Extracts `from`/`into`/`try_from` from a `serde(...)` attribute body;
+/// ignores non-serde attributes entirely.
+fn harvest_serde_attr(attr_body: TokenStream, attrs: &mut ContainerAttrs) {
+    let tokens: Vec<TokenTree> = attr_body.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let args = match tokens.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return,
+    };
+    let args: Vec<TokenTree> = args.into_iter().collect();
+    let mut j = 0;
+    while j < args.len() {
+        let key = match &args[j] {
+            TokenTree::Ident(id) => id.to_string(),
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                j += 1;
+                continue;
+            }
+            other => panic!("unsupported serde attribute token {other}"),
+        };
+        match (args.get(j + 1), args.get(j + 2)) {
+            (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) if eq.as_char() == '=' => {
+                let value = unquote(&lit.to_string());
+                match key.as_str() {
+                    "from" => attrs.from = Some(value),
+                    "try_from" => attrs.try_from = Some(value),
+                    "into" => attrs.into = Some(value),
+                    other => panic!("unsupported serde attribute `{other}`"),
+                }
+                j += 3;
+            }
+            _ => panic!("unsupported serde attribute form `{key}`"),
+        }
+    }
+}
+
+fn unquote(lit: &str) -> String {
+    let inner = lit
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .unwrap_or_else(|| panic!("expected string literal, found {lit}"));
+    inner.to_string()
+}
+
+/// Field names of a named-field body, in declaration order.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip field attributes (doc comments included).
+        while matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            i += 2;
+        }
+        if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(
+                tokens.get(i),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                i += 1;
+            }
+        }
+        match &tokens[i] {
+            TokenTree::Ident(id) => fields.push(id.to_string()),
+            other => panic!("expected field name, found {other}"),
+        }
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field name, found {other}"),
+        }
+        // Skip the type: everything up to a comma at angle-bracket depth 0.
+        let mut angle: i32 = 0;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Arity of a tuple body (top-level comma count, angle-aware).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle: i32 = 0;
+    for (idx, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            // A trailing comma does not start a new field.
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 && idx + 1 < tokens.len() => {
+                count += 1;
+            }
+            _ => {}
+        }
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            i += 2;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, found {other}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Discriminants (`= expr`) are not supported with serde derives here.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("explicit discriminants are not supported by the vendored serde derive");
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(proxy) = &item.attrs.into {
+        format!(
+            "let __proxy: {proxy} = ::core::convert::Into::into(::core::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_content(&__proxy)"
+        )
+    } else {
+        match &item.shape {
+            Shape::NamedStruct(fields) => {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), \
+                             ::serde::Serialize::to_content(&self.{f}))"
+                        )
+                    })
+                    .collect();
+                format!("::serde::Content::Map(::std::vec![{}])", entries.join(", "))
+            }
+            Shape::TupleStruct(1) => {
+                // Newtype structs serialize transparently, as in real serde.
+                "::serde::Serialize::to_content(&self.0)".to_string()
+            }
+            Shape::TupleStruct(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Serialize::to_content(&self.{k})"))
+                    .collect();
+                format!("::serde::Content::Seq(::std::vec![{}])", elems.join(", "))
+            }
+            Shape::UnitStruct => "::serde::Content::Null".to_string(),
+            Shape::Enum(variants) => {
+                let arms: Vec<String> = variants
+                    .iter()
+                    .map(|v| gen_serialize_variant(name, v))
+                    .collect();
+                format!("match self {{\n{}\n}}", arms.join("\n"))
+            }
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_serialize_variant(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    let tag = format!("::std::string::String::from(\"{vname}\")");
+    match &v.kind {
+        VariantKind::Unit => {
+            format!("{enum_name}::{vname} => ::serde::Content::Str({tag}),")
+        }
+        VariantKind::Tuple(1) => format!(
+            "{enum_name}::{vname}(__f0) => ::serde::Content::Map(::std::vec![({tag}, \
+             ::serde::Serialize::to_content(__f0))]),"
+        ),
+        VariantKind::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_content(__f{k})"))
+                .collect();
+            format!(
+                "{enum_name}::{vname}({}) => ::serde::Content::Map(::std::vec![({tag}, \
+                 ::serde::Content::Seq(::std::vec![{}]))]),",
+                binds.join(", "),
+                elems.join(", ")
+            )
+        }
+        VariantKind::Struct(fields) => {
+            let binds = fields.join(", ");
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_content({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{enum_name}::{vname} {{ {binds} }} => ::serde::Content::Map(::std::vec![({tag}, \
+                 ::serde::Content::Map(::std::vec![{}]))]),",
+                entries.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(proxy) = &item.attrs.from {
+        format!(
+            "let __proxy = <{proxy} as ::serde::Deserialize>::from_content(__content)?;\n\
+             ::core::result::Result::Ok(<Self as ::core::convert::From<{proxy}>>::from(__proxy))"
+        )
+    } else if let Some(proxy) = &item.attrs.try_from {
+        format!(
+            "let __proxy = <{proxy} as ::serde::Deserialize>::from_content(__content)?;\n\
+             <Self as ::core::convert::TryFrom<{proxy}>>::try_from(__proxy)\
+             .map_err(::serde::DeError::custom)"
+        )
+    } else {
+        match &item.shape {
+            Shape::NamedStruct(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::field(__map, \"{name}\", \"{f}\")?,"))
+                    .collect();
+                format!(
+                    "let __map = __content.as_map().ok_or_else(|| \
+                     ::serde::DeError::expected(\"object for struct {name}\", __content))?;\n\
+                     ::core::result::Result::Ok({name} {{\n{}\n}})",
+                    inits.join("\n")
+                )
+            }
+            Shape::TupleStruct(1) => format!(
+                "::core::result::Result::Ok({name}(::serde::Deserialize::from_content(__content)?))"
+            ),
+            Shape::TupleStruct(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::from_content(&__seq[{k}])?"))
+                    .collect();
+                format!(
+                    "let __seq = __content.as_seq().ok_or_else(|| \
+                     ::serde::DeError::expected(\"array for struct {name}\", __content))?;\n\
+                     if __seq.len() != {n} {{ return ::core::result::Result::Err(\
+                     ::serde::DeError::custom(\"wrong tuple length for {name}\")); }}\n\
+                     ::core::result::Result::Ok({name}({}))",
+                    elems.join(", ")
+                )
+            }
+            Shape::UnitStruct => format!("::core::result::Result::Ok({name})"),
+            Shape::Enum(variants) => gen_deserialize_enum(name, variants),
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(__content: &::serde::Content) -> \
+             ::core::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut out = String::new();
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| {
+            format!(
+                "\"{v}\" => return ::core::result::Result::Ok({name}::{v}),",
+                v = v.name
+            )
+        })
+        .collect();
+    if !unit_arms.is_empty() {
+        out.push_str(&format!(
+            "if let ::serde::Content::Str(__s) = __content {{\n\
+                 match __s.as_str() {{\n{}\n_ => {{}}\n}}\n\
+             }}\n",
+            unit_arms.join("\n")
+        ));
+    }
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.name;
+            match &v.kind {
+                VariantKind::Unit => None,
+                VariantKind::Tuple(1) => Some(format!(
+                    "\"{vname}\" => return ::core::result::Result::Ok({name}::{vname}(\
+                     ::serde::Deserialize::from_content(__v)?)),"
+                )),
+                VariantKind::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Deserialize::from_content(&__seq[{k}])?"))
+                        .collect();
+                    Some(format!(
+                        "\"{vname}\" => {{\n\
+                             let __seq = __v.as_seq().ok_or_else(|| \
+                             ::serde::DeError::expected(\"array for variant {vname}\", __v))?;\n\
+                             if __seq.len() != {n} {{ return ::core::result::Result::Err(\
+                             ::serde::DeError::custom(\"wrong arity for variant {vname}\")); }}\n\
+                             return ::core::result::Result::Ok({name}::{vname}({}));\n\
+                         }}",
+                        elems.join(", ")
+                    ))
+                }
+                VariantKind::Struct(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::field(__inner, \"{name}\", \"{f}\")?,"))
+                        .collect();
+                    Some(format!(
+                        "\"{vname}\" => {{\n\
+                             let __inner = __v.as_map().ok_or_else(|| \
+                             ::serde::DeError::expected(\"object for variant {vname}\", __v))?;\n\
+                             return ::core::result::Result::Ok({name}::{vname} {{\n{}\n}});\n\
+                         }}",
+                        inits.join("\n")
+                    ))
+                }
+            }
+        })
+        .collect();
+    if !tagged_arms.is_empty() {
+        out.push_str(&format!(
+            "if let ::serde::Content::Map(__m) = __content {{\n\
+                 if __m.len() == 1 {{\n\
+                     let (__k, __v) = &__m[0];\n\
+                     match __k.as_str() {{\n{}\n_ => {{}}\n}}\n\
+                 }}\n\
+             }}\n",
+            tagged_arms.join("\n")
+        ));
+    }
+    out.push_str(&format!(
+        "::core::result::Result::Err(::serde::DeError::custom(\
+         \"invalid value for enum {name}\"))"
+    ));
+    out
+}

@@ -1,0 +1,443 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Renders and parses JSON against the vendored `serde` [`Content`] data
+//! model. Covers the workspace's API use: [`to_string`],
+//! [`to_string_pretty`], and [`from_str`], with an [`Error`] that
+//! implements `Display` + `Error`.
+
+use serde::{Content, Deserialize, Serialize};
+use std::fmt;
+
+/// JSON serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&value.to_content(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as two-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&value.to_content(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Serializes `value` as compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Parses a value from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let content = parse(s)?;
+    T::from_content(&content).map_err(|e| Error::new(e.to_string()))
+}
+
+// ---------------------------------------------------------------------------
+// rendering
+// ---------------------------------------------------------------------------
+
+fn write_content(c: &Content, out: &mut String, indent: Option<usize>, depth: usize) {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => write_f64(*v, out),
+        Content::Str(s) => write_json_string(s, out),
+        Content::Seq(items) => {
+            write_bracketed(
+                out,
+                '[',
+                ']',
+                items.len(),
+                indent,
+                depth,
+                |out, i, ind, d| {
+                    write_content(&items[i], out, ind, d);
+                },
+            );
+        }
+        Content::Map(entries) => {
+            write_bracketed(
+                out,
+                '{',
+                '}',
+                entries.len(),
+                indent,
+                depth,
+                |out, i, ind, d| {
+                    let (k, v) = &entries[i];
+                    write_json_string(k, out);
+                    out.push(':');
+                    if ind.is_some() {
+                        out.push(' ');
+                    }
+                    write_content(v, out, ind, d);
+                },
+            );
+        }
+    }
+}
+
+fn write_bracketed(
+    out: &mut String,
+    open: char,
+    close: char,
+    len: usize,
+    indent: Option<usize>,
+    depth: usize,
+    mut write_item: impl FnMut(&mut String, usize, Option<usize>, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(step * (depth + 1)));
+        }
+        write_item(out, i, indent, depth + 1);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(step * depth));
+    }
+    out.push(close);
+}
+
+fn write_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        if v == v.trunc() && v.abs() < 1e15 {
+            // Match serde_json: whole floats render with a trailing `.0`.
+            out.push_str(&format!("{v:.1}"));
+        } else {
+            out.push_str(&v.to_string());
+        }
+    } else {
+        // serde_json errors on non-finite floats; rendering null is the
+        // pragmatic offline choice (nothing in the workspace hits this).
+        out.push_str("null");
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// parsing
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse(s: &str) -> Result<Content, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Content, Error> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Content::Str(self.string()?)),
+            Some(b't') => self.keyword("true", Content::Bool(true)),
+            Some(b'f') => self.keyword("false", Content::Bool(false)),
+            Some(b'n') => self.keyword("null", Content::Null),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            Some(other) => Err(Error::new(format!(
+                "unexpected character `{}` at byte {}",
+                other as char, self.pos
+            ))),
+            None => Err(Error::new("unexpected end of input")),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Content) -> Result<Content, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error::new(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn object(&mut self) -> Result<Content, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Content, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| Error::new("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::new("invalid \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("invalid \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(Error::new("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is a &str, so
+                    // boundaries are valid).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::new("invalid UTF-8"))?;
+                    let ch = rest.chars().next().unwrap();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+                None => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Content, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Content::F64)
+                .map_err(|_| Error::new(format!("invalid number `{text}`")))
+        } else if let Some(stripped) = text.strip_prefix('-') {
+            // `-0` parses as integer zero, like serde_json.
+            if stripped.chars().all(|c| c == '0') {
+                return Ok(Content::U64(0));
+            }
+            text.parse::<i64>()
+                .map(Content::I64)
+                .map_err(|_| Error::new(format!("integer out of range `{text}`")))
+        } else {
+            text.parse::<u64>()
+                .map(Content::U64)
+                .map_err(|_| Error::new(format!("integer out of range `{text}`")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars_and_containers() {
+        let v: Vec<(u32, i64)> = vec![(1, -2), (3, 4)];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[[1,-2],[3,4]]");
+        let back: Vec<(u32, i64)> = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parses_whitespace_escapes_and_floats() {
+        let c = parse(" { \"a\\n\" : [ 1.5 , true , null ] } ").unwrap();
+        match c {
+            Content::Map(m) => {
+                assert_eq!(m[0].0, "a\n");
+                assert_eq!(
+                    m[0].1,
+                    Content::Seq(vec![Content::F64(1.5), Content::Bool(true), Content::Null])
+                );
+            }
+            _ => panic!("expected map"),
+        }
+    }
+
+    #[test]
+    fn pretty_prints_with_indentation() {
+        let v: Vec<u32> = vec![1, 2];
+        assert_eq!(to_string_pretty(&v).unwrap(), "[\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(from_str::<u32>("1 x").is_err());
+    }
+}
