@@ -1,0 +1,150 @@
+//! The audit engine: walk, lex, run rules, apply annotations, report.
+
+use crate::config::{Config, Level};
+use crate::report::{self, Violation};
+use crate::rules::{self, claims, doc_drift, obs_coverage, panic_freedom, unsafe_freedom};
+use crate::source::{collect_rs_files, rel_str, SourceFile};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// Result of one audit run.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Findings that survived annotation filtering, with their levels.
+    pub violations: Vec<(Level, Violation)>,
+    /// The rendered claims matrix (present unless the rule is `allow`ed).
+    pub matrix: Option<String>,
+}
+
+impl Outcome {
+    /// Whether any `deny`-level finding remains.
+    pub fn failed(&self) -> bool {
+        self.violations.iter().any(|(l, _)| *l == Level::Deny)
+    }
+}
+
+/// Runs every configured rule over the workspace at `root`.
+pub fn run(root: &Path, config: &Config) -> std::io::Result<Outcome> {
+    let audit = config.rule("audit");
+    let source_roots = if audit.list("source_roots").is_empty() {
+        vec!["src".to_string(), "crates".to_string()]
+    } else {
+        audit.list("source_roots").to_vec()
+    };
+    let excluded = audit.list("exclude").to_vec();
+    let mut files = Vec::new();
+    for path in collect_rs_files(root, &source_roots, &excluded) {
+        let text = std::fs::read_to_string(&path)?;
+        files.push(SourceFile::new(rel_str(root, &path), &text));
+    }
+
+    let mut raw: Vec<Violation> = Vec::new();
+    let mut matrix = None;
+
+    // panic-freedom over its configured module scope
+    let pf = config.rule(panic_freedom::NAME);
+    if pf.level() != Level::Allow {
+        for f in files
+            .iter()
+            .filter(|f| panic_freedom::in_scope(&f.rel_path, pf.list("paths")))
+        {
+            panic_freedom::check(f, &mut raw);
+        }
+    }
+
+    // obs-coverage + component cross-check
+    let oc = config.rule(obs_coverage::NAME);
+    if oc.level() != Level::Allow {
+        let mut seen = BTreeSet::new();
+        for f in files
+            .iter()
+            .filter(|f| panic_freedom::in_scope(&f.rel_path, oc.list("paths")))
+        {
+            obs_coverage::check(f, &mut seen, &mut raw);
+        }
+        obs_coverage::check_components(oc.list("components"), &seen, "audit.toml", &mut raw);
+    }
+
+    // claim-traceability + matrix
+    let ct = config.rule(claims::NAME);
+    if ct.level() != Level::Allow {
+        let mut paper_texts = Vec::new();
+        for doc in ct.list("paper_docs") {
+            let text = std::fs::read_to_string(root.join(doc))?;
+            paper_texts.push((doc.clone(), text));
+        }
+        let idx = claims::build_index(&paper_texts, &files);
+        claims::check(&idx, ct.list("headline"), "audit.toml", &mut raw);
+        matrix = Some(claims::matrix(&idx, ct.list("headline")));
+    }
+
+    // unsafe-freedom everywhere + compiler-backed crate roots
+    let uf = config.rule(unsafe_freedom::NAME);
+    if uf.level() != Level::Allow {
+        for f in &files {
+            unsafe_freedom::check(f, &mut raw);
+        }
+        unsafe_freedom::check_crate_roots(uf.list("crate_roots"), &files, &mut raw);
+    }
+
+    // doc-drift between the CLI crate and the README
+    let dd = config.rule(doc_drift::NAME);
+    if dd.level() != Level::Allow {
+        let cli_prefix = dd.str("cli_src").unwrap_or("crates/cli/src/").to_string();
+        let mut flags = BTreeMap::new();
+        for f in files
+            .iter()
+            .filter(|f| f.rel_path.starts_with(cli_prefix.as_str()))
+        {
+            doc_drift::collect_flags(f, &mut flags);
+        }
+        let readme_path = dd.str("readme").unwrap_or("README.md");
+        let readme = std::fs::read_to_string(root.join(readme_path))?;
+        doc_drift::check(&flags, &readme, &mut raw);
+    }
+
+    // allow-annotation hygiene: every escape hatch names a real rule and
+    // states a reason — the annotations themselves are auditable.
+    let aa = config.rule(rules::ALLOW_ANNOTATION);
+    if aa.level() != Level::Allow {
+        for f in &files {
+            for a in &f.allows {
+                if !rules::ALL.contains(&a.rule.as_str()) {
+                    raw.push(Violation::new(
+                        rules::ALLOW_ANNOTATION,
+                        &f.rel_path,
+                        a.line,
+                        format!("audit:allow names unknown rule \"{}\"", a.rule),
+                    ));
+                } else if a.reason.is_empty() {
+                    raw.push(Violation::new(
+                        rules::ALLOW_ANNOTATION,
+                        &f.rel_path,
+                        a.line,
+                        format!(
+                            "audit:allow({}) has no reason — escape hatches must say why",
+                            a.rule
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // apply annotations, attach levels, sort
+    let by_path: BTreeMap<&str, &SourceFile> =
+        files.iter().map(|f| (f.rel_path.as_str(), f)).collect();
+    let mut violations: Vec<(Level, Violation)> = raw
+        .into_iter()
+        .filter(|v| {
+            // allow-annotation findings cannot be allow-annotated away
+            v.rule == rules::ALLOW_ANNOTATION
+                || !by_path
+                    .get(v.file.as_str())
+                    .is_some_and(|f| f.allowed(&v.rule, v.line))
+        })
+        .map(|v| (config.rule(&v.rule).level(), v))
+        .collect();
+    report::sort(&mut violations);
+    Ok(Outcome { violations, matrix })
+}

@@ -1,0 +1,39 @@
+#![forbid(unsafe_code)]
+//! `jp-audit` — workspace-native static analysis for the
+//! join-predicates repo.
+//!
+//! The repo's value is that its solvers provably track the paper's
+//! claims; this crate is the machinery that keeps code and correctness
+//! argument connected as the codebase refactors. It is a zero-dependency
+//! token-level analyzer (own lexer, no `syn` — the workspace builds
+//! fully offline) enforcing five repo invariants as lints:
+//!
+//! | rule | invariant |
+//! |---|---|
+//! | `panic-freedom` | solver modules contain no reachable panic site |
+//! | `obs-coverage` | every public solver entrypoint opens a `jp-obs` span |
+//! | `claim-traceability` | `CLAIM(..)` tags are real and headline claims are tested |
+//! | `unsafe-freedom` | no `unsafe`, compiler-backed by `#![forbid(unsafe_code)]` |
+//! | `doc-drift` | every CLI flag is documented in the README |
+//!
+//! Rules are configured in `audit.toml` (per-rule
+//! `deny`/`warn`/`allow`), with inline escape hatches of the form
+//! `// audit:allow(<rule>) <reason>` — a reasonless annotation is itself
+//! a finding (`allow-annotation`). Run as:
+//!
+//! ```text
+//! cargo run -p jp-audit -- check     # lint + regenerate figures/claims_matrix.md
+//! cargo run -p jp-audit -- matrix    # print the claims matrix
+//! cargo run -p jp-audit -- rules     # list rules and configured levels
+//! ```
+
+pub mod config;
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod source;
+
+pub use config::{Config, Level};
+pub use engine::{run, Outcome};
+pub use report::Violation;

@@ -1,0 +1,145 @@
+#![forbid(unsafe_code)]
+//! `jp-audit` command line: `check`, `matrix`, `rules`.
+
+use jp_audit::{config::Config, engine, Level};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+jp-audit — workspace-native static analysis
+
+USAGE:
+  jp-audit check  [--root DIR] [--config FILE]   run all rules; exit 1 on deny findings
+  jp-audit matrix [--root DIR] [--config FILE]   print the claim-traceability matrix
+  jp-audit rules  [--root DIR] [--config FILE]   list rules and configured levels
+
+`check` also rewrites the matrix file configured under
+[claim-traceability] matrix (default figures/claims_matrix.md).";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("jp-audit: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let mut cmd = None;
+    let mut root = None;
+    let mut config_path = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                root = Some(PathBuf::from(need_value(args, i, "--root")?));
+                i += 2;
+            }
+            "--config" => {
+                config_path = Some(PathBuf::from(need_value(args, i, "--config")?));
+                i += 2;
+            }
+            "help" | "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            c if cmd.is_none() && !c.starts_with('-') => {
+                cmd = Some(c.to_string());
+                i += 1;
+            }
+            other => return Err(format!("unexpected argument {other:?}\n\n{USAGE}").into()),
+        }
+    }
+    let root = root.unwrap_or_else(default_root);
+    let config_path = config_path.unwrap_or_else(|| root.join("audit.toml"));
+    let config_text = std::fs::read_to_string(&config_path)
+        .map_err(|e| format!("reading {}: {e}", config_path.display()))?;
+    let config = Config::parse(&config_text)?;
+
+    match cmd.as_deref() {
+        Some("check") | None => {
+            let outcome = engine::run(&root, &config)?;
+            if let Some(matrix) = &outcome.matrix {
+                let target = config
+                    .rule("claim-traceability")
+                    .str("matrix")
+                    .unwrap_or("figures/claims_matrix.md")
+                    .to_string();
+                let path = root.join(&target);
+                if let Some(dir) = path.parent() {
+                    std::fs::create_dir_all(dir)?;
+                }
+                std::fs::write(&path, matrix)?;
+                println!("wrote {target}");
+            }
+            let (mut denies, mut warns) = (0usize, 0usize);
+            for (level, v) in &outcome.violations {
+                match level {
+                    Level::Deny => denies += 1,
+                    Level::Warn => warns += 1,
+                    Level::Allow => continue,
+                }
+                println!("{level}: {v}");
+            }
+            println!(
+                "jp-audit: {denies} denied, {warns} warned ({} rule{} enforced)",
+                jp_audit::rules::ALL.len(),
+                if jp_audit::rules::ALL.len() == 1 {
+                    ""
+                } else {
+                    "s"
+                },
+            );
+            Ok(if outcome.failed() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            })
+        }
+        Some("matrix") => {
+            let outcome = engine::run(&root, &config)?;
+            match outcome.matrix {
+                Some(m) => {
+                    print!("{m}");
+                    Ok(ExitCode::SUCCESS)
+                }
+                None => Err("claim-traceability is set to allow; no matrix produced".into()),
+            }
+        }
+        Some("rules") => {
+            for rule in jp_audit::rules::ALL {
+                println!("{rule:<20} {}", config.rule(rule).level());
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}").into()),
+    }
+}
+
+fn need_value<'a>(args: &'a [String], i: usize, flag: &str) -> Result<&'a str, String> {
+    args.get(i + 1)
+        .map(String::as_str)
+        .ok_or_else(|| format!("{flag} needs a value"))
+}
+
+/// The workspace root: walk up from the manifest dir (when run via
+/// `cargo run -p jp-audit`) or the current directory until `audit.toml`
+/// appears.
+fn default_root() -> PathBuf {
+    let start = std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .or_else(|| std::env::current_dir().ok())
+        .unwrap_or_else(|| PathBuf::from("."));
+    let mut dir = start.clone();
+    loop {
+        if dir.join("audit.toml").is_file() {
+            return dir;
+        }
+        if !dir.pop() {
+            return start;
+        }
+    }
+}

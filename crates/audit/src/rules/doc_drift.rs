@@ -1,0 +1,122 @@
+//! `doc-drift` — the CLI's flags and the README must agree.
+//!
+//! The `jp` CLI parses `--key value` options through
+//! `ParsedArgs::opt`/`opt_parse` (see `crates/cli/src/args.rs`) plus the
+//! two global literals `--trace`/`--stats`. Every flag name that appears
+//! at a call site in the CLI crate must therefore appear (as `--name`)
+//! somewhere in the README — otherwise the documented interface has
+//! drifted from the real one. Test code is excluded (tests probe
+//! deliberately bogus keys).
+
+use crate::lexer::{Token, TokenKind};
+use crate::report::Violation;
+use crate::source::SourceFile;
+use std::collections::BTreeMap;
+
+/// Rule name, as used in config sections and allow annotations.
+pub const NAME: &str = "doc-drift";
+
+/// Collects flag names from one CLI-crate file: `opt("key")` /
+/// `opt_parse("key", …)` call sites and exact `"--flag"` literals.
+/// Returns `flag → first (file, line)`.
+pub fn collect_flags(file: &SourceFile, into: &mut BTreeMap<String, (String, u32)>) {
+    let code: Vec<&Token> = file.tokens.iter().filter(|t| !t.is_comment()).collect();
+    for (i, t) in code.iter().enumerate() {
+        if file.in_test(t.line) {
+            continue;
+        }
+        if (t.is_ident("opt") || t.is_ident("opt_parse"))
+            && code.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            if let Some(key) = code.get(i + 2).and_then(|n| n.str_content()) {
+                record(into, key, &file.rel_path, t.line);
+            }
+        }
+        if t.kind == TokenKind::Str {
+            if let Some(s) = t.str_content() {
+                if let Some(name) = s.strip_prefix("--") {
+                    // exact flag literals only — not usage prose
+                    if !name.is_empty()
+                        && name
+                            .bytes()
+                            .all(|b| b.is_ascii_lowercase() || b == b'-' || b == b'_')
+                    {
+                        record(into, name, &file.rel_path, t.line);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn record(into: &mut BTreeMap<String, (String, u32)>, key: &str, file: &str, line: u32) {
+    into.entry(key.to_string())
+        .or_insert_with(|| (file.to_string(), line));
+}
+
+/// Every collected flag must appear as `--flag` in the README text.
+pub fn check(flags: &BTreeMap<String, (String, u32)>, readme: &str, out: &mut Vec<Violation>) {
+    for (flag, (file, line)) in flags {
+        let needle = format!("--{flag}");
+        let documented = readme.match_indices(&needle).any(|(i, _)| {
+            match readme.as_bytes().get(i + needle.len()) {
+                // `--b` must not be satisfied by `--budget`
+                Some(b) => !(b.is_ascii_alphanumeric() || *b == b'-' || *b == b'_'),
+                None => true,
+            }
+        });
+        if !documented {
+            out.push(Violation::new(
+                NAME,
+                file,
+                *line,
+                format!("CLI flag `--{flag}` is parsed here but not documented in the README"),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_are_collected_and_checked_against_readme() {
+        let f = SourceFile::new(
+            "crates/cli/src/commands.rs".into(),
+            "fn c(a: &ParsedArgs) {\n\
+             \x20   let out = a.opt(\"out\");\n\
+             \x20   let n: usize = a.opt_parse(\"n\", 10).unwrap_or(10);\n\
+             \x20   if s == \"--trace\" {}\n\
+             \x20   let _ = (out, n);\n\
+             }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+             \x20   #[test]\n\
+             \x20   fn t() { a.opt(\"bogus\"); }\n\
+             }\n",
+        );
+        let mut flags = BTreeMap::new();
+        collect_flags(&f, &mut flags);
+        assert!(
+            flags.contains_key("out") && flags.contains_key("n") && flags.contains_key("trace")
+        );
+        assert!(!flags.contains_key("bogus"), "test keys are excluded");
+        let mut out = Vec::new();
+        check(&flags, "documents --out and --trace only", &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("`--n`"));
+    }
+
+    #[test]
+    fn prefix_matches_do_not_count_as_documentation() {
+        let mut flags = BTreeMap::new();
+        flags.insert("b".to_string(), ("x.rs".to_string(), 1));
+        let mut out = Vec::new();
+        check(&flags, "only --budget is documented", &mut out);
+        assert_eq!(out.len(), 1, "`--budget` must not satisfy `--b`");
+        let mut ok = Vec::new();
+        check(&flags, "here --b is documented (for buffers)", &mut ok);
+        assert!(ok.is_empty(), "exact word-boundary match is documentation");
+    }
+}

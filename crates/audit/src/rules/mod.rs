@@ -1,0 +1,26 @@
+//! The lint rules.
+//!
+//! Each rule lives in its own module and exposes a `NAME` (used in
+//! `audit.toml` sections and `audit:allow` annotations) plus check
+//! functions the engine in [`crate::engine`] drives. See the module
+//! docs of each rule for exact semantics.
+
+pub mod claims;
+pub mod doc_drift;
+pub mod obs_coverage;
+pub mod panic_freedom;
+pub mod unsafe_freedom;
+
+/// Name of the meta-rule covering the escape hatches themselves:
+/// `audit:allow` annotations must name a real rule and state a reason.
+pub const ALLOW_ANNOTATION: &str = "allow-annotation";
+
+/// All rule names, in reporting order.
+pub const ALL: [&str; 6] = [
+    panic_freedom::NAME,
+    obs_coverage::NAME,
+    claims::NAME,
+    unsafe_freedom::NAME,
+    doc_drift::NAME,
+    ALLOW_ANNOTATION,
+];

@@ -1,0 +1,152 @@
+//! `panic-freedom` — solver modules must not contain reachable panic
+//! sites.
+//!
+//! The solver ladder is the part of the codebase adversarial inputs
+//! reach (arbitrary join graphs come in over the CLI and the relalg
+//! realizers), so inside the configured modules this rule flags every
+//! construct that can abort the process:
+//!
+//! * `panic!`, `unreachable!`, `todo!`, `unimplemented!`;
+//! * `assert!` / `assert_eq!` / `assert_ne!` (release-mode aborts;
+//!   `debug_assert*` is exempt — compiled out of release builds);
+//! * `.unwrap()` / `.expect()` (and their `_err` twins);
+//! * slice/array indexing `x[i]` — `get`-based access is the
+//!   panic-free alternative; index expressions that are provably in
+//!   bounds carry an `audit:allow(panic-freedom) <invariant>`
+//!   annotation stating why.
+//!
+//! Test items are skipped: a test's assertions panic by design.
+
+use crate::lexer::{is_keyword, Token, TokenKind};
+use crate::report::Violation;
+use crate::source::SourceFile;
+
+/// Rule name, as used in config sections and allow annotations.
+pub const NAME: &str = "panic-freedom";
+
+const PANIC_MACROS: [&str; 7] = [
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// Whether `rel_path` falls under one of the configured scope entries
+/// (exact file, or directory prefix written with a trailing `/`).
+pub fn in_scope(rel_path: &str, paths: &[String]) -> bool {
+    paths
+        .iter()
+        .any(|p| rel_path == p || (p.ends_with('/') && rel_path.starts_with(p.as_str())))
+}
+
+/// Runs the rule over one file (caller has already checked scope).
+pub fn check(file: &SourceFile, out: &mut Vec<Violation>) {
+    let code: Vec<&Token> = file.tokens.iter().filter(|t| !t.is_comment()).collect();
+    for (i, t) in code.iter().enumerate() {
+        if file.in_test(t.line) {
+            continue;
+        }
+        match t.kind {
+            TokenKind::Ident => {
+                let next_bang = code.get(i + 1).is_some_and(|n| n.is_punct('!'));
+                if next_bang && PANIC_MACROS.contains(&t.text.as_str()) {
+                    out.push(Violation::new(
+                        NAME,
+                        &file.rel_path,
+                        t.line,
+                        format!("call to `{}!` in a solver module", t.text),
+                    ));
+                    continue;
+                }
+                let is_method_call = i > 0
+                    && code[i - 1].is_punct('.')
+                    && code.get(i + 1).is_some_and(|n| n.is_punct('('));
+                if is_method_call
+                    && matches!(
+                        t.text.as_str(),
+                        "unwrap" | "expect" | "unwrap_err" | "expect_err"
+                    )
+                {
+                    out.push(Violation::new(
+                        NAME,
+                        &file.rel_path,
+                        t.line,
+                        format!("call to `.{}()` in a solver module", t.text),
+                    ));
+                }
+            }
+            TokenKind::Punct if t.is_punct('[') && i > 0 => {
+                let prev = code[i - 1];
+                let indexable_prefix = match prev.kind {
+                    TokenKind::Ident => !is_keyword(&prev.text),
+                    TokenKind::Punct => prev.is_punct(')') || prev.is_punct(']'),
+                    _ => false,
+                };
+                if indexable_prefix {
+                    out.push(Violation::new(
+                        NAME,
+                        &file.rel_path,
+                        t.line,
+                        "slice/array index expression (use `get`/`get_mut`, or state the \
+                         bounds invariant in an `audit:allow(panic-freedom)` annotation)",
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violations(src: &str) -> Vec<(u32, String)> {
+        let f = SourceFile::new("crates/core/src/exact.rs".into(), src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out.into_iter().map(|v| (v.line, v.message)).collect()
+    }
+
+    #[test]
+    fn flags_macros_methods_and_indexing() {
+        let v = violations(
+            "fn f(v: &[u32]) -> u32 {\n\
+             \x20   let x = v.first().unwrap();\n\
+             \x20   if *x > 3 { panic!(\"boom\") }\n\
+             \x20   v[1]\n\
+             }\n",
+        );
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[0].0, 2);
+        assert_eq!(v[1].0, 3);
+        assert_eq!(v[2].0, 4);
+    }
+
+    #[test]
+    fn skips_tests_patterns_macros_and_debug_asserts() {
+        let v = violations(
+            "fn f() {\n\
+             \x20   debug_assert!(true);\n\
+             \x20   let [a, b] = [1u32, 2];\n\
+             \x20   let v = vec![a, b];\n\
+             \x20   let _ = (a, v);\n\
+             }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+             \x20   #[test]\n\
+             \x20   fn t() { Some(3).unwrap(); }\n\
+             }\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn chained_and_call_result_indexing_is_flagged() {
+        let v = violations("fn f(m: &M) -> u32 { m.rows()[0][1] }\n");
+        assert_eq!(v.len(), 2, "{v:?}");
+    }
+}

@@ -1,0 +1,106 @@
+//! `unsafe-freedom` — no `unsafe` anywhere, enforced twice.
+//!
+//! The whole workspace is `std`-only safe Rust; the pebble game never
+//! needs raw pointers. This rule flags every `unsafe` token in scanned
+//! source (tests included — unsafety in tests is still unsafety) and,
+//! because a lint that merely greps can be bypassed by a later PR,
+//! additionally requires each configured crate root to carry
+//! `#![forbid(unsafe_code)]` so the compiler backs the same invariant.
+
+use crate::report::Violation;
+use crate::source::SourceFile;
+
+/// Rule name, as used in config sections and allow annotations.
+pub const NAME: &str = "unsafe-freedom";
+
+/// Flags `unsafe` tokens in one file.
+pub fn check(file: &SourceFile, out: &mut Vec<Violation>) {
+    for t in &file.tokens {
+        if !t.is_comment() && t.is_ident("unsafe") {
+            out.push(Violation::new(
+                NAME,
+                &file.rel_path,
+                t.line,
+                "`unsafe` is forbidden workspace-wide",
+            ));
+        }
+    }
+}
+
+/// Requires `#![forbid(unsafe_code)]` in each configured crate root.
+/// `files` is the full lexed workspace; roots that were not scanned (or
+/// do not exist) are reported too — a missing root is drift, not a pass.
+pub fn check_crate_roots(roots: &[String], files: &[SourceFile], out: &mut Vec<Violation>) {
+    for root in roots {
+        let Some(file) = files.iter().find(|f| &f.rel_path == root) else {
+            out.push(Violation::new(
+                NAME,
+                root,
+                1,
+                "configured crate root was not found by the source walker",
+            ));
+            continue;
+        };
+        let code: Vec<_> = file.tokens.iter().filter(|t| !t.is_comment()).collect();
+        let has_forbid = code.iter().any(|t| t.is_ident("forbid"))
+            && code.iter().any(|t| t.is_ident("unsafe_code"));
+        if !has_forbid {
+            out.push(Violation::new(
+                NAME,
+                root,
+                1,
+                "crate root lacks `#![forbid(unsafe_code)]`",
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsafe_token_is_flagged_even_in_tests() {
+        let f = SourceFile::new(
+            "crates/graph/src/lib.rs".into(),
+            "#[cfg(test)]\nmod tests {\n    fn t() { unsafe { std::hint::unreachable_unchecked() } }\n}\n",
+        );
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 3);
+    }
+
+    #[test]
+    fn forbid_attribute_satisfies_the_root_check() {
+        let with = SourceFile::new(
+            "crates/graph/src/lib.rs".into(),
+            "#![forbid(unsafe_code)]\npub fn f() {}\n",
+        );
+        let without = SourceFile::new("crates/core/src/lib.rs".into(), "pub fn f() {}\n");
+        let mut out = Vec::new();
+        check_crate_roots(
+            &[
+                "crates/graph/src/lib.rs".to_string(),
+                "crates/core/src/lib.rs".to_string(),
+                "crates/ghost/src/lib.rs".to_string(),
+            ],
+            &[with, without],
+            &mut out,
+        );
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert_eq!(out[0].file, "crates/core/src/lib.rs");
+        assert_eq!(out[1].file, "crates/ghost/src/lib.rs");
+    }
+
+    #[test]
+    fn unsafe_in_comments_or_strings_is_not_flagged() {
+        let f = SourceFile::new(
+            "src/lib.rs".into(),
+            "// unsafe is discussed here only\nconst S: &str = \"unsafe\";\n",
+        );
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture CLI — every parsed flag appears in the fixture README.
+
+pub fn configure(a: &ParsedArgs) -> Option<String> {
+    a.opt("seed")
+}

@@ -1,0 +1,6 @@
+//! Fixture CLI — parses one documented and one undocumented flag.
+
+pub fn configure(a: &ParsedArgs) -> u32 {
+    let _seed = a.opt("seed");
+    a.opt_parse("budget", 7)
+}

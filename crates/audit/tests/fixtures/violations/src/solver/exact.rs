@@ -1,0 +1,22 @@
+//! Seeded violations — fixtures_check.rs asserts these exact
+//! rule/file/line findings; keep the line numbers stable.
+
+pub fn solve(v: &[u32]) -> u32 {
+    let first = v.first().unwrap();
+    first + v[1]
+}
+
+// audit:allow(panic-freedom)
+pub fn annotated_without_reason(v: &[u32]) -> u32 {
+    v[0]
+}
+
+// audit:allow(no-such-rule) the rule name is wrong
+fn helper() -> u32 {
+    unsafe { 0 }
+}
+
+// CLAIM(T9.9) phantom: not in the fixture paper
+fn cite() -> u32 {
+    helper()
+}

@@ -1,0 +1,134 @@
+//! End-to-end checks of the analyzer against the seeded fixture trees
+//! under `tests/fixtures/`: exact findings via the library engine, exit
+//! codes via the real binary. The fixture sources never compile — the
+//! analyzer works at the token level, so the trees only need to *lex*.
+
+use jp_audit::{config::Config, engine, Level};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run_engine(name: &str, config_text: &str) -> engine::Outcome {
+    let config = Config::parse(config_text).unwrap();
+    engine::run(&fixture(name), &config).unwrap()
+}
+
+fn fixture_config(name: &str) -> String {
+    std::fs::read_to_string(fixture(name).join("audit.toml")).unwrap()
+}
+
+#[test]
+fn violations_fixture_reports_exact_findings() {
+    let outcome = run_engine("violations", &fixture_config("violations"));
+    assert!(outcome.failed());
+    let got: Vec<(String, u32, String)> = outcome
+        .violations
+        .iter()
+        .map(|(level, v)| {
+            assert_eq!(*level, Level::Deny, "{v}");
+            (v.file.clone(), v.line, v.rule.clone())
+        })
+        .collect();
+    let want: Vec<(String, u32, String)> = [
+        // headline T1.1 is cited by no test
+        ("audit.toml", 1, "claim-traceability"),
+        // "ghost.component" is configured but never emitted
+        ("audit.toml", 1, "obs-coverage"),
+        // --budget is parsed but absent from the README
+        ("src/cli/run.rs", 5, "doc-drift"),
+        // crate root lacks #![forbid(unsafe_code)]
+        ("src/lib.rs", 1, "unsafe-freedom"),
+        // configured crate root that does not exist
+        ("src/missing.rs", 1, "unsafe-freedom"),
+        // pub fn `solve` opens no span
+        ("src/solver/exact.rs", 4, "obs-coverage"),
+        // the seeded .unwrap()
+        ("src/solver/exact.rs", 5, "panic-freedom"),
+        // v[1]
+        ("src/solver/exact.rs", 6, "panic-freedom"),
+        // audit:allow with no reason
+        ("src/solver/exact.rs", 9, "allow-annotation"),
+        // pub fn `annotated_without_reason` opens no span
+        ("src/solver/exact.rs", 10, "obs-coverage"),
+        // v[0] — the reason-less annotation does not suppress it
+        ("src/solver/exact.rs", 11, "panic-freedom"),
+        // audit:allow naming an unknown rule
+        ("src/solver/exact.rs", 14, "allow-annotation"),
+        // the unsafe block
+        ("src/solver/exact.rs", 16, "unsafe-freedom"),
+        // CLAIM(T9.9) cites an ID the paper does not contain
+        ("src/solver/exact.rs", 19, "claim-traceability"),
+    ]
+    .into_iter()
+    .map(|(f, l, r)| (f.to_string(), l, r.to_string()))
+    .collect();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn clean_fixture_has_no_findings_and_a_cited_matrix() {
+    let outcome = run_engine("clean", &fixture_config("clean"));
+    assert!(!outcome.failed());
+    assert!(outcome.violations.is_empty(), "{:?}", outcome.violations);
+    let matrix = outcome.matrix.expect("matrix must render");
+    assert!(matrix.contains("| T1.1 | the fixture solver terminates | 1 |"));
+    assert!(matrix.contains("✓"));
+}
+
+#[test]
+fn warn_level_findings_do_not_fail_the_run() {
+    let warned = fixture_config("violations").replace("\"deny\"", "\"warn\"");
+    let outcome = run_engine("violations", &warned);
+    assert!(!outcome.failed(), "warn findings must not gate");
+    assert!(!outcome.violations.is_empty());
+    assert!(outcome
+        .violations
+        .iter()
+        .all(|(level, _)| *level == Level::Warn));
+}
+
+#[test]
+fn allow_level_disables_a_rule_entirely() {
+    let silenced = fixture_config("violations").replace(
+        "[panic-freedom]\nlevel = \"deny\"",
+        "[panic-freedom]\nlevel = \"allow\"",
+    );
+    let outcome = run_engine("violations", &silenced);
+    assert!(outcome
+        .violations
+        .iter()
+        .all(|(_, v)| v.rule != "panic-freedom"));
+}
+
+#[test]
+fn binary_fails_on_the_seeded_unwrap_fixture() {
+    let out = Command::new(env!("CARGO_BIN_EXE_jp-audit"))
+        .args(["check", "--root"])
+        .arg(fixture("violations"))
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!out.status.success(), "must exit non-zero:\n{stdout}");
+    assert!(
+        stdout.contains("src/solver/exact.rs:5: [panic-freedom] call to `.unwrap()`"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("14 denied, 0 warned"), "{stdout}");
+}
+
+#[test]
+fn binary_passes_on_the_clean_fixture() {
+    let out = Command::new(env!("CARGO_BIN_EXE_jp-audit"))
+        .args(["check", "--root"])
+        .arg(fixture("clean"))
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "must exit zero:\n{stdout}");
+    assert!(stdout.contains("0 denied, 0 warned"), "{stdout}");
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Benchmark and experiment harness for the join-predicates reproduction.
 //!
 //! Every row of the experiment index in `DESIGN.md` §3 is implemented

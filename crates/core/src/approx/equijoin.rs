@@ -45,17 +45,21 @@ pub fn pebble_equijoin(g: &BipartiteGraph) -> Result<PebblingScheme, PebbleError
     let mut edges = vec![0usize; n_comp];
     for &c in &cm.left {
         if c != u32::MAX {
+            // audit:allow(panic-freedom) component ids are < n_comp == lefts.len()
             lefts[c as usize] += 1;
         }
     }
     for &c in &cm.right {
         if c != u32::MAX {
+            // audit:allow(panic-freedom) component ids are < n_comp == rights.len()
             rights[c as usize] += 1;
         }
     }
     for &c in &cm.edge {
+        // audit:allow(panic-freedom) component ids are < n_comp == edges.len()
         edges[c as usize] += 1;
     }
+    // audit:allow(panic-freedom) c ranges over 0..n_comp, the length of all three vectors
     if (0..n_comp).any(|c| edges[c] != lefts[c] * rights[c]) {
         return Err(PebbleError::NotEquijoinGraph);
     }
@@ -65,18 +69,21 @@ pub fn pebble_equijoin(g: &BipartiteGraph) -> Result<PebblingScheme, PebbleError
     // left vertices (in index order) alternating sweep direction.
     let mut offset = vec![0usize; g.left_count() as usize + 1];
     for l in 0..g.left_count() as usize {
+        // audit:allow(panic-freedom) offset has left_count+1 slots; l < left_count
         offset[l + 1] = offset[l] + g.left_neighbors(l as u32).len();
     }
     // Left vertices grouped by component, preserving index order.
     let mut comp_lefts: Vec<Vec<u32>> = vec![Vec::new(); n_comp];
     for (l, &c) in cm.left.iter().enumerate() {
         if c != u32::MAX {
+            // audit:allow(panic-freedom) component ids are < n_comp == comp_lefts.len()
             comp_lefts[c as usize].push(l as u32);
         }
     }
     let mut order: Vec<usize> = Vec::with_capacity(g.edge_count());
     for ls in comp_lefts {
         for (step, &l) in ls.iter().enumerate() {
+            // audit:allow(panic-freedom) l is a left-vertex id; offset has left_count+1 slots
             let range = offset[l as usize]..offset[l as usize + 1];
             if step % 2 == 0 {
                 order.extend(range);
@@ -110,6 +117,7 @@ mod tests {
 
     #[test]
     fn unions_pebble_perfectly() {
+        // CLAIM(L3.2, T3.2)
         // Theorem 3.2: π(G) = m for any equijoin graph.
         let g = generators::complete_bipartite(2, 5)
             .disjoint_union(&generators::matching(4))
@@ -156,6 +164,7 @@ mod tests {
 
     #[test]
     fn matches_exact_solver() {
+        // CLAIM(T4.1)
         // Theorem 4.1: linear-time result equals the optimum.
         use crate::exact::optimal_effective_cost;
         let g = generators::complete_bipartite(2, 4)

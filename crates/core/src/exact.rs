@@ -27,7 +27,9 @@ const INF: u8 = u8::MAX;
 pub fn min_jump_tour(ones: &Graph) -> (Vec<u32>, usize) {
     let _span = jp_obs::span("exact", "min_jump_tour");
     let n = ones.vertex_count() as usize;
+    // audit:allow(panic-freedom) documented precondition — see "# Panics" above; callers gate on size
     assert!(n >= 1, "empty TSP instance");
+    // audit:allow(panic-freedom) documented precondition — see "# Panics" above; callers gate on size
     assert!(
         n <= MAX_EXACT_EDGES,
         "instance too large for exact DP ({n} nodes)"
@@ -43,10 +45,12 @@ pub fn min_jump_tour(ones: &Graph) -> (Vec<u32>, usize) {
     let mut subset_iterations: u64 = 0;
     let mut dp_improvements: u64 = 0;
     for v in 0..n {
+        // audit:allow(panic-freedom) dp has (full+1)*n slots; (1<<v) <= full and v < n
         dp[(1usize << v) * n + v] = 0;
     }
     for mask in 1..=full {
         for v in 0..n {
+            // audit:allow(panic-freedom) mask <= full and v < n, so mask*n+v < dp.len()
             let cur = dp[mask * n + v];
             if cur == INF || mask & (1 << v) == 0 {
                 continue;
@@ -56,6 +60,7 @@ pub fn min_jump_tour(ones: &Graph) -> (Vec<u32>, usize) {
             for &w in ones.neighbors(v as u32) {
                 let w = w as usize;
                 if mask & (1 << w) == 0 {
+                    // audit:allow(panic-freedom) mask|bit(w) <= full (w < n) and dp.len() = (full+1)*n
                     let slot = &mut dp[(mask | (1 << w)) * n + w];
                     if cur < *slot {
                         *slot = cur;
@@ -69,6 +74,7 @@ pub fn min_jump_tour(ones: &Graph) -> (Vec<u32>, usize) {
             while rest != 0 {
                 let w = rest.trailing_zeros() as usize;
                 rest &= rest - 1;
+                // audit:allow(panic-freedom) rest ⊆ full, so w < n and mask|bit(w) <= full
                 let slot = &mut dp[(mask | (1 << w)) * n + w];
                 if cost < *slot {
                     *slot = cost;
@@ -81,6 +87,7 @@ pub fn min_jump_tour(ones: &Graph) -> (Vec<u32>, usize) {
     jp_obs::counter("exact", "dp_improvements", dp_improvements);
     let (mut best_v, mut best) = (0usize, INF);
     for v in 0..n {
+        // audit:allow(panic-freedom) full*n+v < (full+1)*n = dp.len() for v < n
         if dp[full * n + v] < best {
             best = dp[full * n + v];
             best_v = v;
@@ -103,6 +110,7 @@ pub fn min_jump_tour(ones: &Graph) -> (Vec<u32>, usize) {
             } else {
                 1
             };
+            // audit:allow(panic-freedom) prev_mask < mask <= full and u < n
             if step <= jumps_left && dp[prev_mask * n + u] == jumps_left - step {
                 tour.push(u as u32);
                 mask = prev_mask;
@@ -149,6 +157,7 @@ fn solve_components(
         // sorted order of `edges` — subgraph construction preserves the
         // relative lexicographic order of edges, and `edges` came sorted
         // from edges_by_component (ascending ids = lexicographic).
+        // audit:allow(panic-freedom) tour is a permutation of line-graph vertices 0..edges.len()
         let order: Vec<usize> = tour.iter().map(|&e| edges[e as usize]).collect();
         jp_obs::counter("exact", "jumps", jumps as u64);
         out.push((order, jumps));
@@ -169,12 +178,14 @@ fn solve_components(
 /// let k = generators::complete_bipartite(3, 3);
 /// assert_eq!(optimal_effective_cost(&k).unwrap(), 9); // = m
 /// ```
+// audit:allow(obs-coverage) thin wrapper — solve_components opens the exact.solve span
 pub fn optimal_effective_cost(g: &BipartiteGraph) -> Result<usize, PebbleError> {
     optimal_effective_cost_with_limit(g, MAX_EXACT_EDGES)
 }
 
 /// [`optimal_effective_cost`] with a caller-chosen per-component limit
 /// (memory grows as `2^limit`; beyond ~24 is unreasonable).
+// audit:allow(obs-coverage) thin wrapper — solve_components opens the exact.solve span
 pub fn optimal_effective_cost_with_limit(
     g: &BipartiteGraph,
     limit: usize,
@@ -184,12 +195,14 @@ pub fn optimal_effective_cost_with_limit(
 }
 
 /// The optimal total cost `π̂(G) = π(G) + β₀(G)`.
+// audit:allow(obs-coverage) thin wrapper — solve_components opens the exact.solve span
 pub fn optimal_total_cost(g: &BipartiteGraph) -> Result<usize, PebbleError> {
     Ok(optimal_effective_cost(g)? + jp_graph::betti_number(g) as usize)
 }
 
 /// An optimal pebbling scheme, concatenating per-component optimal edge
 /// orders (Lemma 2.2: nothing is gained by interleaving components).
+// audit:allow(obs-coverage) thin wrapper — solve_components opens the exact.solve span
 pub fn optimal_scheme(g: &BipartiteGraph) -> Result<PebblingScheme, PebbleError> {
     let comps = solve_components(g, MAX_EXACT_EDGES)?;
     let order: Vec<usize> = comps.into_iter().flat_map(|(o, _)| o).collect();
@@ -199,6 +212,7 @@ pub fn optimal_scheme(g: &BipartiteGraph) -> Result<PebblingScheme, PebbleError>
 /// `PEBBLE(D)` (Definition 4.1): decide whether `π(G) ≤ K`. Decidable
 /// exactly only for small components; NP-complete in general
 /// (Theorem 4.2).
+// audit:allow(obs-coverage) thin wrapper — solve_components opens the exact.solve span
 pub fn pebble_decision(g: &BipartiteGraph, k: usize) -> Result<bool, PebbleError> {
     Ok(optimal_effective_cost(g)? <= k)
 }
@@ -209,6 +223,7 @@ pub fn pebble_decision(g: &BipartiteGraph, k: usize) -> Result<bool, PebbleError
 /// # Panics
 /// Panics if the instance has more than [`MAX_EXACT_EDGES`] nodes (the
 /// Held–Karp memory wall); gate on [`Tsp12::n`] first.
+// audit:allow(obs-coverage) thin wrapper — min_jump_tour opens the exact span
 pub fn optimal_tsp_cost(tsp: &Tsp12) -> usize {
     let n = tsp.n();
     if n == 0 {
@@ -238,6 +253,7 @@ mod tests {
 
     #[test]
     fn matching_total_cost_2m() {
+        // CLAIM(L2.4)
         // Lemma 2.4 via the exact solver.
         for m in 1..6 {
             let g = generators::matching(m);
@@ -262,6 +278,7 @@ mod tests {
 
     #[test]
     fn additivity_lemma_2_2() {
+        // CLAIM(L2.2)
         let a = generators::spider(3);
         let b = generators::path(4);
         let u = a.disjoint_union(&b);
@@ -316,6 +333,7 @@ mod tests {
 
     #[test]
     fn optimal_cost_within_bounds() {
+        // CLAIM(L2.1, C2.1)
         use crate::bounds;
         for seed in 0..8 {
             let g = generators::random_connected_bipartite(3, 4, 8, seed);

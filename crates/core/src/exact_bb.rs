@@ -47,6 +47,7 @@ pub struct SearchStats {
 
 impl SearchStats {
     /// Fraction of the node budget consumed, in `[0, 1]`.
+    // audit:allow(obs-coverage) accessor — no solver work, nothing to trace
     pub fn budget_used(&self) -> f64 {
         if self.budget == 0 {
             1.0
@@ -81,6 +82,7 @@ pub enum BbOutcome {
 
 impl BbOutcome {
     /// The tour, optimal or not.
+    // audit:allow(obs-coverage) accessor — no solver work, nothing to trace
     pub fn tour(&self) -> &[u32] {
         match self {
             BbOutcome::Optimal { tour, .. } | BbOutcome::BudgetExhausted { tour, .. } => tour,
@@ -88,6 +90,7 @@ impl BbOutcome {
     }
 
     /// The jump count of the returned tour.
+    // audit:allow(obs-coverage) accessor — no solver work, nothing to trace
     pub fn jumps(&self) -> usize {
         match self {
             BbOutcome::Optimal { jumps, .. } | BbOutcome::BudgetExhausted { jumps, .. } => *jumps,
@@ -95,11 +98,13 @@ impl BbOutcome {
     }
 
     /// Whether optimality was proven.
+    // audit:allow(obs-coverage) accessor — no solver work, nothing to trace
     pub fn is_optimal(&self) -> bool {
         matches!(self, BbOutcome::Optimal { .. })
     }
 
     /// Search-effort statistics, regardless of outcome.
+    // audit:allow(obs-coverage) accessor — no solver work, nothing to trace
     pub fn stats(&self) -> &SearchStats {
         match self {
             BbOutcome::Optimal { stats, .. } | BbOutcome::BudgetExhausted { stats, .. } => stats,
@@ -132,6 +137,7 @@ impl Searcher<'_> {
     fn lower_bound(&self, visited: &[bool], cur: u32) -> usize {
         let mut deficiency = 0usize;
         for v in 0..self.n as u32 {
+            // audit:allow(panic-freedom) vertex ids are < n == visited.len() by construction
             if visited[v as usize] {
                 continue;
             }
@@ -139,6 +145,7 @@ impl Searcher<'_> {
                 .ones
                 .neighbors(v)
                 .iter()
+                // audit:allow(panic-freedom) vertex ids are < n == visited.len() by construction
                 .filter(|&&w| w == cur || !visited[w as usize])
                 .take(2)
                 .count();
@@ -180,12 +187,14 @@ impl Searcher<'_> {
             .neighbors(cur)
             .iter()
             .copied()
+            // audit:allow(panic-freedom) vertex ids are < n == visited.len() by construction
             .filter(|&w| !visited[w as usize])
             .map(|w| {
                 let deg = self
                     .ones
                     .neighbors(w)
                     .iter()
+                    // audit:allow(panic-freedom) vertex ids are < n == visited.len() by construction
                     .filter(|&&x| !visited[x as usize] && x != w)
                     .count();
                 (deg, w)
@@ -193,22 +202,26 @@ impl Searcher<'_> {
             .collect();
         good.sort_unstable();
         for (_, w) in good {
+            // audit:allow(panic-freedom) vertex ids are < n == visited.len() by construction
             visited[w as usize] = true;
             tour.push(w);
             self.dfs(visited, w, placed + 1, jumps, tour);
             tour.pop();
+            // audit:allow(panic-freedom) vertex ids are < n == visited.len() by construction
             visited[w as usize] = false;
         }
         // jump moves (cost 1): only try jump targets that are stranded or
         // low-degree first; trying all is required for exactness
         if jumps + 1 < self.best_jumps {
             let mut targets: Vec<(usize, u32)> = (0..self.n as u32)
+                // audit:allow(panic-freedom) vertex ids are < n == visited.len() by construction
                 .filter(|&w| !visited[w as usize] && !self.ones.has_edge(cur, w))
                 .map(|w| {
                     let deg = self
                         .ones
                         .neighbors(w)
                         .iter()
+                        // audit:allow(panic-freedom) vertex ids are < n == visited.len() by construction
                         .filter(|&&x| !visited[x as usize])
                         .count();
                     (deg, w)
@@ -216,10 +229,12 @@ impl Searcher<'_> {
                 .collect();
             targets.sort_unstable();
             for (_, w) in targets {
+                // audit:allow(panic-freedom) vertex ids are < n == visited.len() by construction
                 visited[w as usize] = true;
                 tour.push(w);
                 self.dfs(visited, w, placed + 1, jumps + 1, tour);
                 tour.pop();
+                // audit:allow(panic-freedom) vertex ids are < n == visited.len() by construction
                 visited[w as usize] = false;
             }
         }
@@ -264,10 +279,12 @@ pub fn bb_min_jump_tour(ones: &Graph, budget: u64) -> BbOutcome {
         let mut visited = vec![false; n];
         let mut tour = Vec::with_capacity(n);
         for (_, v) in starts {
+            // audit:allow(panic-freedom) vertex ids are < n == visited.len() by construction
             visited[v as usize] = true;
             tour.push(v);
             s.dfs(&mut visited, v, 1, 0, &mut tour);
             tour.pop();
+            // audit:allow(panic-freedom) vertex ids are < n == visited.len() by construction
             visited[v as usize] = false;
             if s.best_jumps == 0 {
                 break; // zero jumps cannot be beaten: proven optimal
@@ -322,6 +339,7 @@ pub fn bb_min_jump_tour(ones: &Graph, budget: u64) -> BbOutcome {
 /// Optimal effective cost by branch and bound (per component). Returns
 /// [`PebbleError::BudgetExhausted`] when optimality was not proven
 /// within `budget` search nodes on some component.
+// audit:allow(obs-coverage) per-component driver — bb_min_jump_tour opens the bb.search span
 pub fn optimal_effective_cost_bb(g: &BipartiteGraph, budget: u64) -> Result<usize, PebbleError> {
     let cm = ComponentMap::new(g);
     let mut total = 0usize;
@@ -342,6 +360,7 @@ pub fn optimal_effective_cost_bb(g: &BipartiteGraph, budget: u64) -> Result<usiz
 }
 
 /// Optimal scheme via branch and bound.
+// audit:allow(obs-coverage) per-component driver — bb_min_jump_tour opens the bb.search span
 pub fn optimal_scheme_bb(g: &BipartiteGraph, budget: u64) -> Result<PebblingScheme, PebbleError> {
     let cm = ComponentMap::new(g);
     let mut order: Vec<usize> = Vec::with_capacity(g.edge_count());
@@ -350,6 +369,7 @@ pub fn optimal_scheme_bb(g: &BipartiteGraph, budget: u64) -> Result<PebblingSche
         let lg = jp_graph::line_graph(&sub);
         match bb_min_jump_tour(&lg, budget) {
             BbOutcome::Optimal { tour, .. } => {
+                // audit:allow(panic-freedom) tour is a permutation of line-graph vertices 0..edges.len()
                 order.extend(tour.iter().map(|&e| edges[e as usize]));
             }
             BbOutcome::BudgetExhausted { stats, .. } => {

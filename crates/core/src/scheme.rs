@@ -87,8 +87,10 @@ impl PebblingScheme {
     /// canonical-form invariant.
     pub fn from_configs(configs: Vec<Config>) -> Result<Self, PebbleError> {
         for (i, w) in configs.windows(2).enumerate() {
-            if w[0].moves_to(&w[1]) != 1 {
-                return Err(PebbleError::NotCanonical { at: i });
+            if let [prev, next] = w {
+                if prev.moves_to(next) != 1 {
+                    return Err(PebbleError::NotCanonical { at: i });
+                }
             }
         }
         Ok(PebblingScheme { configs })
@@ -118,10 +120,10 @@ impl PebblingScheme {
         let mut seen = vec![false; g.edge_count()];
         let mut configs: Vec<Config> = Vec::with_capacity(edge_ids.len() + 4);
         for &e in edge_ids {
-            if e >= g.edge_count() {
-                return Err(PebbleError::EdgeOutOfRange { edge: e });
+            match seen.get_mut(e) {
+                Some(slot) => *slot = true,
+                None => return Err(PebbleError::EdgeOutOfRange { edge: e }),
             }
-            seen[e] = true;
             let (u, v) = g.edge_vertices(e);
             let target = Config::new(u, v);
             match configs.last() {
@@ -137,8 +139,9 @@ impl PebblingScheme {
                         // scheme's deletion order diverges from `edge_ids`.
                         let mid_a = Config::new(u, last.b);
                         let mid_b = Config::new(last.a, v);
-                        let covers_fresh =
-                            |c: &Config| edge_covered(g, c).is_some_and(|e| !seen[e]);
+                        let covers_fresh = |c: &Config| {
+                            edge_covered(g, c).is_some_and(|e| seen.get(e) == Some(&false))
+                        };
                         let mid = if covers_fresh(&mid_a) && !covers_fresh(&mid_b) {
                             mid_b
                         } else {
@@ -209,14 +212,16 @@ impl PebblingScheme {
             }
         }
         for (i, w) in self.configs.windows(2).enumerate() {
-            if w[0].moves_to(&w[1]) != 1 {
-                return Err(PebbleError::NotCanonical { at: i });
+            if let [prev, next] = w {
+                if prev.moves_to(next) != 1 {
+                    return Err(PebbleError::NotCanonical { at: i });
+                }
             }
         }
         let mut deleted = vec![false; g.edge_count()];
         for c in &self.configs {
-            if let Some(e) = edge_covered(g, c) {
-                deleted[e] = true;
+            if let Some(slot) = edge_covered(g, c).and_then(|e| deleted.get_mut(e)) {
+                *slot = true;
             }
         }
         match deleted.iter().position(|&d| !d) {
@@ -232,12 +237,15 @@ impl PebblingScheme {
         let mut deleted = vec![false; g.edge_count()];
         self.configs
             .iter()
-            .map(|c| match edge_covered(g, c) {
-                Some(e) if !deleted[e] => {
-                    deleted[e] = true;
+            .map(|c| {
+                let e = edge_covered(g, c)?;
+                let slot = deleted.get_mut(e)?;
+                if *slot {
+                    None
+                } else {
+                    *slot = true;
                     Some(e)
                 }
-                _ => None,
             })
             .collect()
     }
@@ -468,9 +476,11 @@ impl PebblingScheme {
             .iter()
             .enumerate()
             .map(move |(index, &config)| {
-                let deletes = match edge_covered(g, &config) {
-                    Some(e) if !deleted[e] => {
-                        deleted[e] = true;
+                let covered =
+                    edge_covered(g, &config).and_then(|e| deleted.get_mut(e).map(|slot| (e, slot)));
+                let deletes = match covered {
+                    Some((e, slot)) if !*slot => {
+                        *slot = true;
                         Some(e)
                     }
                     _ => None,
@@ -529,9 +539,9 @@ impl PebblingScheme {
             let mut deleted = vec![false; g.edge_count()];
             let mut deletes: Vec<bool> = Vec::with_capacity(configs.len());
             for c in &configs {
-                match edge_covered(g, c) {
-                    Some(e) if !deleted[e] => {
-                        deleted[e] = true;
+                match edge_covered(g, c).and_then(|e| deleted.get_mut(e)) {
+                    Some(slot) if !*slot => {
+                        *slot = true;
                         deletes.push(true);
                     }
                     _ => deletes.push(false),
@@ -539,8 +549,8 @@ impl PebblingScheme {
             }
             let mut removed_any = false;
             let mut out: Vec<Config> = Vec::with_capacity(configs.len());
-            for (i, &c) in configs.iter().enumerate() {
-                if !deletes[i] {
+            for (i, (&c, &del)) in configs.iter().zip(&deletes).enumerate() {
+                if !del {
                     let prev = out.last();
                     let next = configs.get(i + 1);
                     let removable = match (prev, next) {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Spatial substrate for the reproduction of *On the Complexity of Join
 //! Predicates* (PODS 2001).
 //!

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Graph substrate for the reproduction of *On the Complexity of Join
 //! Predicates* (Cai, Chakaravarthy, Kaushik, Naughton — PODS 2001).
 //!

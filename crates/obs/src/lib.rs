@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `jp-obs` — hand-rolled, std-only observability for the solver ladder.
 //!
 //! The paper measures *tuple-level work* (pebble placements, jumps), not

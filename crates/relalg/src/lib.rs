@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Relational substrate for the reproduction of *On the Complexity of
 //! Join Predicates* (PODS 2001).
 //!

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `join-predicates` — facade crate for the reproduction of
 //! *On the Complexity of Join Predicates* (Cai, Chakaravarthy, Kaushik,
 //! Naughton — PODS 2001).

@@ -10,6 +10,7 @@ use join_predicates::relalg::{containment_graph, realize, spatial_graph};
 
 #[test]
 fn lemma_2_1_and_2_3_cost_window() {
+    // CLAIM(L2.1, C2.1): m+1 <= pi-hat <= 2m and m <= pi <= 2m-1
     for seed in 0..10u64 {
         let g = generators::random_connected_bipartite(4, 4, 10, seed);
         let m = g.edge_count();
@@ -22,6 +23,7 @@ fn lemma_2_1_and_2_3_cost_window() {
 
 #[test]
 fn lemma_2_2_additivity() {
+    // CLAIM(L2.2): additivity over disjoint unions
     let a = generators::spider(3);
     let b = generators::random_connected_bipartite(3, 3, 7, 9);
     let u = a.disjoint_union(&b);
@@ -33,6 +35,7 @@ fn lemma_2_2_additivity() {
 
 #[test]
 fn lemma_2_4_matchings() {
+    // CLAIM(L2.4): matchings cost pi-hat = 2m, pi = m
     for m in [1u32, 4, 9] {
         let g = generators::matching(m);
         assert_eq!(exact::optimal_total_cost(&g).unwrap(), 2 * m as usize);
@@ -42,6 +45,7 @@ fn lemma_2_4_matchings() {
 
 #[test]
 fn proposition_2_1_perfect_iff_traceable() {
+    // CLAIM(P2.1): pi = m iff L(G) is traceable
     for (g, expect) in [
         (generators::path(6), true),
         (generators::complete_bipartite(3, 3), true),
@@ -57,7 +61,20 @@ fn proposition_2_1_perfect_iff_traceable() {
 }
 
 #[test]
+fn proposition_2_2_tsp_path_cost_is_pi_minus_one() {
+    // CLAIM(P2.2): the optimal TSP(1,2) path in L(G) costs pi(G) - 1
+    for seed in 0..8u64 {
+        let g = generators::random_connected_bipartite(4, 4, 10, seed);
+        let lg = line_graph(&g);
+        let tsp_cost = exact::optimal_tsp_cost(&Tsp12::new(lg));
+        let pi = exact::optimal_effective_cost(&g).unwrap();
+        assert_eq!(tsp_cost, pi - 1, "seed {seed}");
+    }
+}
+
+#[test]
 fn theorem_3_1_upper_bound_via_construction() {
+    // CLAIM(T3.1): pi <= 1.25m constructively
     for seed in 0..8u64 {
         let g = generators::random_connected_bipartite(6, 6, 18, seed);
         let s = pebble_dfs_partition(&g).unwrap();
@@ -67,6 +84,7 @@ fn theorem_3_1_upper_bound_via_construction() {
 
 #[test]
 fn theorem_3_2_equijoins_pebble_perfectly() {
+    // CLAIM(L3.2, T3.2): equijoin graphs pebble perfectly
     let g = generators::complete_bipartite(3, 7)
         .disjoint_union(&generators::complete_bipartite(5, 2))
         .disjoint_union(&generators::matching(6));
@@ -76,6 +94,7 @@ fn theorem_3_2_equijoins_pebble_perfectly() {
 
 #[test]
 fn lemma_3_3_universality_through_real_joins() {
+    // CLAIM(L3.3): containment joins are universal
     for g in [
         generators::spider(5),
         generators::random_bipartite(7, 7, 0.35, 3),
@@ -87,6 +106,7 @@ fn lemma_3_3_universality_through_real_joins() {
 
 #[test]
 fn theorem_3_3_spider_worst_case() {
+    // CLAIM(T3.3): the spider family is a 1.25m - 1 worst case
     for n in [4u32, 6] {
         let g = generators::spider(n);
         let m = 2 * n as usize;
@@ -105,6 +125,7 @@ fn theorem_3_3_spider_worst_case() {
 
 #[test]
 fn lemma_3_4_spatial_realization() {
+    // CLAIM(L3.4): spiders realize as spatial joins
     for n in [3u32, 8] {
         let (r, s) = realize::spatial_spider_instance(n);
         assert_eq!(spatial_graph(&r, &s), generators::spider(n));
@@ -113,6 +134,7 @@ fn lemma_3_4_spatial_realization() {
 
 #[test]
 fn theorem_4_1_equijoin_linear_pebbling_is_exact() {
+    // CLAIM(T4.1): linear-time equijoin pebbling is exact
     let g = generators::complete_bipartite(4, 5).disjoint_union(&generators::matching(3));
     assert_eq!(
         pebble_equijoin(&g).unwrap().effective_cost(&g),
@@ -122,6 +144,7 @@ fn theorem_4_1_equijoin_linear_pebbling_is_exact() {
 
 #[test]
 fn theorem_4_2_decision_procedure_exact_on_spatial_graphs() {
+    // CLAIM(T4.2): PEBBLE(D) decision on spatial graphs
     // PEBBLE(D) instances arising from spatial joins
     let g0 = generators::random_connected_bipartite(4, 4, 9, 77);
     let (r, s) = realize::spatial_universal_instance(&g0);
@@ -133,6 +156,7 @@ fn theorem_4_2_decision_procedure_exact_on_spatial_graphs() {
 
 #[test]
 fn theorem_4_3_reduction_properties() {
+    // CLAIM(T4.3): diamond-gadget reduction invariants
     let d = Diamond::new();
     assert!(d.no_two_disjoint_corner_paths_cover());
     let ones = generators::random_bounded_degree(5, 4, 8, 1);
@@ -145,6 +169,7 @@ fn theorem_4_3_reduction_properties() {
 
 #[test]
 fn theorem_4_4_reduction_round_trip() {
+    // CLAIM(T4.4): TSP-3(1,2) -> PEBBLE round trip
     let ones = generators::random_bounded_degree(6, 3, 7, 5);
     if !ones.is_connected() {
         return;
