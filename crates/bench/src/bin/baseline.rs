@@ -9,6 +9,14 @@
 //! done* — the signal that matters — diff cleanly against the committed
 //! baseline.
 //!
+//! The parallel solvers (the portfolio racer and the parallel branch
+//! and bound) are additionally measured along a `threads` axis
+//! ([`THREAD_AXIS`]), recording the speedup curve. For the portfolio the
+//! speedup is *algorithmic*, not just hardware: more workers means the
+//! cheap certified heuristics finish first and abort the exponential
+//! exact strategy mid-flight, so the curve is meaningful even on one
+//! core.
+//!
 //! ```text
 //! cargo run -p jp-bench --bin baseline --release [-- out.json]
 //! ```
@@ -25,11 +33,25 @@ type Solver = (
     fn(&BipartiteGraph) -> Option<jp_pebble::PebblingScheme>,
 );
 
-/// One (family, solver) measurement.
+/// A parallel solver entry point: same contract as [`Solver`] plus the
+/// worker-thread count.
+type ParSolver = (
+    &'static str,
+    fn(&BipartiteGraph, usize) -> Option<jp_pebble::PebblingScheme>,
+);
+
+/// Thread counts measured for the parallel solvers — the speedup curve
+/// axis. `1` is the sequential schedule on the same code path, so the
+/// curve isolates scheduling gains from implementation differences.
+const THREAD_AXIS: [usize; 3] = [1, 2, 4];
+
+/// One (family, solver, threads) measurement.
 #[derive(Debug, Clone, Serialize)]
 struct Case {
     family: String,
     solver: String,
+    /// Worker threads used (1 = sequential schedule).
+    threads: usize,
     edges: u64,
     effective_cost: u64,
     wall_micros: u64,
@@ -91,6 +113,15 @@ fn main() {
         }),
     ];
 
+    let par_solvers: Vec<ParSolver> = vec![
+        ("portfolio", |g, threads| {
+            jp_pebble::portfolio::portfolio_scheme(g, threads).ok()
+        }),
+        ("exact_bb_par", |g, threads| {
+            jp_pebble::exact_bb::optimal_scheme_bb_par(g, BB_BUDGET, threads).ok()
+        }),
+    ];
+
     let mut cases = Vec::new();
     for (family, g) in families() {
         for (solver, run) in &solvers {
@@ -99,11 +130,27 @@ fn main() {
             cases.push(Case {
                 family: family.clone(),
                 solver: solver.to_string(),
+                threads: 1,
                 edges: g.edge_count() as u64,
                 effective_cost: scheme.effective_cost(&g) as u64,
                 wall_micros,
                 stats,
             });
+        }
+        for (solver, run) in &par_solvers {
+            for threads in THREAD_AXIS {
+                let (scheme, wall_micros, stats) = capture(|| run(&g, threads));
+                let Some(scheme) = scheme else { continue };
+                cases.push(Case {
+                    family: family.clone(),
+                    solver: solver.to_string(),
+                    threads,
+                    edges: g.edge_count() as u64,
+                    effective_cost: scheme.effective_cost(&g) as u64,
+                    wall_micros,
+                    stats,
+                });
+            }
         }
     }
     let json = serde_json::to_string_pretty(&cases).expect("baseline serializes");

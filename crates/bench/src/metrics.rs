@@ -28,6 +28,11 @@ pub struct RunMetrics {
 
 /// Runs `f` with a scoped stats sink installed, returning its result,
 /// the wall time in microseconds, and the aggregated event snapshot.
+///
+/// The scoped sink is thread-filtered: only events from this thread and
+/// from workers that explicitly joined the scope (`jp_obs::adopt`, which
+/// the `jp-par` runtime does for its workers) are aggregated, so
+/// concurrent runs on other threads cannot cross-talk into the snapshot.
 pub fn capture<T>(f: impl FnOnce() -> T) -> (T, u64, StatsSnapshot) {
     let sink = Arc::new(StatsSink::new());
     let t0 = Instant::now();
@@ -57,13 +62,52 @@ mod tests {
     #[test]
     fn capture_collects_solver_events() {
         let g = jp_graph::generators::spider(5);
-        let (cost, wall, stats) = capture(|| jp_pebble::exact::optimal_effective_cost(&g).unwrap());
+        let (cost, _wall, stats) =
+            capture(|| jp_pebble::exact::optimal_effective_cost(&g).unwrap());
         assert_eq!(cost, 12);
-        assert!(wall > 0);
-        // ≥, not ==: other lib tests may emit into the scoped sink from
-        // their own threads while this capture is active.
-        assert!(stats.counters["exact.edges"] >= 10);
-        assert!(stats.span_counts.contains_key("exact.solve"));
+        // exact equality: the scoped sink filters out events from other
+        // test threads, so this capture sees precisely its own run —
+        // spider(5) has 10 edges in one component.
+        assert_eq!(stats.counters["exact.edges"], 10);
+        assert_eq!(stats.counters["exact.components"], 1);
+        assert_eq!(stats.span_counts["exact.solve"], 1);
+        assert!(stats.span_counts.contains_key("exact.min_jump_tour"));
+    }
+
+    #[test]
+    fn capture_excludes_concurrent_foreign_runs() {
+        // a solver hammering jp-obs on a non-adopted thread must not
+        // leak into this capture's snapshot
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let noisy = {
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let g = jp_graph::generators::spider(4);
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let _ = jp_pebble::exact::optimal_effective_cost(&g);
+                }
+            })
+        };
+        let g = jp_graph::generators::spider(5);
+        let (cost, _, stats) = capture(|| jp_pebble::exact::optimal_effective_cost(&g).unwrap());
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        noisy.join().unwrap();
+        assert_eq!(cost, 12);
+        assert_eq!(stats.counters["exact.edges"], 10);
+        assert_eq!(stats.span_counts["exact.solve"], 1);
+    }
+
+    #[test]
+    fn capture_includes_adopted_parallel_workers() {
+        // jp-par workers adopt into the scope: a portfolio race on 4
+        // workers lands entirely in this capture
+        let g = jp_graph::generators::spider(5);
+        let (cost, _, stats) =
+            capture(|| jp_pebble::portfolio::portfolio_effective_cost(&g, 4).unwrap());
+        assert_eq!(cost, 12);
+        assert_eq!(stats.span_counts["portfolio.race"], 1);
+        assert_eq!(stats.counters["portfolio.workers"], 4);
+        assert_eq!(stats.counters["par.workers"], 4);
     }
 
     #[test]

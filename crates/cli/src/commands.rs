@@ -119,7 +119,12 @@ pub fn info(args: &[String], out: Out) -> Result<(), CliError> {
 /// Default branch-and-bound node budget for `jp pebble --algo bb`.
 const DEFAULT_BB_BUDGET: u64 = 50_000_000;
 
-fn run_pebbler(algo: &str, g: &BipartiteGraph, budget: u64) -> Result<PebblingScheme, CliError> {
+fn run_pebbler(
+    algo: &str,
+    g: &BipartiteGraph,
+    budget: u64,
+    threads: usize,
+) -> Result<PebblingScheme, CliError> {
     match algo {
         "auto" => {
             if properties::is_equijoin_graph(g) {
@@ -134,17 +139,23 @@ fn run_pebbler(algo: &str, g: &BipartiteGraph, budget: u64) -> Result<PebblingSc
         "cover" => pebble_path_cover(g).map_err(rt),
         "nn" => pebble_nearest_neighbor(g).map_err(rt),
         "exact" => exact::optimal_scheme(g).map_err(rt),
-        "bb" => exact_bb::optimal_scheme_bb(g, budget).map_err(rt),
+        "bb" => exact_bb::optimal_scheme_bb_par(g, budget, threads).map_err(rt),
+        "portfolio" => jp_pebble::portfolio::portfolio_scheme(g, threads).map_err(rt),
         other => Err(CliError::Usage(format!("unknown algorithm `{other}`"))),
     }
 }
 
-/// `jp pebble <graph.json> [--algo A] [--budget NODES] [--out scheme.json]`
+/// `jp pebble <graph.json> [--algo A] [--budget NODES] [--threads N]
+/// [--out scheme.json]`
 pub fn pebble(args: &[String], out: Out) -> Result<(), CliError> {
     let a = ParsedArgs::parse(args)?;
     let g = load_graph(a.pos(0, "graph file")?)?;
     let algo = a.opt("algo").unwrap_or("auto");
     let budget: u64 = a.opt_parse("budget", DEFAULT_BB_BUDGET)?;
+    let threads: usize = a.opt_parse("threads", 1)?;
+    if threads == 0 {
+        return Err(CliError::Usage("--threads must be at least 1".into()));
+    }
     if algo == "all" {
         for (name, report) in jp_pebble::analysis::compare_all(&g) {
             writeln!(out, "{name:<28} {report}").map_err(CliError::io)?;
@@ -152,7 +163,7 @@ pub fn pebble(args: &[String], out: Out) -> Result<(), CliError> {
         return Ok(());
     }
     let t0 = Instant::now();
-    let scheme = run_pebbler(algo, &g, budget)?;
+    let scheme = run_pebbler(algo, &g, budget, threads)?;
     let dt = t0.elapsed();
     scheme.validate(&g).map_err(rt)?;
     let report = SchemeReport::new(&g, &scheme);

@@ -16,7 +16,7 @@ jp — the join-predicates pebbling toolbox (PODS 2001 reproduction)
 USAGE:
   jp generate <family> [params…] [--out FILE]   create a join graph
   jp info <graph.json>                          stats, bounds, classification
-  jp pebble <graph.json> [--algo A] [--out F] [--steps true]
+  jp pebble <graph.json> [--algo A] [--threads N] [--out F] [--steps true]
                                                 pebble a join graph
   jp realize <graph.json> --as KIND             build a join instance for it
   jp join --workload W [opts]                   run join algorithms
@@ -48,7 +48,11 @@ ALGORITHMS (jp pebble --algo):
   nn         nearest neighbour
   exact      Held–Karp optimum (components ≤ 20 edges)
   bb         branch-and-bound optimum (budgeted, [--budget NODES])
+  portfolio  race the whole ladder on a work-stealing runtime
   all        run every applicable solver and compare
+
+  --threads N  worker threads for portfolio and bb (default 1); the
+               returned cost is identical for every thread count
 
 REALIZATIONS (jp realize --as):
   containment   Lemma 3.3: r_i = {i}, s_j = {neighbours of j}
@@ -283,6 +287,49 @@ mod tests {
         ])
         .unwrap();
         assert!(out.contains("π = 19"), "G_8 optimum is 19, got:\n{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pebble_portfolio_with_threads() {
+        let dir = std::env::temp_dir().join(format!("jp-cli-test6-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("g.json");
+        run_str(&["generate", "spider", "6", "--out", p.to_str().unwrap()]).unwrap();
+        // the portfolio returns the same (optimal) cost at any thread count
+        for threads in ["1", "4"] {
+            let out = run_str(&[
+                "pebble",
+                p.to_str().unwrap(),
+                "--algo",
+                "portfolio",
+                "--threads",
+                threads,
+            ])
+            .unwrap();
+            assert!(out.contains("π = 14"), "threads {threads}, got:\n{out}");
+        }
+        // bb accepts the flag too
+        let out = run_str(&[
+            "pebble",
+            p.to_str().unwrap(),
+            "--algo",
+            "bb",
+            "--threads",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("π = 14"), "{out}");
+        let err = run_str(&[
+            "pebble",
+            p.to_str().unwrap(),
+            "--algo",
+            "portfolio",
+            "--threads",
+            "0",
+        ])
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
         std::fs::remove_dir_all(&dir).ok();
     }
 

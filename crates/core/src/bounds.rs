@@ -8,6 +8,12 @@
 //! * a pendant-vertex *lower* bound distilled from Theorem 3.3's
 //!   `B⁺`/`B⁻` jump-counting argument, which certifies the spiders'
 //!   worst-case optimality without brute force.
+//!
+//! Cast audit: every `as usize` in this module widens a `u32` (component
+//! counts and ids from [`ComponentMap`], [`betti_number`]) on the
+//! workspace's ≥ 32-bit targets, so unlike a narrowing `usize as u32`
+//! (see `jp_relalg::parallel::tuple_id` for the checked form) none of
+//! them can truncate.
 
 use jp_graph::{betti_number, line_graph, BipartiteGraph, ComponentMap};
 

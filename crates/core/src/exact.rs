@@ -24,7 +24,33 @@ const INF: u8 = u8::MAX;
 /// # Panics
 /// Panics if `ones` has more than [`MAX_EXACT_EDGES`] vertices (callers
 /// gate on size first) or zero vertices.
+// audit:allow(obs-coverage) thin wrapper — min_jump_tour_racing opens the exact span
 pub fn min_jump_tour(ones: &Graph) -> (Vec<u32>, usize) {
+    match min_jump_tour_racing(ones, &|| false) {
+        Some(result) => result,
+        // audit:allow(panic-freedom) the never-true abandon closure cannot make racing return None
+        None => unreachable!("abandon closure is constant false"),
+    }
+}
+
+/// How many DP subset rows to process between abandon polls. Each row is
+/// `O(n · Δ)` work, so this keeps poll overhead invisible while giving the
+/// portfolio racer millisecond-scale abort latency on 20-vertex instances.
+const ABANDON_POLL_MASKS: usize = 4096;
+
+/// [`min_jump_tour`] that can be raced: `abandon` is polled every
+/// [`ABANDON_POLL_MASKS`] DP rows, and a `true` return makes the search
+/// give up and return `None`. The portfolio runtime uses this to cut the
+/// exact strategy short the moment a heuristic proves it can no longer
+/// win. With a constant-`false` closure the behaviour and result are
+/// exactly [`min_jump_tour`]'s.
+///
+/// # Panics
+/// As [`min_jump_tour`].
+pub(crate) fn min_jump_tour_racing(
+    ones: &Graph,
+    abandon: &dyn Fn() -> bool,
+) -> Option<(Vec<u32>, usize)> {
     let _span = jp_obs::span("exact", "min_jump_tour");
     let n = ones.vertex_count() as usize;
     // audit:allow(panic-freedom) documented precondition — see "# Panics" above; callers gate on size
@@ -36,7 +62,7 @@ pub fn min_jump_tour(ones: &Graph) -> (Vec<u32>, usize) {
     );
     if n == 1 {
         jp_obs::counter("exact", "dp_states", 1);
-        return (vec![0], 0);
+        return Some((vec![0], 0));
     }
     let full = (1usize << n) - 1;
     let mut dp = vec![INF; (full + 1) * n];
@@ -49,6 +75,10 @@ pub fn min_jump_tour(ones: &Graph) -> (Vec<u32>, usize) {
         dp[(1usize << v) * n + v] = 0;
     }
     for mask in 1..=full {
+        if mask % ABANDON_POLL_MASKS == 0 && abandon() {
+            jp_obs::counter("exact", "abandoned_at_mask", mask as u64);
+            return None;
+        }
         for v in 0..n {
             // audit:allow(panic-freedom) mask <= full and v < n, so mask*n+v < dp.len()
             let cur = dp[mask * n + v];
@@ -126,15 +156,30 @@ pub fn min_jump_tour(ones: &Graph) -> (Vec<u32>, usize) {
         }
     }
     tour.reverse();
-    (tour, best as usize)
+    Some((tour, best as usize))
 }
 
 /// Per-component exact solution: `(edge order, jumps)` for each connected
 /// component, in component order.
-fn solve_components(
+type ComponentSolutions = Vec<(Vec<usize>, usize)>;
+
+fn solve_components(g: &BipartiteGraph, limit: usize) -> Result<ComponentSolutions, PebbleError> {
+    match solve_components_racing(g, limit, &|| false)? {
+        Some(comps) => Ok(comps),
+        // audit:allow(panic-freedom) the never-true abandon closure cannot make racing return None
+        None => unreachable!("abandon closure is constant false"),
+    }
+}
+
+/// [`solve_components`] that can be raced: `abandon` is threaded into
+/// every per-component [`min_jump_tour_racing`] call. `Ok(None)` means
+/// the search was abandoned mid-flight; `Err` still reports structural
+/// problems (an over-limit component) regardless of the race.
+pub(crate) fn solve_components_racing(
     g: &BipartiteGraph,
     limit: usize,
-) -> Result<Vec<(Vec<usize>, usize)>, PebbleError> {
+    abandon: &dyn Fn() -> bool,
+) -> Result<Option<ComponentSolutions>, PebbleError> {
     let _span = jp_obs::span("exact", "solve");
     let cm = ComponentMap::new(g);
     jp_obs::counter("exact", "components", u64::from(cm.count));
@@ -152,7 +197,9 @@ fn solve_components(
         // BipartiteGraph::new sorts edges; map subgraph edge ids back to
         // original ids through coordinates.
         let lg = jp_graph::line_graph(&sub);
-        let (tour, jumps) = min_jump_tour(&lg);
+        let Some((tour, jumps)) = min_jump_tour_racing(&lg, abandon) else {
+            return Ok(None);
+        };
         // sub's edge e corresponds to original edge: reconstruct by the
         // sorted order of `edges` — subgraph construction preserves the
         // relative lexicographic order of edges, and `edges` came sorted
@@ -162,7 +209,7 @@ fn solve_components(
         jp_obs::counter("exact", "jumps", jumps as u64);
         out.push((order, jumps));
     }
-    Ok(out)
+    Ok(Some(out))
 }
 
 /// The optimal effective cost `π(G)`: `Σ_c (m_c + J_c)` over components.

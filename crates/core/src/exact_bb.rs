@@ -16,6 +16,16 @@
 //! * a node budget, returning `None` when exhausted (the caller falls
 //!   back or reports).
 //!
+//! The search is parallel by construction: every start vertex is a root
+//! task on the `jp-par` work-stealing runtime, and all workers share one
+//! `SharedSearch` — the incumbent jump count lives in an `AtomicUsize`,
+//! so the moment one worker improves it, every other subtree prunes
+//! against the better bound. The node budget is a shared pool claimed in
+//! small chunks, which keeps total expansions within the budget without a
+//! per-node contended atomic. [`bb_min_jump_tour`] is the one-worker
+//! case of [`bb_min_jump_tour_par`] — same code path, strictly
+//! sequential schedule.
+//!
 //! Cross-validated against Held–Karp on every instance both can solve.
 
 use crate::approx::path_cover::greedy_path_cover;
@@ -25,15 +35,18 @@ use crate::scheme::PebblingScheme;
 use crate::tsp::Tsp12;
 use crate::PebbleError;
 use jp_graph::{BipartiteGraph, ComponentMap, Graph};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
 
 /// Search-effort statistics from one [`bb_min_jump_tour`] run.
 ///
 /// Previously buried in the private `Searcher`, these are the signals a
 /// caller needs to size a budget: how much of it the search consumed,
 /// how well the lower bound pruned, and how often the incumbent moved.
+/// In parallel runs the counts are aggregated across all workers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SearchStats {
-    /// DFS nodes expanded.
+    /// DFS nodes expanded (summed over workers).
     pub nodes_expanded: u64,
     /// The node budget the search ran under.
     pub budget: u64,
@@ -112,20 +125,80 @@ impl BbOutcome {
     }
 }
 
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Budget chunk each worker claims from the shared pool at a time: large
+/// enough to keep the shared counter off the per-node hot path, small
+/// enough that the total expansion overshoot is negligible (at most one
+/// chunk per worker below the claimed total).
+const CLAIM_CHUNK: u64 = 256;
+
+/// State shared by every worker of one branch-and-bound run.
+struct SharedSearch {
+    /// Global upper bound: the best jump count found by *any* worker.
+    /// An improvement here immediately strengthens every other worker's
+    /// pruning — the point of sharing the incumbent.
+    best_jumps: AtomicUsize,
+    /// The tour realizing `best_jumps`; writers serialize on the lock
+    /// and re-check `best_jumps` inside it, so jumps and tour stay
+    /// consistent.
+    best_tour: Mutex<Vec<u32>>,
+    /// Incumbent improvements across all workers.
+    improvements: AtomicU64,
+    /// Node-budget pool: total claimed so far (may overshoot `budget` by
+    /// up to one chunk per worker; actual expansions never do).
+    claimed: AtomicU64,
+    budget: u64,
+    /// Set when any worker ran out of budget: optimality is unproven.
+    truncated: AtomicBool,
+}
+
+impl SharedSearch {
+    fn offer(&self, jumps: usize, tour: &[u32]) {
+        let mut guard = lock(&self.best_tour);
+        if jumps < self.best_jumps.load(Ordering::Relaxed) {
+            self.best_jumps.store(jumps, Ordering::Relaxed);
+            *guard = tour.to_vec();
+            self.improvements.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Per-worker search state; all pruning bounds come from [`SharedSearch`].
 struct Searcher<'a> {
     ones: &'a Graph,
     n: usize,
-    best_jumps: usize,
-    best_tour: Vec<u32>,
+    shared: &'a SharedSearch,
+    /// Locally claimed budget not yet spent.
+    allowance: u64,
+    /// Nodes this worker actually expanded (exact, unlike `claimed`).
     nodes: u64,
-    budget: u64,
     truncated: bool,
     incumbent_prunes: u64,
     lb_prunes: u64,
-    incumbent_improvements: u64,
 }
 
 impl Searcher<'_> {
+    /// Claims the right to expand one node, drawing on the shared pool
+    /// in chunks. Returns `false` when the budget is exhausted.
+    fn try_claim(&mut self) -> bool {
+        if self.allowance == 0 {
+            let prev = self
+                .shared
+                .claimed
+                .fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
+            if prev >= self.shared.budget {
+                return false;
+            }
+            self.allowance = CLAIM_CHUNK.min(self.shared.budget - prev);
+        }
+        self.allowance -= 1;
+        self.nodes += 1;
+        true
+    }
+
     /// Admissible bound — the paper's `B⁺/B⁻` degree-deficiency argument
     /// (Theorem 3.3), applied to the remaining instance: every unvisited
     /// vertex is incident to two remaining-path edges (one for the final
@@ -162,22 +235,20 @@ impl Searcher<'_> {
         jumps: usize,
         tour: &mut Vec<u32>,
     ) {
-        if self.nodes >= self.budget {
-            self.truncated = true;
-            return;
-        }
-        if jumps >= self.best_jumps {
+        if jumps >= self.shared.best_jumps.load(Ordering::Relaxed) {
             self.incumbent_prunes += 1;
             return;
         }
-        self.nodes += 1;
-        if placed == self.n {
-            self.best_jumps = jumps;
-            self.best_tour = tour.clone();
-            self.incumbent_improvements += 1;
+        if !self.try_claim() {
+            self.truncated = true;
             return;
         }
-        if jumps + self.lower_bound(visited, cur) >= self.best_jumps {
+        if placed == self.n {
+            self.shared.offer(jumps, tour);
+            return;
+        }
+        if jumps + self.lower_bound(visited, cur) >= self.shared.best_jumps.load(Ordering::Relaxed)
+        {
             self.lb_prunes += 1;
             return;
         }
@@ -212,7 +283,7 @@ impl Searcher<'_> {
         }
         // jump moves (cost 1): only try jump targets that are stranded or
         // low-degree first; trying all is required for exactness
-        if jumps + 1 < self.best_jumps {
+        if jumps + 1 < self.shared.best_jumps.load(Ordering::Relaxed) {
             let mut targets: Vec<(usize, u32)> = (0..self.n as u32)
                 // audit:allow(panic-freedom) vertex ids are < n == visited.len() by construction
                 .filter(|&w| !visited[w as usize] && !self.ones.has_edge(cur, w))
@@ -241,8 +312,31 @@ impl Searcher<'_> {
     }
 }
 
-/// Minimum-jump Hamiltonian path by branch and bound with a node budget.
+/// Search effort of one root task (one start vertex).
+#[derive(Default)]
+struct TaskEffort {
+    nodes: u64,
+    incumbent_prunes: u64,
+    lb_prunes: u64,
+}
+
+/// Minimum-jump Hamiltonian path by branch and bound with a node budget
+/// — the one-worker case of [`bb_min_jump_tour_par`].
+// audit:allow(obs-coverage) thin wrapper — bb_min_jump_tour_par opens the bb.search span
 pub fn bb_min_jump_tour(ones: &Graph, budget: u64) -> BbOutcome {
+    bb_min_jump_tour_par(ones, budget, 1)
+}
+
+/// Minimum-jump Hamiltonian path by parallel branch and bound: every
+/// start vertex is a root task on the `jp-par` work-stealing runtime,
+/// and all workers prune against one shared atomic incumbent.
+///
+/// With `threads == 1` the schedule is strictly sequential (start
+/// vertices in lowest-degree-first order, exactly the historical
+/// behaviour). Any thread count returns the same jump count whenever the
+/// budget suffices to prove optimality — only the tour and the
+/// per-worker effort split may differ.
+pub fn bb_min_jump_tour_par(ones: &Graph, budget: u64, threads: usize) -> BbOutcome {
     let _span = jp_obs::span("bb", "search");
     let n = ones.vertex_count() as usize;
     if n == 0 {
@@ -260,55 +354,71 @@ pub fn bb_min_jump_tour(ones: &Graph, budget: u64) -> BbOutcome {
     let tsp = Tsp12::new(ones.clone());
     improve_two_opt(&tsp, &mut incumbent, 6);
     let inc_jumps = tsp.tour_jumps(&incumbent);
-    let mut s = Searcher {
-        ones,
-        n,
-        best_jumps: inc_jumps, // search only for strictly better tours
-        best_tour: incumbent,
-        nodes: 0,
+    let shared = SharedSearch {
+        best_jumps: AtomicUsize::new(inc_jumps), // search only for strictly better tours
+        best_tour: Mutex::new(incumbent),
+        improvements: AtomicU64::new(0),
+        claimed: AtomicU64::new(0),
         budget,
-        truncated: false,
-        incumbent_prunes: 0,
-        lb_prunes: 0,
-        incumbent_improvements: 0,
+        truncated: AtomicBool::new(false),
+    };
+    let mut stats = SearchStats {
+        budget,
+        ..SearchStats::default()
     };
     if inc_jumps > 0 {
-        // try every start vertex, lowest degree first
+        // one root task per start vertex, lowest degree first
         let mut starts: Vec<(usize, u32)> = (0..n as u32).map(|v| (ones.degree(v), v)).collect();
         starts.sort_unstable();
-        let mut visited = vec![false; n];
-        let mut tour = Vec::with_capacity(n);
-        for (_, v) in starts {
+        let shared_ref = &shared;
+        let efforts = jp_par::run_tasks(threads, starts, |_, (_, v)| {
+            // zero jumps cannot be beaten, and a blown budget means the
+            // remaining starts stay unexplored either way
+            if shared_ref.best_jumps.load(Ordering::Relaxed) == 0
+                || shared_ref.truncated.load(Ordering::Relaxed)
+            {
+                return TaskEffort::default();
+            }
+            let mut searcher = Searcher {
+                ones,
+                n,
+                shared: shared_ref,
+                allowance: 0,
+                nodes: 0,
+                truncated: false,
+                incumbent_prunes: 0,
+                lb_prunes: 0,
+            };
+            let mut visited = vec![false; n];
+            let mut tour = Vec::with_capacity(n);
             // audit:allow(panic-freedom) vertex ids are < n == visited.len() by construction
             visited[v as usize] = true;
             tour.push(v);
-            s.dfs(&mut visited, v, 1, 0, &mut tour);
-            tour.pop();
-            // audit:allow(panic-freedom) vertex ids are < n == visited.len() by construction
-            visited[v as usize] = false;
-            if s.best_jumps == 0 {
-                break; // zero jumps cannot be beaten: proven optimal
+            searcher.dfs(&mut visited, v, 1, 0, &mut tour);
+            if searcher.truncated {
+                shared_ref.truncated.store(true, Ordering::Relaxed);
             }
-            if s.nodes >= s.budget {
-                s.truncated = true; // starts remain unexplored
-                break;
+            TaskEffort {
+                nodes: searcher.nodes,
+                incumbent_prunes: searcher.incumbent_prunes,
+                lb_prunes: searcher.lb_prunes,
             }
+        });
+        for effort in &efforts {
+            stats.nodes_expanded += effort.nodes;
+            stats.incumbent_prunes += effort.incumbent_prunes;
+            stats.lb_prunes += effort.lb_prunes;
         }
     }
-    let proven = !s.truncated;
-    // best_jumps was initialized to incumbent+1; if the search improved,
-    // best_tour holds the better tour, else the incumbent stands.
-    let tour = s.best_tour;
+    let proven = !shared.truncated.load(Ordering::Relaxed);
+    stats.incumbent_improvements = shared.improvements.load(Ordering::Relaxed);
+    // best_jumps only improves on the seed; if the search found a better
+    // tour, best_tour holds it, else the incumbent stands.
+    let tour = lock(&shared.best_tour).clone();
     let final_jumps = tsp.tour_jumps(&tour);
     debug_assert!(final_jumps <= inc_jumps);
-    let stats = SearchStats {
-        nodes_expanded: s.nodes,
-        budget,
-        incumbent_prunes: s.incumbent_prunes,
-        lb_prunes: s.lb_prunes,
-        incumbent_improvements: s.incumbent_improvements,
-    };
     if jp_obs::enabled() {
+        jp_obs::counter("bb", "workers", threads.max(1) as u64);
         jp_obs::counter("bb", "nodes_expanded", stats.nodes_expanded);
         jp_obs::counter("bb", "incumbent_prunes", stats.incumbent_prunes);
         jp_obs::counter("bb", "lb_prunes", stats.lb_prunes);
@@ -341,12 +451,23 @@ pub fn bb_min_jump_tour(ones: &Graph, budget: u64) -> BbOutcome {
 /// within `budget` search nodes on some component.
 // audit:allow(obs-coverage) per-component driver — bb_min_jump_tour opens the bb.search span
 pub fn optimal_effective_cost_bb(g: &BipartiteGraph, budget: u64) -> Result<usize, PebbleError> {
+    optimal_effective_cost_bb_par(g, budget, 1)
+}
+
+/// [`optimal_effective_cost_bb`] with each component searched by
+/// `threads` parallel workers sharing one incumbent.
+// audit:allow(obs-coverage) per-component driver — bb_min_jump_tour_par opens the bb.search span
+pub fn optimal_effective_cost_bb_par(
+    g: &BipartiteGraph,
+    budget: u64,
+    threads: usize,
+) -> Result<usize, PebbleError> {
     let cm = ComponentMap::new(g);
     let mut total = 0usize;
     for edges in cm.edges_by_component() {
         let sub = g.edge_subgraph(&edges);
         let lg = jp_graph::line_graph(&sub);
-        match bb_min_jump_tour(&lg, budget) {
+        match bb_min_jump_tour_par(&lg, budget, threads) {
             BbOutcome::Optimal { jumps, .. } => total += edges.len() + jumps,
             BbOutcome::BudgetExhausted { stats, .. } => {
                 return Err(PebbleError::BudgetExhausted {
@@ -362,12 +483,23 @@ pub fn optimal_effective_cost_bb(g: &BipartiteGraph, budget: u64) -> Result<usiz
 /// Optimal scheme via branch and bound.
 // audit:allow(obs-coverage) per-component driver — bb_min_jump_tour opens the bb.search span
 pub fn optimal_scheme_bb(g: &BipartiteGraph, budget: u64) -> Result<PebblingScheme, PebbleError> {
+    optimal_scheme_bb_par(g, budget, 1)
+}
+
+/// [`optimal_scheme_bb`] with each component searched by `threads`
+/// parallel workers sharing one incumbent.
+// audit:allow(obs-coverage) per-component driver — bb_min_jump_tour_par opens the bb.search span
+pub fn optimal_scheme_bb_par(
+    g: &BipartiteGraph,
+    budget: u64,
+    threads: usize,
+) -> Result<PebblingScheme, PebbleError> {
     let cm = ComponentMap::new(g);
     let mut order: Vec<usize> = Vec::with_capacity(g.edge_count());
     for edges in cm.edges_by_component() {
         let sub = g.edge_subgraph(&edges);
         let lg = jp_graph::line_graph(&sub);
-        match bb_min_jump_tour(&lg, budget) {
+        match bb_min_jump_tour_par(&lg, budget, threads) {
             BbOutcome::Optimal { tour, .. } => {
                 // audit:allow(panic-freedom) tour is a permutation of line-graph vertices 0..edges.len()
                 order.extend(tour.iter().map(|&e| edges[e as usize]));
@@ -464,5 +596,55 @@ mod tests {
         assert!(out.is_optimal());
         assert_eq!(out.jumps(), 0);
         assert_eq!(out.tour().len(), 4);
+    }
+
+    #[test]
+    fn parallel_cost_matches_sequential_on_families() {
+        for g in [
+            generators::spider(6),
+            generators::complete_bipartite(3, 4),
+            generators::random_connected_bipartite(5, 5, 14, 9),
+        ] {
+            let seq = optimal_effective_cost_bb(&g, BUDGET).unwrap();
+            for threads in [2, 8] {
+                let par = optimal_effective_cost_bb_par(&g, BUDGET, threads).unwrap();
+                assert_eq!(par, seq, "{g} at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_scheme_is_valid_and_optimal() {
+        let g = generators::random_connected_bipartite(4, 5, 11, 3);
+        let s = optimal_scheme_bb_par(&g, BUDGET, 4).unwrap();
+        s.validate(&g).unwrap();
+        assert_eq!(
+            s.effective_cost(&g),
+            exact::optimal_effective_cost(&g).unwrap()
+        );
+    }
+
+    #[test]
+    fn parallel_budget_exhaustion_is_reported() {
+        let g = generators::spider(6);
+        let lg = line_graph(&g);
+        let out = bb_min_jump_tour_par(&lg, 1, 4);
+        assert!(!out.is_optimal());
+        assert!(out.stats().nodes_expanded <= 1, "budget is a hard cap");
+    }
+
+    #[test]
+    fn parallel_node_total_respects_budget() {
+        // expansions (unlike the claim counter) must never exceed budget
+        let g = generators::spider(8);
+        let lg = line_graph(&g);
+        for threads in [1, 4] {
+            let out = bb_min_jump_tour_par(&lg, 1000, threads);
+            assert!(
+                out.stats().nodes_expanded <= 1000,
+                "threads = {threads}, nodes = {}",
+                out.stats().nodes_expanded
+            );
+        }
     }
 }

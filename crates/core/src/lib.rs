@@ -24,6 +24,9 @@
 //! * [`approx`] — the constructive 1.25-approximation of Theorem 3.1, the
 //!   linear-time equijoin pebbler of Theorem 4.1, and the heuristic
 //!   ladder (nearest neighbour, greedy path cover, Euler trails, 2-opt);
+//! * [`portfolio`] — the whole ladder raced in parallel on the `jp-par`
+//!   work-stealing runtime against a shared atomic incumbent, with
+//!   lower-bound-certified abandonment;
 //! * [`families`] — closed-form optima for the structured families,
 //!   including the Figure 1 worst-case spiders `G_n`;
 //! * [`reductions`] — the L-reductions of §4 (diamond gadget,
@@ -47,6 +50,7 @@ pub mod exact_bb;
 pub mod families;
 pub mod fragmentation;
 pub mod paging;
+pub mod portfolio;
 pub mod reductions;
 pub mod scheme;
 pub mod tsp;

@@ -1,0 +1,100 @@
+//! Property tests for the parallel solver paths: the portfolio racer and
+//! the parallel branch and bound must return costs identical to their
+//! sequential counterparts at every thread count. Determinism across
+//! thread counts is the contract that makes `--threads` a pure
+//! performance knob — these properties are the enforcement.
+
+use jp_graph::{generators, BipartiteGraph};
+use jp_pebble::approx::{
+    pebble_dfs_partition, pebble_equijoin, pebble_euler_trails, pebble_matching_cover,
+    pebble_nearest_neighbor, pebble_path_cover,
+};
+use jp_pebble::exact_bb::optimal_effective_cost_bb_par;
+use jp_pebble::portfolio::portfolio_effective_cost;
+use jp_pebble::{bounds, exact};
+use proptest::prelude::*;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+const BB_BUDGET: u64 = 5_000_000;
+
+fn bipartite() -> impl Strategy<Value = BipartiteGraph> {
+    (1u32..=5, 1u32..=5).prop_flat_map(|(k, l)| {
+        proptest::collection::vec((0..k, 0..l), 0..=12)
+            .prop_map(move |edges| BipartiteGraph::new(k, l, edges))
+    })
+}
+
+fn connected_bipartite() -> impl Strategy<Value = BipartiteGraph> {
+    (2u32..=5, 2u32..=4, any::<u64>()).prop_flat_map(|(k, l, seed)| {
+        let min = (k + l - 1) as usize;
+        let max = ((k * l) as usize).min(14);
+        (min..=max).prop_map(move |m| generators::random_connected_bipartite(k, l, m, seed))
+    })
+}
+
+/// Minimum over the sequential heuristic ladder — what the portfolio is
+/// racing against (the exact strategy can only lower it further).
+fn sequential_ladder_min(g: &BipartiteGraph) -> usize {
+    let mut best = usize::MAX;
+    for scheme in [
+        pebble_matching_cover(g),
+        pebble_dfs_partition(g),
+        pebble_euler_trails(g),
+        pebble_path_cover(g),
+        pebble_nearest_neighbor(g),
+        pebble_equijoin(g),
+    ]
+    .into_iter()
+    .flatten()
+    {
+        best = best.min(scheme.effective_cost(g));
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn portfolio_cost_is_thread_count_invariant_and_sound(g in bipartite()) {
+        let base = portfolio_effective_cost(&g, 1).unwrap();
+        for threads in THREAD_COUNTS {
+            prop_assert_eq!(portfolio_effective_cost(&g, threads).unwrap(), base,
+                "threads = {}", threads);
+        }
+        // the race can only improve on the sequential ladder minimum…
+        prop_assert!(base <= sequential_ladder_min(&g));
+        // …and never dips below the certified floor
+        prop_assert!(base >= bounds::best_lower_bound(&g));
+    }
+
+    #[test]
+    fn portfolio_matches_exact_on_connected_instances(g in connected_bipartite()) {
+        // DP-sized components: the exact strategy completes, so the
+        // portfolio answer is the optimum at every thread count
+        let opt = exact::optimal_effective_cost(&g).unwrap();
+        for threads in THREAD_COUNTS {
+            prop_assert_eq!(portfolio_effective_cost(&g, threads).unwrap(), opt,
+                "threads = {}", threads);
+        }
+    }
+
+    #[test]
+    fn parallel_bb_cost_matches_sequential(g in bipartite()) {
+        let seq = optimal_effective_cost_bb_par(&g, BB_BUDGET, 1).unwrap();
+        for threads in THREAD_COUNTS {
+            prop_assert_eq!(
+                optimal_effective_cost_bb_par(&g, BB_BUDGET, threads).unwrap(), seq,
+                "threads = {}", threads);
+        }
+    }
+
+    #[test]
+    fn parallel_bb_matches_held_karp(g in connected_bipartite()) {
+        let hk = exact::optimal_effective_cost(&g).unwrap();
+        for threads in THREAD_COUNTS {
+            prop_assert_eq!(optimal_effective_cost_bb_par(&g, BB_BUDGET, threads).unwrap(), hk,
+                "threads = {}", threads);
+        }
+    }
+}

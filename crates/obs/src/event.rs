@@ -18,6 +18,13 @@ pub enum EventKind {
 pub struct Event {
     /// Process-wide monotone sequence number (assigned at emission).
     pub seq: u64,
+    /// Process-local id of the emitting thread (assigned at emission).
+    ///
+    /// Ids are small integers handed out in thread-creation order, so
+    /// traces from parallel runs stay attributable: every event from one
+    /// worker carries the same `thread`. The default (`0` in builders) is
+    /// replaced at emission; `0` never appears in a recorded event.
+    pub thread: u64,
     /// Counter or span.
     pub kind: EventKind,
     /// Which solver produced it, e.g. `"exact"`, `"bb"`, `"approx.dfs"`.
@@ -33,6 +40,7 @@ impl Event {
     pub fn counter(component: &str, name: &str, value: u64) -> Self {
         Event {
             seq: 0,
+            thread: 0,
             kind: EventKind::Counter,
             component: component.to_string(),
             name: name.to_string(),
@@ -44,6 +52,7 @@ impl Event {
     pub fn span(component: &str, name: &str, micros: u64) -> Self {
         Event {
             seq: 0,
+            thread: 0,
             kind: EventKind::Span,
             component: component.to_string(),
             name: name.to_string(),
@@ -60,6 +69,7 @@ mod tests {
     fn round_trips_through_json() {
         let e = Event {
             seq: 42,
+            thread: 7,
             kind: EventKind::Span,
             component: "bb".into(),
             name: "search".into(),

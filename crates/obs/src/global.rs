@@ -2,6 +2,7 @@
 
 use crate::event::Event;
 use crate::sink::Sink;
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 use std::time::Instant;
@@ -19,6 +20,27 @@ static SEQ: AtomicU64 = AtomicU64::new(0);
 /// Serializes [`ScopedSink`] holders so concurrent tests don't fight
 /// over the process-wide sink.
 static SCOPE: Mutex<()> = Mutex::new(());
+
+/// While a [`ScopedSink`] is active: the thread ids allowed to emit into
+/// it (the installer plus every [`adopt`]ed worker). `None` = no scope
+/// active, no filtering — a plain [`set_sink`] observes every thread.
+static SCOPE_MEMBERS: Mutex<Option<BTreeSet<u64>>> = Mutex::new(None);
+
+/// Source of process-local thread ids (first thread gets 1, so the `0`
+/// placeholder in [`Event`] builders never collides with a real id).
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// This thread's process-local id, as stamped into [`Event::thread`].
+///
+/// Ids are handed out in first-emission order and never reused; they are
+/// unrelated to the OS thread id.
+pub fn thread_id() -> u64 {
+    THREAD_ID.with(|t| *t)
+}
 
 /// Whether a sink is installed. Inlined to one relaxed atomic load so
 /// instrumented hot paths cost nothing measurable when observability is
@@ -46,10 +68,60 @@ pub fn clear_sink() {
 }
 
 fn emit(mut event: Event) {
+    let tid = thread_id();
+    {
+        let members = SCOPE_MEMBERS.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(set) = members.as_ref() {
+            if !set.contains(&tid) {
+                // A scoped capture is active and this thread is not part
+                // of it: the event belongs to someone else's scope (or to
+                // no scope at all) and must not cross-talk into the
+                // capture.
+                return;
+            }
+        }
+    }
     let slot = SINK.read().unwrap_or_else(|e| e.into_inner());
     if let Some(sink) = slot.as_ref() {
         event.seq = SEQ.fetch_add(1, Ordering::Relaxed);
+        event.thread = tid;
         sink.record(&event);
+    }
+}
+
+/// Registers the current thread as a member of the active scoped capture
+/// (if any) for the guard's lifetime.
+///
+/// Worker threads spawned inside a [`ScopedSink`] scope call this before
+/// emitting; without it their events are filtered out as potential
+/// cross-talk from unrelated threads. With no scope active (or from the
+/// scope-owning thread) the guard is a no-op. `jp-par` workers adopt
+/// automatically.
+#[must_use = "membership lasts only while the guard is alive"]
+pub fn adopt() -> AdoptGuard {
+    let tid = thread_id();
+    let mut members = SCOPE_MEMBERS.lock().unwrap_or_else(|e| e.into_inner());
+    let added = match members.as_mut() {
+        Some(set) => set.insert(tid),
+        None => false,
+    };
+    AdoptGuard { tid, added }
+}
+
+/// Scope membership for one worker thread; see [`adopt`].
+pub struct AdoptGuard {
+    tid: u64,
+    added: bool,
+}
+
+impl Drop for AdoptGuard {
+    fn drop(&mut self) {
+        if self.added {
+            let mut members = SCOPE_MEMBERS.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(set) = members.as_mut() {
+                set.remove(&self.tid);
+            }
+        }
     }
 }
 
@@ -98,8 +170,10 @@ impl Drop for SpanGuard {
 ///
 /// Holders are serialized through a global lock, so concurrently running
 /// tests that each install a [`ScopedSink`] observe only their own
-/// events. (Solver threads *within* one scope still share the sink —
-/// that's the point.)
+/// events. While a scope is active, emission is additionally filtered to
+/// the installing thread and any workers that [`adopt`]ed into the scope
+/// — events from unrelated threads (e.g. another test's solver still
+/// unwinding) are dropped instead of polluting the capture.
 pub struct ScopedSink {
     _scope: MutexGuard<'static, ()>,
 }
@@ -108,6 +182,10 @@ impl ScopedSink {
     /// Installs `sink`, blocking until any other scope has dropped.
     pub fn install(sink: Arc<dyn Sink>) -> Self {
         let scope = SCOPE.lock().unwrap_or_else(|e| e.into_inner());
+        {
+            let mut members = SCOPE_MEMBERS.lock().unwrap_or_else(|e| e.into_inner());
+            *members = Some(BTreeSet::from([thread_id()]));
+        }
         set_sink(sink);
         ScopedSink { _scope: scope }
     }
@@ -116,6 +194,8 @@ impl ScopedSink {
 impl Drop for ScopedSink {
     fn drop(&mut self) {
         clear_sink();
+        let mut members = SCOPE_MEMBERS.lock().unwrap_or_else(|e| e.into_inner());
+        *members = None;
     }
 }
 
@@ -141,8 +221,66 @@ mod tests {
             assert_eq!(events[1].kind, EventKind::Span);
             // Sequence numbers are strictly increasing.
             assert!(events[0].seq < events[1].seq);
+            // Both events carry this thread's id.
+            assert_eq!(events[0].thread, thread_id());
+            assert_eq!(events[1].thread, thread_id());
+            assert_ne!(events[0].thread, 0, "placeholder id must be replaced");
         }
         // Counter after the scope must go nowhere (and not panic).
         counter("t", "b", 1);
+    }
+
+    #[test]
+    fn scoped_capture_filters_foreign_threads() {
+        let sink = Arc::new(MemorySink::new());
+        let _guard = ScopedSink::install(sink.clone());
+        counter("t", "mine", 1);
+        std::thread::scope(|s| {
+            // Not adopted: filtered out as cross-talk.
+            s.spawn(|| counter("t", "foreign", 1));
+            // Adopted: captured, stamped with the worker's own id.
+            s.spawn(|| {
+                let _adopt = adopt();
+                counter("t", "adopted", 1);
+            });
+        });
+        let events = sink.events();
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert!(names.contains(&"mine"), "{names:?}");
+        assert!(names.contains(&"adopted"), "{names:?}");
+        assert!(!names.contains(&"foreign"), "{names:?}");
+        let adopted = events.iter().find(|e| e.name == "adopted").unwrap();
+        assert_ne!(adopted.thread, thread_id(), "worker keeps its own id");
+    }
+
+    #[test]
+    fn adopt_outside_scope_is_inert() {
+        let _adopt = adopt();
+        // Nothing to assert beyond "does not panic / does not enable".
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn plain_set_sink_observes_every_thread() {
+        // Serialize against other ScopedSink tests.
+        let scope = SCOPE.lock().unwrap_or_else(|e| e.into_inner());
+        let sink = Arc::new(MemorySink::new());
+        set_sink(sink.clone());
+        std::thread::scope(|s| {
+            s.spawn(|| counter("t", "unscoped_worker", 1));
+        });
+        clear_sink();
+        drop(scope);
+        let names: Vec<String> = sink.events().iter().map(|e| e.name.clone()).collect();
+        assert!(names.contains(&"unscoped_worker".to_string()), "{names:?}");
+    }
+
+    #[test]
+    fn thread_ids_are_stable_and_distinct() {
+        let mine = thread_id();
+        assert_eq!(mine, thread_id(), "stable within a thread");
+        let other = std::thread::scope(|s| s.spawn(thread_id).join().unwrap());
+        assert_ne!(mine, other);
+        assert_ne!(other, 0);
     }
 }

@@ -25,17 +25,24 @@
 //!   aggregation (monotone by construction; see the property tests).
 //! * [`ScopedSink`] — RAII installation for tests and CLI runs; restores
 //!   the previous sink on drop and serializes concurrent installers.
+//!   While a scope is active, emission is filtered to the installing
+//!   thread plus any worker threads that [`adopt`]ed into the scope, so
+//!   captures never see cross-talk from unrelated threads.
+//! * [`adopt`]/[`thread_id`] — parallel-runtime hooks: workers adopt
+//!   into the active scope for their lifetime, and every event is
+//!   stamped with the emitting thread's process-local id.
 //!
 //! # Event schema
 //!
 //! ```json
-//! {"seq":17,"kind":"Counter","component":"bb","name":"nodes_expanded","value":4093}
-//! {"seq":18,"kind":"Span","component":"bb","name":"search","value":1250}
+//! {"seq":17,"thread":1,"kind":"Counter","component":"bb","name":"nodes_expanded","value":4093}
+//! {"seq":18,"thread":3,"kind":"Span","component":"bb","name":"search","value":1250}
 //! ```
 //!
-//! `seq` is a process-wide monotone sequence number; `value` is the
-//! counter value for `Counter` events and elapsed microseconds for
-//! `Span` events.
+//! `seq` is a process-wide monotone sequence number; `thread` is the
+//! process-local id of the emitting thread (stable per thread, assigned
+//! in first-emission order); `value` is the counter value for `Counter`
+//! events and elapsed microseconds for `Span` events.
 
 mod event;
 mod global;
@@ -43,6 +50,9 @@ mod instrument;
 mod sink;
 
 pub use event::{Event, EventKind};
-pub use global::{clear_sink, counter, enabled, set_sink, span, ScopedSink, SpanGuard};
+pub use global::{
+    adopt, clear_sink, counter, enabled, set_sink, span, thread_id, AdoptGuard, ScopedSink,
+    SpanGuard,
+};
 pub use instrument::{Counter, Histogram};
 pub use sink::{FanoutSink, JsonlSink, MemorySink, NoopSink, Sink, StatsSink, StatsSnapshot};

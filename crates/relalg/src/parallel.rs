@@ -7,29 +7,43 @@
 //!
 //! [`fragmented_join`] executes exactly that plan: given fragment
 //! assignments (produced e.g. by `jp_pebble::fragmentation`), it runs
-//! each sub-join `R_i ⋈ S_j` on its own scoped thread and merges the
+//! the sub-joins on the `jp-par` work-stealing runtime and merges the
 //! results, skipping fragment pairs that the assignment proves empty.
-//! The result is always identical to the unfragmented join — tests and
-//! properties enforce it — which is what makes the §5 *cost* question
-//! (how few sub-joins can a mapping get away with?) well-posed.
+//! Work-stealing matters under skew: with the earlier fixed-wave
+//! schedule, one oversized `R_i ⋈ S_j` stalled its entire wave, while
+//! here idle workers steal the remaining sub-joins and keep every core
+//! busy. The result is always identical to the unfragmented join —
+//! output order is fixed by a final sort, so it is deterministic for
+//! every thread count, and tests and properties enforce it — which is
+//! what makes the §5 *cost* question (how few sub-joins can a mapping
+//! get away with?) well-posed.
 
 use crate::algorithms::JoinResult;
 use crate::predicate::JoinPredicate;
 use crate::relation::Relation;
 
-/// Executes `R ⋈ S` as a set of per-fragment-pair sub-joins on scoped
-/// threads, at most `max_threads` concurrently active sub-joins grouped
-/// into waves.
+/// Tuple ids in a [`JoinResult`] are `u32`; a relation position beyond
+/// that must fail loudly instead of silently wrapping into a colliding
+/// id.
+fn tuple_id(position: usize) -> u32 {
+    u32::try_from(position).expect("relation has more than u32::MAX tuples; tuple ids are u32")
+}
+
+/// Executes `R ⋈ S` as a set of per-fragment-pair sub-joins scheduled on
+/// the `jp-par` work-stealing runtime with `max_threads` workers.
 ///
 /// `left_frag[i]` / `right_frag[j]` give each tuple's fragment (`0..p`,
 /// `0..q`). Only fragment pairs containing at least one candidate tuple
 /// pair are scheduled; within a sub-join the predicate is evaluated
 /// exhaustively (nested loops — the baseline every sub-join algorithm
-/// refines).
+/// refines). A skewed fragment pair no longer stalls its peers: workers
+/// that finish early steal queued sub-joins. The final sort makes the
+/// output independent of the schedule.
 ///
 /// # Panics
-/// Panics if the assignment lengths do not match the relations or a
-/// fragment id is out of range.
+/// Panics if the assignment lengths do not match the relations, a
+/// fragment id is out of range, or a relation has more than `u32::MAX`
+/// tuples (tuple ids in the result are `u32`).
 #[allow(clippy::too_many_arguments)] // the plan IS the argument list
 pub fn fragmented_join(
     r: &Relation,
@@ -52,50 +66,43 @@ pub fn fragmented_join(
     let mut left_buckets: Vec<Vec<u32>> = vec![Vec::new(); p as usize];
     for (i, &f) in left_frag.iter().enumerate() {
         assert!(f < p, "left fragment {f} out of range");
-        left_buckets[f as usize].push(i as u32);
+        left_buckets[f as usize].push(tuple_id(i));
     }
     let mut right_buckets: Vec<Vec<u32>> = vec![Vec::new(); q as usize];
     for (j, &f) in right_frag.iter().enumerate() {
         assert!(f < q, "right fragment {f} out of range");
-        right_buckets[f as usize].push(j as u32);
+        right_buckets[f as usize].push(tuple_id(j));
     }
-    // Schedule non-empty fragment pairs in waves of `max_threads`.
+    // Schedule the non-empty fragment pairs; idle workers steal.
     let tasks: Vec<(usize, usize)> = (0..p as usize)
         .flat_map(|a| (0..q as usize).map(move |b| (a, b)))
         .filter(|&(a, b)| !left_buckets[a].is_empty() && !right_buckets[b].is_empty())
         .collect();
-    let mut out: JoinResult = Vec::new();
-    for wave in tasks.chunks(max_threads) {
-        let results: Vec<JoinResult> = std::thread::scope(|scope| {
-            let handles: Vec<_> = wave
-                .iter()
-                .map(|&(a, b)| {
-                    let ls = &left_buckets[a];
-                    let rs = &right_buckets[b];
-                    scope.spawn(move || {
-                        let mut pairs = Vec::new();
-                        for &i in ls {
-                            for &j in rs {
-                                if pred.matches(r.value(i as usize), s.value(j as usize)) {
-                                    pairs.push((i, j));
-                                }
-                            }
-                        }
-                        pairs
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("sub-join panicked"))
-                .collect()
-        });
-        for mut chunk in results {
-            out.append(&mut chunk);
-        }
-    }
+    let results = jp_par::run_tasks(max_threads, tasks, |_, (a, b)| {
+        sub_join(r, s, pred, &left_buckets[a], &right_buckets[b])
+    });
+    let mut out: JoinResult = results.into_iter().flatten().collect();
     out.sort_unstable();
     out
+}
+
+/// One exhaustive sub-join `R_a ⋈ S_b` over the bucketed tuple ids.
+fn sub_join(
+    r: &Relation,
+    s: &Relation,
+    pred: &(dyn JoinPredicate + Sync),
+    ls: &[u32],
+    rs: &[u32],
+) -> JoinResult {
+    let mut pairs = Vec::new();
+    for &i in ls {
+        for &j in rs {
+            if pred.matches(r.value(i as usize), s.value(j as usize)) {
+                pairs.push((i, j));
+            }
+        }
+    }
+    pairs
 }
 
 #[cfg(test)]
@@ -231,44 +238,26 @@ pub fn fragmented_join_pairs(
     let mut left_buckets: Vec<Vec<u32>> = vec![Vec::new(); p as usize];
     for (i, &f) in left_frag.iter().enumerate() {
         assert!(f < p, "left fragment {f} out of range");
-        left_buckets[f as usize].push(i as u32);
+        left_buckets[f as usize].push(tuple_id(i));
     }
     let mut right_buckets: Vec<Vec<u32>> = vec![Vec::new(); q as usize];
     for (j, &f) in right_frag.iter().enumerate() {
         assert!(f < q, "right fragment {f} out of range");
-        right_buckets[f as usize].push(j as u32);
+        right_buckets[f as usize].push(tuple_id(j));
     }
-    let mut out: JoinResult = Vec::new();
-    for wave in pairs.chunks(max_threads) {
-        let results: Vec<JoinResult> = std::thread::scope(|scope| {
-            let handles: Vec<_> = wave
-                .iter()
-                .map(|&(a, b)| {
-                    assert!(a < p && b < q, "pair ({a}, {b}) out of range");
-                    let ls = &left_buckets[a as usize];
-                    let rs = &right_buckets[b as usize];
-                    scope.spawn(move || {
-                        let mut acc = Vec::new();
-                        for &i in ls {
-                            for &j in rs {
-                                if pred.matches(r.value(i as usize), s.value(j as usize)) {
-                                    acc.push((i, j));
-                                }
-                            }
-                        }
-                        acc
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("sub-join panicked"))
-                .collect()
-        });
-        for mut chunk in results {
-            out.append(&mut chunk);
-        }
+    for &(a, b) in pairs {
+        assert!(a < p && b < q, "pair ({a}, {b}) out of range");
     }
+    let results = jp_par::run_tasks(max_threads, pairs.to_vec(), |_, (a, b)| {
+        sub_join(
+            r,
+            s,
+            pred,
+            &left_buckets[a as usize],
+            &right_buckets[b as usize],
+        )
+    });
+    let mut out: JoinResult = results.into_iter().flatten().collect();
     out.sort_unstable();
     out
 }

@@ -3,9 +3,11 @@
 //! arbitrary graphs.
 
 use jp_graph::BipartiteGraph;
-use jp_relalg::predicate::{Band, Equality, SetContainment, SetOverlap, SpatialOverlap};
+use jp_relalg::predicate::{
+    Band, Equality, JoinPredicate, SetContainment, SetOverlap, SpatialOverlap,
+};
 use jp_relalg::{
-    algorithms, containment_graph, equijoin_graph, join_graph, realize, spatial_graph,
+    algorithms, containment_graph, equijoin_graph, join_graph, parallel, realize, spatial_graph,
 };
 use jp_relalg::{IdSet, Relation};
 use proptest::prelude::*;
@@ -140,5 +142,82 @@ proptest! {
         let g = join_graph(&r, &s, &Equality);
         prop_assert_eq!(g.left_count() as usize, r.len());
         prop_assert_eq!(g.right_count() as usize, s.len());
+    }
+}
+
+/// Adversarially skewed fragment assignment: most tuples pile into
+/// fragment 0, the rest scatter — the workload shape where a wave/barrier
+/// scheduler stalls and work-stealing must not change the answer.
+fn skewed_assignment(n: usize, k: u32) -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0u32..100, n..=n).prop_map(move |draws| {
+        draws
+            .into_iter()
+            .map(|d| if d < 85 { 0 } else { d % k })
+            .collect()
+    })
+}
+
+/// Pairs a relation strategy with a skewed assignment of matching length.
+fn with_skew(
+    rel: impl Strategy<Value = Relation>,
+    k: u32,
+) -> impl Strategy<Value = (Relation, Vec<u32>)> {
+    rel.prop_flat_map(move |r| {
+        let n = r.len();
+        (Just(r), skewed_assignment(n, k))
+    })
+}
+
+/// `fragmented_join` under the work-stealing scheduler must equal the
+/// sorted `nested_loops` result for any predicate, assignment, and
+/// thread count.
+fn check_fragmented_matches_nested_loops(
+    r: &Relation,
+    s: &Relation,
+    pred: &(dyn JoinPredicate + Sync),
+    left: (&[u32], u32),
+    right: (&[u32], u32),
+    threads: usize,
+) {
+    let mut expect = algorithms::nested_loops(r, s, pred);
+    expect.sort_unstable();
+    let got = parallel::fragmented_join(r, s, pred, left.0, left.1, right.0, right.1, threads);
+    assert_eq!(got, expect, "threads = {threads}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn skewed_fragmented_equijoin_and_band_match_nested_loops(
+        (r, lf) in with_skew(int_relation(30, 8), 4),
+        (s, rf) in with_skew(int_relation(30, 8), 3),
+        threads_pick in 0usize..3,
+        w in 0i64..4,
+    ) {
+        let threads = [1, 2, 8][threads_pick];
+        check_fragmented_matches_nested_loops(&r, &s, &Equality, (&lf, 4), (&rf, 3), threads);
+        check_fragmented_matches_nested_loops(&r, &s, &Band(w), (&lf, 4), (&rf, 3), threads);
+    }
+
+    #[test]
+    fn skewed_fragmented_set_joins_match_nested_loops(
+        (r, lf) in with_skew(set_relation(18), 5),
+        (s, rf) in with_skew(set_relation(18), 2),
+        threads_pick in 0usize..3,
+    ) {
+        let threads = [1, 2, 8][threads_pick];
+        check_fragmented_matches_nested_loops(&r, &s, &SetContainment, (&lf, 5), (&rf, 2), threads);
+        check_fragmented_matches_nested_loops(&r, &s, &SetOverlap, (&lf, 5), (&rf, 2), threads);
+    }
+
+    #[test]
+    fn skewed_fragmented_spatial_join_matches_nested_loops(
+        (r, lf) in with_skew(rect_relation(20), 3),
+        (s, rf) in with_skew(rect_relation(20), 4),
+        threads_pick in 0usize..3,
+    ) {
+        let threads = [1, 2, 8][threads_pick];
+        check_fragmented_matches_nested_loops(&r, &s, &SpatialOverlap, (&lf, 3), (&rf, 4), threads);
     }
 }
