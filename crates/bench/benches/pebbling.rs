@@ -112,7 +112,8 @@ fn bench_page_scheduling(c: &mut Criterion) {
     rv.sort_unstable();
     sv.sort_unstable();
     let g = equijoin_graph(&Relation::from_ints("R", rv), &Relation::from_ints("S", sv));
-    let layout = PageLayout::sequential(g.left_count() as usize, g.right_count() as usize, 64);
+    let layout =
+        PageLayout::sequential(g.left_count() as usize, g.right_count() as usize, 64).unwrap();
     c.bench_function("page_schedule_clustered_4k", |b| {
         b.iter(|| schedule_page_fetches(&g, &layout).unwrap())
     });

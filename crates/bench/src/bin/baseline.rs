@@ -122,7 +122,59 @@ fn main() {
         }),
     ];
 
+    // The memo axis: one workload built from *repeated* component
+    // shapes — isomorphic random blocks under different labels, plus
+    // closed-form families — solved with the canonical-form cache off
+    // (plain portfolio) and on (`solve_with_memo`). With the cache on,
+    // every shape is solved once and each repeat is a validated hash
+    // lookup; the `memo.hit` / `memo.miss` / `memo.recognized` counters
+    // in the captured stats are the measured hit rate.
+    let repeated = {
+        let block_a = generators::random_connected_bipartite(4, 4, 9, 1);
+        let block_b = generators::random_connected_bipartite(4, 4, 10, 2);
+        let spider = generators::spider(6);
+        let kb = generators::complete_bipartite(3, 4);
+        let mut g = block_a.clone();
+        for _ in 0..5 {
+            g = g.disjoint_union(&block_a);
+        }
+        for _ in 0..6 {
+            g = g.disjoint_union(&block_b);
+        }
+        for _ in 0..4 {
+            g = g.disjoint_union(&spider);
+        }
+        for _ in 0..4 {
+            g = g.disjoint_union(&kb);
+        }
+        g
+    };
+    let memo_solvers: Vec<ParSolver> = vec![
+        ("portfolio_memo_off", |g, threads| {
+            jp_pebble::portfolio::portfolio_scheme(g, threads).ok()
+        }),
+        ("portfolio_memo_on", |g, threads| {
+            let memo = jp_pebble::memo::Memo::new();
+            jp_pebble::memo::solve_with_memo(g, &memo, threads).ok()
+        }),
+    ];
+
     let mut cases = Vec::new();
+    for (solver, run) in &memo_solvers {
+        for threads in THREAD_AXIS {
+            let (scheme, wall_micros, stats) = capture(|| run(&repeated, threads));
+            let Some(scheme) = scheme else { continue };
+            cases.push(Case {
+                family: "repeated_blocks_x20".into(),
+                solver: solver.to_string(),
+                threads,
+                edges: repeated.edge_count() as u64,
+                effective_cost: scheme.effective_cost(&repeated) as u64,
+                wall_micros,
+                stats,
+            });
+        }
+    }
     for (family, g) in families() {
         for (solver, run) in &solvers {
             let (scheme, wall_micros, stats) = capture(|| run(&g));

@@ -41,10 +41,17 @@ pub fn e18_page_scheduling() -> (String, bool) {
         let g = equijoin_graph(&Relation::from_ints("R", rv), &Relation::from_ints("S", sv));
         let nl = g.left_count() as usize;
         let nr = g.right_count() as usize;
-        for (label, layout) in [
-            ("clustered (sorted)", PageLayout::sequential(nl, nr, cap)),
-            ("scattered (heap)", PageLayout::scattered(nl, nr, cap, seed)),
-        ] {
+        let layouts = [
+            (
+                "clustered (sorted)",
+                PageLayout::sequential(nl, nr, cap).expect("page ids fit u32"),
+            ),
+            (
+                "scattered (heap)",
+                PageLayout::scattered(nl, nr, cap, seed).expect("page ids fit u32"),
+            ),
+        ];
+        for (label, layout) in layouts {
             let (pg, scheme) = schedule_page_fetches(&g, &layout).expect("schedulable");
             scheme.validate(&pg).expect("valid schedule");
             let fetches = page_fetches(&scheme);
@@ -66,7 +73,8 @@ pub fn e18_page_scheduling() -> (String, bool) {
     let n = 64u32;
     let (r, s) = realize::spatial_spider_instance(n);
     let g = spatial_graph(&r, &s);
-    let layout = PageLayout::sequential(g.left_count() as usize, g.right_count() as usize, 2);
+    let layout = PageLayout::sequential(g.left_count() as usize, g.right_count() as usize, 2)
+        .expect("page ids fit u32");
     let (pg, scheme) = schedule_page_fetches(&g, &layout).expect("schedulable");
     scheme.validate(&pg).expect("valid");
     let fetches = page_fetches(&scheme);
@@ -91,7 +99,7 @@ pub fn e18_page_scheduling() -> (String, bool) {
     // exact schedule on a small page graph validates the scheduler
     let (r, s) = workload::zipf_equijoin(48, 48, 6, 0.2, 403);
     let g = equijoin_graph(&r, &s);
-    let layout = PageLayout::scattered(48, 48, 12, 7);
+    let layout = PageLayout::scattered(48, 48, 12, 7).expect("page ids fit u32");
     let (pg, scheme) = schedule_page_fetches(&g, &layout).expect("schedulable");
     if pg.edge_count() <= exact::MAX_EXACT_EDGES {
         let opt = exact::optimal_total_cost(&pg).expect("small page graph");

@@ -7,6 +7,7 @@ use jp_pebble::approx::{
     pebble_dfs_partition, pebble_equijoin, pebble_euler_trails, pebble_nearest_neighbor,
     pebble_path_cover,
 };
+use jp_pebble::memo::Memo;
 use jp_pebble::{bounds, exact, exact_bb, PebblingScheme};
 use jp_relalg::{algorithms, realize, workload};
 use std::io::Write;
@@ -16,6 +17,56 @@ type Out<'a> = &'a mut dyn Write;
 
 fn rt(msg: impl std::fmt::Display) -> CliError {
     CliError::Runtime(msg.to_string())
+}
+
+fn flag_true(a: &ParsedArgs, key: &str) -> bool {
+    a.opt(key)
+        .is_some_and(|v| v == "true" || v == "1" || v == "yes")
+}
+
+/// Parses `--memo true` / `--memo-file PATH` into an optional component
+/// cache, preloading persisted entries when the file already exists
+/// (corrupt lines are skipped per entry, reported, and never fatal).
+fn open_memo(a: &ParsedArgs, out: Out) -> Result<(Option<Memo>, Option<String>), CliError> {
+    let memo_file = a.opt("memo-file").map(str::to_string);
+    if !flag_true(a, "memo") && memo_file.is_none() {
+        return Ok((None, None));
+    }
+    let memo = Memo::new();
+    if let Some(path) = &memo_file {
+        if std::path::Path::new(path).exists() {
+            let (loaded, skipped) = memo
+                .load_jsonl(std::path::Path::new(path))
+                .map_err(|e| rt(format!("reading memo file {path}: {e}")))?;
+            writeln!(
+                out,
+                "memo: loaded {loaded} entries from {path} ({skipped} corrupt lines skipped)"
+            )
+            .map_err(CliError::io)?;
+        }
+    }
+    Ok((Some(memo), memo_file))
+}
+
+/// Prints the memo's hit statistics and persists it when a
+/// `--memo-file` was given.
+fn close_memo(memo: &Option<Memo>, memo_file: &Option<String>, out: Out) -> Result<(), CliError> {
+    let Some(m) = memo else {
+        return Ok(());
+    };
+    let st = m.stats();
+    writeln!(
+        out,
+        "memo: {} recognized, {} hits, {} misses, {} inserts, {} rejected",
+        st.recognized, st.hits, st.misses, st.inserts, st.rejects
+    )
+    .map_err(CliError::io)?;
+    if let Some(path) = memo_file {
+        m.save_jsonl(std::path::Path::new(path))
+            .map_err(|e| rt(format!("writing memo file {path}: {e}")))?;
+        writeln!(out, "memo ({} entries) written to {path}", m.len()).map_err(CliError::io)?;
+    }
+    Ok(())
 }
 
 fn load_graph(path: &str) -> Result<BipartiteGraph, CliError> {
@@ -124,29 +175,36 @@ fn run_pebbler(
     g: &BipartiteGraph,
     budget: u64,
     threads: usize,
+    memo: Option<&Memo>,
 ) -> Result<PebblingScheme, CliError> {
-    match algo {
-        "auto" => {
+    match (algo, memo) {
+        // memoized entry points: recognizers + cache in front of the solver
+        ("auto", Some(m)) => jp_pebble::memo::solve_with_memo(g, m, threads).map_err(rt),
+        ("exact", Some(m)) => exact::optimal_scheme_memo(g, m).map_err(rt),
+        ("portfolio", Some(m)) => {
+            jp_pebble::portfolio::portfolio_scheme_memo(g, threads, Some(m)).map_err(rt)
+        }
+        ("auto", None) => {
             if properties::is_equijoin_graph(g) {
                 pebble_equijoin(g).map_err(rt)
             } else {
                 pebble_dfs_partition(g).map_err(rt)
             }
         }
-        "equijoin" => pebble_equijoin(g).map_err(rt),
-        "dfs" => pebble_dfs_partition(g).map_err(rt),
-        "euler" => pebble_euler_trails(g).map_err(rt),
-        "cover" => pebble_path_cover(g).map_err(rt),
-        "nn" => pebble_nearest_neighbor(g).map_err(rt),
-        "exact" => exact::optimal_scheme(g).map_err(rt),
-        "bb" => exact_bb::optimal_scheme_bb_par(g, budget, threads).map_err(rt),
-        "portfolio" => jp_pebble::portfolio::portfolio_scheme(g, threads).map_err(rt),
-        other => Err(CliError::Usage(format!("unknown algorithm `{other}`"))),
+        ("equijoin", _) => pebble_equijoin(g).map_err(rt),
+        ("dfs", _) => pebble_dfs_partition(g).map_err(rt),
+        ("euler", _) => pebble_euler_trails(g).map_err(rt),
+        ("cover", _) => pebble_path_cover(g).map_err(rt),
+        ("nn", _) => pebble_nearest_neighbor(g).map_err(rt),
+        ("exact", None) => exact::optimal_scheme(g).map_err(rt),
+        ("bb", _) => exact_bb::optimal_scheme_bb_par(g, budget, threads).map_err(rt),
+        ("portfolio", None) => jp_pebble::portfolio::portfolio_scheme(g, threads).map_err(rt),
+        (other, _) => Err(CliError::Usage(format!("unknown algorithm `{other}`"))),
     }
 }
 
 /// `jp pebble <graph.json> [--algo A] [--budget NODES] [--threads N]
-/// [--out scheme.json]`
+/// [--memo true] [--memo-file F] [--out scheme.json]`
 pub fn pebble(args: &[String], out: Out) -> Result<(), CliError> {
     let a = ParsedArgs::parse(args)?;
     let g = load_graph(a.pos(0, "graph file")?)?;
@@ -162,8 +220,9 @@ pub fn pebble(args: &[String], out: Out) -> Result<(), CliError> {
         }
         return Ok(());
     }
+    let (memo, memo_file) = open_memo(&a, &mut *out)?;
     let t0 = Instant::now();
-    let scheme = run_pebbler(algo, &g, budget, threads)?;
+    let scheme = run_pebbler(algo, &g, budget, threads, memo.as_ref())?;
     let dt = t0.elapsed();
     scheme.validate(&g).map_err(rt)?;
     let report = SchemeReport::new(&g, &scheme);
@@ -207,6 +266,7 @@ pub fn pebble(args: &[String], out: Out) -> Result<(), CliError> {
         std::fs::write(path, json).map_err(|e| rt(format!("writing {path}: {e}")))?;
         writeln!(out, "scheme written to {path}").map_err(CliError::io)?;
     }
+    close_memo(&memo, &memo_file, out)?;
     Ok(())
 }
 
@@ -328,7 +388,14 @@ pub fn buffers(args: &[String], out: Out) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `jp join --workload zipf|sets|rects [opts]`
+/// `jp join --workload zipf|sets|rects [opts] [--pebble true]
+/// [--memo true] [--memo-file F] [--threads N]`
+///
+/// With `--pebble true` the workload's join graph is built and scheduled
+/// through the pebbling solver — the memo options put the canonical-form
+/// component cache in front of it, which is where repeated-shape
+/// workloads (an equijoin is a union of `K_{k,l}` blocks, one per key)
+/// collapse to hash lookups.
 pub fn join(args: &[String], out: Out) -> Result<(), CliError> {
     let a = ParsedArgs::parse(args)?;
     let wl = a
@@ -336,6 +403,8 @@ pub fn join(args: &[String], out: Out) -> Result<(), CliError> {
         .ok_or_else(|| CliError::Usage("join needs --workload zipf|sets|rects".into()))?;
     let n: usize = a.opt_parse("n", 1_000)?;
     let seed: u64 = a.opt_parse("seed", 42)?;
+    let want_pebble = flag_true(&a, "pebble");
+    let mut join_graph: Option<BipartiteGraph> = None;
     let timed = |name: &str, f: &dyn Fn() -> usize, out: &mut dyn Write| -> Result<(), CliError> {
         let t0 = Instant::now();
         let count = f();
@@ -371,6 +440,9 @@ pub fn join(args: &[String], out: Out) -> Result<(), CliError> {
                 &|| algorithms::equi::index_nested_loops(&r, &s).len(),
                 out,
             )?;
+            if want_pebble {
+                join_graph = Some(jp_relalg::equijoin_graph(&r, &s));
+            }
         }
         "sets" => {
             let universe: u32 = a.opt_parse("universe", 2_000)?;
@@ -393,6 +465,9 @@ pub fn join(args: &[String], out: Out) -> Result<(), CliError> {
                 &|| algorithms::containment::partitioned(&r, &s, 64).len(),
                 out,
             )?;
+            if want_pebble {
+                join_graph = Some(jp_relalg::containment_graph(&r, &s));
+            }
         }
         "rects" => {
             let extent: i64 = a.opt_parse("extent", 20_000)?;
@@ -412,8 +487,35 @@ pub fn join(args: &[String], out: Out) -> Result<(), CliError> {
                 &|| algorithms::spatial::index_nested_loops(&r, &s).len(),
                 out,
             )?;
+            if want_pebble {
+                join_graph = Some(jp_relalg::spatial_graph(&r, &s));
+            }
         }
         other => return Err(CliError::Usage(format!("unknown workload `{other}`"))),
+    }
+    if let Some(g) = join_graph {
+        let threads: usize = a.opt_parse("threads", 1)?;
+        if threads == 0 {
+            return Err(CliError::Usage("--threads must be at least 1".into()));
+        }
+        let (memo, memo_file) = open_memo(&a, &mut *out)?;
+        let t0 = Instant::now();
+        let scheme = match &memo {
+            Some(m) => jp_pebble::memo::solve_with_memo(&g, m, threads).map_err(rt)?,
+            None => jp_pebble::portfolio::portfolio_scheme(&g, threads).map_err(rt)?,
+        };
+        let dt = t0.elapsed();
+        scheme.validate(&g).map_err(rt)?;
+        writeln!(
+            out,
+            "join graph: m = {}, β₀ = {}; pebbling π = {} in {:.3} ms",
+            g.edge_count(),
+            betti_number(&g),
+            scheme.effective_cost(&g),
+            dt.as_secs_f64() * 1e3
+        )
+        .map_err(CliError::io)?;
+        close_memo(&memo, &memo_file, out)?;
     }
     Ok(())
 }

@@ -16,7 +16,8 @@ jp — the join-predicates pebbling toolbox (PODS 2001 reproduction)
 USAGE:
   jp generate <family> [params…] [--out FILE]   create a join graph
   jp info <graph.json>                          stats, bounds, classification
-  jp pebble <graph.json> [--algo A] [--threads N] [--out F] [--steps true]
+  jp pebble <graph.json> [--algo A] [--threads N] [--memo true]
+            [--memo-file F] [--out F] [--steps true]
                                                 pebble a join graph
   jp realize <graph.json> --as KIND             build a join instance for it
   jp join --workload W [opts]                   run join algorithms
@@ -54,6 +55,16 @@ ALGORITHMS (jp pebble --algo):
   --threads N  worker threads for portfolio and bb (default 1); the
                returned cost is identical for every thread count
 
+MEMOIZATION (jp pebble / jp join):
+  --memo true     cache solved components under their canonical form —
+                  closed-form families (complete bipartite, matching,
+                  path, even cycle, spider) are recognized outright, and
+                  isomorphic repeats become validated hash lookups
+                  (applies to --algo auto, exact and portfolio)
+  --memo-file F   persist the cache as JSON Lines and reload it on the
+                  next run (implies --memo true; corrupt lines are
+                  skipped per entry, never fatal)
+
 REALIZATIONS (jp realize --as):
   containment   Lemma 3.3: r_i = {i}, s_j = {neighbours of j}
   spatial       comb-shaped rectilinear regions (universal)
@@ -63,6 +74,10 @@ WORKLOADS (jp join --workload):
   zipf    equijoin on Zipf keys    [--n N] [--keys K] [--theta T] [--seed S]
   sets    set containment          [--n N] [--universe U] [--planted P] [--seed S]
   rects   spatial overlap          [--n N] [--extent E] [--side L] [--seed S]
+
+  --pebble true   also build the workload's join graph and schedule it
+                  with the pebbling solver (honours --memo, --memo-file
+                  and --threads)
 ";
 
 /// Strips the global observability options (`--trace FILE`, `--stats`)
@@ -395,6 +410,93 @@ mod tests {
         assert!(matches!(err, CliError::Usage(_)));
         let err = run_str(&["help", "--trace"]).unwrap_err();
         assert!(matches!(err, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn pebble_memo_persists_and_reloads() {
+        let dir = std::env::temp_dir().join(format!("jp-cli-test7-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = dir.join("g.json");
+        let f = dir.join("memo.jsonl");
+        let fp = f.to_str().unwrap();
+        // a shape with no closed form, so the cache (not a recognizer)
+        // must serve the repeat
+        run_str(&[
+            "generate",
+            "random-connected",
+            "4",
+            "4",
+            "9",
+            "7",
+            "--out",
+            g.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run_str(&[
+            "pebble",
+            g.to_str().unwrap(),
+            "--algo",
+            "exact",
+            "--memo-file",
+            fp,
+        ])
+        .unwrap();
+        assert!(out.contains("memo:"), "{out}");
+        assert!(out.contains("written to"), "{out}");
+        // second run reloads the file and reports the reuse
+        let out = run_str(&[
+            "pebble",
+            g.to_str().unwrap(),
+            "--algo",
+            "exact",
+            "--memo-file",
+            fp,
+        ])
+        .unwrap();
+        assert!(out.contains("loaded"), "{out}");
+        // a memoized K_{5,5} sails past the Held–Karp wall (Lemma 3.2)
+        run_str(&[
+            "generate",
+            "complete-bipartite",
+            "5",
+            "5",
+            "--out",
+            g.to_str().unwrap(),
+        ])
+        .unwrap();
+        let err = run_str(&["pebble", g.to_str().unwrap(), "--algo", "exact"]).unwrap_err();
+        assert!(matches!(err, CliError::Runtime(_)));
+        let out = run_str(&[
+            "pebble",
+            g.to_str().unwrap(),
+            "--algo",
+            "exact",
+            "--memo",
+            "true",
+        ])
+        .unwrap();
+        assert!(out.contains("π = 25"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn join_pebble_with_memo_reports_cache_stats() {
+        let out = run_str(&[
+            "join",
+            "--workload",
+            "zipf",
+            "--n",
+            "120",
+            "--keys",
+            "12",
+            "--pebble",
+            "true",
+            "--memo",
+            "true",
+        ])
+        .unwrap();
+        assert!(out.contains("pebbling π ="), "{out}");
+        assert!(out.contains("memo:"), "{out}");
     }
 
     #[test]

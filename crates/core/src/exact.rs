@@ -8,6 +8,7 @@
 //! edges per component, which is exactly the regime the experiments need
 //! (closed-form families cover the large instances).
 
+use crate::memo::Memo;
 use crate::scheme::PebblingScheme;
 use crate::tsp::Tsp12;
 use crate::PebbleError;
@@ -164,7 +165,15 @@ pub(crate) fn min_jump_tour_racing(
 type ComponentSolutions = Vec<(Vec<usize>, usize)>;
 
 fn solve_components(g: &BipartiteGraph, limit: usize) -> Result<ComponentSolutions, PebbleError> {
-    match solve_components_racing(g, limit, &|| false)? {
+    solve_components_memo(g, limit, None)
+}
+
+fn solve_components_memo(
+    g: &BipartiteGraph,
+    limit: usize,
+    memo: Option<&Memo>,
+) -> Result<ComponentSolutions, PebbleError> {
+    match solve_components_racing(g, limit, &|| false, memo)? {
         Some(comps) => Ok(comps),
         // audit:allow(panic-freedom) the never-true abandon closure cannot make racing return None
         None => unreachable!("abandon closure is constant false"),
@@ -175,10 +184,18 @@ fn solve_components(g: &BipartiteGraph, limit: usize) -> Result<ComponentSolutio
 /// every per-component [`min_jump_tour_racing`] call. `Ok(None)` means
 /// the search was abandoned mid-flight; `Err` still reports structural
 /// problems (an over-limit component) regardless of the race.
+///
+/// With a memo, each component first tries the recognizers and the
+/// *exact-only* slice of the cache — both proved optimal, so the result
+/// keeps the exact solver's guarantee — and a served component skips its
+/// size check entirely: a recognized `K_{6,7}` no longer trips the
+/// Held–Karp wall. Fresh DP solutions are recorded as exact entries.
+/// With `memo == None` the behaviour is byte-for-byte the old one.
 pub(crate) fn solve_components_racing(
     g: &BipartiteGraph,
     limit: usize,
     abandon: &dyn Fn() -> bool,
+    memo: Option<&Memo>,
 ) -> Result<Option<ComponentSolutions>, PebbleError> {
     let _span = jp_obs::span("exact", "solve");
     let cm = ComponentMap::new(g);
@@ -186,24 +203,39 @@ pub(crate) fn solve_components_racing(
     jp_obs::counter("exact", "edges", g.edge_count() as u64);
     let mut out = Vec::with_capacity(cm.count as usize);
     for edges in cm.edges_by_component() {
+        // edge_subgraph keeps edges in the order of `edges` after sorting?
+        // BipartiteGraph::new sorts edges; map subgraph edge ids back to
+        // original ids through coordinates: subgraph construction
+        // preserves the relative lexicographic order of edges, and
+        // `edges` came sorted from edges_by_component (ascending ids =
+        // lexicographic), so sub edge id i is original edge edges[i].
+        let sub = g.edge_subgraph(&edges);
+        if let Some(memo) = memo {
+            if let Some((sub_order, cost)) = memo.solve_component(&sub, true) {
+                let order: Vec<usize> = sub_order
+                    .iter()
+                    .filter_map(|&e| edges.get(e).copied())
+                    .collect();
+                let jumps = cost.saturating_sub(order.len());
+                jp_obs::counter("exact", "jumps", jumps as u64);
+                out.push((order, jumps));
+                continue;
+            }
+        }
         if edges.len() > limit {
             return Err(PebbleError::TooLarge {
                 component_edges: edges.len(),
                 limit,
             });
         }
-        let sub = g.edge_subgraph(&edges);
-        // edge_subgraph keeps edges in the order of `edges` after sorting?
-        // BipartiteGraph::new sorts edges; map subgraph edge ids back to
-        // original ids through coordinates.
         let lg = jp_graph::line_graph(&sub);
         let Some((tour, jumps)) = min_jump_tour_racing(&lg, abandon) else {
             return Ok(None);
         };
-        // sub's edge e corresponds to original edge: reconstruct by the
-        // sorted order of `edges` — subgraph construction preserves the
-        // relative lexicographic order of edges, and `edges` came sorted
-        // from edges_by_component (ascending ids = lexicographic).
+        if let Some(memo) = memo {
+            let sub_order: Vec<usize> = tour.iter().map(|&e| e as usize).collect();
+            memo.record_component(&sub, &sub_order, true);
+        }
         // audit:allow(panic-freedom) tour is a permutation of line-graph vertices 0..edges.len()
         let order: Vec<usize> = tour.iter().map(|&e| edges[e as usize]).collect();
         jp_obs::counter("exact", "jumps", jumps as u64);
@@ -252,6 +284,24 @@ pub fn optimal_total_cost(g: &BipartiteGraph) -> Result<usize, PebbleError> {
 // audit:allow(obs-coverage) thin wrapper — solve_components opens the exact.solve span
 pub fn optimal_scheme(g: &BipartiteGraph) -> Result<PebblingScheme, PebbleError> {
     let comps = solve_components(g, MAX_EXACT_EDGES)?;
+    let order: Vec<usize> = comps.into_iter().flat_map(|(o, _)| o).collect();
+    PebblingScheme::from_edge_sequence(g, &order)
+}
+
+/// [`optimal_effective_cost`] consulting a memo: recognized families and
+/// exact cache hits are served without the DP (and without its size
+/// limit); every fresh DP solve is recorded. The cost is still exact.
+// audit:allow(obs-coverage) thin wrapper — solve_components opens the exact.solve span
+pub fn optimal_effective_cost_memo(g: &BipartiteGraph, memo: &Memo) -> Result<usize, PebbleError> {
+    let comps = solve_components_memo(g, MAX_EXACT_EDGES, Some(memo))?;
+    Ok(comps.iter().map(|(order, jumps)| order.len() + jumps).sum())
+}
+
+/// [`optimal_scheme`] consulting a memo; see
+/// [`optimal_effective_cost_memo`].
+// audit:allow(obs-coverage) thin wrapper — solve_components opens the exact.solve span
+pub fn optimal_scheme_memo(g: &BipartiteGraph, memo: &Memo) -> Result<PebblingScheme, PebbleError> {
+    let comps = solve_components_memo(g, MAX_EXACT_EDGES, Some(memo))?;
     let order: Vec<usize> = comps.into_iter().flat_map(|(o, _)| o).collect();
     PebblingScheme::from_edge_sequence(g, &order)
 }
@@ -375,6 +425,31 @@ mod tests {
                 assert_eq!(limit, MAX_EXACT_EDGES);
             }
             other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn memo_lifts_recognized_families_past_the_dp_wall() {
+        // K_{5,5} alone is TooLarge (previous test); with a memo the
+        // boustrophedon recognizer answers it exactly, and the result
+        // stays exact: π(K_{5,5}) = 25 (Lemma 3.2).
+        let memo = Memo::new();
+        let g = generators::complete_bipartite(5, 5);
+        assert_eq!(optimal_effective_cost_memo(&g, &memo).unwrap(), 25);
+        let s = optimal_scheme_memo(&g, &memo).unwrap();
+        s.validate(&g).unwrap();
+        assert_eq!(s.effective_cost(&g), 25);
+    }
+
+    #[test]
+    fn memo_cost_agrees_with_fresh_exact() {
+        let memo = Memo::new();
+        for seed in 0..6 {
+            let g = generators::random_connected_bipartite(4, 4, 9, seed);
+            let fresh = optimal_effective_cost(&g).unwrap();
+            // first call records, second is served from the cache
+            assert_eq!(optimal_effective_cost_memo(&g, &memo).unwrap(), fresh);
+            assert_eq!(optimal_effective_cost_memo(&g, &memo).unwrap(), fresh);
         }
     }
 

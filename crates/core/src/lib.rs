@@ -27,6 +27,10 @@
 //! * [`portfolio`] — the whole ladder raced in parallel on the `jp-par`
 //!   work-stealing runtime against a shared atomic incumbent, with
 //!   lower-bound-certified abandonment;
+//! * [`memo`] — workload-level memoization: closed-form recognizers plus
+//!   a sharded cache keyed by canonical component form, so isomorphic
+//!   components are solved once per workload (or once per lifetime, with
+//!   JSONL persistence);
 //! * [`families`] — closed-form optima for the structured families,
 //!   including the Figure 1 worst-case spiders `G_n`;
 //! * [`reductions`] — the L-reductions of §4 (diamond gadget,
@@ -49,6 +53,7 @@ pub mod exact;
 pub mod exact_bb;
 pub mod families;
 pub mod fragmentation;
+pub mod memo;
 pub mod paging;
 pub mod portfolio;
 pub mod reductions;
@@ -116,6 +121,12 @@ pub enum PebbleError {
         /// The solver's limit.
         limit: usize,
     },
+    /// A page layout would need more pages than `u32` page ids can
+    /// address — rejected up front instead of silently truncating.
+    TooManyPages {
+        /// Pages the layout would need on the overflowing side.
+        pages: usize,
+    },
 }
 
 impl std::fmt::Display for PebbleError {
@@ -161,6 +172,9 @@ impl std::fmt::Display for PebbleError {
                 f,
                 "component with {component_edges} edges exceeds exact-solver limit {limit}"
             ),
+            PebbleError::TooManyPages { pages } => {
+                write!(f, "layout needs {pages} pages, but page ids are u32")
+            }
         }
     }
 }

@@ -1,0 +1,111 @@
+//! The workload entry point: solve a whole (possibly disconnected) join
+//! graph with the memo in front of the solver ladder.
+//!
+//! Per connected component (additivity, Lemma 2.2):
+//!
+//! 1. recognizer / validated cache hit via [`Memo::solve_component`];
+//! 2. on a miss, the full portfolio race
+//!    ([`crate::portfolio::portfolio_scheme_memo`], which also consults
+//!    the memo inside its exact strategy), recording the fresh result
+//!    for every later isomorphic copy.
+//!
+//! Across a workload of repeated shapes — equijoin block unions, skewed
+//! key distributions, the §2–§3 families at many sizes — almost every
+//! component after the first of its kind is served from the cache.
+
+use crate::memo::store::Memo;
+use crate::scheme::PebblingScheme;
+use crate::{bounds, portfolio, PebbleError};
+use jp_graph::{BipartiteGraph, ComponentMap};
+
+/// Solves `g` component by component through the memo, racing the
+/// portfolio only on cache misses. The scheme is equivalent to the
+/// memo-less portfolio's — on every recognized family and every exact
+/// cache hit it is *optimal* — and each fresh solve is recorded so
+/// isomorphic components later in the workload become hash lookups.
+pub fn solve_with_memo(
+    g: &BipartiteGraph,
+    memo: &Memo,
+    threads: usize,
+) -> Result<PebblingScheme, PebbleError> {
+    let _span = jp_obs::span("memo", "solve");
+    let cm = ComponentMap::new(g);
+    if jp_obs::enabled() {
+        jp_obs::counter("memo", "components", u64::from(cm.count));
+    }
+    let mut order = Vec::with_capacity(g.edge_count());
+    for edges in cm.edges_by_component() {
+        let sub = g.edge_subgraph(&edges);
+        let sub_order = match memo.solve_component(&sub, false) {
+            Some((o, _)) => o,
+            None => {
+                let scheme = portfolio::portfolio_scheme_memo(&sub, threads, Some(memo))?;
+                let o: Vec<usize> = scheme.deletion_order(&sub).into_iter().flatten().collect();
+                // proved optimal exactly when the certified floor is met
+                let exact = scheme.effective_cost(&sub) == bounds::best_lower_bound(&sub);
+                memo.record_component(&sub, &o, exact);
+                o
+            }
+        };
+        // sub edge ids index into this component's original edge list;
+        // any inconsistency is caught by from_edge_sequence below, which
+        // rejects an order that is not a permutation of all edges.
+        order.extend(sub_order.iter().filter_map(|&e| edges.get(e).copied()));
+    }
+    PebblingScheme::from_edge_sequence(g, &order)
+}
+
+/// The effective cost `π(G)` of the memoized solve.
+// audit:allow(obs-coverage) thin wrapper — solve_with_memo opens the memo.solve span
+pub fn memoized_effective_cost(
+    g: &BipartiteGraph,
+    memo: &Memo,
+    threads: usize,
+) -> Result<usize, PebbleError> {
+    Ok(solve_with_memo(g, memo, threads)?.effective_cost(g))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::portfolio::portfolio_effective_cost;
+    use jp_graph::generators;
+
+    #[test]
+    fn memoized_cost_matches_fresh_cost() {
+        let memo = Memo::new();
+        for g in [
+            generators::spider(5),
+            generators::complete_bipartite(3, 4),
+            generators::random_connected_bipartite(4, 4, 10, 3),
+            generators::matching(3).disjoint_union(&generators::path(4)),
+        ] {
+            let fresh = portfolio_effective_cost(&g, 2).unwrap();
+            assert_eq!(memoized_effective_cost(&g, &memo, 2).unwrap(), fresh, "{g}");
+            // second solve is served from recognizers/cache, same cost
+            assert_eq!(memoized_effective_cost(&g, &memo, 2).unwrap(), fresh, "{g}");
+        }
+    }
+
+    #[test]
+    fn repeated_components_hit_the_cache() {
+        let memo = Memo::new();
+        let block = generators::random_connected_bipartite(4, 4, 9, 7);
+        let mut g = block.clone();
+        for _ in 0..5 {
+            g = g.disjoint_union(&block);
+        }
+        let s = solve_with_memo(&g, &memo, 2).unwrap();
+        s.validate(&g).unwrap();
+        assert_eq!(
+            s.effective_cost(&g),
+            6 * portfolio_effective_cost(&block, 2).unwrap()
+        );
+        let st = memo.stats();
+        // first copy missed (or was recognized); the other five hit
+        assert!(
+            st.hits + st.recognized >= 5,
+            "expected ≥5 cache/recognizer serves, got {st:?}"
+        );
+    }
+}

@@ -1,0 +1,343 @@
+//! Structural recognizers: closed-form optimal schemes for the families
+//! of §2–§3, answered with zero search at any size.
+//!
+//! | family | optimal `π` | source |
+//! |---|---|---|
+//! | `K_{k,l}` | `m` (boustrophedon) | Lemma 3.2 |
+//! | matching | `m` (`π̂ = 2m`) | Lemma 2.4 |
+//! | path / even cycle | `m` (`L(G)` is a path/cycle) | Prop 2.1 |
+//! | spider `G_n` | `2n + ⌈n/2⌉ − 1` | Theorem 3.3 |
+//!
+//! A recognized component never touches the cache or the exponential
+//! ladder — the scheme is written down directly from the family's
+//! structure, exactly as [`crate::families`] does for generated
+//! instances, but here for *arbitrary labelings* arriving from real
+//! join graphs.
+
+use jp_graph::{properties, BipartiteGraph, Side, Vertex};
+
+/// A component answered by a closed form: an optimal edge deletion
+/// order and its effective cost `π`, both exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recognized {
+    /// Which closed form fired (for `--stats` and tests).
+    pub family: &'static str,
+    /// Optimal deletion order, in this graph's edge ids.
+    pub order: Vec<usize>,
+    /// The component's optimal effective cost `π`.
+    pub cost: usize,
+}
+
+/// Tries each closed-form family against a connected component (no
+/// isolated vertices). Returns `None` when no family matches — the
+/// caller falls through to the cache and the solver ladder.
+// audit:allow(obs-coverage) pure structural probe — counters are emitted by the memo store's lookup path
+pub fn recognize_component(g: &BipartiteGraph) -> Option<Recognized> {
+    if g.edge_count() == 0 {
+        return None;
+    }
+    recognize_complete_bipartite(g)
+        .or_else(|| recognize_matching(g))
+        .or_else(|| recognize_path(g))
+        .or_else(|| recognize_cycle(g))
+        .or_else(|| recognize_spider(g))
+}
+
+/// Lemma 3.2: `K_{k,l}` pebbles perfectly by boustrophedon — sweep each
+/// left vertex's edges alternately forward and backward so consecutive
+/// rows meet at a shared right vertex.
+fn recognize_complete_bipartite(g: &BipartiteGraph) -> Option<Recognized> {
+    if !properties::is_complete_bipartite(g) || g.has_isolated_vertices() {
+        return None;
+    }
+    let (k, l) = (g.left_count() as usize, g.right_count() as usize);
+    let m = g.edge_count();
+    // all k·l pairs present and edges are sorted, so edge (a, b) has id
+    // a·l + b; the boustrophedon visits them row by row, snaking.
+    let mut order = Vec::with_capacity(m);
+    for a in 0..k {
+        if a % 2 == 0 {
+            order.extend((0..l).map(|b| a * l + b));
+        } else {
+            order.extend((0..l).rev().map(|b| a * l + b));
+        }
+    }
+    Some(Recognized {
+        family: "complete_bipartite",
+        order,
+        cost: m,
+    })
+}
+
+/// Lemma 2.4: a matching costs `π̂ = 2m` (`π = m`); any order is
+/// optimal. Within a single connected component this is just the
+/// one-edge graph, but the recognizer accepts the general shape so it
+/// also serves whole graphs.
+fn recognize_matching(g: &BipartiteGraph) -> Option<Recognized> {
+    if !properties::is_matching(g) || g.has_isolated_vertices() {
+        return None;
+    }
+    let m = g.edge_count();
+    Some(Recognized {
+        family: "matching",
+        order: (0..m).collect(),
+        cost: m,
+    })
+}
+
+/// The edge ids incident to `v`, in neighbor order.
+fn incident_edges(g: &BipartiteGraph, v: Vertex) -> Vec<usize> {
+    let ids = match v.side {
+        Side::Left => g
+            .left_neighbors(v.index)
+            .iter()
+            .filter_map(|&r| g.edge_index(v.index, r))
+            .collect(),
+        Side::Right => g
+            .right_neighbors(v.index)
+            .iter()
+            .filter_map(|&l| g.edge_index(l, v.index))
+            .collect(),
+    };
+    ids
+}
+
+/// The endpoint of edge `e` that is not `v`.
+fn other_end(g: &BipartiteGraph, e: usize, v: Vertex) -> Option<Vertex> {
+    let (a, b) = g.edge_vertices(e);
+    if a == v {
+        Some(b)
+    } else if b == v {
+        Some(a)
+    } else {
+        None
+    }
+}
+
+/// Walks the unique trail from `start`, consuming every edge exactly
+/// once. `None` if the walk strands before covering the graph (not a
+/// path/cycle after all).
+fn walk_all_edges(g: &BipartiteGraph, start: Vertex) -> Option<Vec<usize>> {
+    let m = g.edge_count();
+    let mut used = vec![false; m];
+    let mut order = Vec::with_capacity(m);
+    let mut at = start;
+    for _ in 0..m {
+        let e = incident_edges(g, at)
+            .into_iter()
+            .find(|&e| used.get(e) == Some(&false))?;
+        if let Some(slot) = used.get_mut(e) {
+            *slot = true;
+        }
+        order.push(e);
+        at = other_end(g, e, at)?;
+    }
+    Some(order)
+}
+
+/// Proposition 2.1 regime: `L(path)` is a path, so walking end to end
+/// pebbles with zero jumps — `π = m`.
+fn recognize_path(g: &BipartiteGraph) -> Option<Recognized> {
+    let (lo, hi) = properties::degree_range(g)?;
+    if lo != 1 || hi > 2 {
+        return None;
+    }
+    let m = g.edge_count();
+    if m + 1 != g.vertex_count() as usize {
+        return None; // a tree exactly when m = n − 1; with Δ ≤ 2, a path
+    }
+    let start = g.vertices().find(|&v| g.degree(v) == 1)?;
+    let order = walk_all_edges(g, start)?;
+    Some(Recognized {
+        family: "path",
+        order,
+        cost: m,
+    })
+}
+
+/// `L(even cycle)` is a cycle: any break point gives a jump-free
+/// Hamiltonian path, so `π = m`.
+fn recognize_cycle(g: &BipartiteGraph) -> Option<Recognized> {
+    let (lo, hi) = properties::degree_range(g)?;
+    if lo != 2 || hi != 2 {
+        return None;
+    }
+    let m = g.edge_count();
+    if m != g.vertex_count() as usize {
+        return None; // β₁ = 1 with all degrees 2 ⇔ one cycle
+    }
+    let start = g.vertices().next()?;
+    let order = walk_all_edges(g, start)?;
+    Some(Recognized {
+        family: "even_cycle",
+        order,
+        cost: m,
+    })
+}
+
+/// Theorem 3.3: the spider `G_n` — a centre joined to `n` middle
+/// vertices, each carrying one pendant foot. Legs are paired so each
+/// jump-free run covers two legs; `π = 2n + ⌈n/2⌉ − 1` (`n ≥ 3`).
+fn recognize_spider(g: &BipartiteGraph) -> Option<Recognized> {
+    let n_vertices = g.vertex_count() as usize;
+    let m = g.edge_count();
+    if n_vertices < 7 || !m.is_multiple_of(2) || n_vertices != m + 1 {
+        return None;
+    }
+    let n = m / 2; // candidate leg count; needs ≥ 3 (below, paths match first)
+    if n < 3 {
+        return None;
+    }
+    let center = g.vertices().find(|&v| g.degree(v) == n)?;
+    // legs in centre-neighbor order: spoke (centre—middle), then foot
+    // (middle—foot); every middle must have degree 2 and its far
+    // endpoint degree 1.
+    let mut spokes = Vec::with_capacity(n);
+    let mut feet = Vec::with_capacity(n);
+    for spoke in incident_edges(g, center) {
+        let middle = other_end(g, spoke, center)?;
+        if g.degree(middle) != 2 {
+            return None;
+        }
+        let foot_edge = incident_edges(g, middle)
+            .into_iter()
+            .find(|&e| e != spoke)?;
+        let foot = other_end(g, foot_edge, middle)?;
+        if g.degree(foot) != 1 {
+            return None;
+        }
+        spokes.push(spoke);
+        feet.push(foot_edge);
+    }
+    if spokes.len() != n {
+        return None;
+    }
+    // Pair consecutive legs exactly as families::spider_optimal_scheme:
+    // (foot_i, spoke_i, spoke_{i+1}, foot_{i+1}), leftover leg last.
+    let mut order = Vec::with_capacity(m);
+    let mut i = 0;
+    while i < n {
+        let (Some(&si), Some(&fi)) = (spokes.get(i), feet.get(i)) else {
+            return None;
+        };
+        if i + 1 < n {
+            let (Some(&sj), Some(&fj)) = (spokes.get(i + 1), feet.get(i + 1)) else {
+                return None;
+            };
+            order.extend([fi, si, sj, fj]);
+            i += 2;
+        } else {
+            order.extend([si, fi]);
+            i += 1;
+        }
+    }
+    let cost = crate::families::spider_optimal_cost(n as u64) as usize;
+    Some(Recognized {
+        family: "spider",
+        order,
+        cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact;
+    use crate::scheme::PebblingScheme;
+    use jp_graph::generators;
+
+    /// The recognizer's order must build a valid scheme whose effective
+    /// cost equals both the claimed cost and the exact optimum.
+    fn check(g: &BipartiteGraph, family: &str) {
+        let r = recognize_component(g).unwrap_or_else(|| panic!("{g} not recognized"));
+        assert_eq!(r.family, family, "{g}");
+        let s = PebblingScheme::from_edge_sequence(g, &r.order).unwrap();
+        s.validate(g).unwrap();
+        assert_eq!(s.effective_cost(g), r.cost, "{g} claimed cost");
+        if g.edge_count() <= exact::MAX_EXACT_EDGES {
+            assert_eq!(
+                r.cost,
+                exact::optimal_effective_cost(g).unwrap(),
+                "{g} optimality"
+            );
+        }
+    }
+
+    #[test]
+    fn complete_bipartite_any_shape() {
+        for (k, l) in [(1, 1), (1, 6), (2, 3), (3, 3), (4, 4), (5, 5), (7, 9)] {
+            check(&generators::complete_bipartite(k, l), "complete_bipartite");
+        }
+    }
+
+    #[test]
+    fn paths_cycles_matchings() {
+        // the 1- and 2-edge paths are K_{1,1} and K_{2,1}, so the
+        // complete-bipartite recognizer claims them first (same cost m)
+        for m in [1u32, 2, 5, 12, 41] {
+            let family = if m <= 2 { "complete_bipartite" } else { "path" };
+            check(&generators::path(m), family);
+        }
+        // C_4 = K_{2,2}: again claimed by the complete-bipartite form
+        for k in [2u32, 3, 7, 30] {
+            let family = if k == 2 {
+                "complete_bipartite"
+            } else {
+                "even_cycle"
+            };
+            check(&generators::cycle(k), family);
+        }
+        check(&generators::matching(4), "matching");
+    }
+
+    #[test]
+    fn spiders_beyond_the_exact_wall() {
+        for n in [3u32, 4, 5, 12, 50] {
+            let g = generators::spider(n);
+            let r = recognize_component(&g).unwrap();
+            assert_eq!(r.family, "spider", "G_{n}");
+            let s = PebblingScheme::from_edge_sequence(&g, &r.order).unwrap();
+            s.validate(&g).unwrap();
+            assert_eq!(
+                s.effective_cost(&g) as u64,
+                crate::families::spider_optimal_cost(n as u64),
+                "G_{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn recognizers_survive_relabeling() {
+        // shuffle vertex names; the closed forms must still fire
+        let g = generators::spider(6);
+        let lperm: Vec<u32> = (0..g.left_count())
+            .map(|i| (i + 3) % g.left_count())
+            .collect();
+        let rperm: Vec<u32> = (0..g.right_count()).rev().collect();
+        let edges = g
+            .edges()
+            .iter()
+            .map(|&(l, r)| (lperm[l as usize], rperm[r as usize]))
+            .collect();
+        let shuffled = BipartiteGraph::new(g.left_count(), g.right_count(), edges);
+        check(&shuffled, "spider");
+    }
+
+    #[test]
+    fn near_misses_are_rejected() {
+        // crown: dense but not complete bipartite, degree-regular but
+        // not a cycle (β₁ > 1)
+        assert!(recognize_component(&generators::crown(4)).is_none());
+        // caterpillar: tree with Δ = 3 but not a spider
+        assert!(recognize_component(&generators::caterpillar(5)).is_none());
+        // random connected graph
+        let g = generators::random_connected_bipartite(4, 4, 10, 2);
+        if let Some(r) = recognize_component(&g) {
+            // if it happens to be a family, the scheme must still check out
+            let s = PebblingScheme::from_edge_sequence(&g, &r.order).unwrap();
+            assert_eq!(s.effective_cost(&g), r.cost);
+        }
+        // empty graph
+        assert!(recognize_component(&BipartiteGraph::new(2, 2, Vec::new())).is_none());
+    }
+}

@@ -41,29 +41,62 @@ pub struct PageLayout {
     pub right_pages: u32,
 }
 
+/// Checked page count for `n` tuples at `cap` per page. Page ids are
+/// `u32`; a relation needing more pages than that must fail loudly
+/// ([`PebbleError::TooManyPages`]) instead of silently wrapping — the
+/// same discipline `jp_relalg::parallel` applies to tuple ids. Checked
+/// *before* any per-tuple allocation, so an absurd `n` errors
+/// immediately rather than attempting the allocation first.
+fn page_count(n: usize, cap: usize) -> Result<u32, PebbleError> {
+    let pages = n.div_ceil(cap).max(1);
+    u32::try_from(pages).map_err(|_| PebbleError::TooManyPages { pages })
+}
+
 impl PageLayout {
     /// Sequential layout: tuples in storage order, `cap` per page — the
     /// value-clustered layout when the relation is sorted on the join
     /// key (or tiled by spatial locality).
-    pub fn sequential(n_left: usize, n_right: usize, cap: usize) -> Self {
+    ///
+    /// # Errors
+    /// [`PebbleError::TooManyPages`] when either side needs more than
+    /// `u32::MAX` pages.
+    ///
+    /// # Panics
+    /// Panics when `cap == 0`.
+    pub fn sequential(n_left: usize, n_right: usize, cap: usize) -> Result<Self, PebbleError> {
         assert!(cap > 0, "page capacity must be positive");
+        let left_pages = page_count(n_left, cap)?;
+        let right_pages = page_count(n_right, cap)?;
+        // i / cap < left_pages <= u32::MAX, so the per-tuple ids fit.
         let left_page: Vec<u32> = (0..n_left).map(|i| (i / cap) as u32).collect();
         let right_page: Vec<u32> = (0..n_right).map(|i| (i / cap) as u32).collect();
-        PageLayout {
-            left_pages: n_left.div_ceil(cap).max(1) as u32,
-            right_pages: n_right.div_ceil(cap).max(1) as u32,
+        Ok(PageLayout {
+            left_pages,
+            right_pages,
             left_page,
             right_page,
-        }
+        })
     }
 
     /// Scattered layout: tuple `i` goes to page `hash(i) mod pages`,
     /// pages as in [`PageLayout::sequential`] — the unclustered heap-file
     /// regime.
-    pub fn scattered(n_left: usize, n_right: usize, cap: usize, seed: u64) -> Self {
+    ///
+    /// # Errors
+    /// [`PebbleError::TooManyPages`] when either side needs more than
+    /// `u32::MAX` pages.
+    ///
+    /// # Panics
+    /// Panics when `cap == 0`.
+    pub fn scattered(
+        n_left: usize,
+        n_right: usize,
+        cap: usize,
+        seed: u64,
+    ) -> Result<Self, PebbleError> {
         assert!(cap > 0, "page capacity must be positive");
-        let lp = n_left.div_ceil(cap).max(1) as u32;
-        let rp = n_right.div_ceil(cap).max(1) as u32;
+        let lp = page_count(n_left, cap)?;
+        let rp = page_count(n_right, cap)?;
         let h = |i: usize, salt: u64| -> u32 {
             let x = (i as u64 ^ salt)
                 .wrapping_mul(0x9e3779b97f4a7c15)
@@ -77,6 +110,7 @@ impl PageLayout {
         lorder.sort_by_key(|&i| h(i, seed));
         let mut left_page = vec![0u32; n_left];
         for (rank, &i) in lorder.iter().enumerate() {
+            // rank / cap < lp <= u32::MAX (checked above), so this fits
             left_page[i] = (rank / cap) as u32;
         }
         let mut rorder: Vec<usize> = (0..n_right).collect();
@@ -85,12 +119,12 @@ impl PageLayout {
         for (rank, &i) in rorder.iter().enumerate() {
             right_page[i] = (rank / cap) as u32;
         }
-        PageLayout {
+        Ok(PageLayout {
             left_page,
             right_page,
             left_pages: lp,
             right_pages: rp,
-        }
+        })
     }
 
     /// The page graph: the quotient of the join graph under this layout.
@@ -185,7 +219,7 @@ mod tests {
 
     #[test]
     fn sequential_layout_shape() {
-        let l = PageLayout::sequential(10, 7, 4);
+        let l = PageLayout::sequential(10, 7, 4).unwrap();
         assert_eq!(l.left_pages, 3);
         assert_eq!(l.right_pages, 2);
         assert_eq!(l.left_page[9], 2);
@@ -193,10 +227,28 @@ mod tests {
     }
 
     #[test]
+    fn page_count_overflow_is_a_typed_error() {
+        // ~2^63 pages cannot be addressed by u32 page ids; the checked
+        // count fails before any per-tuple vector is allocated (this
+        // test would OOM otherwise)
+        let err = PageLayout::sequential(usize::MAX, 4, 2).unwrap_err();
+        assert!(matches!(err, PebbleError::TooManyPages { .. }));
+        let err = PageLayout::scattered(4, usize::MAX, 2, 1).unwrap_err();
+        assert!(matches!(err, PebbleError::TooManyPages { .. }));
+        // the error carries the page count it refused to truncate
+        match PageLayout::sequential(1 << 40, 0, 2).unwrap_err() {
+            PebbleError::TooManyPages { pages } => {
+                assert_eq!(pages, 1 << 39);
+            }
+            other => panic!("expected TooManyPages, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn scattered_layout_respects_capacity() {
         let g = generators::complete_bipartite(9, 9);
         for seed in 0..5 {
-            let l = PageLayout::scattered(9, 9, 4, seed);
+            let l = PageLayout::scattered(9, 9, 4, seed).unwrap();
             l.validate(&g, 4).unwrap();
         }
     }
@@ -206,7 +258,7 @@ mod tests {
         // matching of 4 edges, 2 tuples per page, aligned: page graph is
         // a matching of 2 edges
         let g = generators::matching(4);
-        let l = PageLayout::sequential(4, 4, 2);
+        let l = PageLayout::sequential(4, 4, 2).unwrap();
         let pg = l.page_graph(&g);
         assert_eq!(pg.edge_count(), 2);
         assert!(properties::is_matching(&pg));
@@ -221,7 +273,8 @@ mod tests {
         // weaker, always-true property: scheduling cost within the Lemma
         // 2.1 window and far below the scattered layout's (see below).
         let g = sorted_equijoin(64, 8, 11);
-        let layout = PageLayout::sequential(g.left_count() as usize, g.right_count() as usize, 8);
+        let layout =
+            PageLayout::sequential(g.left_count() as usize, g.right_count() as usize, 8).unwrap();
         let (pg, scheme) = schedule_page_fetches(&g, &layout).unwrap();
         scheme.validate(&pg).unwrap();
         assert!(page_fetches(&scheme) > pg.edge_count());
@@ -233,8 +286,8 @@ mod tests {
         let g = sorted_equijoin(64, 8, 12);
         let nl = g.left_count() as usize;
         let nr = g.right_count() as usize;
-        let seq = PageLayout::sequential(nl, nr, 8).page_graph(&g);
-        let scat = PageLayout::scattered(nl, nr, 8, 3).page_graph(&g);
+        let seq = PageLayout::sequential(nl, nr, 8).unwrap().page_graph(&g);
+        let scat = PageLayout::scattered(nl, nr, 8, 3).unwrap().page_graph(&g);
         assert!(
             scat.edge_count() > seq.edge_count(),
             "scatter {} should exceed clustered {}",
@@ -246,7 +299,8 @@ mod tests {
     #[test]
     fn page_schedule_cost_tracks_optimum_on_small_page_graphs() {
         let g = sorted_equijoin(36, 6, 13);
-        let layout = PageLayout::sequential(g.left_count() as usize, g.right_count() as usize, 9);
+        let layout =
+            PageLayout::sequential(g.left_count() as usize, g.right_count() as usize, 9).unwrap();
         let (pg, scheme) = schedule_page_fetches(&g, &layout).unwrap();
         if pg.edge_count() <= exact::MAX_EXACT_EDGES {
             let opt = exact::optimal_total_cost(&pg).unwrap();
@@ -261,7 +315,7 @@ mod tests {
     #[test]
     fn single_page_relations_need_two_fetches() {
         let g = generators::complete_bipartite(3, 3);
-        let layout = PageLayout::sequential(3, 3, 10);
+        let layout = PageLayout::sequential(3, 3, 10).unwrap();
         let (pg, scheme) = schedule_page_fetches(&g, &layout).unwrap();
         assert_eq!(pg.edge_count(), 1);
         assert_eq!(page_fetches(&scheme), 2);

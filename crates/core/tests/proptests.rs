@@ -220,7 +220,7 @@ proptest! {
             g.left_count() as usize,
             g.right_count() as usize,
             cap,
-        );
+        ).unwrap();
         let (pg, scheme) = schedule_page_fetches(&g, &layout).unwrap();
         prop_assert!(scheme.validate(&pg).is_ok());
         let mpg = pg.edge_count();
@@ -293,8 +293,8 @@ proptest! {
         let nl = g.left_count() as usize;
         let nr = g.right_count() as usize;
         for layout in [
-            PageLayout::sequential(nl, nr, cap),
-            PageLayout::scattered(nl, nr, cap, seed),
+            PageLayout::sequential(nl, nr, cap).unwrap(),
+            PageLayout::scattered(nl, nr, cap, seed).unwrap(),
         ] {
             prop_assert!(layout.validate(&g, cap).is_ok());
             let pg = layout.page_graph(&g);

@@ -29,13 +29,15 @@ pub fn bipartite_to_dot(g: &BipartiteGraph, name: &str) -> String {
     s
 }
 
-/// Renders a general graph in DOT with optional vertex labels.
+/// Renders a general graph in DOT with optional vertex labels. Vertices
+/// beyond the end of a too-short `labels` slice fall back to the
+/// unlabeled `v{v}` form instead of panicking.
 pub fn graph_to_dot(g: &Graph, name: &str, labels: Option<&[String]>) -> String {
     let mut s = String::new();
     writeln!(s, "graph \"{name}\" {{").unwrap();
     for v in 0..g.vertex_count() {
-        match labels {
-            Some(ls) => writeln!(s, "  v{v} [label=\"{}\"];", ls[v as usize]).unwrap(),
+        match labels.and_then(|ls| ls.get(v as usize)) {
+            Some(label) => writeln!(s, "  v{v} [label=\"{label}\"];").unwrap(),
             None => writeln!(s, "  v{v};").unwrap(),
         }
     }
@@ -72,5 +74,18 @@ mod tests {
         assert!(dot.contains("v0 -- v1;"));
         let plain = graph_to_dot(&g, "t", None);
         assert!(!plain.contains("label"));
+    }
+
+    #[test]
+    fn graph_dot_short_label_slice_does_not_panic() {
+        // regression: labels shorter than the vertex count used to index
+        // out of bounds; now the tail falls back to the unlabeled form
+        let g = Graph::new(3, vec![(0, 1), (1, 2)]);
+        let dot = graph_to_dot(&g, "t", Some(&["only".into()]));
+        assert!(dot.contains("v0 [label=\"only\"];"));
+        assert!(dot.contains("v1;"));
+        assert!(dot.contains("v2;"));
+        let empty = graph_to_dot(&g, "t", Some(&[]));
+        assert!(!empty.contains("label"));
     }
 }

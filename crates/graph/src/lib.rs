@@ -22,6 +22,7 @@
 //! * [`dot`] — DOT export used to regenerate the paper's figures.
 
 pub mod bipartite;
+pub mod canon;
 pub mod components;
 pub mod dot;
 pub mod generators;

@@ -62,7 +62,8 @@ fn main() {
     let wg = join_predicates::relalg::spatial_graph(&wr, &ws);
     for cap in [1usize, 2, 4] {
         let layout =
-            PageLayout::sequential(wg.left_count() as usize, wg.right_count() as usize, cap);
+            PageLayout::sequential(wg.left_count() as usize, wg.right_count() as usize, cap)
+                .unwrap();
         let (pg, schedule) = schedule_page_fetches(&wg, &layout).unwrap();
         println!(
             "  {cap} tuple(s)/page: page graph has {} edges, schedule costs {} fetches \

@@ -69,7 +69,8 @@ fn page_scheduling_pipeline_across_granularities() {
     let g = generators::spider(24);
     let mut prev_edges = usize::MAX;
     for cap in [1usize, 2, 4, 8] {
-        let layout = PageLayout::sequential(g.left_count() as usize, g.right_count() as usize, cap);
+        let layout =
+            PageLayout::sequential(g.left_count() as usize, g.right_count() as usize, cap).unwrap();
         let (pg, scheme) = schedule_page_fetches(&g, &layout).unwrap();
         scheme.validate(&pg).unwrap();
         assert!(
