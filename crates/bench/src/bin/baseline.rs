@@ -18,13 +18,21 @@
 //! core.
 //!
 //! ```text
-//! cargo run -p jp-bench --bin baseline --release [-- out.json]
+//! cargo run -p jp-bench --bin baseline --release -- \
+//!     [out.json] [--families spider_10,repeated_blocks_x20] [--trace-dir DIR]
 //! ```
+//!
+//! With `--trace-dir` each case additionally streams its full event
+//! trace to `DIR/{family}_{solver}_t{threads}.jsonl` — the files
+//! `jp trace summary|flame|check` consume. `--families` restricts the
+//! run to a comma-separated subset (unknown names are a hard error so a
+//! CI typo cannot silently gate nothing).
 
-use jp_bench::capture;
+use jp_bench::{capture, capture_traced};
 use jp_graph::{generators, line_graph, BipartiteGraph};
 use jp_obs::StatsSnapshot;
 use serde::Serialize;
+use std::path::PathBuf;
 
 /// A named solver entry point producing a scheme (or `None` when the
 /// solver does not apply to the graph).
@@ -74,10 +82,73 @@ fn families() -> Vec<(String, BipartiteGraph)> {
     ]
 }
 
+/// Parsed command line: output path plus the optional family filter and
+/// trace directory.
+struct Options {
+    out_path: String,
+    families: Option<Vec<String>>,
+    trace_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Options {
+    let mut out_path = None;
+    let mut families = None;
+    let mut trace_dir = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--families" => {
+                let Some(v) = args.next() else {
+                    eprintln!("--families needs a comma-separated list");
+                    std::process::exit(2);
+                };
+                families = Some(
+                    v.split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect::<Vec<String>>(),
+                );
+            }
+            "--trace-dir" => {
+                let Some(v) = args.next() else {
+                    eprintln!("--trace-dir needs a directory");
+                    std::process::exit(2);
+                };
+                trace_dir = Some(PathBuf::from(v));
+            }
+            other if !other.starts_with("--") && out_path.is_none() => {
+                out_path = Some(other.to_string());
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    Options {
+        out_path: out_path.unwrap_or_else(|| "BENCH_pebbling.json".to_string()),
+        families,
+        trace_dir,
+    }
+}
+
+/// Captures `f`, writing its event trace to
+/// `<trace_dir>/<stem>.jsonl` when a trace directory was requested.
+fn measure<T>(
+    trace_dir: Option<&std::path::Path>,
+    stem: &str,
+    f: impl FnOnce() -> T,
+) -> (T, u64, StatsSnapshot) {
+    match trace_dir {
+        Some(dir) => {
+            capture_traced(&dir.join(format!("{stem}.jsonl")), f).expect("trace file written")
+        }
+        None => capture(f),
+    }
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_pebbling.json".to_string());
+    let opts = parse_args();
     const BB_BUDGET: u64 = 50_000_000;
     let solvers: Vec<Solver> = vec![
         ("dfs_partition", |g| {
@@ -159,25 +230,54 @@ fn main() {
         }),
     ];
 
-    let mut cases = Vec::new();
-    for (solver, run) in &memo_solvers {
-        for threads in THREAD_AXIS {
-            let (scheme, wall_micros, stats) = capture(|| run(&repeated, threads));
-            let Some(scheme) = scheme else { continue };
-            cases.push(Case {
-                family: "repeated_blocks_x20".into(),
-                solver: solver.to_string(),
-                threads,
-                edges: repeated.edge_count() as u64,
-                effective_cost: scheme.effective_cost(&repeated) as u64,
-                wall_micros,
-                stats,
-            });
+    // Validate the family filter against everything this binary can
+    // run, so a CI typo cannot silently gate nothing.
+    let all_families = families();
+    if let Some(filter) = &opts.families {
+        let known: Vec<&str> = std::iter::once("repeated_blocks_x20")
+            .chain(all_families.iter().map(|(name, _)| name.as_str()))
+            .collect();
+        for f in filter {
+            if !known.contains(&f.as_str()) {
+                eprintln!("unknown family {f}; known: {}", known.join(", "));
+                std::process::exit(2);
+            }
         }
     }
-    for (family, g) in families() {
+    let want = |name: &str| {
+        opts.families
+            .as_ref()
+            .is_none_or(|f| f.iter().any(|x| x == name))
+    };
+    let trace_dir = opts.trace_dir.as_deref();
+
+    let mut cases = Vec::new();
+    if want("repeated_blocks_x20") {
+        for (solver, run) in &memo_solvers {
+            for threads in THREAD_AXIS {
+                let stem = format!("repeated_blocks_x20_{solver}_t{threads}");
+                let (scheme, wall_micros, stats) =
+                    measure(trace_dir, &stem, || run(&repeated, threads));
+                let Some(scheme) = scheme else { continue };
+                cases.push(Case {
+                    family: "repeated_blocks_x20".into(),
+                    solver: solver.to_string(),
+                    threads,
+                    edges: repeated.edge_count() as u64,
+                    effective_cost: scheme.effective_cost(&repeated) as u64,
+                    wall_micros,
+                    stats,
+                });
+            }
+        }
+    }
+    for (family, g) in all_families {
+        if !want(&family) {
+            continue;
+        }
         for (solver, run) in &solvers {
-            let (scheme, wall_micros, stats) = capture(|| run(&g));
+            let stem = format!("{family}_{solver}_t1");
+            let (scheme, wall_micros, stats) = measure(trace_dir, &stem, || run(&g));
             let Some(scheme) = scheme else { continue };
             cases.push(Case {
                 family: family.clone(),
@@ -191,7 +291,8 @@ fn main() {
         }
         for (solver, run) in &par_solvers {
             for threads in THREAD_AXIS {
-                let (scheme, wall_micros, stats) = capture(|| run(&g, threads));
+                let stem = format!("{family}_{solver}_t{threads}");
+                let (scheme, wall_micros, stats) = measure(trace_dir, &stem, || run(&g, threads));
                 let Some(scheme) = scheme else { continue };
                 cases.push(Case {
                     family: family.clone(),
@@ -206,6 +307,6 @@ fn main() {
         }
     }
     let json = serde_json::to_string_pretty(&cases).expect("baseline serializes");
-    std::fs::write(&out_path, json + "\n").expect("baseline written");
-    eprintln!("{} cases written to {out_path}", cases.len());
+    std::fs::write(&opts.out_path, json + "\n").expect("baseline written");
+    eprintln!("{} cases written to {}", cases.len(), opts.out_path);
 }

@@ -14,4 +14,4 @@ pub mod metrics;
 pub mod table;
 
 pub use experiments::{all_experiments, Experiment};
-pub use metrics::{capture, write_metrics, RunMetrics};
+pub use metrics::{capture, capture_traced, write_metrics, RunMetrics};

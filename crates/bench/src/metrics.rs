@@ -5,7 +5,7 @@
 //! snapshot with identity and wall time for JSON export — the machine
 //! companion to the human-readable markdown reports.
 
-use jp_obs::{ScopedSink, StatsSink, StatsSnapshot};
+use jp_obs::{FanoutSink, JsonlSink, ScopedSink, Sink, StatsSink, StatsSnapshot};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -42,6 +42,29 @@ pub fn capture<T>(f: impl FnOnce() -> T) -> (T, u64, StatsSnapshot) {
     };
     let wall_micros = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
     (out, wall_micros, sink.snapshot())
+}
+
+/// Like [`capture`], but additionally streams every event of the run to
+/// `trace_path` as JSON Lines (the format `jp trace …` consumes), so a
+/// benchmark case leaves both an aggregate snapshot *and* a replayable
+/// trace with span trees and worker timelines.
+pub fn capture_traced<T>(
+    trace_path: &Path,
+    f: impl FnOnce() -> T,
+) -> std::io::Result<(T, u64, StatsSnapshot)> {
+    if let Some(dir) = trace_path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let stats = Arc::new(StatsSink::new());
+    let jsonl = Arc::new(JsonlSink::to_file(trace_path)?);
+    let sinks: Vec<Arc<dyn Sink>> = vec![stats.clone(), jsonl];
+    let t0 = Instant::now();
+    let out = {
+        let _guard = ScopedSink::install(Arc::new(FanoutSink::new(sinks)));
+        f()
+    };
+    let wall_micros = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    Ok((out, wall_micros, stats.snapshot()))
 }
 
 /// Writes `metrics` as pretty JSON to `<dir>/<id>.json`, creating `dir`
@@ -108,6 +131,58 @@ mod tests {
         assert_eq!(stats.span_counts["portfolio.race"], 1);
         assert_eq!(stats.counters["portfolio.workers"], 4);
         assert_eq!(stats.counters["par.workers"], 4);
+    }
+
+    #[test]
+    fn capture_traced_streams_events_alongside_the_snapshot() {
+        let dir = std::env::temp_dir().join(format!("jp-capture-traced-{}", std::process::id()));
+        let trace = dir.join("nested").join("run.jsonl");
+        let g = jp_graph::generators::spider(5);
+        let (cost, _wall, stats) = capture_traced(&trace, || {
+            jp_pebble::exact::optimal_effective_cost(&g).unwrap()
+        })
+        .unwrap();
+        assert_eq!(cost, 12);
+        assert_eq!(stats.counters["exact.edges"], 10);
+        // the trace carries the same run, line by line, as parseable events
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let events: Vec<jp_obs::Event> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert!(!events.is_empty());
+        assert!(events
+            .iter()
+            .any(|e| e.component == "exact" && e.name == "solve"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_json_is_deterministic_and_key_sorted() {
+        // counters inserted in reverse order still serialize sorted, and
+        // two serializations of the same snapshot are byte-identical
+        let ((), _, stats) = capture(|| {
+            jp_obs::counter("zeta", "last", 1);
+            jp_obs::counter("alpha", "first", 2);
+            jp_obs::counter("mid", "between", 3);
+        });
+        let m = RunMetrics {
+            id: "det".into(),
+            title: "determinism".into(),
+            pass: true,
+            wall_micros: 0,
+            stats,
+        };
+        let a = serde_json::to_string_pretty(&m).unwrap();
+        let b = serde_json::to_string_pretty(&m).unwrap();
+        assert_eq!(a, b);
+        let alpha = a.find("alpha.first").unwrap();
+        let mid = a.find("mid.between").unwrap();
+        let zeta = a.find("zeta.last").unwrap();
+        assert!(alpha < mid && mid < zeta, "counter keys must be sorted");
+        // and parsing + re-serializing reproduces the same bytes
+        let back: RunMetrics = serde_json::from_str(&a).unwrap();
+        assert_eq!(serde_json::to_string_pretty(&back).unwrap(), a);
     }
 
     #[test]

@@ -519,3 +519,112 @@ pub fn join(args: &[String], out: Out) -> Result<(), CliError> {
     }
     Ok(())
 }
+
+/// `jp trace <summary|flame|diff|check> …` — the jp-lens analysis
+/// toolbox over recorded `--trace` files.
+pub fn trace(args: &[String], out: Out) -> Result<(), CliError> {
+    let Some((sub, rest)) = args.split_first() else {
+        return Err(CliError::Usage(
+            "trace needs a subcommand: summary | flame | diff | check".into(),
+        ));
+    };
+    match sub.as_str() {
+        "summary" => trace_summary(rest, out),
+        "flame" => trace_flame(rest, out),
+        "diff" => trace_diff(rest, out),
+        "check" => trace_check(rest, out),
+        other => Err(CliError::Usage(format!(
+            "unknown trace subcommand `{other}` (summary | flame | diff | check)"
+        ))),
+    }
+}
+
+/// Reads a trace, surfaces skip warnings, and analyzes what parsed.
+fn load_analysis(path: &str, out: Out) -> Result<jp_trace::Analysis, CliError> {
+    let (events, report) =
+        jp_trace::read_trace(path).map_err(|e| rt(format!("reading {path}: {e}")))?;
+    let warnings = report.render();
+    if !warnings.is_empty() {
+        write!(out, "{warnings}").map_err(CliError::io)?;
+    }
+    Ok(jp_trace::Analysis::from_events(&events))
+}
+
+/// `jp trace summary FILE`
+fn trace_summary(args: &[String], out: Out) -> Result<(), CliError> {
+    let a = ParsedArgs::parse(args)?;
+    let path = a.pos(0, "trace file")?;
+    let analysis = load_analysis(path, out)?;
+    write!(out, "{}", analysis.render()).map_err(CliError::io)
+}
+
+/// `jp trace flame FILE [--out FILE]`
+fn trace_flame(args: &[String], out: Out) -> Result<(), CliError> {
+    let a = ParsedArgs::parse(args)?;
+    let path = a.pos(0, "trace file")?;
+    let analysis = load_analysis(path, out)?;
+    let folded = jp_trace::flame::render(&analysis);
+    match a.opt("out") {
+        Some(dest) => {
+            std::fs::write(dest, &folded).map_err(|e| rt(format!("writing {dest}: {e}")))?;
+            writeln!(
+                out,
+                "{} stack(s) written to {dest} (inferno/flamegraph.pl folded format)",
+                folded.lines().count()
+            )
+            .map_err(CliError::io)
+        }
+        None => write!(out, "{folded}").map_err(CliError::io),
+    }
+}
+
+/// `jp trace diff A B`
+fn trace_diff(args: &[String], out: Out) -> Result<(), CliError> {
+    let a = ParsedArgs::parse(args)?;
+    let path_a = a.pos(0, "first trace file")?;
+    let path_b = a.pos(1, "second trace file")?;
+    let run_a = load_analysis(path_a, out)?;
+    let run_b = load_analysis(path_b, out)?;
+    let report = jp_trace::diff::diff_analyses(&run_a, &run_b, &jp_trace::Tolerances::default());
+    write!(out, "{}", report.render()).map_err(CliError::io)
+}
+
+/// `jp trace check FILE --baseline BENCH.json --family F --solver S
+/// [--threads N]` — exits non-zero on any hard finding.
+fn trace_check(args: &[String], out: Out) -> Result<(), CliError> {
+    let a = ParsedArgs::parse(args)?;
+    let path = a.pos(0, "trace file")?;
+    let Some(baseline_path) = a.opt("baseline") else {
+        return Err(CliError::Usage("trace check needs --baseline FILE".into()));
+    };
+    let Some(family) = a.opt("family") else {
+        return Err(CliError::Usage("trace check needs --family NAME".into()));
+    };
+    let Some(solver) = a.opt("solver") else {
+        return Err(CliError::Usage("trace check needs --solver NAME".into()));
+    };
+    let threads: u64 = a.opt_parse("threads", 1)?;
+    let baseline_text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| rt(format!("reading {baseline_path}: {e}")))?;
+    let cases = jp_trace::diff::load_baseline(&baseline_text).map_err(rt)?;
+    let Some(case) = jp_trace::diff::find_case(&cases, family, solver, threads) else {
+        return Err(rt(format!(
+            "no baseline case ({family}, {solver}, threads={threads}) among {} cases in {baseline_path}",
+            cases.len()
+        )));
+    };
+    let analysis = load_analysis(path, out)?;
+    let report = jp_trace::diff::check_against(case, &analysis, &jp_trace::Tolerances::default());
+    writeln!(
+        out,
+        "checking {path} against ({family}, {solver}, threads={threads})"
+    )
+    .map_err(CliError::io)?;
+    write!(out, "{}", report.render()).map_err(CliError::io)?;
+    if report.has_hard() {
+        return Err(rt(format!(
+            "trace check failed: hard regression against {baseline_path}"
+        )));
+    }
+    Ok(())
+}

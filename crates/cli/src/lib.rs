@@ -24,13 +24,18 @@ USAGE:
   jp replay <scheme.json> <graph.json>          validate a stored scheme
   jp fragment <graph.json> [--p P] [--q Q]      §5 fragment-mapping plan
   jp buffers <graph.json> [--b B]               B-buffer fetch schedule
+  jp trace summary <trace.jsonl>                aggregate a recorded trace
+  jp trace flame <trace.jsonl> [--out F]        folded stacks for flamegraphs
+  jp trace diff <a.jsonl> <b.jsonl>             compare two recorded runs
+  jp trace check <trace.jsonl> --baseline BENCH.json
+           --family F --solver S [--threads N]  gate against a baseline
   jp help                                       this text
 
 GLOBAL OPTIONS (any command):
   --trace FILE   append instrumentation events (counters, span timings)
                  as JSON Lines to FILE
-  --stats        print an aggregated counter/span summary after the
-                 command finishes
+  --stats        print an aggregated counter/span summary (with exact
+                 p50/p95/max span percentiles) after the command finishes
 
 FAMILIES (jp generate):
   complete-bipartite K L      equijoin component K_{K,L} (Lemma 3.2)
@@ -154,6 +159,7 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         "replay" => commands::replay(rest, out),
         "fragment" => commands::fragment(rest, out),
         "buffers" => commands::buffers(rest, out),
+        "trace" => commands::trace(rest, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}").map_err(CliError::io)?;
             Ok(())
@@ -368,21 +374,33 @@ mod tests {
         assert!(out.contains("exact"));
         assert!(out.contains("== observability summary =="), "{out}");
 
-        // Every line must round-trip as an Event; each solver must have
-        // produced at least one span and three counters.
+        // the --stats summary now carries exact span percentiles
+        assert!(out.contains("p50"), "{out}");
+        assert!(out.contains("p95"), "{out}");
+
+        // Every line must round-trip as an Event; seqs are distinct (a
+        // span reserves its seq when it opens, so emission order is not
+        // seq order) and every parent link resolves to an earlier span.
         let text = std::fs::read_to_string(&t).unwrap();
         let mut spans = std::collections::HashMap::<String, usize>::new();
         let mut counters = std::collections::HashMap::<String, usize>::new();
-        let mut last_seq = None;
+        let mut seqs = std::collections::HashSet::new();
         for line in text.lines() {
             let ev: jp_obs::Event = serde_json::from_str(line).unwrap();
-            assert!(Some(ev.seq) > last_seq, "seq must be strictly increasing");
-            last_seq = Some(ev.seq);
+            assert!(seqs.insert(ev.seq), "seq {} repeated", ev.seq);
+            if let Some(p) = ev.parent {
+                assert!(p < ev.seq, "parent seq {} not before child {}", p, ev.seq);
+            }
             match ev.kind {
                 jp_obs::EventKind::Span => *spans.entry(ev.component).or_default() += 1,
                 jp_obs::EventKind::Counter => *counters.entry(ev.component).or_default() += 1,
             }
         }
+        // and the jp-lens reader consumes the file without a single skip
+        let (events, report) = jp_trace::parse_trace(&text);
+        assert_eq!(report.skipped(), 0, "{:?}", report.samples);
+        let analysis = jp_trace::Analysis::from_events(&events);
+        assert_eq!(analysis.orphans, 0, "orphaned parent links in trace");
         for component in [
             "exact",
             "bb",
@@ -401,6 +419,67 @@ mod tests {
                 "expected ≥3 counters from {component}; counters: {counters:?}"
             );
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_subcommands_consume_a_recorded_portfolio_run() {
+        let dir = std::env::temp_dir().join(format!("jp-cli-test8-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = dir.join("g.json");
+        let t = dir.join("t.jsonl");
+        let folded = dir.join("flame.folded");
+        run_str(&["generate", "spider", "6", "--out", g.to_str().unwrap()]).unwrap();
+        run_str(&[
+            "pebble",
+            g.to_str().unwrap(),
+            "--algo",
+            "portfolio",
+            "--threads",
+            "4",
+            "--trace",
+            t.to_str().unwrap(),
+        ])
+        .unwrap();
+
+        let out = run_str(&["trace", "summary", t.to_str().unwrap()]).unwrap();
+        assert!(out.contains("threads:"), "{out}");
+        assert!(out.contains("orphaned parents 0"), "{out}");
+        assert!(out.contains("p50"), "{out}");
+
+        let out = run_str(&[
+            "trace",
+            "flame",
+            t.to_str().unwrap(),
+            "--out",
+            folded.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("folded format"), "{out}");
+        // every folded line is `frame(;frame)* value` with a thread root
+        let text = std::fs::read_to_string(&folded).unwrap();
+        assert!(!text.is_empty());
+        for line in text.lines() {
+            let (stack, value) = line.rsplit_once(' ').unwrap();
+            assert!(stack.starts_with("thread-"), "{line}");
+            value.parse::<u64>().unwrap();
+        }
+        // a 4-thread portfolio run fans tasks out across worker threads
+        let threads: std::collections::HashSet<&str> =
+            text.lines().filter_map(|l| l.split(';').next()).collect();
+        assert!(
+            threads.len() > 1,
+            "expected multi-thread stacks: {threads:?}"
+        );
+
+        // a trace diffed against itself has no hard findings
+        let out = run_str(&["trace", "diff", t.to_str().unwrap(), t.to_str().unwrap()]).unwrap();
+        assert!(out.contains("PASS"), "{out}");
+
+        let err = run_str(&["trace", "nonsense"]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        let err = run_str(&["trace", "check", t.to_str().unwrap()]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,6 +1,7 @@
 //! Property tests for the observability layer as driven by the solver
-//! ladder: event sequences are monotone, and per-component counters sum
-//! consistently with what the schemes themselves report.
+//! ladder: event sequences are distinct with well-formed parent links,
+//! and per-component counters sum consistently with what the schemes
+//! themselves report.
 //!
 //! Kept in a dedicated test binary: the process-wide sink would record
 //! events from *any* concurrently running test in a shared binary, so
@@ -41,10 +42,24 @@ proptest! {
         let events = memory.events();
         let snapshot = stats.snapshot();
 
-        // Sequence numbers are strictly increasing — the trace is a
-        // totally ordered log even with fan-out.
-        for pair in events.windows(2) {
-            prop_assert!(pair[0].seq < pair[1].seq);
+        // Sequence numbers are distinct (a span reserves its seq when it
+        // opens, then emits at close — so emission order is not seq
+        // order), every parent link points at an *earlier* seq, and every
+        // parent resolves to a span present in the trace: no orphans.
+        let mut seqs = std::collections::BTreeSet::new();
+        for ev in &events {
+            prop_assert!(seqs.insert(ev.seq), "seq {} repeated", ev.seq);
+        }
+        let span_seqs: std::collections::BTreeSet<u64> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Span)
+            .map(|e| e.seq)
+            .collect();
+        for ev in &events {
+            if let Some(p) = ev.parent {
+                prop_assert!(p < ev.seq, "parent {} not before child {}", p, ev.seq);
+                prop_assert!(span_seqs.contains(&p), "orphaned parent seq {}", p);
+            }
         }
 
         // The aggregate view must equal a manual fold of the raw events:

@@ -1,6 +1,46 @@
 //! The unit of observation.
+//!
+//! # Event schema reference (versioned)
+//!
+//! Every trace line is one flat JSON object. The wire schema is
+//! versioned through the `v` field; this build writes
+//! [`SCHEMA_VERSION`] and reads every version up to it.
+//!
+//! ## Version 2 (current)
+//!
+//! Keys are always serialized in this order, and `parent` is omitted
+//! entirely when absent — making well-formed traces byte-stable under
+//! an `emit → parse → re-emit` round trip:
+//!
+//! | key         | type   | meaning |
+//! |-------------|--------|---------|
+//! | `v`         | u64    | schema version of the line (`2`) |
+//! | `seq`       | u64    | process-wide monotone sequence number; spans *reserve* theirs when opened, so a parent's `seq` is always smaller than any child's |
+//! | `thread`    | u64    | process-local id of the emitting thread (handed out in first-emission order, never `0`) |
+//! | `kind`      | string | `"Counter"` or `"Span"` |
+//! | `component` | string | which solver produced it, e.g. `"exact"`, `"bb"`, `"portfolio"` |
+//! | `name`      | string | which signal, e.g. `"dp_states"`, `"solve"` |
+//! | `value`     | u64    | count (counters) or elapsed microseconds (spans) |
+//! | `start`     | u64    | monotonic offset in microseconds since the sink was installed: span-open time for spans, emission time for counters |
+//! | `parent`    | u64?   | `seq` of the enclosing span (on this thread, or linked across threads via [`crate::link_parent`]); omitted at top level |
+//!
+//! ## Version 1
+//!
+//! The original schema: `seq`, `thread`, `kind`, `component`, `name`,
+//! `value` only, with no `v` tag, and `seq` assigned at *emission* (so a
+//! span's `seq` was larger than its children's). Version-1 lines still
+//! parse: a missing `v` means `1`, `start` defaults to `0` and `parent`
+//! to absent.
+//!
+//! Lines with `v` greater than [`SCHEMA_VERSION`] are rejected by
+//! [`Deserialize`], so readers can distinguish "future schema" from
+//! "corrupt line" and skip with an accurate reason.
 
-use serde::{Deserialize, Serialize};
+use serde::{Content, DeError, Deserialize, Serialize};
+
+/// The wire-schema version this build emits. See the module docs for the
+/// per-version field reference.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// What an [`Event`]'s `value` means.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -14,9 +54,13 @@ pub enum EventKind {
 /// One observation emitted by an instrumented solver.
 ///
 /// Serializes to a single flat JSON object — one line of a JSONL trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// See the [module docs](self) for the versioned wire-schema reference.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Event {
-    /// Process-wide monotone sequence number (assigned at emission).
+    /// Process-wide monotone sequence number. Counters get theirs at
+    /// emission; spans *reserve* theirs when the guard is created, so
+    /// parents always order before their children even though the span
+    /// event itself is written on drop.
     pub seq: u64,
     /// Process-local id of the emitting thread (assigned at emission).
     ///
@@ -33,10 +77,20 @@ pub struct Event {
     pub name: String,
     /// Count (for counters) or elapsed microseconds (for spans).
     pub value: u64,
+    /// Monotonic offset in microseconds since the sink was installed:
+    /// the moment the span was *opened* (spans) or the moment of
+    /// emission (counters). `0` in version-1 traces.
+    pub start: u64,
+    /// `seq` of the enclosing span, if any. Maintained per thread by the
+    /// span stack; worker threads inherit a cross-thread parent through
+    /// [`crate::link_parent`]. `None` for top-level events and in
+    /// version-1 traces.
+    pub parent: Option<u64>,
 }
 
 impl Event {
-    /// Builds a counter event (the global emitter fills in `seq`).
+    /// Builds a counter event (the global emitter fills in `seq`,
+    /// `thread`, `start` and `parent`).
     pub fn counter(component: &str, name: &str, value: u64) -> Self {
         Event {
             seq: 0,
@@ -45,6 +99,8 @@ impl Event {
             component: component.to_string(),
             name: name.to_string(),
             value,
+            start: 0,
+            parent: None,
         }
     }
 
@@ -57,7 +113,62 @@ impl Event {
             component: component.to_string(),
             name: name.to_string(),
             value: micros,
+            start: 0,
+            parent: None,
         }
+    }
+}
+
+// Hand-written (rather than derived) so that `parent: None` is *omitted*
+// from the serialized map instead of rendered as `null`, and so the key
+// order is pinned as documented — both needed for the byte-identical
+// re-emit guarantee the trace tooling tests.
+impl Serialize for Event {
+    fn to_content(&self) -> Content {
+        let mut map = vec![
+            ("v".to_string(), Content::U64(SCHEMA_VERSION)),
+            ("seq".to_string(), Content::U64(self.seq)),
+            ("thread".to_string(), Content::U64(self.thread)),
+            ("kind".to_string(), self.kind.to_content()),
+            (
+                "component".to_string(),
+                Content::Str(self.component.clone()),
+            ),
+            ("name".to_string(), Content::Str(self.name.clone())),
+            ("value".to_string(), Content::U64(self.value)),
+            ("start".to_string(), Content::U64(self.start)),
+        ];
+        if let Some(p) = self.parent {
+            map.push(("parent".to_string(), Content::U64(p)));
+        }
+        Content::Map(map)
+    }
+}
+
+impl Deserialize for Event {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let map = content
+            .as_map()
+            .ok_or_else(|| DeError::expected("object for `Event`", content))?;
+        // Missing `v` is a version-1 line; anything newer than this
+        // build's writer is refused so the caller can report "future
+        // schema" instead of mis-reading fields it doesn't know about.
+        let v = serde::field::<Option<u64>>(map, "Event", "v")?.unwrap_or(1);
+        if v > SCHEMA_VERSION {
+            return Err(DeError::custom(format!(
+                "unsupported event schema version {v} (this build reads up to {SCHEMA_VERSION})"
+            )));
+        }
+        Ok(Event {
+            seq: serde::field(map, "Event", "seq")?,
+            thread: serde::field(map, "Event", "thread")?,
+            kind: serde::field(map, "Event", "kind")?,
+            component: serde::field(map, "Event", "component")?,
+            name: serde::field(map, "Event", "name")?,
+            value: serde::field(map, "Event", "value")?,
+            start: serde::field::<Option<u64>>(map, "Event", "start")?.unwrap_or(0),
+            parent: serde::field(map, "Event", "parent")?,
+        })
     }
 }
 
@@ -74,10 +185,47 @@ mod tests {
             component: "bb".into(),
             name: "search".into(),
             value: 1250,
+            start: 17,
+            parent: Some(40),
         };
         let line = serde_json::to_string(&e).unwrap();
         assert!(line.contains("\"kind\":\"Span\""), "line = {line}");
+        assert!(line.contains("\"v\":2"), "line = {line}");
+        assert!(line.contains("\"parent\":40"), "line = {line}");
         let back: Event = serde_json::from_str(&line).unwrap();
         assert_eq!(back, e);
+    }
+
+    #[test]
+    fn parent_is_omitted_when_absent() {
+        let e = Event::counter("exact", "dp_states", 9);
+        let line = serde_json::to_string(&e).unwrap();
+        assert!(!line.contains("parent"), "line = {line}");
+        let back: Event = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.parent, None);
+    }
+
+    #[test]
+    fn version_1_lines_still_parse() {
+        let line = r#"{"seq":3,"thread":1,"kind":"Counter","component":"bb","name":"nodes_expanded","value":12}"#;
+        let e: Event = serde_json::from_str(line).unwrap();
+        assert_eq!(e.seq, 3);
+        assert_eq!(e.value, 12);
+        assert_eq!(e.start, 0);
+        assert_eq!(e.parent, None);
+    }
+
+    #[test]
+    fn future_schema_versions_are_refused() {
+        let line = r#"{"v":99,"seq":1,"thread":1,"kind":"Counter","component":"a","name":"b","value":1,"start":0}"#;
+        let err = serde_json::from_str::<Event>(line).unwrap_err();
+        assert!(err.to_string().contains("schema version 99"), "err = {err}");
+    }
+
+    #[test]
+    fn reemission_is_byte_identical() {
+        let line = r#"{"v":2,"seq":5,"thread":2,"kind":"Span","component":"portfolio","name":"race","value":800,"start":4,"parent":1}"#;
+        let e: Event = serde_json::from_str(line).unwrap();
+        assert_eq!(serde_json::to_string(&e).unwrap(), line);
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::event::Event;
 use crate::sink::Sink;
+use std::cell::RefCell;
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
@@ -16,6 +17,10 @@ static SINK: RwLock<Option<Arc<dyn Sink>>> = RwLock::new(None);
 
 /// Process-wide monotone event sequence.
 static SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// The instant the current sink was installed; `start` offsets in
+/// emitted events are measured from here. `None` while no sink is up.
+static EPOCH: Mutex<Option<Instant>> = Mutex::new(None);
 
 /// Serializes [`ScopedSink`] holders so concurrent tests don't fight
 /// over the process-wide sink.
@@ -32,6 +37,11 @@ static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
     static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+
+    /// The stack of open span `seq`s on this thread (innermost last).
+    /// [`link_parent`] pushes a foreign span's seq so work handed to a
+    /// worker thread still nests under the span that spawned it.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
 }
 
 /// This thread's process-local id, as stamped into [`Event::thread`].
@@ -50,10 +60,15 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
-/// Installs `sink` as the process-wide event destination.
+/// Installs `sink` as the process-wide event destination and resets the
+/// `start`-offset epoch to now.
 pub fn set_sink(sink: Arc<dyn Sink>) {
     let mut slot = SINK.write().unwrap_or_else(|e| e.into_inner());
     *slot = Some(sink);
+    {
+        let mut epoch = EPOCH.lock().unwrap_or_else(|e| e.into_inner());
+        *epoch = Some(Instant::now());
+    }
     ENABLED.store(true, Ordering::Relaxed);
 }
 
@@ -62,29 +77,50 @@ pub fn set_sink(sink: Arc<dyn Sink>) {
 pub fn clear_sink() {
     let mut slot = SINK.write().unwrap_or_else(|e| e.into_inner());
     ENABLED.store(false, Ordering::Relaxed);
+    {
+        let mut epoch = EPOCH.lock().unwrap_or_else(|e| e.into_inner());
+        *epoch = None;
+    }
     if let Some(sink) = slot.take() {
         sink.flush();
     }
 }
 
-fn emit(mut event: Event) {
-    let tid = thread_id();
+/// Microseconds since the current sink was installed (0 with no sink).
+fn epoch_micros() -> u64 {
+    let epoch = EPOCH.lock().unwrap_or_else(|e| e.into_inner());
+    match *epoch {
+        Some(t0) => t0.elapsed().as_micros().min(u64::MAX as u128) as u64,
+        None => 0,
+    }
+}
+
+/// The `seq` of the innermost span currently open on this thread (or
+/// linked in via [`link_parent`]). This is what newly emitted events
+/// record as their `parent`.
+pub fn current_span() -> Option<u64> {
+    SPAN_STACK.with(|s| s.borrow().last().copied())
+}
+
+/// Delivers a fully stamped event to the sink, honoring scope filtering.
+/// `event.thread` must already be set.
+fn dispatch(event: Event) {
     {
         let members = SCOPE_MEMBERS.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(set) = members.as_ref() {
-            if !set.contains(&tid) {
+            if !set.contains(&event.thread) {
                 // A scoped capture is active and this thread is not part
                 // of it: the event belongs to someone else's scope (or to
                 // no scope at all) and must not cross-talk into the
-                // capture.
+                // capture. Its reserved seq is simply never written —
+                // the resulting gap is reported (not mistaken for data
+                // loss) by `trace summary`.
                 return;
             }
         }
     }
     let slot = SINK.read().unwrap_or_else(|e| e.into_inner());
     if let Some(sink) = slot.as_ref() {
-        event.seq = SEQ.fetch_add(1, Ordering::Relaxed);
-        event.thread = tid;
         sink.record(&event);
     }
 }
@@ -125,21 +161,82 @@ impl Drop for AdoptGuard {
     }
 }
 
+/// Makes `parent` (the `seq` of a span open on *another* thread) the
+/// enclosing span for everything this thread emits while the guard
+/// lives. `jp-par` workers link the runtime's `par.run` span this way,
+/// so task spans executed on workers still form one tree with the
+/// scheduling span that spawned them.
+///
+/// `None` is an inert guard, so callers can pass through an optional
+/// parent without branching.
+#[must_use = "the parent link lasts only while the guard is alive"]
+pub fn link_parent(parent: Option<u64>) -> LinkGuard {
+    if let Some(seq) = parent {
+        SPAN_STACK.with(|s| s.borrow_mut().push(seq));
+    }
+    LinkGuard { seq: parent }
+}
+
+/// Cross-thread parent link for one worker thread; see [`link_parent`].
+pub struct LinkGuard {
+    seq: Option<u64>,
+}
+
+impl Drop for LinkGuard {
+    fn drop(&mut self) {
+        if let Some(seq) = self.seq {
+            SPAN_STACK.with(|s| {
+                let mut stack = s.borrow_mut();
+                if let Some(pos) = stack.iter().rposition(|&v| v == seq) {
+                    stack.remove(pos);
+                }
+            });
+        }
+    }
+}
+
 /// Emits a counter event (no-op with no sink installed).
 #[inline]
 pub fn counter(component: &str, name: &str, value: u64) {
     if enabled() {
-        emit(Event::counter(component, name, value));
+        let mut event = Event::counter(component, name, value);
+        event.seq = SEQ.fetch_add(1, Ordering::Relaxed);
+        event.thread = thread_id();
+        event.start = epoch_micros();
+        event.parent = current_span();
+        dispatch(event);
     }
 }
 
 /// Starts an RAII span timer; the event is emitted on drop.
 ///
+/// The span *reserves* its `seq` now (and records its `start` offset and
+/// enclosing `parent`), then becomes the current span for this thread —
+/// so counters and child spans opened before the guard drops carry this
+/// span's `seq` as their `parent`, and a parent's `seq` is always
+/// smaller than its children's.
+///
 /// With no sink installed the guard is inert: the clock is never read.
 #[inline]
 pub fn span(component: &'static str, name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard {
+            start: None,
+            seq: 0,
+            start_offset: 0,
+            parent: None,
+            component,
+            name,
+        };
+    }
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let parent = current_span();
+    SPAN_STACK.with(|s| s.borrow_mut().push(seq));
     SpanGuard {
-        start: enabled().then(Instant::now),
+        start: Some(Instant::now()),
+        seq,
+        start_offset: epoch_micros(),
+        parent,
         component,
         name,
     }
@@ -149,6 +246,9 @@ pub fn span(component: &'static str, name: &'static str) -> SpanGuard {
 #[must_use = "a span guard measures until it is dropped"]
 pub struct SpanGuard {
     start: Option<Instant>,
+    seq: u64,
+    start_offset: u64,
+    parent: Option<u64>,
     component: &'static str,
     name: &'static str,
 }
@@ -156,10 +256,25 @@ pub struct SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(start) = self.start {
-            // Re-check: the sink may have been cleared mid-span.
+            // Pop this span (wherever it sits — guards may be dropped
+            // out of order) so later events no longer parent to it.
+            SPAN_STACK.with(|s| {
+                let mut stack = s.borrow_mut();
+                if let Some(pos) = stack.iter().rposition(|&v| v == self.seq) {
+                    stack.remove(pos);
+                }
+            });
+            // Re-check: the sink may have been cleared mid-span. The
+            // reserved seq then stays unwritten, which `trace summary`
+            // reports as an (expected) gap.
             if enabled() {
                 let micros = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
-                emit(Event::span(self.component, self.name, micros));
+                let mut event = Event::span(self.component, self.name, micros);
+                event.seq = self.seq;
+                event.thread = thread_id();
+                event.start = self.start_offset;
+                event.parent = self.parent;
+                dispatch(event);
             }
         }
     }
@@ -219,8 +334,9 @@ mod tests {
             assert_eq!(events.len(), 2);
             assert_eq!(events[0].kind, EventKind::Counter);
             assert_eq!(events[1].kind, EventKind::Span);
-            // Sequence numbers are strictly increasing.
-            assert!(events[0].seq < events[1].seq);
+            // Sequence numbers are distinct (spans reserve theirs when
+            // opened, so file order is not seq order in general).
+            assert_ne!(events[0].seq, events[1].seq);
             // Both events carry this thread's id.
             assert_eq!(events[0].thread, thread_id());
             assert_eq!(events[1].thread, thread_id());
@@ -228,6 +344,64 @@ mod tests {
         }
         // Counter after the scope must go nowhere (and not panic).
         counter("t", "b", 1);
+    }
+
+    #[test]
+    fn spans_parent_their_children() {
+        let sink = Arc::new(MemorySink::new());
+        let _guard = ScopedSink::install(sink.clone());
+        {
+            let _outer = span("t", "outer");
+            counter("t", "inside", 1);
+            {
+                let _inner = span("t", "inner");
+                counter("t", "deep", 1);
+            }
+        }
+        counter("t", "outside", 1);
+        let events = sink.events();
+        let by_name = |n: &str| events.iter().find(|e| e.name == n).unwrap();
+        let outer = by_name("outer");
+        let inner = by_name("inner");
+        assert_eq!(outer.parent, None);
+        assert_eq!(by_name("inside").parent, Some(outer.seq));
+        assert_eq!(inner.parent, Some(outer.seq));
+        assert_eq!(by_name("deep").parent, Some(inner.seq));
+        assert_eq!(by_name("outside").parent, None);
+        // Parents reserve seqs before their children.
+        assert!(outer.seq < inner.seq);
+        assert!(inner.seq < by_name("deep").seq);
+        // Start offsets are monotone in nesting order.
+        assert!(outer.start <= inner.start);
+    }
+
+    #[test]
+    fn link_parent_adopts_a_foreign_span() {
+        let sink = Arc::new(MemorySink::new());
+        let _guard = ScopedSink::install(sink.clone());
+        let outer = span("t", "cross_outer");
+        let outer_seq = current_span().unwrap();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _adopt = adopt();
+                let _link = link_parent(Some(outer_seq));
+                counter("t", "linked", 1);
+                let _child = span("t", "cross_child");
+            });
+        });
+        drop(outer);
+        let events = sink.events();
+        let by_name = |n: &str| events.iter().find(|e| e.name == n).unwrap();
+        assert_eq!(by_name("linked").parent, Some(outer_seq));
+        assert_eq!(by_name("cross_child").parent, Some(outer_seq));
+        assert_eq!(by_name("cross_outer").seq, outer_seq);
+        assert!(outer_seq < by_name("cross_child").seq);
+    }
+
+    #[test]
+    fn link_parent_none_is_inert() {
+        let _link = link_parent(None);
+        assert_eq!(current_span(), None);
     }
 
     #[test]

@@ -131,9 +131,40 @@ impl Histogram {
     }
 }
 
+/// The nearest-rank quantile of an **ascending-sorted** slice: the
+/// smallest element whose rank covers fraction `q` of the data (`q` is
+/// clamped to `[0, 1]`; an empty slice yields 0).
+///
+/// This is the exact-percentile counterpart to
+/// [`Histogram::quantile_upper_bound`], shared by the `--stats` renderer
+/// and the `jp-lens` trace analyzer so both report identical numbers.
+pub fn nearest_rank(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let n = sorted.len();
+    let rank = (q.clamp(0.0, 1.0) * n as f64).ceil() as usize;
+    let idx = rank.max(1).min(n) - 1;
+    sorted.get(idx).copied().unwrap_or(0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn nearest_rank_matches_the_textbook_definition() {
+        assert_eq!(nearest_rank(&[], 0.5), 0);
+        assert_eq!(nearest_rank(&[7], 0.5), 7);
+        let v = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+        assert_eq!(nearest_rank(&v, 0.0), 1);
+        assert_eq!(nearest_rank(&v, 0.5), 5);
+        assert_eq!(nearest_rank(&v, 0.95), 10);
+        assert_eq!(nearest_rank(&v, 1.0), 10);
+        let odd = [10, 20, 30];
+        assert_eq!(nearest_rank(&odd, 0.5), 20);
+        assert_eq!(nearest_rank(&odd, 0.95), 30);
+    }
 
     #[test]
     fn counter_is_monotone_across_threads() {

@@ -32,27 +32,33 @@
 //!   into the active scope for their lifetime, and every event is
 //!   stamped with the emitting thread's process-local id.
 //!
-//! # Event schema
+//! # Event schema (version 2)
 //!
 //! ```json
-//! {"seq":17,"thread":1,"kind":"Counter","component":"bb","name":"nodes_expanded","value":4093}
-//! {"seq":18,"thread":3,"kind":"Span","component":"bb","name":"search","value":1250}
+//! {"v":2,"seq":17,"thread":1,"kind":"Counter","component":"bb","name":"nodes_expanded","value":4093,"start":210,"parent":12}
+//! {"v":2,"seq":12,"thread":3,"kind":"Span","component":"bb","name":"search","value":1250,"start":180}
 //! ```
 //!
-//! `seq` is a process-wide monotone sequence number; `thread` is the
-//! process-local id of the emitting thread (stable per thread, assigned
-//! in first-emission order); `value` is the counter value for `Counter`
-//! events and elapsed microseconds for `Span` events.
+//! `seq` is a process-wide monotone sequence number (spans *reserve*
+//! theirs when opened, so parents order before children); `thread` is
+//! the process-local id of the emitting thread (stable per thread,
+//! assigned in first-emission order); `value` is the counter value for
+//! `Counter` events and elapsed microseconds for `Span` events; `start`
+//! is a monotonic microsecond offset since the sink was installed; the
+//! optional `parent` is the `seq` of the enclosing span and is omitted
+//! at top level. Version-1 traces (no `v`, no `start`/`parent`) still
+//! parse. The full per-version field reference lives in the [`event`]
+//! module docs; [`SCHEMA_VERSION`] is what this build writes.
 
-mod event;
+pub mod event;
 mod global;
 mod instrument;
 mod sink;
 
-pub use event::{Event, EventKind};
+pub use event::{Event, EventKind, SCHEMA_VERSION};
 pub use global::{
-    adopt, clear_sink, counter, enabled, set_sink, span, thread_id, AdoptGuard, ScopedSink,
-    SpanGuard,
+    adopt, clear_sink, counter, current_span, enabled, link_parent, set_sink, span, thread_id,
+    AdoptGuard, LinkGuard, ScopedSink, SpanGuard,
 };
-pub use instrument::{Counter, Histogram};
+pub use instrument::{nearest_rank, Counter, Histogram};
 pub use sink::{FanoutSink, JsonlSink, MemorySink, NoopSink, Sink, StatsSink, StatsSnapshot};

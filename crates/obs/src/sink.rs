@@ -106,9 +106,12 @@ impl Sink for MemorySink {
 
 /// Aggregated view of a run, keyed by `component.name`.
 ///
-/// Counters accumulate their values; spans accumulate call counts and
-/// total microseconds. Round-trips through `serde_json`.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, serde::Deserialize)]
+/// Counters accumulate their values; spans accumulate call counts,
+/// total microseconds, and the exact per-call duration histogram behind
+/// the p50/p95/max columns. Round-trips through `serde_json` with
+/// deterministic (sorted-key) output: every map is a `BTreeMap` and the
+/// duration lists are sorted ascending in a [`StatsSink::snapshot`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct StatsSnapshot {
     /// Total per counter signal.
     pub counters: BTreeMap<String, u64>,
@@ -116,6 +119,30 @@ pub struct StatsSnapshot {
     pub span_counts: BTreeMap<String, u64>,
     /// Total elapsed microseconds per span signal.
     pub span_micros: BTreeMap<String, u64>,
+    /// Every span duration per signal (microseconds, sorted ascending in
+    /// snapshots) — the exact histogram behind the percentile columns.
+    pub span_values: BTreeMap<String, Vec<u64>>,
+}
+
+// Hand-written so snapshots serialized by older builds (no
+// `span_values`, e.g. the committed bench baselines from earlier PRs)
+// still deserialize: any missing map is simply empty.
+impl serde::Deserialize for StatsSnapshot {
+    fn from_content(content: &serde::Content) -> Result<Self, serde::DeError> {
+        let map = content
+            .as_map()
+            .ok_or_else(|| serde::DeError::expected("object for `StatsSnapshot`", content))?;
+        Ok(StatsSnapshot {
+            counters: serde::field::<Option<_>>(map, "StatsSnapshot", "counters")?
+                .unwrap_or_default(),
+            span_counts: serde::field::<Option<_>>(map, "StatsSnapshot", "span_counts")?
+                .unwrap_or_default(),
+            span_micros: serde::field::<Option<_>>(map, "StatsSnapshot", "span_micros")?
+                .unwrap_or_default(),
+            span_values: serde::field::<Option<_>>(map, "StatsSnapshot", "span_values")?
+                .unwrap_or_default(),
+        })
+    }
 }
 
 impl StatsSnapshot {
@@ -132,7 +159,14 @@ impl StatsSnapshot {
             out.push_str("spans:\n");
             for (key, micros) in &self.span_micros {
                 let calls = self.span_counts.get(key).copied().unwrap_or(0);
-                out.push_str(&format!("  {key:<40} {micros} µs over {calls} call(s)\n"));
+                let mut values = self.span_values.get(key).cloned().unwrap_or_default();
+                values.sort_unstable();
+                let p50 = crate::nearest_rank(&values, 0.50);
+                let p95 = crate::nearest_rank(&values, 0.95);
+                let max = values.last().copied().unwrap_or(0);
+                out.push_str(&format!(
+                    "  {key:<40} {micros} µs over {calls} call(s), p50 {p50} p95 {p95} max {max} µs\n"
+                ));
             }
         }
         if out.is_empty() {
@@ -154,12 +188,18 @@ impl StatsSink {
         Self::default()
     }
 
-    /// The aggregation so far.
+    /// The aggregation so far, with every duration list sorted ascending
+    /// so serialized snapshots are deterministic.
     pub fn snapshot(&self) -> StatsSnapshot {
-        self.snapshot
+        let mut snap = self
+            .snapshot
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .clone()
+            .clone();
+        for values in snap.span_values.values_mut() {
+            values.sort_unstable();
+        }
+        snap
     }
 }
 
@@ -173,7 +213,8 @@ impl Sink for StatsSink {
             }
             EventKind::Span => {
                 *snap.span_counts.entry(key.clone()).or_insert(0) += 1;
-                *snap.span_micros.entry(key).or_insert(0) += event.value;
+                *snap.span_micros.entry(key.clone()).or_insert(0) += event.value;
+                snap.span_values.entry(key).or_default().push(event.value);
             }
         }
     }
@@ -223,9 +264,30 @@ mod tests {
         assert_eq!(snap.counters["exact.nodes"], 1);
         assert_eq!(snap.span_counts["bb.search"], 2);
         assert_eq!(snap.span_micros["bb.search"], 150);
+        assert_eq!(snap.span_values["bb.search"], vec![50, 100]);
         let json = serde_json::to_string(&snap).unwrap();
         let back: StatsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn snapshots_without_span_values_still_deserialize() {
+        // The shape serialized before span_values existed (committed
+        // bench baselines from earlier revisions).
+        let json = r#"{"counters":{"bb.nodes":3},"span_counts":{"bb.search":1},"span_micros":{"bb.search":9}}"#;
+        let snap: StatsSnapshot = serde_json::from_str(json).unwrap();
+        assert_eq!(snap.counters["bb.nodes"], 3);
+        assert!(snap.span_values.is_empty());
+    }
+
+    #[test]
+    fn render_reports_exact_percentiles() {
+        let sink = StatsSink::new();
+        for v in [10, 20, 30, 40, 1000] {
+            sink.record(&Event::span("bb", "search", v));
+        }
+        let text = sink.snapshot().render();
+        assert!(text.contains("p50 30 p95 1000 max 1000"), "render = {text}");
     }
 
     #[test]

@@ -132,13 +132,26 @@ impl<T> Worker<'_, T> {
     }
 }
 
-fn worker_loop<'a, T, R, F>(shared: &'a Shared<T>, id: usize, f: &F) -> Vec<(usize, R)>
+fn worker_loop<'a, T, R, F>(
+    shared: &'a Shared<T>,
+    id: usize,
+    run_span: Option<u64>,
+    f: &F,
+) -> Vec<(usize, R)>
 where
     F: Fn(&Worker<'a, T>, T) -> R,
 {
     // Join any active scoped obs capture for this worker's lifetime —
     // without this, a ScopedSink would drop our events as cross-talk.
     let _adopt = jp_obs::adopt();
+    // Nest everything this worker emits (task spans included) under the
+    // runtime's `par.run` span, which outlives every worker — so traces
+    // form one tree with zero orphaned parents.
+    let _link = jp_obs::link_parent(run_span);
+    // Start/stop markers bracket the worker's lifetime; their `start`
+    // offsets are what `trace summary` turns into the utilization
+    // timeline.
+    jp_obs::counter("par", "worker.start", 1);
     let worker = Worker { shared, id };
     let mut out = Vec::new();
     loop {
@@ -165,6 +178,7 @@ where
         }
     }
     jp_obs::counter("par", "worker_tasks", out.len() as u64);
+    jp_obs::counter("par", "worker.stop", 1);
     out
 }
 
@@ -191,6 +205,9 @@ where
     F: for<'a> Fn(&Worker<'a, T>, T) -> R + Sync,
 {
     let _span = jp_obs::span("par", "run");
+    // The seq the span reserved: workers link it as their parent so
+    // cross-thread task spans still nest under this `par.run`.
+    let run_span = jp_obs::current_span();
     let seed_count = tasks.len();
     if seed_count == 0 {
         return Vec::new();
@@ -212,13 +229,13 @@ where
         }
     }
     let collected: Vec<(usize, R)> = if threads == 1 {
-        worker_loop(&shared, 0, &f)
+        worker_loop(&shared, 0, run_span, &f)
     } else {
         let shared_ref = &shared;
         let f_ref = &f;
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads)
-                .map(|id| s.spawn(move || worker_loop(shared_ref, id, f_ref)))
+                .map(|id| s.spawn(move || worker_loop(shared_ref, id, run_span, f_ref)))
                 .collect();
             let mut all = Vec::new();
             for handle in handles {
@@ -368,6 +385,23 @@ mod tests {
             .find(|e| e.component == "par" && e.name == "tasks")
             .expect("par.tasks counter");
         assert_eq!(tasks.value, 9);
+        // Every worker brackets its lifetime and parents its events
+        // under the par.run span (which is emitted last, after joining).
+        let run = events
+            .iter()
+            .find(|e| e.component == "par" && e.name == "run")
+            .expect("par.run span");
+        let starts: Vec<_> = events.iter().filter(|e| e.name == "worker.start").collect();
+        let stops: Vec<_> = events.iter().filter(|e| e.name == "worker.stop").collect();
+        assert_eq!(starts.len(), 3);
+        assert_eq!(stops.len(), 3);
+        for e in starts.iter().chain(&stops) {
+            assert_eq!(e.parent, Some(run.seq), "{} on thread {}", e.name, e.thread);
+            assert!(run.seq < e.seq, "parents reserve seqs before children");
+        }
+        for e in events.iter().filter(|e| e.name == "task_seen") {
+            assert_eq!(e.parent, Some(run.seq));
+        }
     }
 
     #[test]

@@ -1,0 +1,412 @@
+//! Aggregation and structure recovery over a parsed trace.
+//!
+//! [`Analysis::from_events`] turns a flat event list into:
+//!
+//! * per-counter totals and per-span **exact** histograms (every
+//!   duration retained, percentiles by nearest rank — the same
+//!   definition `--stats` uses via [`jp_obs::nearest_rank`]);
+//! * per-thread summaries, including the `par.worker.start`/`stop`
+//!   lifetime markers the utilization timeline is built from;
+//! * the span tree: v2 spans *reserve* their `seq` when opened, so a
+//!   parent's seq is always smaller than its children's and the tree
+//!   can be rebuilt from `parent` links alone, across threads;
+//! * seq-gap detection: seqs are allocated process-wide, so a missing
+//!   range means either a filtered [`jp_obs::ScopedSink`] capture
+//!   (expected — other threads kept allocating seqs that were never
+//!   written) or genuine data loss. `trace summary` reports the ranges
+//!   so the two are distinguishable instead of silently conflated.
+
+use jp_obs::{nearest_rank, Event, EventKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Exact per-span-signal statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpanStats {
+    /// Number of span events.
+    pub count: u64,
+    /// Total microseconds.
+    pub total: u64,
+    /// Every duration, sorted ascending.
+    pub values: Vec<u64>,
+}
+
+impl SpanStats {
+    /// Nearest-rank median duration.
+    pub fn p50(&self) -> u64 {
+        nearest_rank(&self.values, 0.50)
+    }
+
+    /// Nearest-rank 95th-percentile duration.
+    pub fn p95(&self) -> u64 {
+        nearest_rank(&self.values, 0.95)
+    }
+
+    /// Largest duration.
+    pub fn max(&self) -> u64 {
+        self.values.last().copied().unwrap_or(0)
+    }
+}
+
+/// Per-thread event totals and lifetime window.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ThreadSummary {
+    /// Events stamped with this thread id.
+    pub events: u64,
+    /// Counter events.
+    pub counters: u64,
+    /// Span events.
+    pub spans: u64,
+    /// Total span microseconds recorded on this thread.
+    pub span_micros: u64,
+    /// Smallest `start` offset seen.
+    pub first_start: u64,
+    /// Largest event end (`start + value` for spans, `start` for
+    /// counters).
+    pub last_end: u64,
+    /// `start` offset of this thread's `par.worker.start` marker, if it
+    /// ran as a `jp-par` worker.
+    pub worker_start: Option<u64>,
+    /// `start` offset of the matching `par.worker.stop` marker.
+    pub worker_stop: Option<u64>,
+    /// Microseconds covered by this thread's *top-level* spans (spans
+    /// whose parent is absent or lives on another thread) — nested spans
+    /// are not double-counted.
+    pub busy_micros: u64,
+}
+
+impl ThreadSummary {
+    /// The observation window for utilization: the worker lifetime when
+    /// the markers are present, otherwise first event to last event end.
+    pub fn window_micros(&self) -> u64 {
+        match (self.worker_start, self.worker_stop) {
+            (Some(a), Some(b)) => b.saturating_sub(a),
+            _ => self.last_end.saturating_sub(self.first_start),
+        }
+    }
+
+    /// `busy_micros` over the window, in percent (0 for an empty
+    /// window).
+    pub fn utilization_pct(&self) -> u64 {
+        let window = self.window_micros();
+        if window == 0 {
+            return 0;
+        }
+        self.busy_micros.saturating_mul(100) / window
+    }
+}
+
+/// One reconstructed span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    /// The span's reserved sequence number.
+    pub seq: u64,
+    /// Emitting thread.
+    pub thread: u64,
+    /// `component.name` key.
+    pub key: String,
+    /// Microsecond offset at which the span opened.
+    pub start: u64,
+    /// Elapsed microseconds.
+    pub micros: u64,
+    /// Parent span seq as emitted (may be an orphan link if the parent
+    /// was filtered out of the capture).
+    pub parent: Option<u64>,
+    /// Indices into [`Analysis::nodes`] of child spans.
+    pub children: Vec<usize>,
+}
+
+/// Everything recovered from one trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Analysis {
+    /// Events analyzed.
+    pub events: u64,
+    /// Per-`component.name` counter totals.
+    pub counters: BTreeMap<String, u64>,
+    /// Per-`component.name` span statistics.
+    pub spans: BTreeMap<String, SpanStats>,
+    /// Per-thread summaries.
+    pub threads: BTreeMap<u64, ThreadSummary>,
+    /// All spans, sorted by `seq` (topological: parents first).
+    pub nodes: Vec<SpanNode>,
+    /// Indices of spans with no in-trace parent.
+    pub roots: Vec<usize>,
+    /// Events whose `parent` seq is not an emitted span in this trace.
+    /// Zero on any unfiltered capture; non-zero means the parent was
+    /// scope-filtered or the file is incomplete.
+    pub orphans: u64,
+    /// Missing seq ranges `(from, to)` inclusive, with the thread of the
+    /// nearest preceding event (the likeliest owner of the gap).
+    pub seq_gaps: Vec<(u64, u64, u64)>,
+    /// Total missing seqs across all gaps.
+    pub missing_seqs: u64,
+}
+
+impl Analysis {
+    /// Builds the full analysis from parsed events.
+    pub fn from_events(events: &[Event]) -> Analysis {
+        let mut a = Analysis {
+            events: events.len() as u64,
+            ..Analysis::default()
+        };
+        let span_seqs: BTreeSet<u64> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Span)
+            .map(|e| e.seq)
+            .collect();
+
+        for e in events {
+            let key = format!("{}.{}", e.component, e.name);
+            let end = match e.kind {
+                EventKind::Span => e.start.saturating_add(e.value),
+                EventKind::Counter => e.start,
+            };
+            let t = a.threads.entry(e.thread).or_insert(ThreadSummary {
+                first_start: e.start,
+                ..ThreadSummary::default()
+            });
+            t.events += 1;
+            t.first_start = t.first_start.min(e.start);
+            t.last_end = t.last_end.max(end);
+            match e.kind {
+                EventKind::Counter => {
+                    t.counters += 1;
+                    if e.component == "par" && e.name == "worker.start" {
+                        t.worker_start = Some(match t.worker_start {
+                            Some(prev) => prev.min(e.start),
+                            None => e.start,
+                        });
+                    }
+                    if e.component == "par" && e.name == "worker.stop" {
+                        t.worker_stop = Some(match t.worker_stop {
+                            Some(prev) => prev.max(e.start),
+                            None => e.start,
+                        });
+                    }
+                    let c = a.counters.entry(key).or_insert(0);
+                    *c = c.saturating_add(e.value);
+                }
+                EventKind::Span => {
+                    t.spans += 1;
+                    t.span_micros = t.span_micros.saturating_add(e.value);
+                    let stats = a.spans.entry(key.clone()).or_default();
+                    stats.count += 1;
+                    stats.total = stats.total.saturating_add(e.value);
+                    stats.values.push(e.value);
+                    a.nodes.push(SpanNode {
+                        seq: e.seq,
+                        thread: e.thread,
+                        key,
+                        start: e.start,
+                        micros: e.value,
+                        parent: e.parent,
+                        children: Vec::new(),
+                    });
+                }
+            }
+            if let Some(p) = e.parent {
+                if !span_seqs.contains(&p) {
+                    a.orphans += 1;
+                }
+            }
+        }
+        for stats in a.spans.values_mut() {
+            stats.values.sort_unstable();
+        }
+
+        // Span tree: sort by seq (parents reserved theirs first, so this
+        // is a topological order) and wire children through a seq→index
+        // map.
+        a.nodes.sort_by_key(|n| n.seq);
+        let index_of: BTreeMap<u64, usize> = a
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.seq, i))
+            .collect();
+        let mut links: Vec<(usize, usize)> = Vec::new();
+        for (i, node) in a.nodes.iter().enumerate() {
+            match node.parent.and_then(|p| index_of.get(&p)).copied() {
+                Some(parent_idx) if parent_idx != i => links.push((parent_idx, i)),
+                _ => a.roots.push(i),
+            }
+        }
+        for (parent_idx, child_idx) in links {
+            if let Some(parent) = a.nodes.get_mut(parent_idx) {
+                parent.children.push(child_idx);
+            }
+        }
+
+        // Busy time per thread: top-level-per-thread spans only, so
+        // nesting is not double-counted.
+        for node in &a.nodes {
+            let parent_on_same_thread = node
+                .parent
+                .and_then(|p| index_of.get(&p))
+                .and_then(|&i| a.nodes.get(i))
+                .is_some_and(|p| p.thread == node.thread);
+            if !parent_on_same_thread {
+                if let Some(t) = a.threads.get_mut(&node.thread) {
+                    t.busy_micros = t.busy_micros.saturating_add(node.micros);
+                }
+            }
+        }
+
+        // Seq gaps: seqs are allocated process-wide and contiguously, so
+        // any hole inside [min, max] is a seq that was reserved but
+        // never written into this capture.
+        let thread_of: BTreeMap<u64, u64> = events.iter().map(|e| (e.seq, e.thread)).collect();
+        let mut prev: Option<(u64, u64)> = None;
+        for (&seq, &thread) in &thread_of {
+            if let Some((prev_seq, prev_thread)) = prev {
+                if seq > prev_seq + 1 {
+                    a.missing_seqs += seq - prev_seq - 1;
+                    a.seq_gaps.push((prev_seq + 1, seq - 1, prev_thread));
+                }
+            }
+            prev = Some((seq, thread));
+        }
+        a
+    }
+
+    /// Renders the human-readable summary (`trace summary`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "events {} · spans {} · threads {} · orphaned parents {}\n",
+            self.events,
+            self.nodes.len(),
+            self.threads.len(),
+            self.orphans
+        ));
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (key, v) in &self.counters {
+                out.push_str(&format!("  {key:<40} {v}\n"));
+            }
+        }
+        if !self.spans.is_empty() {
+            out.push_str("spans:\n");
+            for (key, s) in &self.spans {
+                out.push_str(&format!(
+                    "  {key:<40} {} µs over {} call(s), p50 {} p95 {} max {} µs\n",
+                    s.total,
+                    s.count,
+                    s.p50(),
+                    s.p95(),
+                    s.max()
+                ));
+            }
+        }
+        out.push_str("threads:\n");
+        for (tid, t) in &self.threads {
+            let role = if t.worker_start.is_some() {
+                "worker"
+            } else {
+                "main  "
+            };
+            out.push_str(&format!(
+                "  thread {tid:<3} {role} events {:<6} busy {} µs of {} µs ({}%)\n",
+                t.events,
+                t.busy_micros,
+                t.window_micros(),
+                t.utilization_pct()
+            ));
+        }
+        if self.missing_seqs > 0 {
+            out.push_str(&format!(
+                "seq gaps: {} seq(s) missing in {} range(s) — reserved but never written \
+                 (scope-filtered threads or spans dropped after the sink closed), \
+                 or data loss if unexpected:\n",
+                self.missing_seqs,
+                self.seq_gaps.len()
+            ));
+            for (from, to, thread) in &self.seq_gaps {
+                out.push_str(&format!(
+                    "  seq {from}..={to} missing (after an event on thread {thread})\n"
+                ));
+            }
+        } else {
+            out.push_str("seq gaps: none (contiguous capture)\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64, thread: u64, kind: EventKind, key: (&str, &str), value: u64) -> Event {
+        let mut e = match kind {
+            EventKind::Counter => Event::counter(key.0, key.1, value),
+            EventKind::Span => Event::span(key.0, key.1, value),
+        };
+        e.seq = seq;
+        e.thread = thread;
+        e
+    }
+
+    #[test]
+    fn aggregates_counters_spans_and_threads() {
+        let mut s1 = ev(0, 1, EventKind::Span, ("exact", "solve"), 100);
+        s1.start = 10;
+        let mut c = ev(1, 1, EventKind::Counter, ("exact", "dp_states"), 40);
+        c.parent = Some(0);
+        c.start = 20;
+        let mut s2 = ev(2, 1, EventKind::Span, ("exact", "solve"), 30);
+        s2.parent = Some(0);
+        s2.start = 25;
+        let a = Analysis::from_events(&[s1, c, s2]);
+        assert_eq!(a.counters["exact.dp_states"], 40);
+        let stats = &a.spans["exact.solve"];
+        assert_eq!(stats.count, 2);
+        assert_eq!(stats.total, 130);
+        assert_eq!(stats.values, vec![30, 100]);
+        assert_eq!(stats.max(), 100);
+        assert_eq!(a.orphans, 0);
+        // Nested span is not double-counted into busy time.
+        assert_eq!(a.threads[&1].busy_micros, 100);
+        assert_eq!(a.roots.len(), 1);
+        let root = &a.nodes[a.roots[0]];
+        assert_eq!(root.children.len(), 1);
+    }
+
+    #[test]
+    fn orphaned_parents_are_counted_and_rooted() {
+        let mut s = ev(5, 1, EventKind::Span, ("bb", "search"), 10);
+        s.parent = Some(999);
+        let a = Analysis::from_events(&[s]);
+        assert_eq!(a.orphans, 1);
+        assert_eq!(a.roots.len(), 1);
+    }
+
+    #[test]
+    fn seq_gaps_are_reported_with_the_preceding_thread() {
+        let events = [
+            ev(0, 1, EventKind::Counter, ("t", "a"), 1),
+            ev(1, 2, EventKind::Counter, ("t", "b"), 1),
+            ev(5, 1, EventKind::Counter, ("t", "c"), 1),
+            ev(9, 1, EventKind::Counter, ("t", "d"), 1),
+        ];
+        let a = Analysis::from_events(&events);
+        assert_eq!(a.missing_seqs, 6);
+        assert_eq!(a.seq_gaps, vec![(2, 4, 2), (6, 8, 1)]);
+        assert!(a.render().contains("seq 2..=4 missing"));
+    }
+
+    #[test]
+    fn worker_markers_define_the_utilization_window() {
+        let mut start = ev(0, 3, EventKind::Counter, ("par", "worker.start"), 1);
+        start.start = 100;
+        let mut task = ev(1, 3, EventKind::Span, ("exact", "solve"), 50);
+        task.start = 110;
+        let mut stop = ev(2, 3, EventKind::Counter, ("par", "worker.stop"), 1);
+        stop.start = 200;
+        let a = Analysis::from_events(&[start, task, stop]);
+        let t = &a.threads[&3];
+        assert_eq!(t.window_micros(), 100);
+        assert_eq!(t.busy_micros, 50);
+        assert_eq!(t.utilization_pct(), 50);
+        assert!(a.render().contains("worker"));
+    }
+}

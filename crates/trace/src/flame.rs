@@ -1,0 +1,133 @@
+//! Folded-stack flamegraph export.
+//!
+//! Emits the text format the standard flamegraph toolchain consumes
+//! (`flamegraph.pl`, `inferno-flamegraph`, speedscope): one line per
+//! distinct stack, semicolon-separated frames, a space, and a sample
+//! value. The value here is **self time in microseconds** — a span's
+//! duration minus its children's — so frame widths decompose exactly
+//! and no rendering dependency is needed in-repo:
+//!
+//! ```text
+//! thread-2;portfolio.race;par.run;exact.solve 812
+//! ```
+//!
+//! The leading frame is the span's *own* thread, so a 4-thread
+//! portfolio run fans out into four towers while cross-thread `parent`
+//! links still show each task under the `par.run`/`portfolio.race`
+//! spans that scheduled it.
+
+use crate::analyze::Analysis;
+use std::collections::BTreeMap;
+
+/// Folded stacks, one `(stack, self_micros)` pair per distinct stack,
+/// sorted by stack string; zero-valued stacks are dropped.
+pub fn folded_stacks(analysis: &Analysis) -> Vec<(String, u64)> {
+    let index_of: BTreeMap<u64, usize> = analysis
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.seq, i))
+        .collect();
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for node in &analysis.nodes {
+        let children_micros: u64 = node
+            .children
+            .iter()
+            .filter_map(|&c| analysis.nodes.get(c))
+            .fold(0u64, |acc, c| acc.saturating_add(c.micros));
+        let self_micros = node.micros.saturating_sub(children_micros);
+        if self_micros == 0 {
+            continue;
+        }
+        // Walk ancestors root-ward; seqs strictly decrease along parent
+        // links (spans reserve their seq before any child can), so this
+        // terminates even on adversarial input.
+        let mut frames = vec![node.key.clone()];
+        let mut current = node;
+        while let Some(parent) = current
+            .parent
+            .and_then(|p| index_of.get(&p))
+            .and_then(|&i| analysis.nodes.get(i))
+            .filter(|p| p.seq < current.seq)
+        {
+            frames.push(parent.key.clone());
+            current = parent;
+        }
+        frames.push(format!("thread-{}", node.thread));
+        frames.reverse();
+        let slot = folded.entry(frames.join(";")).or_insert(0);
+        *slot = slot.saturating_add(self_micros);
+    }
+    folded.into_iter().collect()
+}
+
+/// Renders folded stacks as the newline-terminated text file the
+/// flamegraph tools read.
+pub fn render(analysis: &Analysis) -> String {
+    let mut out = String::new();
+    for (stack, value) in folded_stacks(analysis) {
+        out.push_str(&format!("{stack} {value}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jp_obs::Event;
+
+    fn span(seq: u64, thread: u64, key: (&str, &str), micros: u64, parent: Option<u64>) -> Event {
+        let mut e = Event::span(key.0, key.1, micros);
+        e.seq = seq;
+        e.thread = thread;
+        e.parent = parent;
+        e
+    }
+
+    #[test]
+    fn stacks_nest_and_self_time_decomposes() {
+        let events = [
+            span(0, 1, ("portfolio", "race"), 100, None),
+            span(1, 1, ("par", "run"), 90, Some(0)),
+            span(2, 2, ("exact", "solve"), 40, Some(1)),
+        ];
+        let a = Analysis::from_events(&events);
+        let stacks = folded_stacks(&a);
+        let text = render(&a);
+        assert_eq!(
+            stacks,
+            vec![
+                ("thread-1;portfolio.race".to_string(), 10),
+                ("thread-1;portfolio.race;par.run".to_string(), 50),
+                (
+                    "thread-2;portfolio.race;par.run;exact.solve".to_string(),
+                    40
+                ),
+            ]
+        );
+        assert!(text.ends_with('\n'));
+        // Total self time equals the root's duration.
+        assert_eq!(stacks.iter().map(|(_, v)| v).sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn zero_self_time_frames_are_dropped_but_remain_as_prefixes() {
+        let events = [
+            span(0, 1, ("a", "outer"), 10, None),
+            span(1, 1, ("a", "inner"), 10, Some(0)),
+        ];
+        let a = Analysis::from_events(&events);
+        let stacks = folded_stacks(&a);
+        assert_eq!(stacks, vec![("thread-1;a.outer;a.inner".to_string(), 10)]);
+    }
+
+    #[test]
+    fn orphan_parents_truncate_the_stack_gracefully() {
+        let events = [span(7, 3, ("bb", "search"), 5, Some(999))];
+        let a = Analysis::from_events(&events);
+        assert_eq!(
+            folded_stacks(&a),
+            vec![("thread-3;bb.search".to_string(), 5)]
+        );
+    }
+}

@@ -1,0 +1,267 @@
+//! Streaming, damage-tolerant JSONL trace reading.
+//!
+//! Traces come from crashed runs, truncated pipes, and concatenated
+//! files, so the reader treats every line independently: a line that
+//! fails to parse is *skipped and counted*, never a reason to panic or
+//! abort. Skips are classified so `trace summary` can tell an operator
+//! whether the file is damaged (corrupt JSON), written by a newer build
+//! (unsupported schema version), or merely carries event kinds this
+//! build does not know.
+
+use jp_obs::{Event, SCHEMA_VERSION};
+use serde::{Content, DeError, Deserialize};
+use std::io::{self, BufRead};
+use std::path::Path;
+
+/// How many skipped lines keep a sample of their reason in the report.
+const MAX_SKIP_SAMPLES: usize = 8;
+
+/// One skipped line: its 1-based line number and why it was skipped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkipSample {
+    /// 1-based line number in the input.
+    pub line: u64,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+/// What the reader saw: totals plus per-class skip counts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReadReport {
+    /// Non-blank lines examined.
+    pub lines: u64,
+    /// Lines that parsed into an [`Event`].
+    pub events: u64,
+    /// Lines that were not valid JSON objects of the expected shape
+    /// (truncation, interleaved garbage, missing/mistyped fields).
+    pub skipped_corrupt: u64,
+    /// Lines whose `kind` is none of the kinds this build knows.
+    pub skipped_unknown_kind: u64,
+    /// Lines tagged with a schema version newer than
+    /// [`jp_obs::SCHEMA_VERSION`].
+    pub skipped_unsupported_version: u64,
+    /// The first few skips, with reasons (capped at 8).
+    pub samples: Vec<SkipSample>,
+}
+
+impl ReadReport {
+    /// Total skipped lines across all classes.
+    pub fn skipped(&self) -> u64 {
+        self.skipped_corrupt + self.skipped_unknown_kind + self.skipped_unsupported_version
+    }
+
+    fn skip(&mut self, line: u64, reason: String) {
+        if self.samples.len() < MAX_SKIP_SAMPLES {
+            self.samples.push(SkipSample { line, reason });
+        }
+    }
+
+    /// Renders the skip summary (empty string when nothing was skipped).
+    pub fn render(&self) -> String {
+        if self.skipped() == 0 {
+            return String::new();
+        }
+        let mut out = format!(
+            "warning: skipped {} of {} line(s): {} corrupt, {} unknown kind, {} unsupported schema version\n",
+            self.skipped(),
+            self.lines,
+            self.skipped_corrupt,
+            self.skipped_unknown_kind,
+            self.skipped_unsupported_version
+        );
+        for s in &self.samples {
+            out.push_str(&format!("  line {}: {}\n", s.line, s.reason));
+        }
+        out
+    }
+}
+
+/// A shape-tolerant probe used only to *classify* lines that failed to
+/// parse as an [`Event`]: is this corrupt JSON, a future schema, or an
+/// unknown kind?
+struct Probe {
+    v: Option<u64>,
+    kind_present: bool,
+    kind: Option<String>,
+}
+
+impl Deserialize for Probe {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let map = content
+            .as_map()
+            .ok_or_else(|| DeError::expected("object", content))?;
+        let v = map
+            .iter()
+            .find(|(k, _)| k == "v")
+            .and_then(|(_, c)| match c {
+                Content::U64(n) => Some(*n),
+                _ => None,
+            });
+        let kind_entry = map.iter().find(|(k, _)| k == "kind");
+        Ok(Probe {
+            v,
+            kind_present: kind_entry.is_some(),
+            kind: kind_entry.and_then(|(_, c)| c.as_str()).map(String::from),
+        })
+    }
+}
+
+fn classify_failure(line_no: u64, line: &str, err: &str, report: &mut ReadReport) {
+    match serde_json::from_str::<Probe>(line) {
+        Ok(probe) => {
+            if let Some(v) = probe.v {
+                if v > SCHEMA_VERSION {
+                    report.skipped_unsupported_version += 1;
+                    report.skip(
+                        line_no,
+                        format!("schema version {v} (this build reads up to {SCHEMA_VERSION})"),
+                    );
+                    return;
+                }
+            }
+            if probe.kind_present
+                && !matches!(probe.kind.as_deref(), Some("Counter") | Some("Span"))
+            {
+                report.skipped_unknown_kind += 1;
+                let kind = probe.kind.unwrap_or_else(|| "<non-string>".to_string());
+                report.skip(line_no, format!("unknown event kind `{kind}`"));
+                return;
+            }
+            report.skipped_corrupt += 1;
+            report.skip(line_no, format!("malformed event: {err}"));
+        }
+        Err(_) => {
+            report.skipped_corrupt += 1;
+            report.skip(line_no, format!("not valid JSON: {err}"));
+        }
+    }
+}
+
+/// Parses a whole trace held in memory. Blank lines are ignored; every
+/// non-blank line either yields an event or increments a skip counter.
+pub fn parse_trace(text: &str) -> (Vec<Event>, ReadReport) {
+    let mut events = Vec::new();
+    let mut report = ReadReport::default();
+    let mut line_no = 0u64;
+    for raw in text.lines() {
+        line_no += 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        report.lines += 1;
+        match serde_json::from_str::<Event>(line) {
+            Ok(event) => {
+                report.events += 1;
+                events.push(event);
+            }
+            Err(err) => classify_failure(line_no, line, &err.to_string(), &mut report),
+        }
+    }
+    (events, report)
+}
+
+/// Streams a trace file line by line (a line that is not valid UTF-8
+/// counts as corrupt; only opening the file can fail).
+pub fn read_trace(path: impl AsRef<Path>) -> io::Result<(Vec<Event>, ReadReport)> {
+    let file = std::fs::File::open(path)?;
+    let mut reader = io::BufReader::new(file);
+    let mut events = Vec::new();
+    let mut report = ReadReport::default();
+    let mut line_no = 0u64;
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        match reader.read_until(b'\n', &mut buf) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(err) => return Err(err),
+        }
+        line_no += 1;
+        let Ok(raw) = std::str::from_utf8(&buf) else {
+            report.lines += 1;
+            report.skipped_corrupt += 1;
+            report.skip(line_no, "not valid UTF-8".to_string());
+            continue;
+        };
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        report.lines += 1;
+        match serde_json::from_str::<Event>(line) {
+            Ok(event) => {
+                report.events += 1;
+                events.push(event);
+            }
+            Err(err) => classify_failure(line_no, line, &err.to_string(), &mut report),
+        }
+    }
+    Ok((events, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(seq: u64) -> String {
+        format!(
+            r#"{{"v":2,"seq":{seq},"thread":1,"kind":"Counter","component":"exact","name":"dp_states","value":5,"start":0}}"#
+        )
+    }
+
+    #[test]
+    fn well_formed_traces_parse_fully() {
+        let text = format!("{}\n{}\n", line(1), line(2));
+        let (events, report) = parse_trace(&text);
+        assert_eq!(events.len(), 2);
+        assert_eq!(report.events, 2);
+        assert_eq!(report.skipped(), 0);
+        assert!(report.render().is_empty());
+    }
+
+    #[test]
+    fn truncated_final_line_is_one_corrupt_skip() {
+        let text = format!("{}\n{}", line(1), &line(2)[..30]);
+        let (events, report) = parse_trace(&text);
+        assert_eq!(events.len(), 1);
+        assert_eq!(report.skipped_corrupt, 1);
+        assert_eq!(report.skipped(), 1);
+    }
+
+    #[test]
+    fn interleaved_garbage_is_counted_not_fatal() {
+        let text = format!("{}\nnot json at all\n\n{}\n<<<>>>\n", line(1), line(2));
+        let (events, report) = parse_trace(&text);
+        assert_eq!(events.len(), 2);
+        assert_eq!(report.lines, 4, "blank line is not counted");
+        assert_eq!(report.skipped_corrupt, 2);
+    }
+
+    #[test]
+    fn unknown_kind_and_future_version_are_classified() {
+        let unknown = r#"{"v":2,"seq":3,"thread":1,"kind":"Gauge","component":"x","name":"y","value":1,"start":0}"#;
+        let future = r#"{"v":9,"seq":4,"thread":1,"kind":"Counter","component":"x","name":"y","value":1,"start":0}"#;
+        let text = format!("{}\n{unknown}\n{future}\n", line(1));
+        let (events, report) = parse_trace(&text);
+        assert_eq!(events.len(), 1);
+        assert_eq!(report.skipped_unknown_kind, 1);
+        assert_eq!(report.skipped_unsupported_version, 1);
+        assert_eq!(report.skipped_corrupt, 0);
+        let rendered = report.render();
+        assert!(rendered.contains("unknown kind"), "{rendered}");
+        assert!(rendered.contains("Gauge"), "{rendered}");
+    }
+
+    #[test]
+    fn version_1_lines_parse_with_defaults() {
+        let v1 =
+            r#"{"seq":9,"thread":2,"kind":"Span","component":"bb","name":"search","value":17}"#;
+        let (events, report) = parse_trace(v1);
+        assert_eq!(report.skipped(), 0);
+        assert_eq!(events.len(), 1);
+        let e = events.first().unwrap();
+        assert_eq!(e.start, 0);
+        assert_eq!(e.parent, None);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for jp-lens over generated traces.
+//!
+//! Two invariants the rest of the toolbox leans on:
+//!
+//! * **Byte-identical round trip** — `emit → parse → re-emit` reproduces
+//!   the input exactly on well-formed traces. This is what makes the
+//!   reader safe to put in a pipeline: it never loses or reorders
+//!   information it understood.
+//! * **No orphans on well-formed parentage** — whenever every `parent`
+//!   references an earlier span in the same trace (the shape the live
+//!   emitter guarantees via seq reservation), the analyzer reports zero
+//!   orphaned parent links.
+
+use jp_obs::{Event, EventKind};
+use jp_trace::{parse_trace, Analysis};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+const COMPONENTS: [&str; 5] = ["exact", "bb", "portfolio", "par", "approx.dfs_partition"];
+const NAMES: [&str; 5] = [
+    "solve",
+    "dp_states",
+    "race",
+    "worker.start",
+    "nodes_expanded",
+];
+
+/// Generates a well-formed trace: distinct increasing seqs, and every
+/// `parent` pointing at an earlier *span* event of the trace.
+fn arb_events() -> impl Strategy<Value = Vec<Event>> {
+    vec(
+        (
+            1u64..=8,     // thread
+            0u8..2,       // kind selector
+            0usize..5,    // component selector
+            0usize..5,    // name selector
+            any::<u64>(), // value
+            any::<u64>(), // entropy for start + parent choice
+        ),
+        0..40,
+    )
+    .prop_map(|rows| {
+        let mut events = Vec::new();
+        let mut span_seqs: Vec<u64> = Vec::new();
+        for (i, (thread, kind, ci, ni, value, entropy)) in rows.into_iter().enumerate() {
+            let seq = (i as u64) * 2 + entropy % 2; // distinct, increasing
+            let kind = if kind == 0 {
+                EventKind::Counter
+            } else {
+                EventKind::Span
+            };
+            // roughly half the events nest under some earlier span
+            let parent = if entropy % 4 < 2 && !span_seqs.is_empty() {
+                span_seqs
+                    .get((entropy / 4) as usize % span_seqs.len())
+                    .copied()
+            } else {
+                None
+            };
+            if kind == EventKind::Span {
+                span_seqs.push(seq);
+            }
+            events.push(Event {
+                seq,
+                thread,
+                kind,
+                component: COMPONENTS[ci].to_string(),
+                name: NAMES[ni].to_string(),
+                value,
+                start: entropy >> 32,
+                parent,
+            });
+        }
+        events
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn emit_parse_reemit_is_byte_identical(events in arb_events()) {
+        let text: String = events
+            .iter()
+            .map(|e| serde_json::to_string(e).unwrap() + "\n")
+            .collect();
+        let (parsed, report) = parse_trace(&text);
+        prop_assert_eq!(report.skipped(), 0, "skips: {:?}", report.samples);
+        prop_assert_eq!(&parsed, &events);
+        let reemitted: String = parsed
+            .iter()
+            .map(|e| serde_json::to_string(e).unwrap() + "\n")
+            .collect();
+        prop_assert_eq!(reemitted, text);
+    }
+
+    #[test]
+    fn well_formed_parentage_never_yields_orphans(events in arb_events()) {
+        let analysis = Analysis::from_events(&events);
+        prop_assert_eq!(analysis.orphans, 0);
+        let spans = events.iter().filter(|e| e.kind == EventKind::Span).count();
+        prop_assert_eq!(analysis.nodes.len(), spans);
+        // flamegraph export never panics and only emits positive values
+        for (stack, value) in jp_trace::folded_stacks(&analysis) {
+            prop_assert!(value > 0, "zero-valued stack {stack} leaked");
+            prop_assert!(stack.starts_with("thread-"));
+        }
+    }
+}
