@@ -34,6 +34,12 @@ use jp_obs::StatsSnapshot;
 use serde::Serialize;
 use std::path::PathBuf;
 
+/// Attribute every allocation to the active pulse memory scope, so each
+/// case's stats carry the `mem.*` axis (peak-RSS-equivalent per case).
+#[cfg(feature = "alloc-track")]
+#[global_allocator]
+static ALLOC: jp_pulse::TrackingAlloc = jp_pulse::TrackingAlloc;
+
 /// A named solver entry point producing a scheme (or `None` when the
 /// solver does not apply to the graph).
 type Solver = (

@@ -16,6 +16,12 @@
 use jp_bench::{all_experiments, capture, write_metrics, RunMetrics};
 use std::path::PathBuf;
 
+/// Attribute allocations to pulse memory scopes so each experiment's
+/// metrics carry the `mem.*` axis.
+#[cfg(feature = "alloc-track")]
+#[global_allocator]
+static ALLOC: jp_pulse::TrackingAlloc = jp_pulse::TrackingAlloc;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let metrics_dir = std::env::var_os("JP_METRICS_DIR")

@@ -6,10 +6,53 @@
 //! companion to the human-readable markdown reports.
 
 use jp_obs::{FanoutSink, JsonlSink, ScopedSink, Sink, StatsSink, StatsSnapshot};
+use jp_pulse::MemScopeStats;
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Starts the per-case memory axis: resets every high-water mark and
+/// remembers the counter levels, so [`emit_mem_axis`] can report deltas
+/// and the peak *of this case* rather than of the whole process.
+fn start_mem_axis() -> jp_pulse::MemSnapshot {
+    jp_pulse::mem::reset_peaks();
+    jp_pulse::mem_snapshot()
+}
+
+/// Emits the case's allocation accounting as `mem.*` counters into the
+/// active obs scope (so they land in the captured [`StatsSnapshot`] and
+/// any streamed trace). A no-op when the tracking allocator is not
+/// installed — baselines from untracked builds simply lack the memory
+/// axis, which `trace check` treats as a soft finding.
+fn emit_mem_axis(before: &jp_pulse::MemSnapshot) {
+    if !jp_pulse::mem::tracking_active() {
+        return;
+    }
+    let after = jp_pulse::mem_snapshot();
+    let emit = |label: &str, b: &MemScopeStats, a: &MemScopeStats, always: bool| {
+        let allocs = a.allocs.saturating_sub(b.allocs);
+        let bytes = a.bytes_allocated.saturating_sub(b.bytes_allocated);
+        if !always && allocs == 0 && a.frees.saturating_sub(b.frees) == 0 {
+            return;
+        }
+        jp_obs::counter("mem", &format!("{label}.allocs"), allocs);
+        jp_obs::counter("mem", &format!("{label}.bytes_allocated"), bytes);
+        // peak since start_mem_axis reset it: the case's high-water mark
+        jp_obs::counter(
+            "mem",
+            &format!("{label}.bytes_peak"),
+            a.bytes_peak.max(0) as u64,
+        );
+    };
+    for (scope, (b, a)) in jp_pulse::mem::SCOPES
+        .iter()
+        .zip(before.scopes.iter().zip(after.scopes.iter()))
+    {
+        emit(scope.label(), b, a, false);
+    }
+    emit("total", &before.total, &after.total, true);
+}
 
 /// Aggregated metrics for one experiment or benchmark case.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -38,7 +81,10 @@ pub fn capture<T>(f: impl FnOnce() -> T) -> (T, u64, StatsSnapshot) {
     let t0 = Instant::now();
     let out = {
         let _guard = ScopedSink::install(sink.clone());
-        f()
+        let mem = start_mem_axis();
+        let out = f();
+        emit_mem_axis(&mem);
+        out
     };
     let wall_micros = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
     (out, wall_micros, sink.snapshot())
@@ -61,7 +107,10 @@ pub fn capture_traced<T>(
     let t0 = Instant::now();
     let out = {
         let _guard = ScopedSink::install(Arc::new(FanoutSink::new(sinks)));
-        f()
+        let mem = start_mem_axis();
+        let out = f();
+        emit_mem_axis(&mem);
+        out
     };
     let wall_micros = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
     Ok((out, wall_micros, stats.snapshot()))

@@ -540,14 +540,39 @@ pub fn trace(args: &[String], out: Out) -> Result<(), CliError> {
 }
 
 /// Reads a trace, surfaces skip warnings, and analyzes what parsed.
+/// A file with zero parseable events is an error, not an all-zero
+/// summary — classified (empty vs. all-lines-skipped) and line-numbered
+/// so the operator sees *why* nothing parsed.
 fn load_analysis(path: &str, out: Out) -> Result<jp_trace::Analysis, CliError> {
     let (events, report) =
         jp_trace::read_trace(path).map_err(|e| rt(format!("reading {path}: {e}")))?;
+    if events.is_empty() {
+        return Err(empty_trace_error(path, &report));
+    }
     let warnings = report.render();
     if !warnings.is_empty() {
         write!(out, "{warnings}").map_err(CliError::io)?;
     }
     Ok(jp_trace::Analysis::from_events(&events))
+}
+
+/// The classified error for a trace no event could be read from.
+fn empty_trace_error(path: &str, report: &jp_trace::ReadReport) -> CliError {
+    if report.lines == 0 {
+        return rt(format!("trace file {path} is empty (0 lines, 0 events)"));
+    }
+    let mut msg = format!(
+        "trace file {path} contains no parseable events: {} line(s), \
+         {} corrupt, {} unknown kind, {} unsupported version",
+        report.lines,
+        report.skipped_corrupt,
+        report.skipped_unknown_kind,
+        report.skipped_unsupported_version
+    );
+    for sample in &report.samples {
+        msg.push_str(&format!("\n  line {}: {}", sample.line, sample.reason));
+    }
+    rt(msg)
 }
 
 /// `jp trace summary FILE`
@@ -627,4 +652,94 @@ fn trace_check(args: &[String], out: Out) -> Result<(), CliError> {
         )));
     }
     Ok(())
+}
+
+/// `jp pulse <top|export> FILE …` — the live-metrics toolbox over pulse
+/// files recorded by the `--pulse` sampler.
+pub fn pulse(args: &[String], out: Out) -> Result<(), CliError> {
+    let Some((sub, rest)) = args.split_first() else {
+        return Err(CliError::Usage(
+            "pulse needs a subcommand: top | export".into(),
+        ));
+    };
+    match sub.as_str() {
+        "top" => pulse_top(rest, out),
+        "export" => pulse_export(rest, out),
+        other => Err(CliError::Usage(format!(
+            "unknown pulse subcommand `{other}` (top | export)"
+        ))),
+    }
+}
+
+/// Reads a pulse file into snapshots; zero snapshots is an error.
+fn load_pulse_snapshots(path: &str) -> Result<Vec<jp_trace::PulseSnapshot>, CliError> {
+    let (events, report) =
+        jp_trace::read_trace(path).map_err(|e| rt(format!("reading {path}: {e}")))?;
+    let snaps = jp_trace::pulse_snapshots(&events);
+    if snaps.is_empty() {
+        return Err(rt(format!(
+            "no pulse snapshots in {path} ({} line(s), {} event(s) parsed) — \
+             was the run recorded with --pulse?",
+            report.lines, report.events
+        )));
+    }
+    Ok(snaps)
+}
+
+/// `jp pulse top FILE [--watch N] [--every-ms M]` — renders the latest
+/// snapshot; with `--watch N` it re-reads the file N times at the given
+/// cadence (default 500 ms), clearing the screen between frames, so a
+/// terminal pointed at a live `--pulse` file becomes a `top`-style view.
+fn pulse_top(args: &[String], out: Out) -> Result<(), CliError> {
+    let a = ParsedArgs::parse(args)?;
+    let path = a.pos(0, "pulse file")?;
+    let watch: u64 = a.opt_parse("watch", 0)?;
+    let every_ms: u64 = a.opt_parse("every-ms", 500)?;
+    let frames = watch.max(1);
+    for frame in 0..frames {
+        let snaps = load_pulse_snapshots(path)?;
+        let Some(last) = snaps.last() else {
+            return Ok(()); // unreachable: load_pulse_snapshots errors on empty
+        };
+        if watch > 0 {
+            // clear screen + home, the classic live-refresh sequence
+            write!(out, "\x1b[2J\x1b[H").map_err(CliError::io)?;
+        }
+        write!(
+            out,
+            "{}",
+            jp_pulse::top::render_top(last.ordinal, last.at_micros, &last.samples)
+        )
+        .map_err(CliError::io)?;
+        out.flush().map_err(CliError::io)?;
+        if frame + 1 < frames {
+            std::thread::sleep(std::time::Duration::from_millis(every_ms));
+        }
+    }
+    Ok(())
+}
+
+/// `jp pulse export FILE [--out F]` — Prometheus-style text exposition
+/// of the latest snapshot, to stdout or a file.
+fn pulse_export(args: &[String], out: Out) -> Result<(), CliError> {
+    let a = ParsedArgs::parse(args)?;
+    let path = a.pos(0, "pulse file")?;
+    let snaps = load_pulse_snapshots(path)?;
+    let Some(last) = snaps.last() else {
+        return Ok(()); // unreachable: load_pulse_snapshots errors on empty
+    };
+    let text = jp_pulse::expo::render_exposition(&last.samples);
+    match a.opt("out") {
+        Some(dest) => {
+            std::fs::write(dest, &text).map_err(|e| rt(format!("writing {dest}: {e}")))?;
+            writeln!(
+                out,
+                "{} metric(s) from snapshot #{} exported to {dest}",
+                last.samples.len(),
+                last.ordinal
+            )
+            .map_err(CliError::io)
+        }
+        None => write!(out, "{text}").map_err(CliError::io),
+    }
 }

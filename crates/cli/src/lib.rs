@@ -29,13 +29,22 @@ USAGE:
   jp trace diff <a.jsonl> <b.jsonl>             compare two recorded runs
   jp trace check <trace.jsonl> --baseline BENCH.json
            --family F --solver S [--threads N]  gate against a baseline
+  jp pulse top <pulse.jsonl> [--watch N] [--every-ms M]
+                                                render the latest live-metrics
+                                                snapshot (N refreshes when
+                                                watching, default 500 ms apart)
+  jp pulse export <pulse.jsonl> [--out F]       Prometheus-style text exposition
   jp help                                       this text
 
 GLOBAL OPTIONS (any command):
   --trace FILE   append instrumentation events (counters, span timings)
                  as JSON Lines to FILE
   --stats        print an aggregated counter/span summary (with exact
-                 p50/p95/max span percentiles) after the command finishes
+                 p50/p95/p99/max span percentiles) after the command finishes
+  --pulse        sample live metrics (counters, gauges, histograms, memory
+                 scopes) into pulse.jsonl while the command runs
+  --pulse-file FILE        write the pulse samples to FILE instead
+  --pulse-interval MS      sampler period in milliseconds (default 25)
 
 FAMILIES (jp generate):
   complete-bipartite K L      equijoin component K_{K,L} (Lemma 3.2)
@@ -85,14 +94,30 @@ WORKLOADS (jp join --workload):
                   and --threads)
 ";
 
-/// Strips the global observability options (`--trace FILE`, `--stats`)
-/// out of `args` before subcommand parsing sees them. `--stats` is the
-/// only value-less option in the CLI, so it is handled here rather than
-/// in [`ParsedArgs`].
-fn split_global_opts(args: &[String]) -> Result<(Vec<String>, Option<String>, bool), CliError> {
+/// The global options every subcommand accepts, stripped out of the
+/// argument list before subcommand parsing sees them.
+struct GlobalOpts {
+    rest: Vec<String>,
+    trace: Option<String>,
+    stats: bool,
+    /// Pulse file to sample live metrics into, when `--pulse` (default
+    /// `pulse.jsonl`) or `--pulse-file FILE` was given.
+    pulse: Option<String>,
+    /// Sampler period in milliseconds (`--pulse-interval`, default 25).
+    pulse_interval_ms: u64,
+}
+
+/// Strips the global observability options (`--trace FILE`, `--stats`,
+/// `--pulse`, `--pulse-file FILE`, `--pulse-interval MS`) out of `args`
+/// before subcommand parsing sees them. `--stats` and `--pulse` are the
+/// only value-less options in the CLI, so they are handled here rather
+/// than in [`ParsedArgs`].
+fn split_global_opts(args: &[String]) -> Result<GlobalOpts, CliError> {
     let mut rest = Vec::with_capacity(args.len());
     let mut trace = None;
     let mut stats = false;
+    let mut pulse: Option<String> = None;
+    let mut pulse_interval_ms = 25u64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -109,20 +134,71 @@ fn split_global_opts(args: &[String]) -> Result<(Vec<String>, Option<String>, bo
                 stats = true;
                 i += 1;
             }
+            "--pulse" => {
+                // value-less: the pulse file defaults to pulse.jsonl so
+                // `jp pebble g.json --pulse` can't eat a positional arg
+                pulse.get_or_insert_with(|| "pulse.jsonl".to_string());
+                i += 1;
+            }
+            "--pulse-file" => {
+                let Some(path) = args.get(i + 1).filter(|v| !v.starts_with("--")) else {
+                    return Err(CliError::Usage(
+                        "option --pulse-file needs a file path".into(),
+                    ));
+                };
+                pulse = Some(path.clone());
+                i += 2;
+            }
+            "--pulse-interval" => {
+                let parsed = args.get(i + 1).and_then(|v| v.parse::<u64>().ok());
+                let Some(ms) = parsed else {
+                    return Err(CliError::Usage(
+                        "option --pulse-interval needs a millisecond count".into(),
+                    ));
+                };
+                pulse_interval_ms = ms;
+                i += 2;
+            }
             _ => {
                 rest.push(args[i].clone());
                 i += 1;
             }
         }
     }
-    Ok((rest, trace, stats))
+    Ok(GlobalOpts {
+        rest,
+        trace,
+        stats,
+        pulse,
+        pulse_interval_ms,
+    })
 }
 
 /// Runs the CLI with the given arguments, writing reports to `out`.
 pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
-    let (args, trace, stats) = split_global_opts(args)?;
+    let GlobalOpts {
+        rest: args,
+        trace,
+        stats,
+        pulse,
+        pulse_interval_ms,
+    } = split_global_opts(args)?;
     let Some((cmd, rest)) = args.split_first() else {
         return Err(CliError::Usage("no command given".into()));
+    };
+
+    // The pulse sampler runs for the duration of the command and stops
+    // (writing one final snapshot) before the report below, so the last
+    // snapshot always carries the run's final counter values.
+    let sampler = match &pulse {
+        Some(path) => Some(
+            jp_pulse::Sampler::start(
+                std::path::Path::new(path),
+                std::time::Duration::from_millis(pulse_interval_ms),
+            )
+            .map_err(|e| CliError::Runtime(format!("opening pulse file {path}: {e}")))?,
+        ),
+        None => None,
     };
 
     // Install the requested sinks for the duration of the command. The
@@ -160,6 +236,7 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         "fragment" => commands::fragment(rest, out),
         "buffers" => commands::buffers(rest, out),
         "trace" => commands::trace(rest, out),
+        "pulse" => commands::pulse(rest, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}").map_err(CliError::io)?;
             Ok(())
@@ -168,6 +245,19 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
     };
 
     drop(_scope); // flush the trace file before reporting
+    if let Some(sampler) = sampler {
+        let report = sampler.stop();
+        if result.is_ok() {
+            if let Some(path) = &pulse {
+                writeln!(
+                    out,
+                    "pulse: {} snapshot(s) written to {path}",
+                    report.snapshots
+                )
+                .map_err(CliError::io)?;
+            }
+        }
+    }
     if result.is_ok() {
         if let Some(s) = &stats_sink {
             write!(
@@ -586,5 +676,191 @@ mod tests {
         assert!(out.contains("inverted_index"));
         let out = run_str(&["join", "--workload", "rects", "--n", "150"]).unwrap();
         assert!(out.contains("rtree"));
+    }
+
+    /// Pulls `"memo: R recognized, H hits, M misses, I inserts, …"`
+    /// apart into (recognized, hits, misses, inserts).
+    fn memo_stats_line(out: &str) -> (u64, u64, u64, u64) {
+        let line = out
+            .lines()
+            .find(|l| l.starts_with("memo:") && l.contains("recognized"))
+            .unwrap_or_else(|| panic!("no memo stats line in:\n{out}"));
+        let nums: Vec<u64> = line
+            .split(|c: char| !c.is_ascii_digit())
+            .filter(|s| !s.is_empty())
+            .map(|s| s.parse().unwrap())
+            .collect();
+        (nums[0], nums[1], nums[2], nums[3])
+    }
+
+    #[test]
+    fn pulse_snapshot_matches_final_memo_counters_and_top_renders_workers() {
+        let dir = std::env::temp_dir().join(format!("jp-cli-pulse-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = dir.join("g.json");
+        let pf = dir.join("pulse.jsonl");
+        run_str(&["generate", "spider", "10", "--out", g.to_str().unwrap()]).unwrap();
+
+        let out = run_str(&[
+            "pebble",
+            g.to_str().unwrap(),
+            "--algo",
+            "portfolio",
+            "--threads",
+            "4",
+            "--memo",
+            "true",
+            "--pulse-file",
+            pf.to_str().unwrap(),
+            "--pulse-interval",
+            "5",
+        ])
+        .unwrap();
+        assert!(out.contains("snapshot(s) written to"), "{out}");
+        let (recognized, hits, misses, inserts) = memo_stats_line(&out);
+
+        // The pulse file parses with the damage-tolerant trace reader and
+        // its final snapshot carries the run's final memo counters — the
+        // live registry and the jp-obs/memo accounting must agree exactly.
+        let (events, report) = jp_trace::read_trace(&pf).unwrap();
+        assert_eq!(report.skipped(), 0, "pulse file has corrupt lines");
+        let snaps = jp_trace::pulse_snapshots(&events);
+        assert!(!snaps.is_empty(), "no snapshots in pulse file");
+        let last = snaps.last().unwrap();
+        let sample = |k: &str| last.samples.get(k).copied().unwrap_or(0);
+        assert_eq!(sample("memo.recognized"), recognized);
+        assert_eq!(sample("memo.hit"), hits);
+        assert_eq!(sample("memo.miss"), misses);
+        assert_eq!(sample("memo.insert"), inserts);
+        assert!(
+            recognized + hits + misses > 0,
+            "run exercised no memo path at all:\n{out}"
+        );
+        // the par runtime published per-worker utilization gauges
+        assert!(
+            last.samples.keys().any(|k| k.starts_with("par.worker.")),
+            "no worker gauges in final snapshot: {:?}",
+            last.samples.keys().collect::<Vec<_>>()
+        );
+
+        // `pulse top` renders the worker gauges as bars…
+        let top = run_str(&["pulse", "top", pf.to_str().unwrap()]).unwrap();
+        assert!(top.contains("jp pulse · snapshot #"), "{top}");
+        assert!(top.contains("worker "), "{top}");
+        // …and `pulse export` writes Prometheus-style exposition.
+        let ef = dir.join("pulse.prom");
+        let out = run_str(&[
+            "pulse",
+            "export",
+            pf.to_str().unwrap(),
+            "--out",
+            ef.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("exported to"), "{out}");
+        let expo = std::fs::read_to_string(&ef).unwrap();
+        assert!(expo.contains("# TYPE jp_par_workers gauge"), "{expo}");
+        assert!(expo.contains("jp_memo_recognized"), "{expo}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bare_pulse_flag_defaults_to_pulse_jsonl_and_keeps_positionals() {
+        // --pulse is value-less: the graph path after it must survive as
+        // a positional argument, and samples land in ./pulse.jsonl.
+        let dir = std::env::temp_dir().join(format!("jp-cli-pulse2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = dir.join("g.json");
+        run_str(&["generate", "path", "6", "--out", g.to_str().unwrap()]).unwrap();
+        let opts = split_global_opts(&[
+            "pebble".into(),
+            "--pulse".into(),
+            g.to_str().unwrap().to_string(),
+        ])
+        .unwrap();
+        assert_eq!(opts.pulse.as_deref(), Some("pulse.jsonl"));
+        assert_eq!(opts.rest.len(), 2, "positional after --pulse kept");
+        assert_eq!(opts.pulse_interval_ms, 25, "default sampler period");
+        std::fs::remove_dir_all(&dir).ok();
+
+        let err = run_str(&["pebble", "--pulse-interval"]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        let err = run_str(&["pebble", "--pulse-file"]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn pulse_subcommand_usage_and_missing_snapshots() {
+        let err = run_str(&["pulse"]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        let err = run_str(&["pulse", "flop", "x.jsonl"]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+
+        // a trace with events but no pulse markers is a runtime error
+        let dir = std::env::temp_dir().join(format!("jp-cli-pulse3-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let t = dir.join("t.jsonl");
+        let g = dir.join("g.json");
+        run_str(&["generate", "path", "5", "--out", g.to_str().unwrap()]).unwrap();
+        run_str(&[
+            "pebble",
+            g.to_str().unwrap(),
+            "--algo",
+            "dfs",
+            "--trace",
+            t.to_str().unwrap(),
+        ])
+        .unwrap();
+        let err = run_str(&["pulse", "top", t.to_str().unwrap()]).unwrap_err();
+        match err {
+            CliError::Runtime(m) => assert!(m.contains("no pulse snapshots"), "{m}"),
+            other => panic!("expected Runtime error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_summary_on_empty_or_corrupt_file_is_classified_error() {
+        let dir = std::env::temp_dir().join(format!("jp-cli-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // an empty file: runtime error naming the path and the zero counts
+        let empty = dir.join("empty.jsonl");
+        std::fs::write(&empty, "").unwrap();
+        for cmd in ["summary", "flame"] {
+            let err = run_str(&["trace", cmd, empty.to_str().unwrap()]).unwrap_err();
+            match err {
+                CliError::Runtime(m) => {
+                    assert!(m.contains("is empty"), "trace {cmd}: {m}");
+                    assert!(m.contains("0 lines"), "trace {cmd}: {m}");
+                }
+                other => panic!("trace {cmd}: expected Runtime error, got {other:?}"),
+            }
+        }
+
+        // all-corrupt input: the classified skip counts and a line number
+        let garbage = dir.join("garbage.jsonl");
+        std::fs::write(&garbage, "not json\n{\"also\": \"not an event\"}\n").unwrap();
+        let err = run_str(&["trace", "summary", garbage.to_str().unwrap()]).unwrap_err();
+        match err {
+            CliError::Runtime(m) => {
+                assert!(m.contains("corrupt"), "{m}");
+                assert!(m.contains("line 1"), "{m}");
+            }
+            other => panic!("expected Runtime error, got {other:?}"),
+        }
+
+        // `trace diff` is covered by the same loader on either side
+        let err = run_str(&[
+            "trace",
+            "diff",
+            empty.to_str().unwrap(),
+            garbage.to_str().unwrap(),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, CliError::Runtime(_)));
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -12,6 +12,14 @@
 
 use jp_cli::{run, CliError};
 
+/// Attribute every allocation to the innermost pulse memory scope so
+/// `--pulse` snapshots carry `mem.*` samples. Compiled out (and the
+/// binary falls back to the system allocator untouched) when the
+/// `alloc-track` feature is disabled.
+#[cfg(feature = "alloc-track")]
+#[global_allocator]
+static ALLOC: jp_pulse::TrackingAlloc = jp_pulse::TrackingAlloc;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args, &mut std::io::stdout()) {

@@ -53,6 +53,7 @@ pub(crate) fn min_jump_tour_racing(
     abandon: &dyn Fn() -> bool,
 ) -> Option<(Vec<u32>, usize)> {
     let _span = jp_obs::span("exact", "min_jump_tour");
+    let _mem = jp_pulse::mem_scope(jp_pulse::MemScope::Solver);
     let n = ones.vertex_count() as usize;
     // audit:allow(panic-freedom) documented precondition — see "# Panics" above; callers gate on size
     assert!(n >= 1, "empty TSP instance");
@@ -69,6 +70,7 @@ pub(crate) fn min_jump_tour_racing(
     let mut dp = vec![INF; (full + 1) * n];
     jp_obs::counter("exact", "dp_states", dp.len() as u64);
     jp_obs::counter("exact", "dp_bytes", dp.len() as u64);
+    jp_pulse::counter_add("exact.dp_states", dp.len() as u64);
     let mut subset_iterations: u64 = 0;
     let mut dp_improvements: u64 = 0;
     for v in 0..n {

@@ -162,6 +162,9 @@ impl SharedSearch {
             self.best_jumps.store(jumps, Ordering::Relaxed);
             *guard = tour.to_vec();
             self.improvements.fetch_add(1, Ordering::Relaxed);
+            // Live incumbent: `jp pulse top` shows the bound tightening
+            // while the search runs.
+            jp_pulse::gauge_set("bb.incumbent_jumps", jumps as u64);
         }
     }
 }
@@ -338,6 +341,7 @@ pub fn bb_min_jump_tour(ones: &Graph, budget: u64) -> BbOutcome {
 /// per-worker effort split may differ.
 pub fn bb_min_jump_tour_par(ones: &Graph, budget: u64, threads: usize) -> BbOutcome {
     let _span = jp_obs::span("bb", "search");
+    let _mem = jp_pulse::mem_scope(jp_pulse::MemScope::Solver);
     let n = ones.vertex_count() as usize;
     if n == 0 {
         return BbOutcome::Optimal {
@@ -398,6 +402,7 @@ pub fn bb_min_jump_tour_par(ones: &Graph, budget: u64, threads: usize) -> BbOutc
             if searcher.truncated {
                 shared_ref.truncated.store(true, Ordering::Relaxed);
             }
+            jp_pulse::counter_add("bb.nodes_expanded", searcher.nodes);
             TaskEffort {
                 nodes: searcher.nodes,
                 incumbent_prunes: searcher.incumbent_prunes,

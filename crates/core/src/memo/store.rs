@@ -155,6 +155,41 @@ impl Memo {
         if jp_obs::enabled() {
             jp_obs::counter("memo", name, 1);
         }
+        if jp_pulse::enabled() {
+            // Static names so the live path never allocates; the pulse
+            // counters mirror the jp-obs ones 1:1, which is what the
+            // sampler's final snapshot is checked against end-to-end.
+            let pulse_name = match name {
+                "recognized" => "memo.recognized",
+                "hit" => "memo.hit",
+                "miss" => "memo.miss",
+                "insert" => "memo.insert",
+                "reject" => "memo.reject",
+                "poisoned" => "memo.poisoned",
+                _ => "memo.other",
+            };
+            jp_pulse::counter_add(pulse_name, 1);
+        }
+    }
+
+    /// Publishes live occupancy gauges: total cached entries and the
+    /// imbalance of the fullest shard relative to a perfectly uniform
+    /// spread (100 = uniform; 1600 = everything in one of 16 shards).
+    fn publish_occupancy(&self) {
+        if !jp_pulse::enabled() {
+            return;
+        }
+        let mut total = 0usize;
+        let mut largest = 0usize;
+        for shard in &self.shards {
+            let len = lock(shard).len();
+            total += len;
+            largest = largest.max(len);
+        }
+        jp_pulse::gauge_set("memo.occupancy", total as u64);
+        if let Some(imbalance) = (largest * SHARDS * 100).checked_div(total) {
+            jp_pulse::gauge_set("memo.shard_imbalance_pct", imbalance as u64);
+        }
     }
 
     /// Solves a connected component from structure alone when possible:
@@ -170,6 +205,7 @@ impl Memo {
         sub: &BipartiteGraph,
         exact_only: bool,
     ) -> Option<(Vec<usize>, usize)> {
+        let _mem = jp_pulse::mem_scope(jp_pulse::MemScope::Memo);
         if let Some(r) = recognize_component(sub) {
             self.bump(&self.recognized, "recognized");
             return Some((r.order, r.cost));
@@ -227,6 +263,7 @@ impl Memo {
     /// better (exact beats heuristic, then lower cost).
     // audit:allow(obs-coverage) hot per-component record — counters cover it; see solve_component
     pub fn record_component(&self, sub: &BipartiteGraph, order: &[usize], exact: bool) {
+        let _mem = jp_pulse::mem_scope(jp_pulse::MemScope::Memo);
         let Some(form) = canonical_form(sub) else {
             return;
         };
@@ -265,6 +302,7 @@ impl Memo {
             );
             drop(map);
             self.bump(&self.inserts, "insert");
+            self.publish_occupancy();
         }
     }
 

@@ -90,6 +90,11 @@ impl Race {
     fn offer(&self, g: &BipartiteGraph, strategy: usize, scheme: PebblingScheme) {
         let cost = scheme.effective_cost(g);
         self.incumbent.fetch_min(cost, Ordering::Relaxed);
+        // Live incumbent: the race's current best effective cost.
+        jp_pulse::gauge_set(
+            "portfolio.incumbent_cost",
+            self.incumbent.load(Ordering::Relaxed) as u64,
+        );
         let mut best = lock(&self.best);
         let replace = match &*best {
             Some(b) => (cost, strategy) < (b.cost, b.strategy),
@@ -190,6 +195,7 @@ pub fn portfolio_scheme_memo(
     memo: Option<&Memo>,
 ) -> Result<PebblingScheme, PebbleError> {
     let _span = jp_obs::span("portfolio", "race");
+    let _mem = jp_pulse::mem_scope(jp_pulse::MemScope::Solver);
     let race = Race {
         incumbent: AtomicUsize::new(usize::MAX),
         floor: bounds::best_lower_bound(g),

@@ -163,9 +163,10 @@ impl StatsSnapshot {
                 values.sort_unstable();
                 let p50 = crate::nearest_rank(&values, 0.50);
                 let p95 = crate::nearest_rank(&values, 0.95);
+                let p99 = crate::nearest_rank(&values, 0.99);
                 let max = values.last().copied().unwrap_or(0);
                 out.push_str(&format!(
-                    "  {key:<40} {micros} µs over {calls} call(s), p50 {p50} p95 {p95} max {max} µs\n"
+                    "  {key:<40} {micros} µs over {calls} call(s), p50 {p50} p95 {p95} p99 {p99} max {max} µs\n"
                 ));
             }
         }
@@ -287,7 +288,10 @@ mod tests {
             sink.record(&Event::span("bb", "search", v));
         }
         let text = sink.snapshot().render();
-        assert!(text.contains("p50 30 p95 1000 max 1000"), "render = {text}");
+        assert!(
+            text.contains("p50 30 p95 1000 p99 1000 max 1000"),
+            "render = {text}"
+        );
     }
 
     #[test]

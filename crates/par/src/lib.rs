@@ -101,6 +101,7 @@ impl<T> Worker<'_, T> {
         // while it was never accounted for.
         self.shared.pending.fetch_add(1, Ordering::Release);
         self.shared.spawned.fetch_add(1, Ordering::Relaxed);
+        jp_pulse::counter_add("par.spawned", 1);
         lock(&self.shared.injector).push_back(IndexedTask {
             index,
             payload: task,
@@ -125,6 +126,7 @@ impl<T> Worker<'_, T> {
             };
             if let Some(t) = lock(victim).pop_back() {
                 self.shared.steals.fetch_add(1, Ordering::Relaxed);
+                jp_pulse::counter_add("par.steals", 1);
                 return Some(t);
             }
         }
@@ -144,6 +146,12 @@ where
     // Join any active scoped obs capture for this worker's lifetime —
     // without this, a ScopedSink would drop our events as cross-talk.
     let _adopt = jp_obs::adopt();
+    // Same for an active pulse scope: live gauges published here must
+    // land in the sampler's registry, not be filtered as cross-talk.
+    let _pulse = jp_pulse::adopt();
+    // Allocation attribution: everything this worker does defaults to
+    // the `par` scope; solver/memo entry points override by nesting.
+    let _mem = jp_pulse::mem_scope(jp_pulse::MemScope::Par);
     // Nest everything this worker emits (task spans included) under the
     // runtime's `par.run` span, which outlives every worker — so traces
     // form one tree with zero orphaned parents.
@@ -152,6 +160,12 @@ where
     // offsets are what `trace summary` turns into the utilization
     // timeline.
     jp_obs::counter("par", "worker.start", 1);
+    // Live per-worker utilization: busy time spent inside tasks over
+    // wall time since the worker started. Published as a pulse gauge
+    // after every task, so `jp pulse top` shows load while we run.
+    let started = std::time::Instant::now();
+    let mut busy = std::time::Duration::ZERO;
+    let util_gauge = format!("par.worker.{id}.util_pct");
     let worker = Worker { shared, id };
     let mut out = Vec::new();
     loop {
@@ -160,6 +174,8 @@ where
         }
         match worker.next_task() {
             Some(task) => {
+                let pulsing = jp_pulse::enabled();
+                let task_start = pulsing.then(std::time::Instant::now);
                 match std::panic::catch_unwind(AssertUnwindSafe(|| f(&worker, task.payload))) {
                     Ok(result) => out.push((task.index, result)),
                     Err(payload) => {
@@ -171,6 +187,16 @@ where
                     }
                 }
                 shared.pending.fetch_sub(1, Ordering::Release);
+                if let Some(t0) = task_start {
+                    busy += t0.elapsed();
+                    let wall = started.elapsed().as_micros().max(1);
+                    let pct = (busy.as_micros().saturating_mul(100) / wall) as u64;
+                    jp_pulse::gauge_set(&util_gauge, pct.min(100));
+                    jp_pulse::gauge_set(
+                        "par.queue_depth",
+                        shared.pending.load(Ordering::Acquire) as u64,
+                    );
+                }
             }
             // pending > 0 but every queue momentarily empty: the last
             // tasks are running elsewhere and may still spawn more.
@@ -259,6 +285,13 @@ where
         );
         jp_obs::counter("par", "steals", shared.steals.load(Ordering::Relaxed));
         jp_obs::counter("par", "spawned", shared.spawned.load(Ordering::Relaxed));
+    }
+    if jp_pulse::enabled() {
+        jp_pulse::gauge_set("par.workers", threads as u64);
+        jp_pulse::gauge_set(
+            "par.tasks",
+            shared.next_index.load(Ordering::Acquire) as u64,
+        );
     }
     let total = shared.next_index.load(Ordering::Acquire);
     let mut slots: Vec<Option<R>> = Vec::with_capacity(total);

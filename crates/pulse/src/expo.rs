@@ -1,0 +1,63 @@
+//! Prometheus-style text exposition of a pulse snapshot.
+//!
+//! `jp pulse export` renders the latest snapshot in the classic
+//! `text/plain; version=0.0.4` shape: a `# TYPE` comment per metric
+//! followed by `name value`. Every sample is exposed as a gauge — the
+//! scrape target is a point-in-time snapshot, so even monotonic pulse
+//! counters are levels from the scraper's point of view (downstream
+//! `rate()` handles resets exactly as for any restarted process).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Maps a pulse sample name to a legal Prometheus metric name:
+/// prefix `jp_`, every non-alphanumeric byte folded to `_`.
+pub fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 3);
+    out.push_str("jp_");
+    for ch in name.chars() {
+        if ch.is_ascii_alphanumeric() {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders the full exposition document for one snapshot. Input keys
+/// are already sorted (`BTreeMap`), so output is deterministic.
+pub fn render_exposition(samples: &BTreeMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (name, value) in samples {
+        let metric = metric_name(name);
+        let _ = writeln!(out, "# TYPE {metric} gauge");
+        let _ = writeln!(out, "{metric} {value}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_sanitized_and_prefixed() {
+        assert_eq!(metric_name("memo.hit"), "jp_memo_hit");
+        assert_eq!(
+            metric_name("par.worker.3.util_pct"),
+            "jp_par_worker_3_util_pct"
+        );
+    }
+
+    #[test]
+    fn exposition_pairs_type_comment_with_sample() {
+        let mut samples = BTreeMap::new();
+        samples.insert("memo.hit".to_string(), 42u64);
+        samples.insert("par.queue_depth".to_string(), 3u64);
+        let text = render_exposition(&samples);
+        let expected = "# TYPE jp_memo_hit gauge\njp_memo_hit 42\n\
+                        # TYPE jp_par_queue_depth gauge\njp_par_queue_depth 3\n";
+        assert_eq!(text, expected);
+    }
+}

@@ -1,0 +1,441 @@
+//! The live metric registry: named atomic counters, gauges, and
+//! streaming log₂ histograms, sharded by name hash so concurrent
+//! publishers rarely contend on a lock (and never on the update itself —
+//! updates are plain atomic ops once the `Arc<Metric>` handle exists).
+//!
+//! Publication is gated twice: [`enabled`] is one relaxed atomic load
+//! (the always-on disabled path), and an active [`PulseScope`] filters
+//! by thread membership exactly like [`jp_obs::ScopedSink`] does for the
+//! event stream — the installing thread and every [`adopt`]ed worker
+//! publish, everything else is dropped as cross-talk.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock};
+
+/// Same bucket layout as [`jp_obs::Histogram`]: bucket `i` holds values
+/// whose bit length is `i`, i.e. the range `[2^(i-1), 2^i - 1]` (bucket
+/// 0 holds exactly the value 0).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Registry shard count; metric names hash to a shard.
+const SHARDS: usize = 8;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SCOPE: Mutex<()> = Mutex::new(());
+static MEMBERS: Mutex<Option<BTreeSet<u64>>> = Mutex::new(None);
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Whether a pulse collection scope is active. One relaxed load — this
+/// is the whole cost of every `jp_pulse::…` call in a process that never
+/// turns the sampler on.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Whether the *current thread* may publish: a scope is active and this
+/// thread installed it or [`adopt`]ed into it.
+fn member() -> bool {
+    let members = lock(&MEMBERS);
+    match members.as_ref() {
+        Some(set) => set.contains(&jp_obs::thread_id()),
+        None => false,
+    }
+}
+
+/// A lock-free streaming histogram over power-of-two buckets, the live
+/// counterpart of [`jp_obs::Histogram`]. Merging is per-bucket atomic
+/// addition, so partial histograms from many threads combine into the
+/// same totals in any order or grouping (see the property tests).
+#[derive(Debug)]
+pub struct PulseHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for PulseHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PulseHistogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        PulseHistogram {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_index(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        if let Some(b) = self.buckets.get(Self::bucket_index(v)) {
+            b.fetch_add(1, Ordering::Relaxed);
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket observation counts.
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| {
+            self.buckets
+                .get(i)
+                .map(|b| b.load(Ordering::Relaxed))
+                .unwrap_or(0)
+        })
+    }
+
+    /// Adds every observation of `other` into `self`. Bucket-wise
+    /// addition commutes and associates, so merging per-thread shards in
+    /// any order yields the histogram a single sequential observer would
+    /// have built.
+    pub fn merge_from(&self, other: &PulseHistogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.bucket_counts()) {
+            if theirs > 0 {
+                mine.fetch_add(theirs, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum(), Ordering::Relaxed);
+    }
+
+    /// The nearest-rank quantile over the *bucketized* data: every
+    /// observation is represented by its bucket's upper bound, and the
+    /// rank-`⌈q·n⌉` smallest representative is returned — exactly
+    /// [`jp_obs::nearest_rank`] applied to that representative multiset,
+    /// which is what jp-trace reports for spans. `0` when empty.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, c) in self.bucket_counts().iter().enumerate() {
+            seen = seen.saturating_add(*c);
+            if seen >= target.max(1) {
+                return ((1u128 << i) - 1) as u64;
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// One named metric. The histogram (65 atomic buckets) is boxed so
+/// counter/gauge entries stay two words behind their `Arc`.
+enum Metric {
+    Counter(AtomicU64),
+    Gauge(AtomicU64),
+    Histogram(Box<PulseHistogram>),
+}
+
+/// What a metric is, for get-or-insert.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+struct Registry {
+    shards: Vec<RwLock<HashMap<String, Arc<Metric>>>>,
+}
+
+impl Registry {
+    fn new() -> Registry {
+        Registry {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, name: &str) -> Option<&RwLock<HashMap<String, Arc<Metric>>>> {
+        let mut h = DefaultHasher::new();
+        name.hash(&mut h);
+        self.shards.get((h.finish() % SHARDS as u64) as usize)
+    }
+
+    /// Existing metric under `name`, or a fresh one of `kind`. A name
+    /// reused with a different kind keeps its original metric (the
+    /// mismatched update becomes a no-op) — never a panic.
+    fn get_or_insert(&self, name: &str, kind: Kind) -> Option<Arc<Metric>> {
+        let shard = self.shard(name)?;
+        {
+            let map = shard.read().unwrap_or_else(|e| e.into_inner());
+            if let Some(m) = map.get(name) {
+                return Some(m.clone());
+            }
+        }
+        let mut map = shard.write().unwrap_or_else(|e| e.into_inner());
+        let entry = map.entry(name.to_string()).or_insert_with(|| {
+            Arc::new(match kind {
+                Kind::Counter => Metric::Counter(AtomicU64::new(0)),
+                Kind::Gauge => Metric::Gauge(AtomicU64::new(0)),
+                Kind::Histogram => Metric::Histogram(Box::default()),
+            })
+        });
+        Some(entry.clone())
+    }
+
+    fn reset(&self) {
+        for shard in &self.shards {
+            shard.write().unwrap_or_else(|e| e.into_inner()).clear();
+        }
+    }
+}
+
+fn registry() -> &'static Registry {
+    REGISTRY.get_or_init(Registry::new)
+}
+
+/// Adds `delta` to the counter `name` (creating it at 0). No-op unless
+/// the calling thread is inside the active [`PulseScope`].
+pub fn counter_add(name: &str, delta: u64) {
+    if !enabled() || !member() {
+        return;
+    }
+    if let Some(m) = registry().get_or_insert(name, Kind::Counter) {
+        if let Metric::Counter(c) = &*m {
+            c.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Sets the gauge `name` to `value` (creating it). No-op unless the
+/// calling thread is inside the active [`PulseScope`].
+pub fn gauge_set(name: &str, value: u64) {
+    if !enabled() || !member() {
+        return;
+    }
+    if let Some(m) = registry().get_or_insert(name, Kind::Gauge) {
+        if let Metric::Gauge(g) = &*m {
+            g.store(value, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Records `value` into the histogram `name` (creating it). No-op unless
+/// the calling thread is inside the active [`PulseScope`].
+pub fn observe(name: &str, value: u64) {
+    if !enabled() || !member() {
+        return;
+    }
+    if let Some(m) = registry().get_or_insert(name, Kind::Histogram) {
+        if let Metric::Histogram(h) = &*m {
+            h.observe(value);
+        }
+    }
+}
+
+/// A deterministic (sorted) flattening of the whole registry. Counters
+/// and gauges appear under their own name; a histogram `h` expands to
+/// `h.count`, `h.sum`, and the nearest-rank-over-buckets `h.p50`,
+/// `h.p95`, `h.p99` upper bounds.
+pub fn snapshot() -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    for shard in &registry().shards {
+        let map = shard.read().unwrap_or_else(|e| e.into_inner());
+        for (name, metric) in map.iter() {
+            match &**metric {
+                Metric::Counter(c) => {
+                    out.insert(name.clone(), c.load(Ordering::Relaxed));
+                }
+                Metric::Gauge(g) => {
+                    out.insert(name.clone(), g.load(Ordering::Relaxed));
+                }
+                Metric::Histogram(h) => {
+                    out.insert(format!("{name}.count"), h.count());
+                    out.insert(format!("{name}.sum"), h.sum());
+                    out.insert(format!("{name}.p50"), h.quantile_upper_bound(0.50));
+                    out.insert(format!("{name}.p95"), h.quantile_upper_bound(0.95));
+                    out.insert(format!("{name}.p99"), h.quantile_upper_bound(0.99));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// An active pulse collection scope: resets the registry, enables
+/// publication, and filters it to the installing thread plus adopted
+/// workers. Holders serialize through a global lock — exactly the
+/// [`jp_obs::ScopedSink`] discipline — so concurrent tests never blend
+/// their metrics.
+pub struct PulseScope {
+    _scope: MutexGuard<'static, ()>,
+}
+
+impl PulseScope {
+    /// Installs a fresh scope, blocking until any other scope drops.
+    pub fn install() -> PulseScope {
+        let scope = lock(&SCOPE);
+        registry().reset();
+        {
+            let mut members = lock(&MEMBERS);
+            *members = Some(BTreeSet::from([jp_obs::thread_id()]));
+        }
+        ENABLED.store(true, Ordering::Relaxed);
+        PulseScope { _scope: scope }
+    }
+}
+
+impl Drop for PulseScope {
+    fn drop(&mut self) {
+        ENABLED.store(false, Ordering::Relaxed);
+        let mut members = lock(&MEMBERS);
+        *members = None;
+    }
+}
+
+/// Registers the current thread as a member of the active scope (if
+/// any) for the guard's lifetime; worker threads call this before
+/// publishing. Mirrors [`jp_obs::adopt`].
+#[must_use = "membership lasts only while the guard is alive"]
+pub fn adopt() -> PulseAdoptGuard {
+    let tid = jp_obs::thread_id();
+    let mut members = lock(&MEMBERS);
+    let added = match members.as_mut() {
+        Some(set) => set.insert(tid),
+        None => false,
+    };
+    PulseAdoptGuard { tid, added }
+}
+
+/// Scope membership for one worker thread; see [`adopt`].
+pub struct PulseAdoptGuard {
+    tid: u64,
+    added: bool,
+}
+
+impl Drop for PulseAdoptGuard {
+    fn drop(&mut self) {
+        if self.added {
+            let mut members = lock(&MEMBERS);
+            if let Some(set) = members.as_mut() {
+                set.remove(&self.tid);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_path_publishes_nothing() {
+        // No scope of ours is active: the add is dropped (either pulse is
+        // disabled entirely, or another test's scope filters us out).
+        counter_add("test.reg.off", 5);
+        // no scope: even a later scope must not see the value
+        let _scope = PulseScope::install();
+        assert_eq!(snapshot().get("test.reg.off"), None);
+    }
+
+    #[test]
+    fn counters_gauges_and_histograms_snapshot_sorted() {
+        let _scope = PulseScope::install();
+        counter_add("test.reg.c", 2);
+        counter_add("test.reg.c", 3);
+        gauge_set("test.reg.g", 9);
+        gauge_set("test.reg.g", 4);
+        for v in [1u64, 2, 3, 1000] {
+            observe("test.reg.h", v);
+        }
+        let snap = snapshot();
+        assert_eq!(snap.get("test.reg.c"), Some(&5));
+        assert_eq!(snap.get("test.reg.g"), Some(&4));
+        assert_eq!(snap.get("test.reg.h.count"), Some(&4));
+        assert_eq!(snap.get("test.reg.h.sum"), Some(&1006));
+        // rank-2 value 2 lives in the log2 bucket [2,3] → upper bound 3
+        assert_eq!(snap.get("test.reg.h.p50"), Some(&3));
+        assert_eq!(snap.get("test.reg.h.p99"), Some(&1023));
+        let keys: Vec<&String> = snap.keys().collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "snapshot is deterministically ordered");
+    }
+
+    #[test]
+    fn scope_filters_foreign_threads_until_adopted() {
+        let _scope = PulseScope::install();
+        counter_add("test.reg.mine", 1);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                counter_add("test.reg.foreign", 1);
+                let _adopt = adopt();
+                counter_add("test.reg.adopted", 1);
+            })
+            .join()
+            .ok();
+        });
+        let snap = snapshot();
+        assert_eq!(snap.get("test.reg.mine"), Some(&1));
+        assert_eq!(snap.get("test.reg.foreign"), None, "cross-talk dropped");
+        assert_eq!(snap.get("test.reg.adopted"), Some(&1));
+    }
+
+    #[test]
+    fn scope_install_resets_previous_metrics() {
+        {
+            let _scope = PulseScope::install();
+            counter_add("test.reg.stale", 7);
+        }
+        let _scope = PulseScope::install();
+        assert_eq!(snapshot().get("test.reg.stale"), None);
+    }
+
+    #[test]
+    fn kind_mismatch_is_a_noop_not_a_panic() {
+        let _scope = PulseScope::install();
+        counter_add("test.reg.kind", 1);
+        gauge_set("test.reg.kind", 99);
+        observe("test.reg.kind", 3);
+        assert_eq!(snapshot().get("test.reg.kind"), Some(&1));
+    }
+
+    #[test]
+    fn histogram_quantiles_match_the_obs_reference() {
+        let h = PulseHistogram::new();
+        let values = [0u64, 1, 1, 2, 3, 7, 100, 100, 1000];
+        for &v in &values {
+            h.observe(v);
+        }
+        let reference = jp_obs::Histogram::new();
+        for &v in &values {
+            reference.observe(v);
+        }
+        for q in [0.0, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(
+                h.quantile_upper_bound(q),
+                reference.quantile_upper_bound(q),
+                "q = {q}"
+            );
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! The pulse sampler: a background thread that periodically snapshots
+//! the registry (and the allocation accounting) into a JSONL file.
+//!
+//! Each snapshot is a group of schema-v2 [`jp_obs::Event`] lines with
+//! kind `Counter` and component `"pulse"`, so the damage-tolerant
+//! jp-trace reader consumes pulse files with zero new parsing code. A
+//! snapshot starts with a marker line named `"snapshot"` whose value is
+//! the snapshot ordinal (1-based) and whose `start` field is the
+//! microsecond offset since the sampler started; the registry samples
+//! and `mem.*` lines of that snapshot follow with the same `start`.
+//!
+//! Lifecycle: [`Sampler::start`] installs the [`PulseScope`] (so it owns
+//! pulse collection for the run — workers join via [`crate::adopt`]),
+//! spawns the thread, and returns. [`Sampler::stop`] signals the thread,
+//! which writes **one final snapshot after the signal** before exiting —
+//! the guarantee behind "at least one snapshot, and the last one carries
+//! the final counter values" even for runs shorter than the interval.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use jp_obs::{Event, EventKind};
+
+use crate::mem;
+use crate::registry::{self, PulseScope};
+
+/// Component string on every pulse line.
+pub const PULSE_COMPONENT: &str = "pulse";
+/// Name of the per-snapshot marker line.
+pub const SNAPSHOT_MARKER: &str = "snapshot";
+
+struct StopSignal {
+    stopped: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl StopSignal {
+    fn new() -> StopSignal {
+        StopSignal {
+            stopped: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn stop(&self) {
+        let mut guard = self
+            .stopped
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        *guard = true;
+        self.cv.notify_all();
+    }
+
+    /// Waits up to `interval`; returns `true` once stop was signalled.
+    fn wait(&self, interval: Duration) -> bool {
+        let guard = self
+            .stopped
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if *guard {
+            return true;
+        }
+        let (guard, _timeout) = self
+            .cv
+            .wait_timeout(guard, interval)
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        *guard
+    }
+}
+
+/// Final report from a stopped [`Sampler`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplerReport {
+    /// Snapshots written to the pulse file.
+    pub snapshots: u64,
+    /// Lines written (snapshot markers + samples).
+    pub lines: u64,
+}
+
+/// Owns the pulse scope and the background snapshot thread.
+pub struct Sampler {
+    stop: Arc<StopSignal>,
+    handle: Option<JoinHandle<(u64, u64)>>,
+    path: PathBuf,
+    _scope: PulseScope,
+}
+
+impl Sampler {
+    /// Installs the [`PulseScope`], truncates/creates `path`, and starts
+    /// snapshotting every `interval`. Sub-millisecond intervals are
+    /// honored; zero is clamped to 1ms to keep the loop yielding.
+    pub fn start(path: &Path, interval: Duration) -> io::Result<Sampler> {
+        let scope = PulseScope::install();
+        let file = File::create(path)?;
+        let stop = Arc::new(StopSignal::new());
+        let thread_stop = Arc::clone(&stop);
+        let interval = interval.max(Duration::from_millis(1));
+        // The sampler thread adopts into the scope so its own snapshot
+        // bookkeeping would be publishable; it only reads the registry.
+        let handle = std::thread::Builder::new()
+            .name("jp-pulse-sampler".to_string())
+            .spawn(move || {
+                let _adopt = registry::adopt();
+                let mut writer = BufWriter::new(file);
+                let t0 = Instant::now();
+                let mut snapshots: u64 = 0;
+                let mut lines: u64 = 0;
+                loop {
+                    let stopping = thread_stop.wait(interval);
+                    snapshots += 1;
+                    lines += write_snapshot(&mut writer, snapshots, t0).unwrap_or(0);
+                    let _ = writer.flush();
+                    if stopping {
+                        return (snapshots, lines);
+                    }
+                }
+            })?;
+        Ok(Sampler {
+            stop,
+            handle: Some(handle),
+            path: path.to_path_buf(),
+            _scope: scope,
+        })
+    }
+
+    /// The pulse file this sampler writes.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Signals the thread, waits for the final post-run snapshot, and
+    /// returns the report. The pulse scope is released on return.
+    pub fn stop(mut self) -> SamplerReport {
+        self.stop.stop();
+        let (snapshots, lines) = match self.handle.take() {
+            Some(handle) => handle.join().unwrap_or((0, 0)),
+            None => (0, 0),
+        };
+        SamplerReport { snapshots, lines }
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        // Belt-and-braces shutdown when `stop()` was skipped (panic
+        // unwinding through the owner): still signal and join so the
+        // final snapshot lands and the file is flushed.
+        self.stop.stop();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Serializes one full snapshot; returns the number of lines written.
+fn write_snapshot<W: Write>(out: &mut W, ordinal: u64, t0: Instant) -> io::Result<u64> {
+    let at_micros = t0.elapsed().as_micros() as u64;
+    let mut lines = 0u64;
+    let mut seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    write_line(out, seq, SNAPSHOT_MARKER, ordinal, at_micros)?;
+    lines += 1;
+    for (name, value) in registry::snapshot() {
+        seq = SEQ.fetch_add(1, Ordering::Relaxed);
+        write_line(out, seq, &name, value, at_micros)?;
+        lines += 1;
+    }
+    for (name, value) in mem::sample_lines() {
+        seq = SEQ.fetch_add(1, Ordering::Relaxed);
+        write_line(out, seq, &name, value, at_micros)?;
+        lines += 1;
+    }
+    Ok(lines)
+}
+
+/// Monotonic sequence shared by every sampler in the process, mirroring
+/// the jp-obs convention that `seq` increases within a file.
+static SEQ: AtomicU64 = AtomicU64::new(1);
+
+fn write_line<W: Write>(
+    out: &mut W,
+    seq: u64,
+    name: &str,
+    value: u64,
+    at_micros: u64,
+) -> io::Result<()> {
+    let mut event = Event::counter(PULSE_COMPONENT, name, value);
+    event.seq = seq;
+    event.thread = jp_obs::thread_id();
+    event.kind = EventKind::Counter;
+    event.start = at_micros;
+    let line = serde_json::to_string(&event).map_err(io::Error::other)?;
+    out.write_all(line.as_bytes())?;
+    out.write_all(b"\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("jp_pulse_sampler_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn short_run_still_writes_a_final_snapshot() {
+        let path = temp_path("short");
+        let sampler = Sampler::start(&path, Duration::from_secs(3600)).expect("start");
+        crate::counter_add("test.hits", 7);
+        crate::gauge_set("test.depth", 3);
+        let report = sampler.stop();
+        assert!(report.snapshots >= 1, "final snapshot always lands");
+        let text = std::fs::read_to_string(&path).expect("pulse file");
+        let _ = std::fs::remove_file(&path);
+        let mut marker_seen = false;
+        let mut hits = None;
+        for line in text.lines() {
+            let event: Event = serde_json::from_str(line).expect("schema-v2 line");
+            assert_eq!(event.component, PULSE_COMPONENT);
+            assert!(matches!(event.kind, EventKind::Counter));
+            if event.name == SNAPSHOT_MARKER {
+                marker_seen = true;
+            }
+            if event.name == "test.hits" {
+                hits = Some(event.value);
+            }
+        }
+        assert!(marker_seen, "snapshot marker line present");
+        assert_eq!(hits, Some(7), "final snapshot carries the counter value");
+    }
+
+    #[test]
+    fn interval_snapshots_accumulate() {
+        let path = temp_path("interval");
+        let sampler = Sampler::start(&path, Duration::from_millis(5)).expect("start");
+        crate::counter_add("test.ticks", 1);
+        std::thread::sleep(Duration::from_millis(40));
+        let report = sampler.stop();
+        let _ = std::fs::remove_file(&path);
+        assert!(
+            report.snapshots >= 2,
+            "expected periodic snapshots, got {}",
+            report.snapshots
+        );
+        assert!(report.lines > report.snapshots);
+    }
+
+    #[test]
+    fn seq_is_strictly_increasing_within_a_file() {
+        let path = temp_path("seq");
+        let sampler = Sampler::start(&path, Duration::from_millis(5)).expect("start");
+        crate::counter_add("test.seq", 1);
+        std::thread::sleep(Duration::from_millis(25));
+        let _ = sampler.stop();
+        let text = std::fs::read_to_string(&path).expect("pulse file");
+        let _ = std::fs::remove_file(&path);
+        let mut last = 0u64;
+        for line in text.lines() {
+            let event: Event = serde_json::from_str(line).expect("line");
+            assert!(
+                event.seq > last,
+                "seq must increase: {} !> {}",
+                event.seq,
+                last
+            );
+            last = event.seq;
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! The `jp pulse top` terminal renderer: a compact, sectioned view of
+//! one pulse snapshot (workers, memory, histograms, everything else).
+//!
+//! Pure string rendering over a snapshot map — the CLI owns the refresh
+//! loop and screen clearing, so this module stays trivially testable.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+const BAR_WIDTH: usize = 20;
+
+/// Renders the full `jp pulse top` frame for a snapshot taken at
+/// `at_micros` since the sampled run started.
+pub fn render_top(ordinal: u64, at_micros: u64, samples: &BTreeMap<String, u64>) -> String {
+    let mut out = String::new();
+    let secs = at_micros as f64 / 1_000_000.0;
+    let _ = writeln!(out, "jp pulse · snapshot #{ordinal} at {secs:.3}s");
+    let mut used: BTreeSet<&str> = BTreeSet::new();
+
+    render_workers(&mut out, samples, &mut used);
+    render_memory(&mut out, samples, &mut used);
+    render_histograms(&mut out, samples, &mut used);
+
+    let rest: Vec<(&str, u64)> = samples
+        .iter()
+        .filter(|(name, _)| !used.contains(name.as_str()))
+        .map(|(name, value)| (name.as_str(), *value))
+        .collect();
+    if !rest.is_empty() {
+        let _ = writeln!(out, "\ncounters & gauges");
+        for (name, value) in rest {
+            let _ = writeln!(out, "  {name:<44} {value:>12}");
+        }
+    }
+    out
+}
+
+/// `par.worker.<id>.util_pct` gauges as percentage bars.
+fn render_workers<'a>(
+    out: &mut String,
+    samples: &'a BTreeMap<String, u64>,
+    used: &mut BTreeSet<&'a str>,
+) {
+    let mut workers: Vec<(&str, u64)> = Vec::new();
+    for (name, value) in samples {
+        if let Some(rest) = name.strip_prefix("par.worker.") {
+            if let Some(id) = rest.strip_suffix(".util_pct") {
+                workers.push((id, *value));
+                used.insert(name.as_str());
+            }
+        }
+    }
+    if workers.is_empty() {
+        return;
+    }
+    workers.sort_by_key(|(id, _)| id.parse::<u64>().unwrap_or(u64::MAX));
+    let _ = writeln!(out, "\nworkers");
+    for (id, pct) in workers {
+        let pct = pct.min(100);
+        let filled = (pct as usize * BAR_WIDTH) / 100;
+        let bar: String = (0..BAR_WIDTH)
+            .map(|i| if i < filled { '#' } else { '-' })
+            .collect();
+        let _ = writeln!(out, "  worker {id:<3} {pct:>3}% [{bar}]");
+    }
+}
+
+/// `mem.<scope>.*` rows, bytes human-formatted.
+fn render_memory<'a>(
+    out: &mut String,
+    samples: &'a BTreeMap<String, u64>,
+    used: &mut BTreeSet<&'a str>,
+) {
+    let mem: Vec<(&str, u64)> = samples
+        .iter()
+        .filter(|(name, _)| name.starts_with("mem."))
+        .map(|(name, value)| (name.as_str(), *value))
+        .collect();
+    if mem.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "\nmemory");
+    for (name, value) in mem {
+        used.insert(name);
+        let rendered = if name.contains(".bytes_") {
+            human_bytes(value)
+        } else {
+            value.to_string()
+        };
+        let _ = writeln!(out, "  {name:<44} {rendered:>12}");
+    }
+}
+
+/// Histogram families: any base `X` where `X.count`, `X.p50`, `X.p95`
+/// and `X.p99` are all present renders as one summary line.
+fn render_histograms<'a>(
+    out: &mut String,
+    samples: &'a BTreeMap<String, u64>,
+    used: &mut BTreeSet<&'a str>,
+) {
+    let mut bases: Vec<&str> = Vec::new();
+    for name in samples.keys() {
+        if let Some(base) = name.strip_suffix(".count") {
+            let all = [".sum", ".p50", ".p95", ".p99"]
+                .iter()
+                .all(|suffix| samples.contains_key(&format!("{base}{suffix}")));
+            if all {
+                bases.push(base);
+            }
+        }
+    }
+    if bases.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "\nhistograms");
+    for base in bases {
+        let get = |suffix: &str| {
+            samples
+                .get(&format!("{base}{suffix}"))
+                .copied()
+                .unwrap_or(0)
+        };
+        let (count, sum) = (get(".count"), get(".sum"));
+        let (p50, p95, p99) = (get(".p50"), get(".p95"), get(".p99"));
+        for suffix in [".count", ".sum", ".p50", ".p95", ".p99"] {
+            if let Some((key, _)) = samples.get_key_value(&format!("{base}{suffix}")) {
+                used.insert(key.as_str());
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  {base:<28} n={count:<8} sum={sum:<10} p50≤{p50} p95≤{p95} p99≤{p99}"
+        );
+    }
+}
+
+/// `1234567` → `1.2M`; keeps small numbers exact.
+fn human_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 4] = ["B", "K", "M", "G"];
+    let mut value = bytes as f64;
+    let mut unit = 0usize;
+    while value >= 1024.0 && unit + 1 < UNITS.len() {
+        value /= 1024.0;
+        unit += 1;
+    }
+    let suffix = UNITS.get(unit).copied().unwrap_or("G");
+    if unit == 0 {
+        format!("{bytes}{suffix}")
+    } else {
+        format!("{value:.1}{suffix}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot() -> BTreeMap<String, u64> {
+        let mut s = BTreeMap::new();
+        s.insert("par.worker.0.util_pct".to_string(), 100);
+        s.insert("par.worker.1.util_pct".to_string(), 45);
+        s.insert("par.queue_depth".to_string(), 3);
+        s.insert("mem.solver.bytes_peak".to_string(), 2_500_000);
+        s.insert("mem.solver.allocs".to_string(), 120);
+        s.insert("solve.us.count".to_string(), 10);
+        s.insert("solve.us.sum".to_string(), 1000);
+        s.insert("solve.us.p50".to_string(), 63);
+        s.insert("solve.us.p95".to_string(), 255);
+        s.insert("solve.us.p99".to_string(), 255);
+        s.insert("memo.hit".to_string(), 9);
+        s
+    }
+
+    #[test]
+    fn sections_render_and_partition_the_samples() {
+        let text = render_top(3, 1_500_000, &snapshot());
+        assert!(text.contains("snapshot #3 at 1.500s"), "{text}");
+        assert!(
+            text.contains("worker 0   100% [####################]"),
+            "{text}"
+        );
+        assert!(
+            text.contains("worker 1    45% [#########-----------]"),
+            "{text}"
+        );
+        assert!(text.contains("2.4M"), "{text}");
+        assert!(text.contains("p50≤63 p95≤255 p99≤255"), "{text}");
+        // memo.hit and queue_depth fall through to the generic section,
+        // and the histogram parts do not re-render there.
+        assert!(text.contains("counters & gauges"), "{text}");
+        assert!(text.contains("memo.hit"), "{text}");
+        assert!(text.contains("par.queue_depth"), "{text}");
+        let generic = text.split("counters & gauges").nth(1).unwrap_or("");
+        assert!(!generic.contains("solve.us.p50"), "{text}");
+    }
+
+    #[test]
+    fn human_bytes_is_stable() {
+        assert_eq!(human_bytes(900), "900B");
+        assert_eq!(human_bytes(2048), "2.0K");
+        assert_eq!(human_bytes(5 * 1024 * 1024), "5.0M");
+    }
+}

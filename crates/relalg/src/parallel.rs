@@ -55,6 +55,7 @@ pub fn fragmented_join(
     q: u32,
     max_threads: usize,
 ) -> JoinResult {
+    let _mem = jp_pulse::mem_scope(jp_pulse::MemScope::Relalg);
     assert_eq!(left_frag.len(), r.len(), "left fragment assignment length");
     assert_eq!(
         right_frag.len(),

@@ -101,6 +101,7 @@ impl<'a> Join<'a> {
     /// Panics on an unknown algorithm name or an algorithm/predicate
     /// mismatch (e.g. `"rtree"` under equality).
     pub fn run(self) -> JoinOutput {
+        let _mem = jp_pulse::mem_scope(jp_pulse::MemScope::Relalg);
         let t0 = Instant::now();
         let (algorithm, mut pairs): (&'static str, JoinResult) = match (self.pred, self.algo) {
             (Pred::Equality, None | Some("hash_join")) => {

@@ -41,6 +41,11 @@ impl SpanStats {
         nearest_rank(&self.values, 0.95)
     }
 
+    /// Nearest-rank 99th-percentile duration.
+    pub fn p99(&self) -> u64 {
+        nearest_rank(&self.values, 0.99)
+    }
+
     /// Largest duration.
     pub fn max(&self) -> u64 {
         self.values.last().copied().unwrap_or(0)
@@ -288,11 +293,12 @@ impl Analysis {
             out.push_str("spans:\n");
             for (key, s) in &self.spans {
                 out.push_str(&format!(
-                    "  {key:<40} {} µs over {} call(s), p50 {} p95 {} max {} µs\n",
+                    "  {key:<40} {} µs over {} call(s), p50 {} p95 {} p99 {} max {} µs\n",
                     s.total,
                     s.count,
                     s.p50(),
                     s.p95(),
+                    s.p99(),
                     s.max()
                 ));
             }

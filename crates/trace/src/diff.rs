@@ -13,6 +13,13 @@
 //!   `portfolio.completed` / `abandoned`, `exact.abandoned_at_mask`)
 //!   depend on thread interleaving; drift is reported as **soft** (never
 //!   failing) and only when it exceeds [`Tolerances::soft_rel`].
+//! * **Memory** keys (`mem.*`, published by the jp-pulse allocation
+//!   accounting) gate allocation regressions: drift beyond
+//!   [`Tolerances::mem_rel`] *and* [`Tolerances::mem_abs`] is **hard**
+//!   (the absolute floor is a full mebibyte — allocation byte counts
+//!   jitter with scheduling, so only megabyte-scale drift is signal).
+//!   A `mem.*` key missing from the run is always **soft** — the
+//!   tracking allocator is feature-gated and may be compiled out.
 //! * **Work** keys (everything else: `exact.dp_states`,
 //!   `bb.nodes_expanded`, `memo.hit`, …) are deterministic for a fixed
 //!   input and thread count; drift beyond [`Tolerances::hard_rel`]
@@ -151,7 +158,11 @@ impl DiffReport {
 ///   it drifts by more than 10% *and* more than 2 absolute units, so
 ///   tiny counters don't flap;
 /// * `soft_rel` = 0.50 — scheduling counters and timings are only worth
-///   mentioning past 50% drift.
+///   mentioning past 50% drift;
+/// * `mem_rel` = 0.25, `mem_abs` = 1 MiB — allocation accounting fails
+///   only past 25% *and* 1 MiB drift: byte counts jitter with thread
+///   scheduling, portfolio abort timing, and std internals, so only
+///   megabyte-scale regressions are signal.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Tolerances {
     /// Relative drift above which a work counter is a hard finding.
@@ -160,6 +171,10 @@ pub struct Tolerances {
     pub hard_abs: u64,
     /// Relative drift above which soft-class keys are reported at all.
     pub soft_rel: f64,
+    /// Relative drift above which a `mem.*` key is a hard finding.
+    pub mem_rel: f64,
+    /// Absolute drift a `mem.*` key must also exceed to be hard.
+    pub mem_abs: u64,
 }
 
 impl Default for Tolerances {
@@ -168,15 +183,18 @@ impl Default for Tolerances {
             hard_rel: 0.10,
             hard_abs: 2,
             soft_rel: 0.50,
+            mem_rel: 0.25,
+            mem_abs: 1024 * 1024,
         }
     }
 }
 
-/// The three counter classes; see the module docs.
+/// The counter classes; see the module docs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Class {
     Answer,
     Scheduling,
+    Memory,
     Work,
 }
 
@@ -187,6 +205,7 @@ fn class_of(key: &str) -> Class {
             Class::Scheduling
         }
         _ if key.starts_with("par.") || key.starts_with("portfolio.winner.") => Class::Scheduling,
+        _ if key.starts_with("mem.") => Class::Memory,
         _ => Class::Work,
     }
 }
@@ -237,7 +256,21 @@ fn compare_key(
                         ),
                     });
                 }
-                Class::Work | Class::Scheduling if rel > tol.soft_rel => {
+                Class::Memory if rel > tol.mem_rel && abs > tol.mem_abs => {
+                    report.push(Finding {
+                        severity: Severity::Hard,
+                        key: key.to_string(),
+                        baseline: Some(b),
+                        observed: Some(o),
+                        detail: format!(
+                            "allocation drifted {:.0}% (> {:.0}% and > {} absolute)",
+                            rel * 100.0,
+                            tol.mem_rel * 100.0,
+                            tol.mem_abs
+                        ),
+                    });
+                }
+                Class::Work | Class::Scheduling | Class::Memory if rel > tol.soft_rel => {
                     report.push(Finding {
                         severity: Severity::Soft,
                         key: key.to_string(),
@@ -494,6 +527,41 @@ mod tests {
             .findings
             .iter()
             .any(|f| f.key == "span-micros:exact.solve"));
+    }
+
+    #[test]
+    fn memory_keys_gate_only_large_allocation_regressions() {
+        // +12% and ~1.2 MB over baseline: within mem_rel → not hard.
+        let case = baseline_case(&[("mem.solver.bytes_peak", 10_000_000)]);
+        let run =
+            Analysis::from_events(&[counter_event(0, ("mem", "solver.bytes_peak"), 11_200_000)]);
+        let report = check_against(&case, &run, &Tolerances::default());
+        assert!(!report.has_hard(), "{}", report.render());
+
+        // +50% and ~5 MB: past both gates → hard, naming the key.
+        let run =
+            Analysis::from_events(&[counter_event(0, ("mem", "solver.bytes_peak"), 15_000_000)]);
+        let report = check_against(&case, &run, &Tolerances::default());
+        assert!(report.has_hard(), "{}", report.render());
+        assert!(report.render().contains("mem.solver.bytes_peak"));
+
+        // +50% but only 3 bytes absolute: tiny counters never flap.
+        let case = baseline_case(&[("mem.memo.allocs", 6)]);
+        let run = Analysis::from_events(&[counter_event(0, ("mem", "memo.allocs"), 9)]);
+        let report = check_against(&case, &run, &Tolerances::default());
+        assert!(!report.has_hard(), "{}", report.render());
+    }
+
+    #[test]
+    fn missing_memory_counter_is_soft_not_hard() {
+        // The tracking allocator is feature-gated: a run without it must
+        // not fail against a baseline that recorded allocation counters.
+        let case = baseline_case(&[("mem.total.bytes_peak", 5_000_000)]);
+        let run = Analysis::from_events(&[]);
+        let report = check_against(&case, &run, &Tolerances::default());
+        assert!(!report.has_hard(), "{}", report.render());
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].severity, Severity::Soft);
     }
 
     #[test]

@@ -35,9 +35,11 @@
 pub mod analyze;
 pub mod diff;
 pub mod flame;
+pub mod pulse;
 pub mod reader;
 
 pub use analyze::{Analysis, SpanNode, SpanStats, ThreadSummary};
 pub use diff::{BaselineCase, DiffReport, Finding, Severity, Tolerances};
 pub use flame::folded_stacks;
+pub use pulse::{pulse_snapshots, PulseSnapshot};
 pub use reader::{parse_trace, read_trace, ReadReport};

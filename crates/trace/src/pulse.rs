@@ -1,0 +1,108 @@
+//! Reader for jp-pulse sample files.
+//!
+//! A pulse file is JSONL in the jp-obs schema-v2 shape — kind `Counter`,
+//! component `"pulse"` — so [`crate::reader`] parses it unchanged (and
+//! with the same damage tolerance: a torn tail line is a counted skip).
+//! This module adds the one pulse-specific convention on top: a line
+//! named `"snapshot"` is a *marker* whose value is the 1-based snapshot
+//! ordinal and whose `start` is the microsecond offset since the sampler
+//! started; every following pulse line until the next marker belongs to
+//! that snapshot.
+
+use std::collections::BTreeMap;
+
+use jp_obs::Event;
+
+/// One sampler snapshot: the marker plus its sample lines.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PulseSnapshot {
+    /// 1-based snapshot ordinal from the marker line.
+    pub ordinal: u64,
+    /// Microseconds since the sampler started, from the marker line.
+    pub at_micros: u64,
+    /// Sample name → value, deterministically ordered.
+    pub samples: BTreeMap<String, u64>,
+}
+
+/// Groups the pulse lines of a parsed trace into snapshots, in file
+/// order. Non-pulse events (a pulse file appended to a regular trace,
+/// or vice versa) are ignored; sample lines before the first marker are
+/// dropped as torn-head damage, mirroring the reader's skip discipline.
+pub fn pulse_snapshots(events: &[Event]) -> Vec<PulseSnapshot> {
+    let mut snapshots: Vec<PulseSnapshot> = Vec::new();
+    for event in events {
+        if event.component != "pulse" {
+            continue;
+        }
+        if event.name == "snapshot" {
+            snapshots.push(PulseSnapshot {
+                ordinal: event.value,
+                at_micros: event.start,
+                samples: BTreeMap::new(),
+            });
+        } else if let Some(current) = snapshots.last_mut() {
+            current.samples.insert(event.name.clone(), event.value);
+        }
+    }
+    snapshots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::parse_trace;
+
+    fn pulse_line(seq: u64, name: &str, value: u64, start: u64) -> String {
+        let mut event = Event::counter("pulse", name, value);
+        event.seq = seq;
+        event.thread = 1;
+        event.start = start;
+        serde_json::to_string(&event).unwrap()
+    }
+
+    #[test]
+    fn snapshots_group_between_markers() {
+        let text = [
+            pulse_line(1, "snapshot", 1, 100),
+            pulse_line(2, "memo.hit", 5, 100),
+            pulse_line(3, "memo.miss", 2, 100),
+            pulse_line(4, "snapshot", 2, 200),
+            pulse_line(5, "memo.hit", 9, 200),
+        ]
+        .join("\n");
+        let (events, _report) = parse_trace(&text);
+        assert_eq!(events.len(), 5);
+        let snaps = pulse_snapshots(&events);
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].ordinal, 1);
+        assert_eq!(snaps[0].at_micros, 100);
+        assert_eq!(snaps[0].samples.get("memo.hit"), Some(&5));
+        assert_eq!(snaps[0].samples.get("memo.miss"), Some(&2));
+        assert_eq!(snaps[1].ordinal, 2);
+        assert_eq!(snaps[1].samples.get("memo.hit"), Some(&9));
+        assert_eq!(snaps[1].samples.get("memo.miss"), None);
+    }
+
+    #[test]
+    fn torn_head_and_foreign_components_are_dropped() {
+        let mut other = Event::counter("memo", "hit", 1);
+        other.seq = 2;
+        let text = [
+            pulse_line(1, "memo.hit", 3, 50), // sample before any marker
+            serde_json::to_string(&other).unwrap(),
+            pulse_line(3, "snapshot", 1, 100),
+            pulse_line(4, "memo.hit", 7, 100),
+        ]
+        .join("\n");
+        let (events, _report) = parse_trace(&text);
+        let snaps = pulse_snapshots(&events);
+        assert_eq!(snaps.len(), 1);
+        assert_eq!(snaps[0].samples.len(), 1);
+        assert_eq!(snaps[0].samples.get("memo.hit"), Some(&7));
+    }
+
+    #[test]
+    fn empty_input_yields_no_snapshots() {
+        assert!(pulse_snapshots(&[]).is_empty());
+    }
+}
