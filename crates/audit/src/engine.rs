@@ -2,10 +2,21 @@
 
 use crate::config::{Config, Level};
 use crate::report::{self, Violation};
-use crate::rules::{self, claims, doc_drift, obs_coverage, panic_freedom, unsafe_freedom};
+use crate::rules::{self, claims, doc_drift, obs_coverage, panic_freedom, race, unsafe_freedom};
 use crate::source::{collect_rs_files, rel_str, SourceFile};
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
+
+/// The jp-race shared-state model, kept on the [`Outcome`] so the
+/// `race` subcommand can print it and `check` can write the DOT.
+#[derive(Debug)]
+pub struct RaceSummary {
+    /// Per-file models for every file in any race rule's scope.
+    pub models: Vec<(String, race::FileModel)>,
+    /// Rendered lock-order graph, present when `lock-order` is
+    /// enforced over a non-empty path scope.
+    pub dot: Option<String>,
+}
 
 /// Result of one audit run.
 #[derive(Debug)]
@@ -14,6 +25,8 @@ pub struct Outcome {
     pub violations: Vec<(Level, Violation)>,
     /// The rendered claims matrix (present unless the rule is `allow`ed).
     pub matrix: Option<String>,
+    /// The shared-state model (present when any race rule is enforced).
+    pub race: Option<RaceSummary>,
 }
 
 impl Outcome {
@@ -87,20 +100,98 @@ pub fn run(root: &Path, config: &Config) -> std::io::Result<Outcome> {
         unsafe_freedom::check_crate_roots(uf.list("crate_roots"), &files, &mut raw);
     }
 
-    // doc-drift between the CLI crate and the README
+    // doc-drift between the flag-parsing sources and the README,
+    // both directions: undocumented flags and stale README rows
     let dd = config.rule(doc_drift::NAME);
     if dd.level() != Level::Allow {
-        let cli_prefix = dd.str("cli_src").unwrap_or("crates/cli/src/").to_string();
+        let srcs = if dd.list("srcs").is_empty() {
+            vec![dd.str("cli_src").unwrap_or("crates/cli/src/").to_string()]
+        } else {
+            dd.list("srcs").to_vec()
+        };
         let mut flags = BTreeMap::new();
         for f in files
             .iter()
-            .filter(|f| f.rel_path.starts_with(cli_prefix.as_str()))
+            .filter(|f| panic_freedom::in_scope(&f.rel_path, &srcs))
         {
             doc_drift::collect_flags(f, &mut flags);
         }
         let readme_path = dd.str("readme").unwrap_or("README.md");
         let readme = std::fs::read_to_string(root.join(readme_path))?;
         doc_drift::check(&flags, &readme, &mut raw);
+        doc_drift::check_readme_rows(&flags, &readme, readme_path, &mut raw);
+    }
+
+    // jp-race: build the shared-state model once over the union of the
+    // four rules' scopes, then drive each rule over its own scope.
+    let ao = config.rule(race::ATOMIC_ORDERING);
+    let lo = config.rule(race::LOCK_ORDER);
+    let gc = config.rule(race::GUARD_ACROSS_CALL);
+    let sc = config.rule(race::SPAWN_CONTAINMENT);
+    let race_rules = [&ao, &lo, &gc, &sc];
+    let mut race_summary = None;
+    if race_rules.iter().any(|r| r.level() != Level::Allow) {
+        let forbidden: Vec<String> = if gc.list("calls").is_empty() {
+            race::DEFAULT_FORBIDDEN_CALLS
+                .iter()
+                .map(|s| s.to_string())
+                .collect()
+        } else {
+            gc.list("calls").to_vec()
+        };
+        let mut models: Vec<(usize, race::FileModel)> = Vec::new();
+        for (idx, f) in files.iter().enumerate() {
+            let wanted = race_rules
+                .iter()
+                .any(|r| r.level() != Level::Allow && race::in_scope(&f.rel_path, r.list("paths")));
+            if wanted {
+                models.push((idx, race::extract(f, &forbidden)));
+            }
+        }
+        if ao.level() != Level::Allow {
+            for (idx, m) in &models {
+                let f = &files[*idx];
+                if race::in_scope(&f.rel_path, ao.list("paths")) {
+                    race::check_atomic_ordering(f, m, &mut raw);
+                }
+            }
+        }
+        let mut dot = None;
+        if lo.level() != Level::Allow {
+            let graph = race::lock_graph(
+                models
+                    .iter()
+                    .filter(|(idx, _)| race::in_scope(&files[*idx].rel_path, lo.list("paths")))
+                    .map(|(idx, m)| (files[*idx].rel_path.as_str(), m)),
+            );
+            race::check_lock_order(&graph, &mut raw);
+            if !lo.list("paths").is_empty() {
+                dot = Some(race::lock_order_dot(&graph));
+            }
+        }
+        if gc.level() != Level::Allow {
+            for (idx, m) in &models {
+                let f = &files[*idx];
+                if race::in_scope(&f.rel_path, gc.list("paths")) {
+                    race::check_guard_across_call(f, m, &mut raw);
+                }
+            }
+        }
+        if sc.level() != Level::Allow {
+            for (idx, m) in &models {
+                let f = &files[*idx];
+                if race::in_scope(&f.rel_path, sc.list("paths")) {
+                    race::check_spawn_containment(f, m, &mut raw);
+                }
+            }
+        }
+        race_summary = Some(RaceSummary {
+            models: models
+                .into_iter()
+                .map(|(idx, m)| (files[idx].rel_path.clone(), m))
+                .collect(),
+            dot,
+        });
     }
 
     // allow-annotation hygiene: every escape hatch names a real rule and
@@ -146,5 +237,9 @@ pub fn run(root: &Path, config: &Config) -> std::io::Result<Outcome> {
         .map(|v| (config.rule(&v.rule).level(), v))
         .collect();
     report::sort(&mut violations);
-    Ok(Outcome { violations, matrix })
+    Ok(Outcome {
+        violations,
+        matrix,
+        race: race_summary,
+    })
 }

@@ -11,10 +11,17 @@ jp-audit — workspace-native static analysis
 USAGE:
   jp-audit check  [--root DIR] [--config FILE]   run all rules; exit 1 on deny findings
   jp-audit matrix [--root DIR] [--config FILE]   print the claim-traceability matrix
+  jp-audit race   [--root DIR] [--config FILE] [--model] [--dot FILE]
+                                                 shared-state model + concurrency findings
   jp-audit rules  [--root DIR] [--config FILE]   list rules and configured levels
 
 `check` also rewrites the matrix file configured under
-[claim-traceability] matrix (default figures/claims_matrix.md).";
+[claim-traceability] matrix (default figures/claims_matrix.md) and the
+lock graph configured under [lock-order] dot (default
+figures/lock_order.dot). `race` prints the per-file shared-state model
+summary (--model for the full inventory), writes the same DOT file
+(--dot overrides the destination), and exits 1 on deny-level findings
+from the four concurrency rules.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,6 +38,8 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let mut cmd = None;
     let mut root = None;
     let mut config_path = None;
+    let mut full_model = false;
+    let mut dot_override = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -40,6 +49,14 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             }
             "--config" => {
                 config_path = Some(PathBuf::from(need_value(args, i, "--config")?));
+                i += 2;
+            }
+            "--model" => {
+                full_model = true;
+                i += 1;
+            }
+            "--dot" => {
+                dot_override = Some(need_value(args, i, "--dot")?.to_string());
                 i += 2;
             }
             "help" | "--help" | "-h" => {
@@ -75,6 +92,9 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                 std::fs::write(&path, matrix)?;
                 println!("wrote {target}");
             }
+            if let Some(dot) = outcome.race.as_ref().and_then(|r| r.dot.as_deref()) {
+                write_dot(&root, &config, dot, dot_override.as_deref())?;
+            }
             let (mut denies, mut warns) = (0usize, 0usize);
             for (level, v) in &outcome.violations {
                 match level {
@@ -109,6 +129,90 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                 None => Err("claim-traceability is set to allow; no matrix produced".into()),
             }
         }
+        Some("race") => {
+            let outcome = engine::run(&root, &config)?;
+            let Some(summary) = &outcome.race else {
+                return Err("all four race rules are set to allow; no model produced".into());
+            };
+            let race_rules = [
+                jp_audit::rules::race::ATOMIC_ORDERING,
+                jp_audit::rules::race::LOCK_ORDER,
+                jp_audit::rules::race::GUARD_ACROSS_CALL,
+                jp_audit::rules::race::SPAWN_CONTAINMENT,
+            ];
+            let (mut atomics, mut locks, mut edges, mut spawns, mut channels) = (0, 0, 0, 0, 0);
+            println!(
+                "shared-state model ({} files in scope):",
+                summary.models.len()
+            );
+            for (path, m) in &summary.models {
+                println!(
+                    "  {path}: {} atomic op{}, {} lock site{}, {} edge{}, {} spawn{}, {} channel{}",
+                    m.atomics.len(),
+                    plural(m.atomics.len()),
+                    m.locks.len(),
+                    plural(m.locks.len()),
+                    m.edges.len(),
+                    plural(m.edges.len()),
+                    m.spawns.len(),
+                    plural(m.spawns.len()),
+                    m.channels.len(),
+                    plural(m.channels.len()),
+                );
+                if full_model {
+                    for op in &m.atomics {
+                        let orders: Vec<&str> =
+                            op.orderings.iter().map(|(v, _)| v.as_str()).collect();
+                        println!(
+                            "    atomic {}:{} {}({}){}",
+                            path,
+                            op.line,
+                            op.method,
+                            orders.join(", "),
+                            if op.justified { " [justified]" } else { "" },
+                        );
+                    }
+                    for l in &m.locks {
+                        println!("    lock   {}:{} {}.{}()", path, l.line, l.name, l.op);
+                    }
+                    for e in &m.edges {
+                        println!("    edge   {}:{} {} -> {}", path, e.line, e.first, e.second);
+                    }
+                    for s in &m.spawns {
+                        let kind = if s.scoped { "scoped" } else { "detached" };
+                        println!("    spawn  {}:{} {kind}", path, s.line);
+                    }
+                    for c in &m.channels {
+                        println!("    chan   {}:{} {}", path, c.line, c.what);
+                    }
+                }
+                atomics += m.atomics.len();
+                locks += m.locks.len();
+                edges += m.edges.len();
+                spawns += m.spawns.len();
+                channels += m.channels.len();
+            }
+            println!(
+                "totals: {atomics} atomic ops, {locks} lock sites, {edges} lock edges, \
+                 {spawns} spawns, {channels} channel endpoints",
+            );
+            if let Some(dot) = summary.dot.as_deref() {
+                write_dot(&root, &config, dot, dot_override.as_deref())?;
+            }
+            let mut denied = false;
+            for (level, v) in &outcome.violations {
+                if !race_rules.contains(&v.rule.as_str()) || *level == Level::Allow {
+                    continue;
+                }
+                denied |= *level == Level::Deny;
+                println!("{level}: {v}");
+            }
+            Ok(if denied {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            })
+        }
         Some("rules") => {
             for rule in jp_audit::rules::ALL {
                 println!("{rule:<20} {}", config.rule(rule).level());
@@ -116,6 +220,36 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             Ok(ExitCode::SUCCESS)
         }
         Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}").into()),
+    }
+}
+
+/// Writes the lock-order DOT to `--dot FILE`, the `[lock-order] dot`
+/// config key, or `figures/lock_order.dot`, in that order.
+fn write_dot(
+    root: &std::path::Path,
+    config: &Config,
+    dot: &str,
+    over: Option<&str>,
+) -> std::io::Result<()> {
+    let lo = config.rule("lock-order");
+    let target = over
+        .or_else(|| lo.str("dot"))
+        .unwrap_or("figures/lock_order.dot")
+        .to_string();
+    let path = root.join(&target);
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(&path, dot)?;
+    println!("wrote {target}");
+    Ok(())
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
     }
 }
 

@@ -32,6 +32,24 @@ pub fn collect_flags(file: &SourceFile, into: &mut BTreeMap<String, (String, u32
                 record(into, key, &file.rel_path, t.line);
             }
         }
+        // `flag_true(a, "memo")` — the args come first, so take the
+        // first string literal inside the call's parens
+        if t.is_ident("flag_true") && code.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            let mut depth = 0i32;
+            for n in &code[i + 1..] {
+                if n.is_punct('(') {
+                    depth += 1;
+                } else if n.is_punct(')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if let Some(key) = n.str_content() {
+                    record(into, key, &file.rel_path, t.line);
+                    break;
+                }
+            }
+        }
         if t.kind == TokenKind::Str {
             if let Some(s) = t.str_content() {
                 if let Some(name) = s.strip_prefix("--") {
@@ -76,6 +94,65 @@ pub fn check(flags: &BTreeMap<String, (String, u32)>, readme: &str, out: &mut Ve
     }
 }
 
+/// The reverse (stale-row) direction: README *table rows* must not name
+/// flags no source parses any more. Only `|`-prefixed lines are scanned,
+/// and only backtick spans that *start* with `--` count as flag mentions
+/// — prose like `` `cargo run --example quickstart` `` stays exempt.
+pub fn check_readme_rows(
+    flags: &BTreeMap<String, (String, u32)>,
+    readme: &str,
+    readme_path: &str,
+    out: &mut Vec<Violation>,
+) {
+    for (lineno, line) in readme.lines().enumerate() {
+        if !line.trim_start().starts_with('|') {
+            continue;
+        }
+        for span in backtick_spans(line) {
+            let Some(name) = span.strip_prefix("--") else {
+                continue;
+            };
+            // trim a value placeholder: `--pulse-file FILE` → pulse-file
+            let name = name.split_whitespace().next().unwrap_or("");
+            if name.is_empty()
+                || !name
+                    .bytes()
+                    .all(|b| b.is_ascii_lowercase() || b == b'-' || b == b'_')
+            {
+                continue;
+            }
+            if !flags.contains_key(name) {
+                out.push(Violation::new(
+                    NAME,
+                    readme_path,
+                    u32::try_from(lineno + 1).unwrap_or(u32::MAX),
+                    format!(
+                        "README table documents `--{name}` but no audited source parses it \
+                         (stale row)"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// The contents of each `` `…` `` span on one line, in order.
+fn backtick_spans(line: &str) -> Vec<&str> {
+    let mut spans = Vec::new();
+    let mut rest = line;
+    while let Some(start) = rest.find('`') {
+        let after = &rest[start + 1..];
+        match after.find('`') {
+            Some(end) => {
+                spans.push(&after[..end]);
+                rest = &after[end + 1..];
+            }
+            None => break,
+        }
+    }
+    spans
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,6 +183,23 @@ mod tests {
         check(&flags, "documents --out and --trace only", &mut out);
         assert_eq!(out.len(), 1, "{out:?}");
         assert!(out[0].message.contains("`--n`"));
+    }
+
+    #[test]
+    fn stale_readme_rows_are_flagged_but_prose_is_exempt() {
+        let mut flags = BTreeMap::new();
+        flags.insert("trace".to_string(), ("x.rs".to_string(), 1));
+        let readme = "\
+Run `cargo run --example quickstart` to begin.\n\
+| flag | meaning |\n\
+|---|---|\n\
+| `--trace FILE` | still parsed |\n\
+| `--telemetry` | removed in PR 3 |\n";
+        let mut out = Vec::new();
+        check_readme_rows(&flags, readme, "README.md", &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 5);
+        assert!(out[0].message.contains("`--telemetry`"));
     }
 
     #[test]

@@ -9,6 +9,7 @@ pub mod claims;
 pub mod doc_drift;
 pub mod obs_coverage;
 pub mod panic_freedom;
+pub mod race;
 pub mod unsafe_freedom;
 
 /// Name of the meta-rule covering the escape hatches themselves:
@@ -16,11 +17,15 @@ pub mod unsafe_freedom;
 pub const ALLOW_ANNOTATION: &str = "allow-annotation";
 
 /// All rule names, in reporting order.
-pub const ALL: [&str; 6] = [
+pub const ALL: [&str; 10] = [
     panic_freedom::NAME,
     obs_coverage::NAME,
     claims::NAME,
     unsafe_freedom::NAME,
     doc_drift::NAME,
+    race::ATOMIC_ORDERING,
+    race::LOCK_ORDER,
+    race::GUARD_ACROSS_CALL,
+    race::SPAWN_CONTAINMENT,
     ALLOW_ANNOTATION,
 ];

@@ -37,6 +37,16 @@ pub struct ClaimTag {
     pub line: u32,
 }
 
+/// A `// race:order(<why>)` justification for a non-`SeqCst` atomic
+/// memory ordering, consumed by the `atomic-ordering` rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderNote {
+    /// 1-based line the note sits on.
+    pub line: u32,
+    /// The stated justification (may be empty — which is a finding).
+    pub reason: String,
+}
+
 /// One lexed workspace source file plus derived views.
 #[derive(Debug)]
 pub struct SourceFile {
@@ -50,6 +60,8 @@ pub struct SourceFile {
     pub allows: Vec<Allow>,
     /// All claim tags in the file.
     pub claims: Vec<ClaimTag>,
+    /// All `race:order(..)` justifications in the file.
+    pub orders: Vec<OrderNote>,
 }
 
 impl SourceFile {
@@ -60,6 +72,7 @@ impl SourceFile {
         let test_lines = mark_test_regions(&tokens, line_count);
         let mut allows = Vec::new();
         let mut claims = Vec::new();
+        let mut orders = Vec::new();
         for t in &tokens {
             // Only plain `//` comments carry annotations: doc comments
             // (`///`, `//!`, `/** */`) merely *describe* the syntax, and
@@ -68,7 +81,7 @@ impl SourceFile {
                 && !t.text.starts_with("///")
                 && !t.text.starts_with("//!")
             {
-                scan_comment(t, &mut allows, &mut claims);
+                scan_comment(t, &mut allows, &mut claims, &mut orders);
             }
         }
         SourceFile {
@@ -77,6 +90,7 @@ impl SourceFile {
             test_lines,
             allows,
             claims,
+            orders,
         }
     }
 
@@ -96,6 +110,15 @@ impl SourceFile {
             a.rule == rule && !a.reason.is_empty() && (a.line == line || covers_next_line(a, line))
         })
     }
+
+    /// Whether a non-`SeqCst` atomic ordering at `line` carries a
+    /// `race:order(<why>)` justification with a non-empty reason, under
+    /// the same same-line / next-code-line coverage as `audit:allow`.
+    pub fn order_justified(&self, line: u32) -> bool {
+        self.orders.iter().any(|o| {
+            !o.reason.is_empty() && (o.line == line || line == o.line + 1 || line == o.line + 2)
+        })
+    }
 }
 
 /// An annotation on its own line covers the next code line; comments
@@ -105,12 +128,42 @@ fn covers_next_line(a: &Allow, line: u32) -> bool {
     line == a.line + 1 || line == a.line + 2
 }
 
-/// Scans one comment token for `audit:allow(rule) reason` and
-/// `CLAIM(id, id…)` markers. A multi-line block comment can contribute
-/// several of each; line numbers are adjusted per comment line.
-fn scan_comment(t: &Token, allows: &mut Vec<Allow>, claims: &mut Vec<ClaimTag>) {
+/// Scans one comment token for `audit:allow(rule) reason`,
+/// `CLAIM(id, id…)`, and `race:order(why)` markers. A multi-line block
+/// comment can contribute several of each; line numbers are adjusted per
+/// comment line.
+fn scan_comment(
+    t: &Token,
+    allows: &mut Vec<Allow>,
+    claims: &mut Vec<ClaimTag>,
+    orders: &mut Vec<OrderNote>,
+) {
     for (off, line_text) in t.text.lines().enumerate() {
         let line = t.line + off as u32;
+        if let Some(pos) = line_text.find("race:order(") {
+            let rest = &line_text[pos + "race:order(".len()..];
+            // The reason may itself contain parentheses — take up to the
+            // balancing close (or end of line for an unclosed note).
+            let mut depth = 1i32;
+            let mut end = rest.len();
+            for (i, c) in rest.char_indices() {
+                match c {
+                    '(' => depth += 1,
+                    ')' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = i;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            orders.push(OrderNote {
+                line,
+                reason: rest[..end].trim().to_string(),
+            });
+        }
         if let Some(pos) = line_text.find("audit:allow(") {
             let rest = &line_text[pos + "audit:allow(".len()..];
             if let Some(close) = rest.find(')') {
@@ -304,5 +357,26 @@ mod tests {
         assert_eq!(f.claims[0].id, "L2.1");
         assert_eq!(f.claims[1].id, "C2.1");
         assert_eq!(f.claims[1].line, 3);
+    }
+
+    #[test]
+    fn race_order_notes_parse_with_nested_parens() {
+        let src = "// race:order(counter is a statistic (read after join))\n\
+                   c.fetch_add(1, Ordering::Relaxed);\n\
+                   fn g() {}\n\
+                   fn h() {}\n\
+                   x.load(Ordering::Relaxed); // race:order()\n\
+                   /// race:order(doc comments do not carry annotations)\n\
+                   fn f() {}\n";
+        let f = SourceFile::new("x.rs".into(), src);
+        assert_eq!(f.orders.len(), 2);
+        assert_eq!(f.orders[0].line, 1);
+        assert_eq!(
+            f.orders[0].reason,
+            "counter is a statistic (read after join)"
+        );
+        assert!(f.order_justified(2), "note covers the next code line");
+        assert!(f.orders[1].reason.is_empty(), "reasonless note is recorded");
+        assert!(!f.order_justified(5), "reasonless note justifies nothing");
     }
 }

@@ -1,0 +1,17 @@
+//! Both functions acquire ALPHA before BETA — acyclic by construction —
+//! and the sink call runs only after both guards are dropped.
+
+pub fn forward() {
+    let a = lock(&ALPHA);
+    let b = lock(&BETA);
+    drop(b);
+    drop(a);
+}
+
+pub fn also_forward() {
+    let a = lock(&ALPHA);
+    let b = lock(&BETA);
+    drop(b);
+    drop(a);
+    flush_sink();
+}

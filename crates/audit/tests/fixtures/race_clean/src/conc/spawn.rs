@@ -1,0 +1,14 @@
+//! A scoped spawn, plus a detached one with an explicit lifecycle story.
+
+pub fn scoped(n: usize) {
+    std::thread::scope(|s| {
+        for _ in 0..n {
+            s.spawn(|| work());
+        }
+    });
+}
+
+pub fn owner() {
+    // audit:allow(spawn-containment) the owner keeps the JoinHandle and joins it on stop
+    std::thread::spawn(|| work());
+}

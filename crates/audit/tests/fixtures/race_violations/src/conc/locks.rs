@@ -1,0 +1,20 @@
+//! Seeded lock-order cycle (ALPHA <-> BETA) and a forbidden call made
+//! while a guard is live.
+
+pub fn forward() {
+    let a = lock(&ALPHA);
+    let b = lock(&BETA);
+    let _ = (&a, &b);
+}
+
+pub fn backward() {
+    let b = lock(&BETA);
+    let a = lock(&ALPHA);
+    let _ = (&a, &b);
+}
+
+pub fn held_across(s: &State) {
+    let g = lock(&s.inner);
+    flush_sink();
+    drop(g);
+}

@@ -1,0 +1,5 @@
+//! Seeded detached spawn: no `thread::scope` in the enclosing function.
+
+pub fn detached() {
+    std::thread::spawn(|| loiter());
+}

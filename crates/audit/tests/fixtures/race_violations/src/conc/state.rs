@@ -1,0 +1,17 @@
+//! Seeded atomic-ordering violations: one unjustified relaxed op, one
+//! reason-less note, and one stale note.
+
+pub fn unjustified(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn reasonless(c: &AtomicU64) {
+    // race:order()
+    c.load(Ordering::Acquire);
+}
+
+pub fn stale() {
+    // race:order(covers no relaxed op at all)
+    let x = 1;
+    let _ = x;
+}

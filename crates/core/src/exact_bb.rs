@@ -157,13 +157,22 @@ struct SharedSearch {
 
 impl SharedSearch {
     fn offer(&self, jumps: usize, tour: &[u32]) {
-        let mut guard = lock(&self.best_tour);
-        if jumps < self.best_jumps.load(Ordering::Relaxed) {
-            self.best_jumps.store(jumps, Ordering::Relaxed);
-            *guard = tour.to_vec();
+        let improved = {
+            let mut guard = lock(&self.best_tour);
+            // race:order(writers serialize on best_tour and re-check under it; readers prune against a possibly-stale bound, which is safe)
+            if jumps < self.best_jumps.load(Ordering::Relaxed) {
+                self.best_jumps.store(jumps, Ordering::Relaxed);
+                *guard = tour.to_vec();
+                true
+            } else {
+                false
+            }
+        };
+        if improved {
+            // race:order(monotonic statistic, read after the scoped join)
             self.improvements.fetch_add(1, Ordering::Relaxed);
-            // Live incumbent: `jp pulse top` shows the bound tightening
-            // while the search runs.
+            // Live incumbent after the guard is gone: `jp pulse top`
+            // shows the bound tightening while the search runs.
             jp_pulse::gauge_set("bb.incumbent_jumps", jumps as u64);
         }
     }
@@ -191,6 +200,7 @@ impl Searcher<'_> {
             let prev = self
                 .shared
                 .claimed
+                // race:order(monotone pool counter; overshoot is bounded by one chunk per worker and expansions are counted exactly per worker)
                 .fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
             if prev >= self.shared.budget {
                 return false;
@@ -238,6 +248,7 @@ impl Searcher<'_> {
         jumps: usize,
         tour: &mut Vec<u32>,
     ) {
+        // race:order(pruning against a stale bound is safe — it only delays the cut, never removes the optimum)
         if jumps >= self.shared.best_jumps.load(Ordering::Relaxed) {
             self.incumbent_prunes += 1;
             return;
@@ -250,6 +261,7 @@ impl Searcher<'_> {
             self.shared.offer(jumps, tour);
             return;
         }
+        // race:order(pruning against a stale bound is safe — it only delays the cut, never removes the optimum)
         if jumps + self.lower_bound(visited, cur) >= self.shared.best_jumps.load(Ordering::Relaxed)
         {
             self.lb_prunes += 1;
@@ -286,6 +298,7 @@ impl Searcher<'_> {
         }
         // jump moves (cost 1): only try jump targets that are stranded or
         // low-degree first; trying all is required for exactness
+        // race:order(pruning against a stale bound is safe — it only delays the cut, never removes the optimum)
         if jumps + 1 < self.shared.best_jumps.load(Ordering::Relaxed) {
             let mut targets: Vec<(usize, u32)> = (0..self.n as u32)
                 // audit:allow(panic-freedom) vertex ids are < n == visited.len() by construction
@@ -378,6 +391,7 @@ pub fn bb_min_jump_tour_par(ones: &Graph, budget: u64, threads: usize) -> BbOutc
         let efforts = jp_par::run_tasks(threads, starts, |_, (_, v)| {
             // zero jumps cannot be beaten, and a blown budget means the
             // remaining starts stay unexplored either way
+            // race:order(stale reads of either flag only delay the early-out by one task)
             if shared_ref.best_jumps.load(Ordering::Relaxed) == 0
                 || shared_ref.truncated.load(Ordering::Relaxed)
             {
@@ -400,6 +414,7 @@ pub fn bb_min_jump_tour_par(ones: &Graph, budget: u64, threads: usize) -> BbOutc
             tour.push(v);
             searcher.dfs(&mut visited, v, 1, 0, &mut tour);
             if searcher.truncated {
+                // race:order(one-way latch, definitively read only after the run_tasks join)
                 shared_ref.truncated.store(true, Ordering::Relaxed);
             }
             jp_pulse::counter_add("bb.nodes_expanded", searcher.nodes);
@@ -415,6 +430,7 @@ pub fn bb_min_jump_tour_par(ones: &Graph, budget: u64, threads: usize) -> BbOutc
             stats.lb_prunes += effort.lb_prunes;
         }
     }
+    // race:order(both reads happen after the run_tasks join, which synchronizes all worker writes)
     let proven = !shared.truncated.load(Ordering::Relaxed);
     stats.incumbent_improvements = shared.improvements.load(Ordering::Relaxed);
     // best_jumps only improves on the seed; if the search found a better

@@ -123,10 +123,13 @@ impl Memo {
     // audit:allow(obs-coverage) counter snapshot — no solver work to trace
     pub fn stats(&self) -> MemoStats {
         MemoStats {
+            // race:order(monotonic statistics; a snapshot mid-run may lag but every counter is exact once workers join)
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            // race:order(same monotonic-statistics snapshot as above)
             recognized: self.recognized.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
+            // race:order(same monotonic-statistics snapshot as above)
             rejects: self.rejects.load(Ordering::Relaxed),
             poisoned: self.poisoned.load(Ordering::Relaxed),
         }
@@ -151,6 +154,7 @@ impl Memo {
     }
 
     fn bump(&self, counter: &AtomicU64, name: &str) {
+        // race:order(monotonic statistic; cache answers are protected by the shard locks, not by this counter)
         counter.fetch_add(1, Ordering::Relaxed);
         if jp_obs::enabled() {
             jp_obs::counter("memo", name, 1);

@@ -84,15 +84,18 @@ impl Race {
     /// the floor is a true lower bound), which is what makes abandoning
     /// on it sound.
     fn beatable(&self) -> bool {
+        // race:order(a stale read only delays abandonment by one poll; the incumbent is monotonically decreasing)
         self.incumbent.load(Ordering::Relaxed) > self.floor
     }
 
     fn offer(&self, g: &BipartiteGraph, strategy: usize, scheme: PebblingScheme) {
         let cost = scheme.effective_cost(g);
+        // race:order(fetch_min is monotone and the winning scheme is re-checked under the best lock below)
         self.incumbent.fetch_min(cost, Ordering::Relaxed);
         // Live incumbent: the race's current best effective cost.
         jp_pulse::gauge_set(
             "portfolio.incumbent_cost",
+            // race:order(live gauge snapshot of a monotone value)
             self.incumbent.load(Ordering::Relaxed) as u64,
         );
         let mut best = lock(&self.best);

@@ -95,11 +95,14 @@ impl<T> Worker<'_, T> {
     /// seeds, in spawn order).
     // audit:allow(obs-coverage) queue push on the task hot path — aggregated into the par.spawned counter instead of a per-call span
     pub fn spawn(&self, task: T) -> usize {
+        // race:order(index allocation only needs uniqueness, not ordering — results are sorted by index after the join)
         let index = self.shared.next_index.fetch_add(1, Ordering::Relaxed);
         // Count the task as pending *before* it becomes visible: a thief
         // could otherwise pop and finish it and drive `pending` to zero
         // while it was never accounted for.
+        // race:order(Release pairs with the Acquire loads in worker_loop: a worker that sees pending==0 also sees every spawn accounted)
         self.shared.pending.fetch_add(1, Ordering::Release);
+        // race:order(monotonic statistic, read after the scoped join)
         self.shared.spawned.fetch_add(1, Ordering::Relaxed);
         jp_pulse::counter_add("par.spawned", 1);
         lock(&self.shared.injector).push_back(IndexedTask {
@@ -124,7 +127,11 @@ impl<T> Worker<'_, T> {
             let Some(victim) = self.shared.locals.get((self.id + k) % n) else {
                 continue;
             };
-            if let Some(t) = lock(victim).pop_back() {
+            // Bind the pop so the victim's deque guard dies at the `;` —
+            // the pulse counter below must not run under that lock.
+            let stolen = lock(victim).pop_back();
+            if let Some(t) = stolen {
+                // race:order(monotonic statistic, read after the scoped join)
                 self.shared.steals.fetch_add(1, Ordering::Relaxed);
                 jp_pulse::counter_add("par.steals", 1);
                 return Some(t);
@@ -169,7 +176,8 @@ where
     let worker = Worker { shared, id };
     let mut out = Vec::new();
     loop {
-        if shared.pending.load(Ordering::Acquire) == 0 || shared.abort.load(Ordering::Relaxed) {
+        // race:order(Acquire on pending pairs with the Release bumps/decrements; Acquire on abort pairs with the Release store below so an observed abort also shows the filled panic slot)
+        if shared.pending.load(Ordering::Acquire) == 0 || shared.abort.load(Ordering::Acquire) {
             break;
         }
         match worker.next_task() {
@@ -183,9 +191,15 @@ where
                         if slot.is_none() {
                             *slot = Some(payload);
                         }
-                        shared.abort.store(true, Ordering::Relaxed);
+                        drop(slot);
+                        // Upgraded from Relaxed: Release publishes the
+                        // slot write to workers that observe the latch
+                        // without ever taking the panic mutex.
+                        // race:order(Release pairs with the Acquire latch check at the top of the loop)
+                        shared.abort.store(true, Ordering::Release);
                     }
                 }
+                // race:order(Release pairs with the Acquire loads: the 0-observer sees all task effects)
                 shared.pending.fetch_sub(1, Ordering::Release);
                 if let Some(t0) = task_start {
                     busy += t0.elapsed();
@@ -194,6 +208,7 @@ where
                     jp_pulse::gauge_set(&util_gauge, pct.min(100));
                     jp_pulse::gauge_set(
                         "par.queue_depth",
+                        // race:order(Acquire pairs with the Release bumps; the gauge is a live snapshot either way)
                         shared.pending.load(Ordering::Acquire) as u64,
                     );
                 }
@@ -276,13 +291,17 @@ where
     if let Some(payload) = lock(&shared.panic).take() {
         std::panic::resume_unwind(payload);
     }
+    // Every load below runs after the scoped join (or the sequential
+    // worker_loop return), which already synchronizes all worker writes.
     if jp_obs::enabled() {
         jp_obs::counter("par", "workers", threads as u64);
         jp_obs::counter(
             "par",
             "tasks",
+            // race:order(read after the scoped join; Acquire is belt-and-braces)
             shared.next_index.load(Ordering::Acquire) as u64,
         );
+        // race:order(statistics read after the scoped join)
         jp_obs::counter("par", "steals", shared.steals.load(Ordering::Relaxed));
         jp_obs::counter("par", "spawned", shared.spawned.load(Ordering::Relaxed));
     }
@@ -290,9 +309,11 @@ where
         jp_pulse::gauge_set("par.workers", threads as u64);
         jp_pulse::gauge_set(
             "par.tasks",
+            // race:order(read after the scoped join; Acquire is belt-and-braces)
             shared.next_index.load(Ordering::Acquire) as u64,
         );
     }
+    // race:order(read after the scoped join; Acquire is belt-and-braces)
     let total = shared.next_index.load(Ordering::Acquire);
     let mut slots: Vec<Option<R>> = Vec::with_capacity(total);
     slots.resize_with(total, || None);

@@ -100,25 +100,32 @@ impl ScopeCells {
 
     #[cfg_attr(not(feature = "alloc-track"), allow(dead_code))]
     fn on_alloc(&self, size: u64) {
+        // race:order(allocator-path accounting is approximate by design — per-cell totals are exact, cross-cell snapshots may tear)
         self.allocs.fetch_add(1, Ordering::Relaxed);
         self.bytes_allocated.fetch_add(size, Ordering::Relaxed);
+        // race:order(high-water mark via fetch_max over this cell's own monotone running total)
         let now = self.current.fetch_add(size as i64, Ordering::Relaxed) + size as i64;
         self.peak.fetch_max(now, Ordering::Relaxed);
     }
 
     #[cfg_attr(not(feature = "alloc-track"), allow(dead_code))]
     fn on_free(&self, size: u64) {
+        // race:order(allocator-path accounting is approximate by design — per-cell totals are exact, cross-cell snapshots may tear)
         self.frees.fetch_add(1, Ordering::Relaxed);
         self.bytes_freed.fetch_add(size, Ordering::Relaxed);
+        // race:order(same approximate accounting as above)
         self.current.fetch_sub(size as i64, Ordering::Relaxed);
     }
 
     fn snapshot(&self) -> MemScopeStats {
         MemScopeStats {
+            // race:order(sampled snapshot of approximate accounting — fields may tear relative to each other, which the memory axis tolerates)
             allocs: self.allocs.load(Ordering::Relaxed),
             frees: self.frees.load(Ordering::Relaxed),
+            // race:order(same sampled snapshot as above)
             bytes_allocated: self.bytes_allocated.load(Ordering::Relaxed),
             bytes_freed: self.bytes_freed.load(Ordering::Relaxed),
+            // race:order(same sampled snapshot as above)
             bytes_current: self.current.load(Ordering::Relaxed),
             bytes_peak: self.peak.load(Ordering::Relaxed),
         }
@@ -219,6 +226,7 @@ pub(crate) fn record_free(size: usize) {
 /// Whether allocation accounting is live (the tracking allocator is
 /// installed and has seen at least one allocation).
 pub fn tracking_active() -> bool {
+    // race:order(zero/nonzero probe of a monotone counter)
     TOTAL.allocs.load(Ordering::Relaxed) > 0
 }
 
@@ -253,6 +261,7 @@ pub fn totals() -> MemScopeStats {
 /// bench harness scopes its per-case memory axis.
 pub fn reset_peaks() {
     for cells in SCOPE_CELLS.iter().chain(std::iter::once(&TOTAL)) {
+        // race:order(bench-harness reset between cases; concurrent allocations may re-raise the peak immediately, which is the intent)
         let now = cells.current.load(Ordering::Relaxed);
         cells.peak.store(now, Ordering::Relaxed);
     }

@@ -37,6 +37,7 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 /// turns the sampler on.
 #[inline(always)]
 pub fn enabled() -> bool {
+    // race:order(cheap gate probe; membership and registry state are checked under their locks on the publish path)
     ENABLED.load(Ordering::Relaxed)
 }
 
@@ -85,19 +86,23 @@ impl PulseHistogram {
     #[inline]
     pub fn observe(&self, v: u64) {
         if let Some(b) = self.buckets.get(Self::bucket_index(v)) {
+            // race:order(per-bucket atomic addition commutes; totals are exact, cross-field reads may tear harmlessly)
             b.fetch_add(1, Ordering::Relaxed);
         }
+        // race:order(same commutative accounting as above)
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
     }
 
     /// Number of observations.
     pub fn count(&self) -> u64 {
+        // race:order(sampled statistic; exact once publishers stop)
         self.count.load(Ordering::Relaxed)
     }
 
     /// Sum of all observed values.
     pub fn sum(&self) -> u64 {
+        // race:order(sampled statistic; exact once publishers stop)
         self.sum.load(Ordering::Relaxed)
     }
 
@@ -106,6 +111,7 @@ impl PulseHistogram {
         std::array::from_fn(|i| {
             self.buckets
                 .get(i)
+                // race:order(sampled statistic; exact once publishers stop)
                 .map(|b| b.load(Ordering::Relaxed))
                 .unwrap_or(0)
         })
@@ -118,9 +124,11 @@ impl PulseHistogram {
     pub fn merge_from(&self, other: &PulseHistogram) {
         for (mine, theirs) in self.buckets.iter().zip(other.bucket_counts()) {
             if theirs > 0 {
+                // race:order(bucket-wise merge commutes and associates — see the histogram property tests)
                 mine.fetch_add(theirs, Ordering::Relaxed);
             }
         }
+        // race:order(same commutative merge as above)
         self.count.fetch_add(other.count(), Ordering::Relaxed);
         self.sum.fetch_add(other.sum(), Ordering::Relaxed);
     }
@@ -221,6 +229,7 @@ pub fn counter_add(name: &str, delta: u64) {
     }
     if let Some(m) = registry().get_or_insert(name, Kind::Counter) {
         if let Metric::Counter(c) = &*m {
+            // race:order(commutative counter bump; read by the sampler as a statistic)
             c.fetch_add(delta, Ordering::Relaxed);
         }
     }
@@ -234,6 +243,7 @@ pub fn gauge_set(name: &str, value: u64) {
     }
     if let Some(m) = registry().get_or_insert(name, Kind::Gauge) {
         if let Metric::Gauge(g) = &*m {
+            // race:order(last-writer-wins gauge; the sampler reads whichever value is current)
             g.store(value, Ordering::Relaxed);
         }
     }
@@ -263,9 +273,11 @@ pub fn snapshot() -> BTreeMap<String, u64> {
         for (name, metric) in map.iter() {
             match &**metric {
                 Metric::Counter(c) => {
+                    // race:order(sampled snapshot; exact once publishers leave the scope)
                     out.insert(name.clone(), c.load(Ordering::Relaxed));
                 }
                 Metric::Gauge(g) => {
+                    // race:order(sampled snapshot; exact once publishers leave the scope)
                     out.insert(name.clone(), g.load(Ordering::Relaxed));
                 }
                 Metric::Histogram(h) => {
@@ -299,6 +311,7 @@ impl PulseScope {
             let mut members = lock(&MEMBERS);
             *members = Some(BTreeSet::from([jp_obs::thread_id()]));
         }
+        // race:order(gate flag only — member() re-checks identity under the MEMBERS lock, which carries the ordering)
         ENABLED.store(true, Ordering::Relaxed);
         PulseScope { _scope: scope }
     }
@@ -306,6 +319,7 @@ impl PulseScope {
 
 impl Drop for PulseScope {
     fn drop(&mut self) {
+        // race:order(gate flag only — member() re-checks identity under the MEMBERS lock, which carries the ordering)
         ENABLED.store(false, Ordering::Relaxed);
         let mut members = lock(&MEMBERS);
         *members = None;

@@ -104,6 +104,7 @@ impl Sampler {
         // bookkeeping would be publishable; it only reads the registry.
         let handle = std::thread::Builder::new()
             .name("jp-pulse-sampler".to_string())
+            // audit:allow(spawn-containment) intentionally outside thread::scope: the Sampler owns the JoinHandle and joins it in stop()/Drop, so the thread never outlives its owner
             .spawn(move || {
                 let _adopt = registry::adopt();
                 let mut writer = BufWriter::new(file);
@@ -161,15 +162,18 @@ impl Drop for Sampler {
 fn write_snapshot<W: Write>(out: &mut W, ordinal: u64, t0: Instant) -> io::Result<u64> {
     let at_micros = t0.elapsed().as_micros() as u64;
     let mut lines = 0u64;
+    // race:order(fetch_add keeps seq unique and per-file monotone; samplers serialize via the pulse scope)
     let mut seq = SEQ.fetch_add(1, Ordering::Relaxed);
     write_line(out, seq, SNAPSHOT_MARKER, ordinal, at_micros)?;
     lines += 1;
     for (name, value) in registry::snapshot() {
+        // race:order(same unique-seq allocation as above)
         seq = SEQ.fetch_add(1, Ordering::Relaxed);
         write_line(out, seq, &name, value, at_micros)?;
         lines += 1;
     }
     for (name, value) in mem::sample_lines() {
+        // race:order(same unique-seq allocation as above)
         seq = SEQ.fetch_add(1, Ordering::Relaxed);
         write_line(out, seq, &name, value, at_micros)?;
         lines += 1;
