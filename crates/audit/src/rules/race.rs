@@ -20,10 +20,11 @@
 //!   obs/pulse sinks): such calls can block, re-enter, or take further
 //!   locks the holder cannot see.
 //! * **`spawn-containment`** — every `spawn` call must sit in a function
-//!   that enters `std::thread::scope` (the jp-par runtime does); a
-//!   detached `thread::spawn`/`Builder::spawn` outlives its caller's
-//!   borrow discipline and must be `audit:allow`ed with its lifecycle
-//!   story.
+//!   that enters `std::thread::scope` (the jp-par runtime does) or that
+//!   receives the `std::thread::Scope` handle as a parameter (the scope
+//!   block then lives in the caller); a detached
+//!   `thread::spawn`/`Builder::spawn` outlives its caller's borrow
+//!   discipline and must be `audit:allow`ed with its lifecycle story.
 //!
 //! Guard liveness is tracked per function with a brace/statement
 //! heuristic: a `let`-bound guard lives until its enclosing block closes
@@ -370,7 +371,7 @@ fn scan_functions(
             }
             if j < code.len() && code[j].is_punct('{') {
                 let end = match_brace(code, j);
-                scan_body(&code[j + 1..end], file, forbidden_calls, model);
+                scan_body(&code[i..j], &code[j + 1..end], file, forbidden_calls, model);
                 i = end + 1;
                 continue;
             }
@@ -397,17 +398,24 @@ fn match_brace(code: &[&Token], open: usize) -> usize {
     code.len().saturating_sub(1)
 }
 
-/// Walks one function body tracking guard liveness; `body` excludes the
-/// outer braces. Nested `fn` items are rare enough to share the walk.
+/// Walks one function body tracking guard liveness; `sig` is the
+/// function's signature tokens (from `fn` to the opening brace) and
+/// `body` excludes the outer braces. Nested `fn` items are rare enough
+/// to share the walk.
 fn scan_body(
+    sig: &[&Token],
     body: &[&Token],
     file: &SourceFile,
     forbidden_calls: &[String],
     model: &mut FileModel,
 ) {
+    // A spawn is contained when this function opens `thread::scope`
+    // itself, or when it receives the `std::thread::Scope` handle as a
+    // parameter — the scope block then lives in the caller, which
+    // cannot outlive its own `thread::scope` call.
     let has_scope = body.iter().enumerate().any(|(k, t)| {
         t.is_ident("scope") && k >= 2 && body[k - 1].is_punct(':') && body[k - 2].is_punct(':')
-    });
+    }) || sig.iter().any(|t| t.is_ident("Scope"));
     let mut guards: Vec<Guard> = Vec::new();
     let mut depth = 0i32;
     let mut pending_let: Option<String> = None;
@@ -1068,6 +1076,22 @@ mod tests {
         check_spawn_containment(&f, &m, &mut out);
         assert_eq!(out.len(), 1, "{out:?}");
         assert_eq!(out[0].line, 7);
+    }
+
+    #[test]
+    fn spawning_on_a_scope_parameter_is_contained() {
+        // the scope block lives in the caller; a helper handed the
+        // `std::thread::Scope` handle cannot detach anything
+        let (f, m) = model(
+            "fn acceptor<'scope, 'env>(s: &'scope std::thread::Scope<'scope, 'env>) {\n\
+             \x20   s.spawn(|| work());\n\
+             }\n",
+        );
+        assert_eq!(m.spawns.len(), 1);
+        assert!(m.spawns[0].scoped, "{:?}", m.spawns);
+        let mut out = Vec::new();
+        check_spawn_containment(&f, &m, &mut out);
+        assert!(out.is_empty(), "{out:?}");
     }
 
     #[test]

@@ -240,7 +240,8 @@ fn main() {
     // run, so a CI typo cannot silently gate nothing.
     let all_families = families();
     if let Some(filter) = &opts.families {
-        let known: Vec<&str> = std::iter::once("repeated_blocks_x20")
+        let known: Vec<&str> = ["repeated_blocks_x20", "serve_loadgen"]
+            .into_iter()
             .chain(all_families.iter().map(|(name, _)| name.as_str()))
             .collect();
         for f in filter {
@@ -276,6 +277,77 @@ fn main() {
                 });
             }
         }
+    }
+    // The serving axis: an in-process jp-serve instance under the
+    // deterministic loadgen mix — the same workload CI's serve-check
+    // job replays over a real socket. Dispatch is single-threaded so
+    // the memo/solver counters and the end-of-run `serve.*` totals are
+    // exact invariants of the workload; the `par.*` span families are
+    // stripped because how requests clump into dispatch batches
+    // depends on arrival timing, not on work done. The `serve.request`
+    // span values stay: they are the serve-latency axis.
+    if want("serve_loadgen") {
+        let pool = jp_serve::loadgen::query_pool(8);
+        let edges: u64 = pool.iter().map(|g| g.edge_count() as u64).sum();
+        let serve_round = |verify: bool| {
+            let server = jp_serve::Server::bind(jp_serve::ServeConfig::default())
+                .expect("bind an ephemeral loopback port");
+            let addr = server.local_addr().expect("local addr").to_string();
+            let serving = std::thread::spawn(move || server.run());
+            let driving = std::thread::spawn(move || {
+                jp_serve::run_loadgen(&jp_serve::LoadgenConfig {
+                    addr,
+                    verify,
+                    shutdown: true,
+                    ..jp_serve::LoadgenConfig::default()
+                })
+            });
+            let loadgen = driving
+                .join()
+                .expect("loadgen thread")
+                .expect("loadgen run");
+            let served = serving.join().expect("server thread").expect("server run");
+            (loadgen, served)
+        };
+        // Answers first, outside any capture: a verified pass checks
+        // every response against the sequential solver.
+        let (checked, _) = serve_round(true);
+        assert_eq!(checked.mismatches, 0, "serve answers diverged: {checked:?}");
+        assert_eq!(checked.errors, 0, "serve errored under load: {checked:?}");
+        // Then the captured pass runs with verification off so the
+        // loadgen side executes no solver at all: jp-par workers adopt
+        // into whatever scope is installed, so a verification
+        // precompute inside the capture would leak loadgen-side events
+        // into what must be a server-only baseline (CI's serve-check
+        // runs the loadgen as a separate process).
+        let ((loadgen, served), wall_micros, mut stats) =
+            measure(trace_dir, "serve_loadgen_serve_t1", || serve_round(false));
+        assert_eq!(loadgen.errors, 0, "serve errored under load: {loadgen:?}");
+        assert_eq!(
+            loadgen.ok, loadgen.sent,
+            "requests were dropped: {loadgen:?}"
+        );
+        assert_eq!(
+            served.cost_sum, checked.cost_sum,
+            "the captured pass answered differently from the verified pass"
+        );
+        assert!(served.drained, "serve did not drain: {served:?}");
+        stats.span_counts.retain(|k, _| !k.starts_with("par."));
+        stats.span_micros.retain(|k, _| !k.starts_with("par."));
+        stats.span_values.retain(|k, _| !k.starts_with("par."));
+        // The mem.* axis is the bench harness's allocator bridge; the
+        // CLI writes traces without one, so for this case the keys
+        // would read "missing" on every CI check — drop them.
+        stats.counters.retain(|k, _| !k.starts_with("mem."));
+        cases.push(Case {
+            family: "serve_loadgen".into(),
+            solver: "serve".to_string(),
+            threads: 1,
+            edges,
+            effective_cost: served.cost_sum,
+            wall_micros,
+            stats,
+        });
     }
     for (family, g) in all_families {
         if !want(&family) {

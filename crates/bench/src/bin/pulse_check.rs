@@ -114,6 +114,12 @@ fn main() {
     if report.snapshots == 0 {
         fail("sampler wrote no snapshots");
     }
+    if report.write_errors > 0 {
+        fail(&format!(
+            "sampler hit {} write error(s) — the pulse file is missing data",
+            report.write_errors
+        ));
+    }
 
     let (events, read) = jp_trace::read_trace(&pulse_path)
         .unwrap_or_else(|e| fail(&format!("reading {pulse_path:?}: {e}")));
@@ -149,6 +155,14 @@ fn main() {
                 "{pulse_key}: live registry says {live}, jp-obs aggregation says {obs}"
             ));
         }
+    }
+
+    // Every snapshot publishes the sampler's own write-failure tally;
+    // a healthy CI run must end at zero.
+    match last.samples.get("pulse.write_errors").copied() {
+        Some(0) => {}
+        Some(n) => fail(&format!("final snapshot reports {n} pulse write error(s)")),
+        None => fail("final snapshot is missing the pulse.write_errors line"),
     }
 
     let expo = jp_pulse::expo::render_exposition(&last.samples);

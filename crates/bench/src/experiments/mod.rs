@@ -14,6 +14,7 @@ mod fragmentation_exp;
 mod paging_exp;
 mod realization;
 mod reductions_exp;
+mod serve_exp;
 mod traces_exp;
 
 /// A runnable experiment: id, title, and the report generator.
@@ -135,6 +136,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             title: "B-buffer sweep: the worst case is a two-pebble artifact",
             run: buffers_exp::e21_buffer_sweep,
         },
+        Experiment {
+            id: "E22",
+            title: "Steady-state serving: the planner as a service under load",
+            run: serve_exp::e22_serving,
+        },
     ]
 }
 
@@ -145,7 +151,7 @@ mod tests {
     #[test]
     fn ids_are_unique_and_ordered() {
         let exps = all_experiments();
-        assert_eq!(exps.len(), 21);
+        assert_eq!(exps.len(), 22);
         for (i, e) in exps.iter().enumerate() {
             assert_eq!(e.id, format!("E{}", i + 1));
         }

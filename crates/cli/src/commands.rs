@@ -354,6 +354,13 @@ pub fn fragment(args: &[String], out: Out) -> Result<(), CliError> {
     let g = load_graph(a.pos(0, "graph file")?)?;
     let p: u32 = a.opt_parse("p", 4)?;
     let q: u32 = a.opt_parse("q", 4)?;
+    if p == 0 || q == 0 {
+        // a 0×q or p×0 grid has no fragment to host any tuple; letting
+        // it through panics in the packer instead of reporting misuse
+        return Err(CliError::Usage(
+            "--p and --q must be at least 1 (a fragment grid needs at least one cell)".into(),
+        ));
+    }
     let slack: usize = a.opt_parse("slack", 1)?;
     let cap_l = balanced_capacity(g.left_count() as usize, p) + slack;
     let cap_r = balanced_capacity(g.right_count() as usize, q) + slack;
@@ -742,4 +749,140 @@ fn pulse_export(args: &[String], out: Out) -> Result<(), CliError> {
         }
         None => write!(out, "{text}").map_err(CliError::io),
     }
+}
+
+/// `jp serve [--addr A] [--threads N] [--memo-file F] [--max-pending N]
+/// [--max-edges N] [--budget NODES] [--max-requests N]` — run the
+/// long-lived planning service until a shutdown request (or the
+/// `--max-requests` bound) drains it.
+pub fn serve(args: &[String], out: Out) -> Result<(), CliError> {
+    let a = ParsedArgs::parse(args)?;
+    let threads: usize = a.opt_parse("threads", 1)?;
+    if threads == 0 {
+        return Err(CliError::Usage("--threads must be at least 1".into()));
+    }
+    let cfg = jp_serve::ServeConfig {
+        addr: a.opt("addr").unwrap_or("127.0.0.1:7411").to_string(),
+        threads,
+        max_pending: a.opt_parse("max-pending", 64)?,
+        max_edges: a.opt_parse("max-edges", 4096)?,
+        budget: a.opt_parse("budget", 50_000_000)?,
+        memo_file: a.opt("memo-file").map(std::path::PathBuf::from),
+        max_requests: a.opt_parse("max-requests", 0)?,
+    };
+    let requested = cfg.addr.clone();
+    let server =
+        jp_serve::Server::bind(cfg).map_err(|e| rt(format!("binding {requested}: {e}")))?;
+    let addr = server.local_addr().map_err(rt)?;
+    writeln!(
+        out,
+        "serve: listening on {addr} ({} memo entries preloaded)",
+        server.preloaded()
+    )
+    .map_err(CliError::io)?;
+    out.flush().map_err(CliError::io)?;
+    let report = server
+        .run()
+        .map_err(|e| rt(format!("serving on {addr}: {e}")))?;
+    writeln!(
+        out,
+        "serve: {} connection(s), {} admitted, {} completed, {} rejected, {} error(s), cost sum {}",
+        report.connections,
+        report.accepted,
+        report.completed,
+        report.rejected,
+        report.errors,
+        report.cost_sum
+    )
+    .map_err(CliError::io)?;
+    writeln!(
+        out,
+        "serve: drained {}; memo holds {} entries ({} recognized, {} hits, {} misses)",
+        if report.drained {
+            "cleanly"
+        } else {
+            "INCOMPLETE"
+        },
+        report.memo_entries,
+        report.memo.recognized,
+        report.memo.hits,
+        report.memo.misses
+    )
+    .map_err(CliError::io)?;
+    if report.errors > 0 {
+        return Err(rt(format!("{} request(s) failed", report.errors)));
+    }
+    Ok(())
+}
+
+/// `jp loadgen [--addr A] [--clients N] [--requests N] [--theta T]
+/// [--seed S] [--pool K] [--verify false] [--shutdown true] [--out F]`
+/// — replay a Zipf-skewed query mix against a running server and
+/// report client-observed latencies.
+pub fn loadgen(args: &[String], out: Out) -> Result<(), CliError> {
+    let a = ParsedArgs::parse(args)?;
+    let clients: usize = a.opt_parse("clients", 4)?;
+    let requests: usize = a.opt_parse("requests", 25)?;
+    if clients == 0 || requests == 0 {
+        return Err(CliError::Usage(
+            "--clients and --requests must be at least 1".into(),
+        ));
+    }
+    let cfg = jp_serve::LoadgenConfig {
+        addr: a.opt("addr").unwrap_or("127.0.0.1:7411").to_string(),
+        clients,
+        requests,
+        theta: a.opt_parse("theta", 0.8)?,
+        seed: a.opt_parse("seed", 42)?,
+        pool: a.opt_parse("pool", 8)?,
+        // verification is on unless explicitly refused
+        verify: !matches!(a.opt("verify"), Some("false") | Some("0") | Some("no")),
+        shutdown: flag_true(&a, "shutdown"),
+    };
+    let report =
+        jp_serve::run_loadgen(&cfg).map_err(|e| rt(format!("driving {}: {e}", cfg.addr)))?;
+    writeln!(
+        out,
+        "loadgen: {} sent, {} ok, {} rejected, {} error(s), {} mismatch(es) \
+         over {} client(s) in {:.1} ms",
+        report.sent,
+        report.ok,
+        report.rejected,
+        report.errors,
+        report.mismatches,
+        cfg.clients,
+        report.wall_micros as f64 / 1000.0
+    )
+    .map_err(CliError::io)?;
+    writeln!(
+        out,
+        "loadgen: latency p50 {} µs, p95 {} µs, p99 {} µs",
+        report.p50_us, report.p95_us, report.p99_us
+    )
+    .map_err(CliError::io)?;
+    if let Some(s) = &report.server {
+        writeln!(
+            out,
+            "server: {} memo entries, {} completed, {} rejected, {} error(s), \
+             warm serve rate {:.1}%",
+            s.entries,
+            s.completed,
+            s.rejected,
+            s.errors,
+            s.serve_rate() * 100.0
+        )
+        .map_err(CliError::io)?;
+    }
+    if let Some(path) = a.opt("out") {
+        let json = serde_json::to_string_pretty(&report).map_err(rt)?;
+        std::fs::write(path, json).map_err(|e| rt(format!("writing {path}: {e}")))?;
+        writeln!(out, "loadgen report written to {path}").map_err(CliError::io)?;
+    }
+    if report.mismatches > 0 {
+        return Err(rt(format!(
+            "{} answer(s) diverged from the sequential solver",
+            report.mismatches
+        )));
+    }
+    Ok(())
 }

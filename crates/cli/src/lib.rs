@@ -34,6 +34,14 @@ USAGE:
                                                 snapshot (N refreshes when
                                                 watching, default 500 ms apart)
   jp pulse export <pulse.jsonl> [--out F]       Prometheus-style text exposition
+  jp serve [--addr A] [--threads N] [--memo-file F]
+           [--max-pending N] [--max-edges N] [--budget NODES]
+           [--max-requests N]                   long-lived planning service over
+                                                a warm memo store (see SERVING)
+  jp loadgen [--addr A] [--clients N] [--requests N] [--theta T]
+           [--seed S] [--pool K] [--verify false] [--shutdown true]
+           [--out F]                            drive a server with a Zipf-skewed
+                                                query mix, verifying every answer
   jp help                                       this text
 
 GLOBAL OPTIONS (any command):
@@ -92,6 +100,19 @@ WORKLOADS (jp join --workload):
   --pebble true   also build the workload's join graph and schedule it
                   with the pebbling solver (honours --memo, --memo-file
                   and --threads)
+
+SERVING (jp serve / jp loadgen):
+  jp serve answers length-prefixed JSON frames over TCP from a shared
+  warm memo store, scheduling solver batches on the jp-par runtime.
+  Admission control rejects with a named reason instead of queueing
+  without bound: --max-edges caps graph size, --max-pending caps
+  admitted-but-unanswered jobs, --budget bounds branch-and-bound
+  requests. A Shutdown request (jp loadgen --shutdown true) drains
+  in-flight work, then the memo is checkpointed atomically to
+  --memo-file. jp loadgen replays a deterministic Zipf mix (--pool
+  shapes, skew --theta, base --seed) from --clients concurrent
+  connections, --requests each, checking every cost against the
+  sequential solver unless --verify false.
 ";
 
 /// The global options every subcommand accepts, stripped out of the
@@ -237,6 +258,8 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         "buffers" => commands::buffers(rest, out),
         "trace" => commands::trace(rest, out),
         "pulse" => commands::pulse(rest, out),
+        "serve" => commands::serve(rest, out),
+        "loadgen" => commands::loadgen(rest, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}").map_err(CliError::io)?;
             Ok(())
@@ -255,6 +278,14 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
                     report.snapshots
                 )
                 .map_err(CliError::io)?;
+                if report.write_errors > 0 {
+                    writeln!(
+                        out,
+                        "pulse: WARNING — {} snapshot write error(s); {path} is missing data",
+                        report.write_errors
+                    )
+                    .map_err(CliError::io)?;
+                }
             }
         }
     }
@@ -360,9 +391,71 @@ mod tests {
         assert!(out.contains("scheme is valid"));
         let out = run_str(&["fragment", gp.to_str().unwrap(), "--p", "2", "--q", "2"]).unwrap();
         assert!(out.contains("sub-joins scheduled"));
+        // a zero-sized grid is a classified usage error, not a panic
+        for (p, q) in [("0", "2"), ("2", "0"), ("0", "0")] {
+            let err = run_str(&["fragment", gp.to_str().unwrap(), "--p", p, "--q", q]).unwrap_err();
+            match err {
+                CliError::Usage(m) => assert!(m.contains("at least 1"), "{m}"),
+                other => panic!("--p {p} --q {q}: expected Usage error, got {other:?}"),
+            }
+        }
         let out = run_str(&["buffers", gp.to_str().unwrap(), "--b", "3"]).unwrap();
         assert!(out.contains("loads"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_and_loadgen_round_trip() {
+        // grab a free loopback port, then hand it to `jp serve`
+        let addr = {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap().to_string()
+        };
+        let serve_addr = addr.clone();
+        let server = std::thread::spawn(move || run_str(&["serve", "--addr", &serve_addr]));
+        // wait for the listener to come up
+        let mut up = false;
+        for _ in 0..200 {
+            if std::net::TcpStream::connect(addr.as_str()).is_ok() {
+                up = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+        assert!(up, "server never started listening on {addr}");
+        let out = run_str(&[
+            "loadgen",
+            "--addr",
+            &addr,
+            "--clients",
+            "3",
+            "--requests",
+            "5",
+            "--shutdown",
+            "true",
+        ])
+        .unwrap();
+        assert!(out.contains("15 sent, 15 ok"), "{out}");
+        assert!(out.contains("0 mismatch(es)"), "{out}");
+        assert!(out.contains("latency p50"), "{out}");
+        let served = server.join().unwrap().unwrap();
+        assert!(served.contains("drained cleanly"), "{served}");
+        assert!(served.contains("15 completed"), "{served}");
+    }
+
+    #[test]
+    fn loadgen_zero_clients_is_a_usage_error() {
+        for args in [
+            &["loadgen", "--clients", "0"][..],
+            &["loadgen", "--requests", "0"][..],
+            &["serve", "--threads", "0"][..],
+        ] {
+            let err = run_str(args).unwrap_err();
+            match err {
+                CliError::Usage(m) => assert!(m.contains("at least 1"), "{m}"),
+                other => panic!("{args:?}: expected Usage error, got {other:?}"),
+            }
+        }
     }
 
     #[test]

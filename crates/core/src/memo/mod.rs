@@ -33,6 +33,8 @@ pub mod driver;
 pub mod recognize;
 pub mod store;
 
-pub use driver::{memoized_effective_cost, solve_with_memo};
+pub use driver::{
+    memoized_effective_cost, solve_with_memo, solve_with_memo_report, MemoSolveReport,
+};
 pub use recognize::{recognize_component, Recognized};
-pub use store::{Memo, MemoStats};
+pub use store::{ComponentSource, Memo, MemoStats};

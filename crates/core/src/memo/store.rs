@@ -34,6 +34,19 @@ const SHARDS: usize = 16;
 const MAX_FILE_VERTICES: u32 = jp_graph::canon::MAX_CANON_VERTICES;
 const MAX_FILE_EDGES: usize = 1 << 10;
 
+/// Where a memo-served component answer came from — reported per solve
+/// by [`crate::memo::solve_with_memo_report`] so a caller holding one
+/// shared `Memo` across many concurrent requests (the jp-serve warm
+/// store) can attribute each answer without diffing the global,
+/// concurrently-bumped [`MemoStats`] counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComponentSource {
+    /// A closed-form recognizer answered from structure alone.
+    Recognized,
+    /// A validated cache hit under the canonical key.
+    Cache,
+}
+
 /// One cached result: a deletion order in canonical edge ids, its
 /// effective cost, and whether the cost is proved optimal (exact DP or
 /// closed form) rather than best-known heuristic.
@@ -90,6 +103,22 @@ impl Default for Memo {
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A temp-file name next to `target` (same directory, hence the same
+/// filesystem, so the rename in [`Memo::save_jsonl`] is atomic). The
+/// pid plus a process-wide counter keeps concurrent savers — two
+/// threads checkpointing different memos to the same path — from
+/// clobbering each other's half-written temp.
+fn sibling_temp_path(target: &std::path::Path) -> std::path::PathBuf {
+    static SAVE_SEQ: AtomicU64 = AtomicU64::new(0);
+    // race:order(uniqueness only: any interleaving of fetch_add yields distinct ids)
+    let seq = SAVE_SEQ.fetch_add(1, Ordering::Relaxed);
+    let name = target
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "memo.jsonl".to_string());
+    target.with_file_name(format!("{name}.tmp.{}.{seq}", std::process::id()))
 }
 
 /// The serialized form of one cache entry — one JSON object per line in
@@ -209,10 +238,23 @@ impl Memo {
         sub: &BipartiteGraph,
         exact_only: bool,
     ) -> Option<(Vec<usize>, usize)> {
+        self.solve_component_traced(sub, exact_only)
+            .map(|(order, cost, _)| (order, cost))
+    }
+
+    /// [`Memo::solve_component`] plus the provenance of the answer —
+    /// recognizer or cache — so per-request attribution never has to
+    /// diff the shared counters under concurrency.
+    // audit:allow(obs-coverage) hot per-component probe — counters cover it; a span per lookup would dwarf the lookup
+    pub fn solve_component_traced(
+        &self,
+        sub: &BipartiteGraph,
+        exact_only: bool,
+    ) -> Option<(Vec<usize>, usize, ComponentSource)> {
         let _mem = jp_pulse::mem_scope(jp_pulse::MemScope::Memo);
         if let Some(r) = recognize_component(sub) {
             self.bump(&self.recognized, "recognized");
-            return Some((r.order, r.cost));
+            return Some((r.order, r.cost, ComponentSource::Recognized));
         }
         let form = canonical_form(sub)?;
         let entry = {
@@ -248,9 +290,9 @@ impl Memo {
             Some((order, cost))
         });
         match checked {
-            Some(hit) => {
+            Some((order, cost)) => {
                 self.bump(&self.hits, "hit");
-                Some(hit)
+                Some((order, cost, ComponentSource::Cache))
             }
             None => {
                 self.bump(&self.rejects, "reject");
@@ -312,6 +354,15 @@ impl Memo {
 
     /// Serializes every entry as one JSON object per line. Entries are
     /// written in sorted key order so the file is deterministic.
+    ///
+    /// The write is atomic with respect to crashes: the lines go to a
+    /// same-directory temp file first (so the rename cannot cross a
+    /// filesystem boundary), are flushed and fsynced, and only then
+    /// renamed over `path`. A process killed mid-save — including
+    /// `kill -9` during a jp-serve shutdown checkpoint — leaves either
+    /// the old complete file or the new complete file, never a
+    /// truncated one; at worst a `.tmp.<pid>` orphan remains, which no
+    /// loader ever reads.
     // audit:allow(obs-coverage) persistence I/O — no solver work to trace
     pub fn save_jsonl(&self, path: &std::path::Path) -> std::io::Result<()> {
         let mut entries: Vec<(CanonicalKey, MemoEntry)> = Vec::new();
@@ -335,7 +386,21 @@ impl Memo {
             out.push_str(&line);
             out.push('\n');
         }
-        std::fs::write(path, out)
+        let tmp = sibling_temp_path(path);
+        let write_result = (|| -> std::io::Result<()> {
+            let mut file = std::fs::File::create(&tmp)?;
+            std::io::Write::write_all(&mut file, out.as_bytes())?;
+            // Flushed data must be durable before the rename makes it
+            // the cache: rename-over-old with unsynced contents can
+            // surface as an empty file after a power cut.
+            file.sync_all()?;
+            std::fs::rename(&tmp, path)
+        })();
+        if write_result.is_err() {
+            // Leave no temp droppings behind on failure.
+            let _ = std::fs::remove_file(&tmp);
+        }
+        write_result
     }
 
     /// Loads entries from a JSONL file previously written by
@@ -574,5 +639,88 @@ mod tests {
         );
         let memo = Memo::new();
         assert!(!memo.load_record(&rec.replace(' ', "")));
+    }
+
+    /// A memo with one exact entry for `g`, for the atomic-save tests.
+    fn one_entry_memo(g: &BipartiteGraph) -> Memo {
+        let memo = Memo::new();
+        let s = exact::optimal_scheme(g).unwrap();
+        let order: Vec<usize> = s.deletion_order(g).into_iter().flatten().collect();
+        memo.record_component(g, &order, true);
+        memo
+    }
+
+    #[test]
+    fn save_is_atomic_and_leaves_no_temp_droppings() {
+        let g = generators::random_connected_bipartite(4, 4, 9, 7);
+        if recognize_component(&g).is_some() {
+            return;
+        }
+        let dir = std::env::temp_dir().join(format!("jp_memo_atomic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("memo.jsonl");
+        let memo = one_entry_memo(&g);
+        memo.save_jsonl(&path).unwrap();
+        let first = std::fs::read_to_string(&path).unwrap();
+
+        // Simulate a crash mid-checkpoint: a partially-written temp file
+        // sits next to the target (as `kill -9` between create and
+        // rename would leave it). The target must be untouched — the
+        // temp never shadows it — and a reload still serves the entry.
+        let crashed_tmp = sibling_temp_path(&path);
+        let half = &first[..first.len() / 2];
+        std::fs::write(&crashed_tmp, half).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            first,
+            "a partial temp file must never shadow the saved cache"
+        );
+        let reloaded = Memo::new();
+        let (loaded, skipped) = reloaded.load_jsonl(&path).unwrap();
+        assert_eq!((loaded, skipped), (1, 0));
+        assert!(reloaded.solve_component(&g, true).is_some());
+
+        // A subsequent full save replaces the target atomically and
+        // cleans up after itself: the only leftover temp is the one we
+        // planted to simulate the crash.
+        memo.save_jsonl(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), first);
+        let temps: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp."))
+            .collect();
+        assert_eq!(
+            temps,
+            vec![crashed_tmp
+                .file_name()
+                .unwrap()
+                .to_string_lossy()
+                .into_owned()],
+            "save must not leave its own temp files behind"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_save_keeps_the_old_cache_intact() {
+        let g = generators::random_connected_bipartite(4, 4, 9, 7);
+        if recognize_component(&g).is_some() {
+            return;
+        }
+        let dir = std::env::temp_dir().join(format!("jp_memo_atomicfail_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("memo.jsonl");
+        let memo = one_entry_memo(&g);
+        memo.save_jsonl(&path).unwrap();
+        let before = std::fs::read_to_string(&path).unwrap();
+
+        // Saving into a directory that does not exist fails before any
+        // rename could happen; the original file is untouched.
+        let bad = dir.join("no_such_subdir").join("memo.jsonl");
+        assert!(memo.save_jsonl(&bad).is_err());
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), before);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -33,6 +33,11 @@ use crate::registry::{self, PulseScope};
 pub const PULSE_COMPONENT: &str = "pulse";
 /// Name of the per-snapshot marker line.
 pub const SNAPSHOT_MARKER: &str = "snapshot";
+/// Name of the per-snapshot write-failure counter line: snapshot or
+/// flush errors (full disk, revoked fd) silently swallowed before are
+/// now counted here, so `jp pulse top` and the CI pulse-check see a
+/// nonzero `pulse.write_errors` instead of a quietly shorter file.
+pub const WRITE_ERRORS: &str = "pulse.write_errors";
 
 struct StopSignal {
     stopped: Mutex<bool>,
@@ -80,12 +85,19 @@ pub struct SamplerReport {
     pub snapshots: u64,
     /// Lines written (snapshot markers + samples).
     pub lines: u64,
+    /// Snapshot writes or flushes that failed (full disk, closed fd).
+    /// Nonzero means the pulse file is missing data — callers gate on
+    /// it rather than silently trusting a truncated file.
+    pub write_errors: u64,
 }
 
 /// Owns the pulse scope and the background snapshot thread.
 pub struct Sampler {
     stop: Arc<StopSignal>,
     handle: Option<JoinHandle<(u64, u64)>>,
+    /// Shared with the sampler thread: bumped on every failed snapshot
+    /// write or flush, read by [`Sampler::stop`] for the report.
+    write_errors: Arc<AtomicU64>,
     path: PathBuf,
     _scope: PulseScope,
 }
@@ -99,6 +111,8 @@ impl Sampler {
         let file = File::create(path)?;
         let stop = Arc::new(StopSignal::new());
         let thread_stop = Arc::clone(&stop);
+        let write_errors = Arc::new(AtomicU64::new(0));
+        let thread_errors = Arc::clone(&write_errors);
         let interval = interval.max(Duration::from_millis(1));
         // The sampler thread adopts into the scope so its own snapshot
         // bookkeeping would be publishable; it only reads the registry.
@@ -114,8 +128,15 @@ impl Sampler {
                 loop {
                     let stopping = thread_stop.wait(interval);
                     snapshots += 1;
-                    lines += write_snapshot(&mut writer, snapshots, t0).unwrap_or(0);
-                    let _ = writer.flush();
+                    match write_snapshot(&mut writer, snapshots, t0, &thread_errors) {
+                        Ok(n) => lines += n,
+                        // race:order(monotonic failure tally; readers only need the eventual count)
+                        Err(_) => drop(thread_errors.fetch_add(1, Ordering::Relaxed)),
+                    }
+                    if writer.flush().is_err() {
+                        // race:order(same monotonic failure tally as above)
+                        thread_errors.fetch_add(1, Ordering::Relaxed);
+                    }
                     if stopping {
                         return (snapshots, lines);
                     }
@@ -124,6 +145,7 @@ impl Sampler {
         Ok(Sampler {
             stop,
             handle: Some(handle),
+            write_errors,
             path: path.to_path_buf(),
             _scope: scope,
         })
@@ -142,7 +164,12 @@ impl Sampler {
             Some(handle) => handle.join().unwrap_or((0, 0)),
             None => (0, 0),
         };
-        SamplerReport { snapshots, lines }
+        SamplerReport {
+            snapshots,
+            lines,
+            // race:order(read after join; the thread's final tally is visible)
+            write_errors: self.write_errors.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -159,12 +186,26 @@ impl Drop for Sampler {
 }
 
 /// Serializes one full snapshot; returns the number of lines written.
-fn write_snapshot<W: Write>(out: &mut W, ordinal: u64, t0: Instant) -> io::Result<u64> {
+/// `errors` is the sampler's running write-failure tally — each snapshot
+/// publishes it as a `pulse.write_errors` line, so earlier losses are
+/// visible in any later snapshot that does land.
+fn write_snapshot<W: Write>(
+    out: &mut W,
+    ordinal: u64,
+    t0: Instant,
+    errors: &AtomicU64,
+) -> io::Result<u64> {
     let at_micros = t0.elapsed().as_micros() as u64;
     let mut lines = 0u64;
     // race:order(fetch_add keeps seq unique and per-file monotone; samplers serialize via the pulse scope)
     let mut seq = SEQ.fetch_add(1, Ordering::Relaxed);
     write_line(out, seq, SNAPSHOT_MARKER, ordinal, at_micros)?;
+    lines += 1;
+    // race:order(same unique-seq allocation as above)
+    seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    // race:order(monotonic failure tally; the line value may lag a concurrent bump by one tick)
+    let write_errors = errors.load(Ordering::Relaxed);
+    write_line(out, seq, WRITE_ERRORS, write_errors, at_micros)?;
     lines += 1;
     for (name, value) in registry::snapshot() {
         // race:order(same unique-seq allocation as above)
@@ -251,6 +292,67 @@ mod tests {
             report.snapshots
         );
         assert!(report.lines > report.snapshots);
+    }
+
+    /// A writer that fails every write — the always-full disk.
+    struct FailingWriter;
+
+    impl Write for FailingWriter {
+        fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+            Err(io::Error::new(io::ErrorKind::StorageFull, "disk full"))
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Err(io::Error::new(io::ErrorKind::StorageFull, "disk full"))
+        }
+    }
+
+    #[test]
+    fn write_snapshot_propagates_writer_errors() {
+        let errors = AtomicU64::new(0);
+        let err = write_snapshot(&mut FailingWriter, 1, Instant::now(), &errors).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+    }
+
+    #[test]
+    fn snapshots_carry_the_write_error_tally() {
+        let errors = AtomicU64::new(3);
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, 1, Instant::now(), &errors).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let tally = text
+            .lines()
+            .map(|l| serde_json::from_str::<Event>(l).expect("schema-v2 line"))
+            .find(|e| e.name == WRITE_ERRORS)
+            .expect("pulse.write_errors line in every snapshot");
+        assert_eq!(tally.value, 3);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn full_disk_is_counted_not_swallowed() {
+        // /dev/full accepts the open and fails every write with ENOSPC —
+        // exactly the failure mode the old `let _ = writer.flush()`
+        // swallowed. The report must surface it.
+        let sampler = Sampler::start(Path::new("/dev/full"), Duration::from_millis(5))
+            .expect("open /dev/full");
+        crate::counter_add("test.full_disk", 1);
+        std::thread::sleep(Duration::from_millis(20));
+        let report = sampler.stop();
+        assert!(
+            report.write_errors >= 1,
+            "ENOSPC must be counted, got {report:?}"
+        );
+    }
+
+    #[test]
+    fn healthy_run_reports_zero_write_errors() {
+        let path = temp_path("healthy");
+        let sampler = Sampler::start(&path, Duration::from_millis(5)).expect("start");
+        crate::counter_add("test.ok", 1);
+        std::thread::sleep(Duration::from_millis(15));
+        let report = sampler.stop();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(report.write_errors, 0, "{report:?}");
     }
 
     #[test]

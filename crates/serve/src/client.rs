@@ -1,0 +1,72 @@
+//! A blocking client for the jp-serve wire protocol.
+
+use crate::proto::{self, FrameRead, Request, RequestBody, Response, WIRE_VERSION};
+use std::io::{self, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Read timeout per poll; combined with [`MAX_IDLE_POLLS`] this bounds
+/// how long [`Client::request`] waits for an answer.
+const READ_TIMEOUT: Duration = Duration::from_millis(50);
+
+/// Idle polls tolerated before a request is declared timed out
+/// (~60 s at the 50 ms poll interval — generous for a solver job,
+/// finite for a hung server).
+const MAX_IDLE_POLLS: u32 = 1200;
+
+/// One connection to a jp-serve server; requests are synchronous, one
+/// in flight at a time.
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects and configures the socket timeouts.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(READ_TIMEOUT))?;
+        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        Ok(Client { stream, next_id: 1 })
+    }
+
+    /// Sends one request and blocks for its response.
+    pub fn request(&mut self, body: RequestBody) -> io::Result<Response> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let req = Request {
+            v: WIRE_VERSION,
+            id,
+            body,
+        };
+        {
+            let mut w = BufWriter::new(&mut self.stream);
+            proto::write_message(&mut w, &req)?;
+            w.flush()?;
+        }
+        let mut idle = 0u32;
+        loop {
+            match proto::read_frame(&mut self.stream)? {
+                FrameRead::Frame(payload) => {
+                    return proto::parse_response(&payload)
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e));
+                }
+                FrameRead::Eof => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection before answering",
+                    ));
+                }
+                FrameRead::Idle => {
+                    idle += 1;
+                    if idle > MAX_IDLE_POLLS {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "no response within the client timeout",
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! jp-serve: a long-lived pebbling/join-planning service.
+//!
+//! A join planner is most useful warm: the memo store that makes
+//! repeated shapes cheap ([`jp_pebble::memo`]) only pays off if it
+//! outlives a single CLI invocation. This crate keeps it alive behind
+//! a small TCP service:
+//!
+//! * [`proto`] — the versioned, length-prefixed JSON wire format;
+//! * [`server`] — the service itself: acceptor, per-connection
+//!   handlers, admission control, and a dispatcher that schedules
+//!   solver batches on the jp-par runtime over one shared
+//!   [`jp_pebble::memo::Memo`];
+//! * [`client`] — a blocking client;
+//! * [`loadgen`] — a deterministic Zipf-skewed workload driver with
+//!   answer verification, for benchmarks, tests, and CI.
+//!
+//! Zero dependencies beyond the workspace: the wire format rides the
+//! vendored serde, networking is `std::net`, and concurrency is
+//! scoped threads — the same discipline as the rest of the
+//! workspace.
+
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod loadgen;
+pub mod proto;
+pub mod server;
+
+pub use client::Client;
+pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport, ServerSnapshot};
+pub use proto::{PebbleAlgo, Request, RequestBody, Response, ResponseBody, WIRE_VERSION};
+pub use server::{ServeConfig, ServeReport, Server};

@@ -1,0 +1,313 @@
+//! Workload generator for jp-serve: N concurrent clients replaying a
+//! Zipf-skewed mix of join-graph queries against one server.
+//!
+//! The query pool is deterministic (seeded generators, no wall-clock
+//! anywhere), so the same `(pool, seed, clients, requests, theta)`
+//! tuple replays the same workload — that is what lets the bench
+//! baseline and the CI burst compare server-side traces at all.
+//!
+//! With `verify` on, every returned cost is checked against the
+//! sequential solver's answer for the same graph, computed locally
+//! before the run: a serving stack that drops, reorders, or corrupts
+//! an answer under load turns into a non-zero `mismatches` count.
+//!
+//! The generator emits **no jp-obs events of its own** while driving
+//! load (client I/O is silent and the verification pre-pass runs
+//! before the measured window), so a scoped capture around the server
+//! sees only server-side telemetry.
+
+use crate::client::Client;
+use crate::proto::{PebbleAlgo, RequestBody, ResponseBody};
+use jp_graph::{generators, BipartiteGraph};
+use jp_pebble::portfolio::portfolio_effective_cost;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::io;
+use std::time::Instant;
+
+/// Workload shape; every field is a named CLI flag on `jp loadgen`.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address to drive.
+    pub addr: String,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests issued per client.
+    pub requests: usize,
+    /// Zipf skew exponent θ: 0 = uniform over the pool, larger =
+    /// more of the traffic concentrated on the first few shapes.
+    pub theta: f64,
+    /// Base RNG seed; client `i` uses `seed + i`.
+    pub seed: u64,
+    /// Distinct query shapes in the pool.
+    pub pool: usize,
+    /// Check every answer against the sequential solver.
+    pub verify: bool,
+    /// Send a `Shutdown` request after the run (and the final stats
+    /// probe), so the server drains and exits.
+    pub shutdown: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:7411".to_string(),
+            clients: 4,
+            requests: 25,
+            theta: 0.8,
+            seed: 42,
+            pool: 8,
+            verify: true,
+            shutdown: false,
+        }
+    }
+}
+
+/// The server's own accounting, read with a `Stats` request after the
+/// load completes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct ServerSnapshot {
+    /// Entries in the warm memo store.
+    pub entries: u64,
+    /// Memo cache hits over the server lifetime.
+    pub hits: u64,
+    /// Memo misses (fresh solves) over the server lifetime.
+    pub misses: u64,
+    /// Recognizer answers over the server lifetime.
+    pub recognized: u64,
+    /// Pebble requests answered with a cost.
+    pub completed: u64,
+    /// Requests refused by admission control.
+    pub rejected: u64,
+    /// Failed requests.
+    pub errors: u64,
+}
+
+impl ServerSnapshot {
+    /// Fraction of memo lookups served without running the solver
+    /// ladder (recognizers + validated cache hits). A freshly warmed
+    /// server replaying the same workload should sit near 1.0.
+    pub fn serve_rate(&self) -> f64 {
+        let served = self.hits + self.recognized;
+        let total = served + self.misses;
+        if total == 0 {
+            return 1.0;
+        }
+        served as f64 / total as f64
+    }
+}
+
+/// Aggregated outcome of one loadgen run.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct LoadgenReport {
+    /// Pebble requests sent across all clients.
+    pub sent: u64,
+    /// Requests answered with a cost.
+    pub ok: u64,
+    /// Requests refused by admission control (or the drain).
+    pub rejected: u64,
+    /// Requests that failed (I/O or server error).
+    pub errors: u64,
+    /// Answers that disagreed with the sequential solver (`verify`).
+    pub mismatches: u64,
+    /// Sum of all answered costs.
+    pub cost_sum: u64,
+    /// Wall time of the load window, microseconds.
+    pub wall_micros: u64,
+    /// Client-observed latency percentiles, microseconds.
+    pub p50_us: u64,
+    /// 95th percentile latency, microseconds.
+    pub p95_us: u64,
+    /// 99th percentile latency, microseconds.
+    pub p99_us: u64,
+    /// The server's own counters after the run, when reachable.
+    pub server: Option<ServerSnapshot>,
+}
+
+/// Per-client tallies, merged after the scope joins.
+#[derive(Default)]
+struct ClientTally {
+    sent: u64,
+    ok: u64,
+    rejected: u64,
+    errors: u64,
+    mismatches: u64,
+    cost_sum: u64,
+    latencies: Vec<u64>,
+}
+
+/// The deterministic query pool: a rotation of recognized closed-form
+/// families (spiders, complete bipartite), seeded random connected
+/// blocks (exercise fresh-solve-then-cache), and multi-component
+/// unions (exercise per-component attribution).
+pub fn query_pool(n: usize) -> Vec<BipartiteGraph> {
+    (0..n.max(1))
+        .map(|i| {
+            let k = (i / 4) as u32;
+            match i % 4 {
+                0 => generators::spider(3 + k % 5),
+                1 => generators::complete_bipartite(2 + k % 3, 3 + k % 3),
+                2 => generators::random_connected_bipartite(4, 4, 9 + i % 3, 100 + i as u64),
+                _ => generators::matching(2 + k % 3).disjoint_union(&generators::path(3 + k % 4)),
+            }
+        })
+        .collect()
+}
+
+/// The sequential solver's answer for every pool entry — the ground
+/// truth `verify` holds the server to.
+pub fn expected_costs(pool: &[BipartiteGraph]) -> io::Result<Vec<u64>> {
+    let mut out = Vec::with_capacity(pool.len());
+    for g in pool {
+        let cost = portfolio_effective_cost(g, 1)
+            .map_err(|e| io::Error::other(format!("solving a pool graph locally: {e}")))?;
+        out.push(cost as u64);
+    }
+    Ok(out)
+}
+
+/// Cumulative (unnormalized) Zipf weights over `n` ranks.
+fn zipf_cumulative(n: usize, theta: f64) -> Vec<f64> {
+    let mut cum = Vec::with_capacity(n);
+    let mut total = 0.0f64;
+    for i in 0..n {
+        total += 1.0 / ((i + 1) as f64).powf(theta);
+        cum.push(total);
+    }
+    cum
+}
+
+/// Samples a pool index from the Zipf distribution.
+fn sample(cum: &[f64], rng: &mut SmallRng) -> usize {
+    let total = cum.last().copied().unwrap_or(1.0);
+    let u = rng.random::<f64>() * total;
+    cum.iter().position(|&c| u < c).unwrap_or(0)
+}
+
+/// Runs the workload: spawns the clients, drives the mix, aggregates
+/// latencies, probes the server's stats, and optionally shuts it
+/// down.
+pub fn run_loadgen(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
+    let pool = query_pool(cfg.pool);
+    let expected: Option<Vec<u64>> = if cfg.verify {
+        Some(expected_costs(&pool)?)
+    } else {
+        None
+    };
+    let cum = zipf_cumulative(pool.len(), cfg.theta);
+    let t0 = Instant::now();
+    let tallies: Vec<ClientTally> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.clients.max(1))
+            .map(|ci| {
+                let (pool, cum, expected) = (&pool, &cum, &expected);
+                s.spawn(move || client_loop(cfg, ci, pool, cum, expected.as_deref()))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect()
+    });
+    let wall_micros = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
+
+    let mut report = LoadgenReport {
+        wall_micros,
+        ..LoadgenReport::default()
+    };
+    let mut lats: Vec<u64> = Vec::new();
+    for t in tallies {
+        report.sent += t.sent;
+        report.ok += t.ok;
+        report.rejected += t.rejected;
+        report.errors += t.errors;
+        report.mismatches += t.mismatches;
+        report.cost_sum += t.cost_sum;
+        lats.extend(t.latencies);
+    }
+    lats.sort_unstable();
+    report.p50_us = jp_obs::nearest_rank(&lats, 0.50);
+    report.p95_us = jp_obs::nearest_rank(&lats, 0.95);
+    report.p99_us = jp_obs::nearest_rank(&lats, 0.99);
+
+    if let Ok(mut probe) = Client::connect(cfg.addr.as_str()) {
+        if let Ok(resp) = probe.request(RequestBody::Stats) {
+            if let ResponseBody::Stats {
+                entries,
+                hits,
+                misses,
+                recognized,
+                completed,
+                rejected,
+                errors,
+            } = resp.body
+            {
+                report.server = Some(ServerSnapshot {
+                    entries,
+                    hits,
+                    misses,
+                    recognized,
+                    completed,
+                    rejected,
+                    errors,
+                });
+            }
+        }
+        if cfg.shutdown {
+            let _ack = probe.request(RequestBody::Shutdown);
+        }
+    }
+    Ok(report)
+}
+
+/// One client's request loop.
+fn client_loop(
+    cfg: &LoadgenConfig,
+    ci: usize,
+    pool: &[BipartiteGraph],
+    cum: &[f64],
+    expected: Option<&[u64]>,
+) -> ClientTally {
+    let mut tally = ClientTally::default();
+    let Ok(mut client) = Client::connect(cfg.addr.as_str()) else {
+        tally.errors += 1;
+        return tally;
+    };
+    let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(ci as u64));
+    for _ in 0..cfg.requests {
+        let qi = sample(cum, &mut rng);
+        let Some(g) = pool.get(qi) else { continue };
+        tally.sent += 1;
+        let t0 = Instant::now();
+        match client.request(RequestBody::Pebble {
+            graph: g.clone(),
+            algo: PebbleAlgo::Auto,
+        }) {
+            Ok(resp) => {
+                let us = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                match resp.body {
+                    ResponseBody::Cost { cost, .. } => {
+                        tally.ok += 1;
+                        tally.cost_sum += cost;
+                        tally.latencies.push(us);
+                        if let Some(exp) = expected {
+                            if exp.get(qi).copied() != Some(cost) {
+                                tally.mismatches += 1;
+                            }
+                        }
+                    }
+                    ResponseBody::Rejected { .. } | ResponseBody::ShuttingDown => {
+                        tally.rejected += 1;
+                    }
+                    _ => tally.errors += 1,
+                }
+            }
+            Err(_) => {
+                // connection-level failure: this client can't continue
+                tally.errors += 1;
+                return tally;
+            }
+        }
+    }
+    tally
+}

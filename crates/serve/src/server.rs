@@ -1,0 +1,633 @@
+//! The jp-serve server: a long-lived planning service over one warm
+//! memo store.
+//!
+//! ## Thread structure
+//!
+//! Everything runs under a single [`std::thread::scope`], so shutdown
+//! is structural — `run` cannot return with a thread still alive:
+//!
+//! * the **acceptor** (the thread that called [`Server::run`]) polls a
+//!   non-blocking listener and spawns one **handler** per connection;
+//! * each handler speaks the [`crate::proto`] frame protocol
+//!   synchronously: read a request, admit or reject it, and — for
+//!   admitted pebble jobs — block on a reply channel while the
+//!   dispatcher works;
+//! * the **dispatcher** drains the admitted-job queue in batches and
+//!   executes each batch on the jp-par runtime
+//!   ([`jp_par::run_tasks`]), so solver parallelism, work stealing,
+//!   and `par.*` telemetry are exactly the library's.
+//!
+//! ## Admission control
+//!
+//! A request is *rejected with a named reason* rather than queued
+//! without bound:
+//!
+//! * `--max-edges`: graphs above the size cap never enter the queue;
+//! * `--max-pending`: at most this many admitted-but-unanswered jobs
+//!   exist at once (claimed with a compare-exchange, so the bound is
+//!   exact under concurrency);
+//! * `--budget`: branch-and-bound requests that exhaust the node
+//!   budget are answered `Rejected`, mapping
+//!   [`PebbleError::BudgetExhausted`] to back-pressure instead of
+//!   failure;
+//! * during shutdown every new pebble request is answered
+//!   `ShuttingDown` while in-flight jobs drain.
+//!
+//! ## Telemetry
+//!
+//! Per request: a `serve.request` jp-obs span and a
+//! `serve.latency_us` jp-pulse histogram (p50/p95/p99 in every pulse
+//! snapshot), plus a `serve.queue_depth` gauge from the dispatcher.
+//! At end of run the server emits one deterministic set of jp-obs
+//! totals (`serve.completed_total`, `serve.cost_sum`,
+//! `serve.errors_total`, …) — these are what `jp trace check` gates as
+//! answer-class counters.
+
+use crate::proto::{
+    self, FrameRead, PebbleAlgo, RequestBody, Response, ResponseBody, WIRE_VERSION,
+};
+use jp_graph::{BipartiteGraph, ComponentMap};
+use jp_pebble::memo::{solve_with_memo_report, Memo, MemoStats};
+use jp_pebble::{exact_bb, PebbleError};
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// How long the acceptor sleeps when `accept` has nothing for it.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Read timeout on handler sockets; bounds how long a handler takes to
+/// notice the shutdown flag.
+const HANDLER_READ_TIMEOUT: Duration = Duration::from_millis(50);
+
+/// Write timeout on handler sockets, so one dead-but-unclosed peer
+/// cannot pin a handler thread forever.
+const HANDLER_WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How long the dispatcher waits on the queue condvar before
+/// re-checking the shutdown flag.
+const DISPATCH_WAIT: Duration = Duration::from_millis(100);
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Server configuration; every limit here is a named CLI flag.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:7411` (`:0` for an ephemeral
+    /// port, reported by [`Server::local_addr`]).
+    pub addr: String,
+    /// jp-par worker threads for solver batches. 1 executes jobs
+    /// sequentially on the dispatcher thread — the deterministic mode
+    /// the trace gate runs.
+    pub threads: usize,
+    /// Admission bound: maximum admitted-but-unanswered pebble jobs.
+    pub max_pending: usize,
+    /// Admission bound: maximum edges in a submitted graph.
+    pub max_edges: usize,
+    /// Node budget for branch-and-bound ([`PebbleAlgo::Bb`]) requests.
+    pub budget: u64,
+    /// Warm-store checkpoint: loaded (if present) at bind, written
+    /// atomically at shutdown.
+    pub memo_file: Option<PathBuf>,
+    /// When non-zero the server initiates shutdown on its own after
+    /// answering this many pebble requests (a test/CI harness bound;
+    /// 0 = serve until a `Shutdown` request arrives).
+    pub max_requests: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 1,
+            max_pending: 64,
+            max_edges: 4096,
+            budget: 50_000_000,
+            memo_file: None,
+            max_requests: 0,
+        }
+    }
+}
+
+/// What one [`Server::run`] lifetime did, loaded after every thread
+/// has joined (so the counters are final, not snapshots).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Pebble jobs admitted past admission control.
+    pub accepted: u64,
+    /// Pebble jobs answered with a cost.
+    pub completed: u64,
+    /// Requests refused (size cap, pending cap, budget, shutdown).
+    pub rejected: u64,
+    /// Requests that failed (protocol or solver errors).
+    pub errors: u64,
+    /// Sum of all answered costs — one number that differs if any
+    /// single answer differs, which is what the trace gate wants.
+    pub cost_sum: u64,
+    /// Whether the queue was empty and no job was in flight when the
+    /// dispatcher exited — i.e. shutdown drained cleanly.
+    pub drained: bool,
+    /// Entries in the warm store at exit.
+    pub memo_entries: usize,
+    /// Entries loaded from the checkpoint file at bind.
+    pub preloaded: usize,
+    /// Warm-store counters for the whole lifetime.
+    pub memo: MemoStats,
+}
+
+/// One admitted pebble job, queued handler → dispatcher. The reply
+/// channel closes (dispatcher side) if execution dies, so the handler
+/// always learns the outcome — a response or a closed channel, never
+/// silence.
+struct Job {
+    graph: BipartiteGraph,
+    algo: PebbleAlgo,
+    reply: mpsc::Sender<ResponseBody>,
+}
+
+/// State shared by acceptor, handlers, and dispatcher. All counters
+/// are SeqCst: this is control-plane accounting on a network service,
+/// not a solver hot loop, and the strongest ordering keeps every
+/// cross-thread invariant (admission bound, drain condition) easy to
+/// believe.
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    /// Admitted-but-unanswered pebble jobs (queued + executing).
+    pending: AtomicUsize,
+    connections: AtomicU64,
+    accepted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    errors: AtomicU64,
+    cost_sum: AtomicU64,
+}
+
+impl Shared {
+    fn new() -> Shared {
+        Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            pending: AtomicUsize::new(0),
+            connections: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            cost_sum: AtomicU64::new(0),
+        }
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.available.notify_all();
+    }
+
+    /// Claims one pending slot iff fewer than `cap` are taken. The
+    /// compare-exchange loop makes the admission bound exact: two
+    /// handlers racing for the last slot cannot both win.
+    fn try_admit(&self, cap: usize) -> bool {
+        let mut cur = self.pending.load(Ordering::SeqCst);
+        while cur < cap {
+            match self
+                .pending
+                .compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => return true,
+                Err(now) => cur = now,
+            }
+        }
+        false
+    }
+}
+
+/// Releases one pending slot on drop, so even a panicking solver task
+/// (contained by jp-par) cannot strand the drain condition above zero.
+struct PendingGuard<'a>(&'a Shared);
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        self.0.pending.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// A bound jp-serve instance; [`Server::run`] serves until shutdown.
+pub struct Server {
+    cfg: ServeConfig,
+    listener: TcpListener,
+    memo: Memo,
+    preloaded: usize,
+}
+
+impl Server {
+    /// Binds the listen socket and warms the memo store from the
+    /// checkpoint file, when one is configured and present.
+    pub fn bind(cfg: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(cfg.addr.as_str())?;
+        let memo = Memo::new();
+        let mut preloaded = 0;
+        if let Some(path) = &cfg.memo_file {
+            if path.exists() {
+                let (loaded, _skipped) = memo.load_jsonl(path)?;
+                preloaded = loaded;
+            }
+        }
+        Ok(Server {
+            cfg,
+            listener,
+            memo,
+            preloaded,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual ephemeral port).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Entries loaded from the memo checkpoint at bind time.
+    pub fn preloaded(&self) -> usize {
+        self.preloaded
+    }
+
+    /// Serves until a `Shutdown` request (or the `max_requests` bound)
+    /// fires, drains in-flight work, checkpoints the memo atomically,
+    /// and returns the lifetime report.
+    pub fn run(self) -> io::Result<ServeReport> {
+        // When a scoped obs/pulse capture is active (the bench serve
+        // axis runs the server on a spawned thread inside one), join
+        // it so the end-of-run totals below land in the capture. With
+        // no scope active both guards are no-ops.
+        let _obs = jp_obs::adopt();
+        let _pulse = jp_pulse::adopt();
+        self.listener.set_nonblocking(true)?;
+        let shared = Shared::new();
+        let cfg = &self.cfg;
+        let memo = &self.memo;
+        std::thread::scope(|s| {
+            s.spawn(|| dispatch_loop(&shared, memo, cfg));
+            accept_loop(&self.listener, s, &shared, memo, cfg);
+        });
+        let drained = lock(&shared.queue).is_empty() && shared.pending.load(Ordering::SeqCst) == 0;
+        let report = ServeReport {
+            connections: shared.connections.load(Ordering::SeqCst),
+            accepted: shared.accepted.load(Ordering::SeqCst),
+            completed: shared.completed.load(Ordering::SeqCst),
+            rejected: shared.rejected.load(Ordering::SeqCst),
+            errors: shared.errors.load(Ordering::SeqCst),
+            cost_sum: shared.cost_sum.load(Ordering::SeqCst),
+            drained,
+            memo_entries: self.memo.len(),
+            preloaded: self.preloaded,
+            memo: self.memo.stats(),
+        };
+        // One deterministic set of end-of-run totals: for a fixed
+        // workload these are identical run to run (the per-request
+        // spans above them are timing and scheduling, gated softly).
+        if jp_obs::enabled() {
+            jp_obs::counter("serve", "connections", report.connections);
+            jp_obs::counter("serve", "accepted", report.accepted);
+            jp_obs::counter("serve", "completed_total", report.completed);
+            jp_obs::counter("serve", "rejected_total", report.rejected);
+            jp_obs::counter("serve", "errors_total", report.errors);
+            jp_obs::counter("serve", "cost_sum", report.cost_sum);
+        }
+        if let Some(path) = &cfg.memo_file {
+            // atomic temp+rename checkpoint: a crash mid-save (or a
+            // kill -9) leaves the previous checkpoint intact
+            self.memo.save_jsonl(path)?;
+        }
+        Ok(report)
+    }
+}
+
+/// The acceptor: polls the non-blocking listener, spawns a handler
+/// per connection, and initiates shutdown when the `max_requests`
+/// bound fires. Returns once shutdown is flagged.
+fn accept_loop<'scope, 'env>(
+    listener: &'scope TcpListener,
+    s: &'scope std::thread::Scope<'scope, 'env>,
+    shared: &'scope Shared,
+    memo: &'scope Memo,
+    cfg: &'scope ServeConfig,
+) {
+    while !shared.shutting_down() {
+        if cfg.max_requests > 0 && shared.completed.load(Ordering::SeqCst) >= cfg.max_requests {
+            shared.begin_shutdown();
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.connections.fetch_add(1, Ordering::SeqCst);
+                s.spawn(move || handle_conn(stream, shared, memo, cfg));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                // a broken listener cannot serve anyone: drain and exit
+                shared.errors.fetch_add(1, Ordering::SeqCst);
+                shared.begin_shutdown();
+            }
+        }
+    }
+    // make sure the dispatcher re-checks the flag even if no handler
+    // ever enqueued anything
+    shared.available.notify_all();
+}
+
+/// One connection: a synchronous request/response loop over the frame
+/// protocol. Exits on peer close, connection error, or (when idle)
+/// server shutdown.
+fn handle_conn(mut stream: TcpStream, shared: &Shared, memo: &Memo, cfg: &ServeConfig) {
+    let _pulse = jp_pulse::adopt();
+    if stream.set_nonblocking(false).is_err()
+        || stream.set_read_timeout(Some(HANDLER_READ_TIMEOUT)).is_err()
+        || stream
+            .set_write_timeout(Some(HANDLER_WRITE_TIMEOUT))
+            .is_err()
+    {
+        shared.errors.fetch_add(1, Ordering::SeqCst);
+        return;
+    }
+    loop {
+        let payload = match proto::read_frame(&mut stream) {
+            Ok(FrameRead::Frame(p)) => p,
+            Ok(FrameRead::Eof) => return,
+            Ok(FrameRead::Idle) => {
+                if shared.shutting_down() {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => {
+                shared.errors.fetch_add(1, Ordering::SeqCst);
+                return;
+            }
+        };
+        let (id, body) = match proto::parse_request(&payload) {
+            Ok(req) => (req.id, req.body),
+            Err(reason) => {
+                shared.errors.fetch_add(1, Ordering::SeqCst);
+                jp_pulse::counter_add("serve.errors", 1);
+                if respond(&mut stream, 0, ResponseBody::Error { reason }).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let reply = match body {
+            RequestBody::Ping => ResponseBody::Pong,
+            RequestBody::Stats => stats_body(shared, memo),
+            RequestBody::Shutdown => {
+                shared.begin_shutdown();
+                ResponseBody::ShuttingDown
+            }
+            RequestBody::Pebble { graph, algo } => admit(graph, algo, shared, cfg),
+        };
+        if respond(&mut stream, id, reply).is_err() {
+            shared.errors.fetch_add(1, Ordering::SeqCst);
+            return;
+        }
+    }
+}
+
+/// Admission control for one pebble request; blocks on the reply
+/// channel once the job is admitted.
+fn admit(
+    graph: BipartiteGraph,
+    algo: PebbleAlgo,
+    shared: &Shared,
+    cfg: &ServeConfig,
+) -> ResponseBody {
+    if shared.shutting_down() {
+        shared.rejected.fetch_add(1, Ordering::SeqCst);
+        jp_pulse::counter_add("serve.rejected", 1);
+        return ResponseBody::ShuttingDown;
+    }
+    if graph.edge_count() > cfg.max_edges {
+        shared.rejected.fetch_add(1, Ordering::SeqCst);
+        jp_pulse::counter_add("serve.rejected", 1);
+        return ResponseBody::Rejected {
+            reason: format!(
+                "graph has {} edges, above the --max-edges cap of {}",
+                graph.edge_count(),
+                cfg.max_edges
+            ),
+        };
+    }
+    if !shared.try_admit(cfg.max_pending) {
+        shared.rejected.fetch_add(1, Ordering::SeqCst);
+        jp_pulse::counter_add("serve.rejected", 1);
+        return ResponseBody::Rejected {
+            reason: format!(
+                "{} jobs already pending, the --max-pending admission bound; retry later",
+                cfg.max_pending
+            ),
+        };
+    }
+    shared.accepted.fetch_add(1, Ordering::SeqCst);
+    let (tx, rx) = mpsc::channel();
+    {
+        let mut q = lock(&shared.queue);
+        q.push_back(Job {
+            graph,
+            algo,
+            reply: tx,
+        });
+    }
+    shared.available.notify_one();
+    match rx.recv() {
+        Ok(body) => body,
+        Err(_) => {
+            // the dispatcher dropped the job without answering (a
+            // contained solver panic); the slot was released by the
+            // job's PendingGuard — report, don't hang
+            shared.errors.fetch_add(1, Ordering::SeqCst);
+            jp_pulse::counter_add("serve.errors", 1);
+            ResponseBody::Error {
+                reason: "the solver task died before producing an answer".to_string(),
+            }
+        }
+    }
+}
+
+/// Builds the `Stats` response from the shared counters and the warm
+/// store.
+fn stats_body(shared: &Shared, memo: &Memo) -> ResponseBody {
+    let st = memo.stats();
+    ResponseBody::Stats {
+        entries: memo.len() as u64,
+        hits: st.hits,
+        misses: st.misses,
+        recognized: st.recognized,
+        completed: shared.completed.load(Ordering::SeqCst),
+        rejected: shared.rejected.load(Ordering::SeqCst),
+        errors: shared.errors.load(Ordering::SeqCst),
+    }
+}
+
+/// Writes one response frame.
+fn respond(stream: &mut TcpStream, id: u64, body: ResponseBody) -> io::Result<()> {
+    let resp = Response {
+        v: WIRE_VERSION,
+        id,
+        body,
+    };
+    let mut w = io::BufWriter::new(&mut *stream);
+    proto::write_message(&mut w, &resp)?;
+    w.flush()
+}
+
+/// The dispatcher: drains the admitted-job queue in batches and runs
+/// each batch on the jp-par runtime. Exits only when shutdown is
+/// flagged *and* no work is queued or in flight — that is the clean
+/// drain the report's `drained` field attests.
+fn dispatch_loop(shared: &Shared, memo: &Memo, cfg: &ServeConfig) {
+    let _obs = jp_obs::adopt();
+    let _pulse = jp_pulse::adopt();
+    loop {
+        let (depth, batch) = {
+            let mut q = lock(&shared.queue);
+            while q.is_empty() && !shared.shutting_down() {
+                let (guard, _timed_out) = shared
+                    .available
+                    .wait_timeout(q, DISPATCH_WAIT)
+                    .unwrap_or_else(|e| e.into_inner());
+                q = guard;
+            }
+            let depth = q.len();
+            (depth, q.drain(..).collect::<Vec<Job>>())
+        };
+        jp_pulse::gauge_set("serve.queue_depth", depth as u64);
+        if batch.is_empty() {
+            if shared.shutting_down() && shared.pending.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+            continue;
+        }
+        // jp-par contains per-task panics but re-throws them here;
+        // catching keeps the dispatcher alive, and the dropped reply
+        // senders tell the affected handlers exactly what happened.
+        let threads = cfg.threads.max(1);
+        let run = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            jp_par::run_tasks(threads, batch, |_w, job| {
+                execute_job(job, memo, cfg, shared)
+            });
+        }));
+        if run.is_err() {
+            shared.errors.fetch_add(1, Ordering::SeqCst);
+            jp_pulse::counter_add("serve.errors", 1);
+        }
+        jp_pulse::gauge_set("serve.queue_depth", 0);
+    }
+}
+
+/// Executes one admitted job on a jp-par worker (or the dispatcher
+/// itself at `threads == 1`), answers the waiting handler, and does
+/// the per-request accounting.
+fn execute_job(job: Job, memo: &Memo, cfg: &ServeConfig, shared: &Shared) {
+    let _slot = PendingGuard(shared);
+    let t0 = Instant::now();
+    let body = {
+        let _span = jp_obs::span("serve", "request");
+        solve_body(&job.graph, job.algo, memo, cfg)
+    };
+    let micros = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    let body = match body {
+        ResponseBody::Cost {
+            cost,
+            components,
+            served,
+            fresh,
+            micros: _,
+        } => ResponseBody::Cost {
+            cost,
+            components,
+            served,
+            fresh,
+            micros,
+        },
+        other => other,
+    };
+    match &body {
+        ResponseBody::Cost { cost, .. } => {
+            shared.completed.fetch_add(1, Ordering::SeqCst);
+            shared.cost_sum.fetch_add(*cost, Ordering::SeqCst);
+            jp_pulse::counter_add("serve.completed", 1);
+        }
+        ResponseBody::Rejected { .. } => {
+            shared.rejected.fetch_add(1, Ordering::SeqCst);
+            jp_pulse::counter_add("serve.rejected", 1);
+        }
+        _ => {
+            shared.errors.fetch_add(1, Ordering::SeqCst);
+            jp_pulse::counter_add("serve.errors", 1);
+        }
+    }
+    jp_pulse::observe("serve.latency_us", micros);
+    if job.reply.send(body).is_err() {
+        // the handler is gone (its client vanished mid-request); the
+        // answer is computed and recorded, just undeliverable
+        shared.errors.fetch_add(1, Ordering::SeqCst);
+        jp_pulse::counter_add("serve.errors", 1);
+    }
+}
+
+/// Runs the requested solver rung. Jobs solve single-threaded
+/// (`threads == 1` inside the solve): parallelism comes from jp-par
+/// running many jobs at once, and a sequential solve per job is what
+/// makes the memo counters of a fixed workload deterministic.
+fn solve_body(
+    g: &BipartiteGraph,
+    algo: PebbleAlgo,
+    memo: &Memo,
+    cfg: &ServeConfig,
+) -> ResponseBody {
+    match algo {
+        PebbleAlgo::Auto => match solve_with_memo_report(g, memo, 1) {
+            Ok((scheme, rep)) => ResponseBody::Cost {
+                cost: scheme.effective_cost(g) as u64,
+                components: rep.components,
+                served: rep.served(),
+                fresh: rep.fresh,
+                micros: 0,
+            },
+            Err(e) => ResponseBody::Error {
+                reason: format!("solver error: {e}"),
+            },
+        },
+        PebbleAlgo::Bb => match exact_bb::optimal_scheme_bb_par(g, cfg.budget, 1) {
+            Ok(scheme) => {
+                let components = u64::from(ComponentMap::new(g).count);
+                ResponseBody::Cost {
+                    cost: scheme.effective_cost(g) as u64,
+                    components,
+                    served: 0,
+                    fresh: components,
+                    micros: 0,
+                }
+            }
+            Err(e @ PebbleError::BudgetExhausted { .. }) => ResponseBody::Rejected {
+                reason: format!("{e}"),
+            },
+            Err(e) => ResponseBody::Error {
+                reason: format!("solver error: {e}"),
+            },
+        },
+    }
+}

@@ -201,6 +201,13 @@ enum Class {
 fn class_of(key: &str) -> Class {
     match key {
         "portfolio.winner_cost" | "portfolio.floor" => Class::Answer,
+        // jp-serve end-of-run totals: for a fixed workload these are
+        // exact invariants of the serving stack — any drift means a
+        // lost, failed, or wrongly answered request
+        "serve.cost_sum"
+        | "serve.completed_total"
+        | "serve.errors_total"
+        | "serve.rejected_total" => Class::Answer,
         "portfolio.completed" | "portfolio.abandoned" | "exact.abandoned_at_mask" => {
             Class::Scheduling
         }
