@@ -72,10 +72,10 @@ fn bench_join_graph_builders(c: &mut Criterion) {
     let mut group = c.benchmark_group("join_graph_builders");
     group.sample_size(20);
     group.bench_function("equijoin_hash", |b| {
-        b.iter(|| jp_relalg::equijoin_graph(&r, &s))
+        b.iter(|| jp_relalg::equijoin_graph(&r, &s).unwrap())
     });
     group.bench_function("equijoin_by_definition", |b| {
-        b.iter(|| jp_relalg::join_graph(&r, &s, &jp_relalg::predicate::Equality))
+        b.iter(|| jp_relalg::join_graph(&r, &s, &jp_relalg::predicate::Equality).unwrap())
     });
     group.finish();
 }

@@ -95,7 +95,7 @@ fn bench_fragmentation(c: &mut Criterion) {
     use jp_pebble::fragmentation::{balanced_capacity, component_pack};
     use jp_relalg::{equijoin_graph, workload};
     let (r, s) = workload::zipf_equijoin(2_000, 2_000, 600, 0.6, 17);
-    let g = equijoin_graph(&r, &s);
+    let g = equijoin_graph(&r, &s).unwrap();
     let cap_l = balanced_capacity(g.left_count() as usize, 8) + 16;
     let cap_r = balanced_capacity(g.right_count() as usize, 8) + 16;
     c.bench_function("component_pack_8x8", |b| {
@@ -111,7 +111,7 @@ fn bench_page_scheduling(c: &mut Criterion) {
     let mut sv: Vec<i64> = s.values().iter().map(|v| v.as_int().unwrap()).collect();
     rv.sort_unstable();
     sv.sort_unstable();
-    let g = equijoin_graph(&Relation::from_ints("R", rv), &Relation::from_ints("S", sv));
+    let g = equijoin_graph(&Relation::from_ints("R", rv), &Relation::from_ints("S", sv)).unwrap();
     let layout =
         PageLayout::sequential(g.left_count() as usize, g.right_count() as usize, 64).unwrap();
     c.bench_function("page_schedule_clustered_4k", |b| {

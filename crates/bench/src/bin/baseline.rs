@@ -236,6 +236,35 @@ fn main() {
         }),
     ];
 
+    // The worst-case-optimal join axis: conjunctive-query workloads run
+    // through each multiway engine at one thread (the counters are
+    // deterministic). `edges` records output rows and `effective_cost`
+    // the intermediate-tuple count — the quantity worst-case optimality
+    // bounds, and on the skewed triangle the ≥10x lftj-vs-cascade gap
+    // the acceptance gate checks; the `wcoj.*` counters in the captured
+    // stats gate seek/emit work through `jp trace check`.
+    let wcoj_families: Vec<(
+        String,
+        jp_relalg::ConjunctiveQuery,
+        Vec<jp_relalg::MultiRelation>,
+    )> = {
+        let mk = |name: &str, (q, rels)| (name.to_string(), q, rels);
+        vec![
+            mk(
+                "wcoj_triangle_skew_96",
+                jp_relalg::workload::triangle_skewed(96, 901),
+            ),
+            mk(
+                "wcoj_triangle_rand_240",
+                jp_relalg::workload::triangle_random(240, 4, 902),
+            ),
+            mk(
+                "wcoj_clique4_rand_160",
+                jp_relalg::workload::clique4_random(160, 3, 903),
+            ),
+        ]
+    };
+
     // Validate the family filter against everything this binary can
     // run, so a CI typo cannot silently gate nothing.
     let all_families = families();
@@ -243,6 +272,7 @@ fn main() {
         let known: Vec<&str> = ["repeated_blocks_x20", "serve_loadgen"]
             .into_iter()
             .chain(all_families.iter().map(|(name, _)| name.as_str()))
+            .chain(wcoj_families.iter().map(|(name, _, _)| name.as_str()))
             .collect();
         for f in filter {
             if !known.contains(&f.as_str()) {
@@ -348,6 +378,36 @@ fn main() {
             wall_micros,
             stats,
         });
+    }
+    for (family, q, rels) in &wcoj_families {
+        if !want(family) {
+            continue;
+        }
+        for algo in [
+            jp_relalg::MultiwayAlgo::Lftj,
+            jp_relalg::MultiwayAlgo::Generic,
+            jp_relalg::MultiwayAlgo::Cascade,
+        ] {
+            let stem = format!("{family}_{}_t1", algo.name());
+            let (out, wall_micros, stats) = measure(trace_dir, &stem, || {
+                jp_relalg::multiway_solve(q, rels, algo, 1)
+            });
+            let out = out.expect("multiway workloads are statically well-formed");
+            assert!(
+                out.rows.len() as f64 <= out.agm_bound,
+                "{family}/{}: output above the AGM bound",
+                algo.name()
+            );
+            cases.push(Case {
+                family: family.clone(),
+                solver: algo.name().to_string(),
+                threads: 1,
+                edges: out.rows.len() as u64,
+                effective_cost: out.stats.intermediate,
+                wall_micros,
+                stats,
+            });
+        }
     }
     for (family, g) in all_families {
         if !want(&family) {

@@ -105,7 +105,7 @@ pub fn e6_equijoin_perfect() -> (String, bool) {
         (10_000, 1_000, 0.8, 15),
     ] {
         let (r, s) = workload::zipf_equijoin(n, n, keys, theta, seed);
-        let g = equijoin_graph(&r, &s);
+        let g = equijoin_graph(&r, &s).unwrap();
         let m = g.edge_count();
         let scheme = pebble_equijoin(&g).expect("equijoin graph");
         let ok = scheme.validate(&g).is_ok() && scheme.effective_cost(&g) == m;
@@ -208,7 +208,7 @@ pub fn e11_exact_scaling() -> (String, bool) {
         let g0 = generators::random_connected_bipartite(5, 5, m, 42 + m as u64);
         // realize spatially, then recover the join graph from geometry
         let (r, s) = jp_relalg::realize::spatial_universal_instance(&g0);
-        let g = jp_relalg::spatial_graph(&r, &s);
+        let g = jp_relalg::spatial_graph(&r, &s).unwrap();
         assert_eq!(g, g0, "spatial realization must reproduce the graph");
         let t0 = Instant::now();
         let pi = exact::optimal_effective_cost(&g).expect("within solver limit");

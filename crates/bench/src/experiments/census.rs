@@ -120,7 +120,8 @@ pub fn e20_other_predicates() -> (String, bool) {
             &Relation::from_ints("R", rv),
             &Relation::from_ints("S", sv),
             &Band(w),
-        );
+        )
+        .unwrap();
         let (g, _, _) = g.strip_isolated();
         if g.edge_count() == 0 || g.edge_count() > exact::MAX_EXACT_EDGES {
             continue;
@@ -140,7 +141,7 @@ pub fn e20_other_predicates() -> (String, bool) {
     // inequality join: the join graph has nested ("chain") neighbourhoods
     let r = Relation::from_ints("R", vec![1, 3, 5, 7]);
     let s = Relation::from_ints("S", vec![2, 4, 6]);
-    let g = join_graph(&r, &s, &LessThan);
+    let g = join_graph(&r, &s, &LessThan).unwrap();
     let (g, _, _) = g.strip_isolated();
     let m = g.edge_count();
     let pi = exact::optimal_effective_cost(&g).expect("small");
@@ -156,7 +157,7 @@ pub fn e20_other_predicates() -> (String, bool) {
     // set overlap: universal, hence worst-case 1.25m − 1 attained
     let worst = generators::spider(8);
     let (r, s) = realize::set_overlap_instance(&worst);
-    let g = join_graph(&r, &s, &SetOverlap);
+    let g = join_graph(&r, &s, &SetOverlap).unwrap();
     pass &= g == worst;
     let m = g.edge_count();
     let pi = exact::optimal_effective_cost(&g).expect("small");

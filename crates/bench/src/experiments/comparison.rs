@@ -35,7 +35,7 @@ pub fn e14_predicate_comparison() -> (String, bool) {
 
     // --- equijoin: Zipf workload
     let (r, s) = workload::zipf_equijoin(500, 500, 60, 0.9, 77);
-    let g = equijoin_graph(&r, &s);
+    let g = equijoin_graph(&r, &s).unwrap();
     let m = g.edge_count();
     let scheme = pebble_equijoin(&g).expect("equijoin graph");
     let ratio = scheme.effective_cost(&g) as f64 / m as f64;
@@ -51,7 +51,7 @@ pub fn e14_predicate_comparison() -> (String, bool) {
 
     // --- set containment: planted workload, plus the realized worst case
     let (r, s) = workload::set_workload(120, 80, 400, 3..=6, 8..=14, 0.7, 78);
-    let g = containment_graph(&r, &s);
+    let g = containment_graph(&r, &s).unwrap();
     let (g, _, _) = g.strip_isolated();
     let m = g.edge_count();
     let best = best_heuristic_ratio(&g);
@@ -72,7 +72,7 @@ pub fn e14_predicate_comparison() -> (String, bool) {
     ]);
 
     let (r, s) = realize::set_containment_instance(&jp_graph::generators::spider(8));
-    let g = containment_graph(&r, &s);
+    let g = containment_graph(&r, &s).unwrap();
     let m = g.edge_count();
     let pi = exact::optimal_effective_cost(&g).unwrap();
     let ratio = pi as f64 / m as f64;
@@ -89,7 +89,7 @@ pub fn e14_predicate_comparison() -> (String, bool) {
     // --- spatial overlap: uniform rectangles, plus realized worst case
     let ru = workload::uniform_rects(250, 2_000, 60, 79);
     let su = workload::uniform_rects(250, 2_000, 60, 80);
-    let g = spatial_graph(&ru, &su);
+    let g = spatial_graph(&ru, &su).unwrap();
     let (g, _, _) = g.strip_isolated();
     let m = g.edge_count();
     let best = best_heuristic_ratio(&g);
@@ -109,7 +109,7 @@ pub fn e14_predicate_comparison() -> (String, bool) {
     ]);
 
     let (r, s) = realize::spatial_spider_instance(8);
-    let g = spatial_graph(&r, &s);
+    let g = spatial_graph(&r, &s).unwrap();
     let m = g.edge_count();
     let pi = exact::optimal_effective_cost(&g).unwrap();
     let ratio = pi as f64 / m as f64;

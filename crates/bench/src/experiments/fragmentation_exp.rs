@@ -103,7 +103,7 @@ pub fn e17_fragmentation() -> (String, bool) {
         (800, 400, 6, 6, 302),
     ] {
         let (r, s) = workload::zipf_equijoin(n, n, keys, 0.7, seed);
-        let g = equijoin_graph(&r, &s);
+        let g = equijoin_graph(&r, &s).unwrap();
         let cap_l = balanced_capacity(g.left_count() as usize, p) + 8; // slack
         let cap_r = balanced_capacity(g.right_count() as usize, q) + 8;
         let m0 = component_pack(&g, p, q, cap_l, cap_r);

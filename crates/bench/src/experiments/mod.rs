@@ -16,6 +16,7 @@ mod realization;
 mod reductions_exp;
 mod serve_exp;
 mod traces_exp;
+mod wcoj_exp;
 
 /// A runnable experiment: id, title, and the report generator.
 pub struct Experiment {
@@ -141,6 +142,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             title: "Steady-state serving: the planner as a service under load",
             run: serve_exp::e22_serving,
         },
+        Experiment {
+            id: "E23",
+            title: "Worst-case-optimal multiway joins: AGM bound and the skew gap",
+            run: wcoj_exp::e23_wcoj,
+        },
     ]
 }
 
@@ -151,7 +157,7 @@ mod tests {
     #[test]
     fn ids_are_unique_and_ordered() {
         let exps = all_experiments();
-        assert_eq!(exps.len(), 22);
+        assert_eq!(exps.len(), 23);
         for (i, e) in exps.iter().enumerate() {
             assert_eq!(e.id, format!("E{}", i + 1));
         }

@@ -38,7 +38,8 @@ pub fn e18_page_scheduling() -> (String, bool) {
         let mut sv: Vec<i64> = s.values().iter().map(|v| v.as_int().unwrap()).collect();
         rv.sort_unstable();
         sv.sort_unstable();
-        let g = equijoin_graph(&Relation::from_ints("R", rv), &Relation::from_ints("S", sv));
+        let g =
+            equijoin_graph(&Relation::from_ints("R", rv), &Relation::from_ints("S", sv)).unwrap();
         let nl = g.left_count() as usize;
         let nr = g.right_count() as usize;
         let layouts = [
@@ -72,7 +73,7 @@ pub fn e18_page_scheduling() -> (String, bool) {
     // reproduce a spider-shaped page graph
     let n = 64u32;
     let (r, s) = realize::spatial_spider_instance(n);
-    let g = spatial_graph(&r, &s);
+    let g = spatial_graph(&r, &s).unwrap();
     let layout = PageLayout::sequential(g.left_count() as usize, g.right_count() as usize, 2)
         .expect("page ids fit u32");
     let (pg, scheme) = schedule_page_fetches(&g, &layout).expect("schedulable");
@@ -98,7 +99,7 @@ pub fn e18_page_scheduling() -> (String, bool) {
 
     // exact schedule on a small page graph validates the scheduler
     let (r, s) = workload::zipf_equijoin(48, 48, 6, 0.2, 403);
-    let g = equijoin_graph(&r, &s);
+    let g = equijoin_graph(&r, &s).unwrap();
     let layout = PageLayout::scattered(48, 48, 12, 7).expect("page ids fit u32");
     let (pg, scheme) = schedule_page_fetches(&g, &layout).expect("schedulable");
     if pg.edge_count() <= exact::MAX_EXACT_EDGES {

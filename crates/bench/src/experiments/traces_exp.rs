@@ -43,7 +43,7 @@ pub fn e16_implied_costs() -> (String, bool) {
         (1_000, 40, 1.1, 203),
     ] {
         let (r, s) = workload::zipf_equijoin(n, n, keys, theta, seed);
-        let g = equijoin_graph(&r, &s);
+        let g = equijoin_graph(&r, &s).unwrap();
         let m = g.edge_count();
         let b0 = jp_graph::betti_number(&g) as usize;
         let optimal = m + b0; // Theorem 3.2: π = m, so π̂ = m + β₀

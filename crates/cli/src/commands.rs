@@ -280,7 +280,7 @@ pub fn realize(args: &[String], out: Out) -> Result<(), CliError> {
     match kind {
         "containment" => {
             let (r, s) = realize::set_containment_instance(&g);
-            let rebuilt = jp_relalg::containment_graph(&r, &s);
+            let rebuilt = jp_relalg::containment_graph(&r, &s).map_err(rt)?;
             writeln!(
                 out,
                 "Lemma 3.3 instance: {r}, {s}; join graph round-trip: {}",
@@ -293,7 +293,7 @@ pub fn realize(args: &[String], out: Out) -> Result<(), CliError> {
         }
         "spatial" => {
             let (r, s) = realize::spatial_universal_instance(&g);
-            let rebuilt = jp_relalg::spatial_graph(&r, &s);
+            let rebuilt = jp_relalg::spatial_graph(&r, &s).map_err(rt)?;
             writeln!(
                 out,
                 "spatial comb instance: {r}, {s}; join graph round-trip: {}",
@@ -307,7 +307,7 @@ pub fn realize(args: &[String], out: Out) -> Result<(), CliError> {
         "equijoin" => {
             match realize::equijoin_instance(&g) {
                 Some((r, s)) => {
-                    let rebuilt = jp_relalg::equijoin_graph(&r, &s);
+                    let rebuilt = jp_relalg::equijoin_graph(&r, &s).map_err(rt)?;
                     writeln!(
                         out,
                         "equijoin instance: {r}, {s}; join graph round-trip: {}",
@@ -395,19 +395,28 @@ pub fn buffers(args: &[String], out: Out) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `jp join --workload zipf|sets|rects [opts] [--pebble true]
+/// `jp join --workload zipf|sets|rects|triangle|clique4|bowtie [opts]
+/// [--algo lftj|generic|cascade|all] [--skewed true] [--pebble true]
 /// [--memo true] [--memo-file F] [--threads N]`
+///
+/// The first three workloads are binary joins; the last three are
+/// conjunctive queries run through the worst-case-optimal multiway
+/// engines (`--algo` picks Leapfrog Triejoin, generic join, the binary
+/// nested-loops cascade baseline, or all three; `--skewed true` swaps
+/// the triangle instance for the star workload whose cascade
+/// intermediate result is quadratic).
 ///
 /// With `--pebble true` the workload's join graph is built and scheduled
 /// through the pebbling solver — the memo options put the canonical-form
 /// component cache in front of it, which is where repeated-shape
 /// workloads (an equijoin is a union of `K_{k,l}` blocks, one per key)
-/// collapse to hash lookups.
+/// collapse to hash lookups. Conjunctive queries pebble the disjoint
+/// union of their pairwise shared-variable equijoin graphs.
 pub fn join(args: &[String], out: Out) -> Result<(), CliError> {
     let a = ParsedArgs::parse(args)?;
-    let wl = a
-        .opt("workload")
-        .ok_or_else(|| CliError::Usage("join needs --workload zipf|sets|rects".into()))?;
+    let wl = a.opt("workload").ok_or_else(|| {
+        CliError::Usage("join needs --workload zipf|sets|rects|triangle|clique4|bowtie".into())
+    })?;
     let n: usize = a.opt_parse("n", 1_000)?;
     let seed: u64 = a.opt_parse("seed", 42)?;
     let want_pebble = flag_true(&a, "pebble");
@@ -448,7 +457,7 @@ pub fn join(args: &[String], out: Out) -> Result<(), CliError> {
                 out,
             )?;
             if want_pebble {
-                join_graph = Some(jp_relalg::equijoin_graph(&r, &s));
+                join_graph = Some(jp_relalg::equijoin_graph(&r, &s).map_err(rt)?);
             }
         }
         "sets" => {
@@ -473,7 +482,7 @@ pub fn join(args: &[String], out: Out) -> Result<(), CliError> {
                 out,
             )?;
             if want_pebble {
-                join_graph = Some(jp_relalg::containment_graph(&r, &s));
+                join_graph = Some(jp_relalg::containment_graph(&r, &s).map_err(rt)?);
             }
         }
         "rects" => {
@@ -495,7 +504,75 @@ pub fn join(args: &[String], out: Out) -> Result<(), CliError> {
                 out,
             )?;
             if want_pebble {
-                join_graph = Some(jp_relalg::spatial_graph(&r, &s));
+                join_graph = Some(jp_relalg::spatial_graph(&r, &s).map_err(rt)?);
+            }
+        }
+        "triangle" | "clique4" | "bowtie" => {
+            let deg: usize = a.opt_parse("deg", 4)?;
+            let threads: usize = a.opt_parse("threads", 1)?;
+            if threads == 0 {
+                return Err(CliError::Usage("--threads must be at least 1".into()));
+            }
+            let skewed = flag_true(&a, "skewed");
+            if skewed && wl != "triangle" {
+                return Err(CliError::Usage(
+                    "--skewed only applies to the triangle workload".into(),
+                ));
+            }
+            let (q, rels) = match wl {
+                "triangle" if skewed => workload::triangle_skewed(n, seed),
+                "triangle" => workload::triangle_random(n, deg, seed),
+                "clique4" => workload::clique4_random(n, deg, seed),
+                _ => workload::bowtie_random(n, deg, seed),
+            };
+            let sizes: Vec<String> = rels
+                .iter()
+                .map(|r| format!("|{}| = {}", r.name(), r.len()))
+                .collect();
+            writeln!(
+                out,
+                "multiway workload `{}`{}: {}",
+                q.name(),
+                if skewed { " (skewed)" } else { "" },
+                sizes.join(", ")
+            )
+            .map_err(CliError::io)?;
+            let algo_opt = a.opt("algo").unwrap_or("all");
+            let algos: Vec<jp_relalg::MultiwayAlgo> = if algo_opt == "all" {
+                vec![
+                    jp_relalg::MultiwayAlgo::Lftj,
+                    jp_relalg::MultiwayAlgo::Generic,
+                    jp_relalg::MultiwayAlgo::Cascade,
+                ]
+            } else {
+                vec![algo_opt.parse().map_err(rt)?]
+            };
+            for algo in algos {
+                let t0 = Instant::now();
+                let res = jp_relalg::multiway_solve(&q, &rels, algo, threads).map_err(rt)?;
+                if res.rows.len() as f64 > res.agm_bound {
+                    return Err(rt(format!(
+                        "{} emitted {} rows above the AGM bound {:.1}",
+                        algo.name(),
+                        res.rows.len(),
+                        res.agm_bound
+                    )));
+                }
+                writeln!(
+                    out,
+                    "  {:<8} {:>8} rows  {:>9.3} ms  seeks {:>9}  intermediate {:>9}  \
+                     AGM bound {:.1}",
+                    algo.name(),
+                    res.rows.len(),
+                    t0.elapsed().as_secs_f64() * 1e3,
+                    res.stats.seeks,
+                    res.stats.intermediate,
+                    res.agm_bound
+                )
+                .map_err(CliError::io)?;
+            }
+            if want_pebble {
+                join_graph = Some(jp_relalg::query_join_graph(&q, &rels).map_err(rt)?);
             }
         }
         other => return Err(CliError::Usage(format!("unknown workload `{other}`"))),

@@ -97,9 +97,20 @@ WORKLOADS (jp join --workload):
   sets    set containment          [--n N] [--universe U] [--planted P] [--seed S]
   rects   spatial overlap          [--n N] [--extent E] [--side L] [--seed S]
 
+  triangle | clique4 | bowtie      worst-case-optimal multiway joins over
+          trie indexes             [--n N] [--deg D] [--seed S] [--threads N]
+  --algo lftj|generic|cascade|all  Leapfrog Triejoin, generic join, the
+                  binary nested-loops cascade baseline, or all three
+                  (default all); output rows are checked against the AGM
+                  fractional-cover bound on every run
+  --skewed true   (triangle only) the adversarial star instance: the
+                  cascade materializes a quadratic intermediate result,
+                  the worst-case-optimal engines stay linear
+
   --pebble true   also build the workload's join graph and schedule it
                   with the pebbling solver (honours --memo, --memo-file
-                  and --threads)
+                  and --threads); conjunctive queries pebble the disjoint
+                  union of their pairwise shared-variable equijoin graphs
 
 SERVING (jp serve / jp loadgen):
   jp serve answers length-prefixed JSON frames over TCP from a shared

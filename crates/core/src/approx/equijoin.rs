@@ -177,7 +177,7 @@ mod tests {
     fn real_equijoin_workload_end_to_end() {
         use jp_relalg::{equijoin_graph, workload};
         let (r, s) = workload::zipf_equijoin(60, 60, 12, 0.8, 5);
-        let g = equijoin_graph(&r, &s);
+        let g = equijoin_graph(&r, &s).unwrap();
         let scheme = pebble_equijoin(&g).unwrap();
         scheme.validate(&g).unwrap();
         assert_eq!(scheme.effective_cost(&g), g.edge_count());

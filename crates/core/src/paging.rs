@@ -214,7 +214,7 @@ mod tests {
         sv.sort_unstable();
         let r = jp_relalg::Relation::from_ints("R", rv);
         let s = jp_relalg::Relation::from_ints("S", sv);
-        equijoin_graph(&r, &s)
+        equijoin_graph(&r, &s).unwrap()
     }
 
     #[test]

@@ -1,0 +1,58 @@
+//! Cyclic-query join graphs through the pebbling pipeline.
+//!
+//! The join graph of a conjunctive query (triangle, 4-clique, bowtie)
+//! is the disjoint union of its pairwise shared-variable equijoin
+//! graphs — every component is a complete bipartite block, so the §3
+//! recognizers must classify it as an equijoin graph, the memoized
+//! solver must serve it from closed forms, and the pebbling cost must
+//! be perfect (π = m) at every thread count.
+
+use jp_graph::properties;
+use jp_pebble::memo::{memoized_effective_cost, solve_with_memo, Memo};
+use jp_pebble::portfolio::portfolio_effective_cost;
+use jp_relalg::{query_join_graph, workload};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+#[test]
+fn query_join_graphs_are_equijoin_class_and_pebble_perfectly() {
+    let instances = vec![
+        workload::triangle_random(60, 4, 31),
+        workload::triangle_skewed(40, 32),
+        workload::clique4_random(50, 3, 33),
+        workload::bowtie_random(50, 3, 34),
+    ];
+    for (q, rels) in instances {
+        let g = query_join_graph(&q, &rels).unwrap();
+        let (g, _, _) = g.strip_isolated();
+        assert!(
+            properties::is_equijoin_graph(&g),
+            "{}: pairwise shared-variable graphs are unions of complete \
+             bipartite blocks",
+            q.name()
+        );
+        let m = g.edge_count();
+        let fresh = portfolio_effective_cost(&g, 1).unwrap();
+        assert_eq!(fresh, m, "{}: equijoin graphs pebble perfectly", q.name());
+        let memo = Memo::new();
+        for threads in THREAD_COUNTS {
+            let cost = memoized_effective_cost(&g, &memo, threads).unwrap();
+            assert_eq!(cost, fresh, "{} at {threads} threads", q.name());
+        }
+        // Complete bipartite blocks are closed-form families: the memo
+        // recognizes them without touching the solver ladder.
+        let st = memo.stats();
+        assert_eq!(st.misses, 0, "{}: no component should miss", q.name());
+    }
+}
+
+#[test]
+fn memoized_scheme_on_query_graph_validates() {
+    let (q, rels) = workload::triangle_skewed(32, 35);
+    let g = query_join_graph(&q, &rels).unwrap();
+    let memo = Memo::new();
+    let s = solve_with_memo(&g, &memo, 2).unwrap();
+    s.validate(&g).unwrap();
+    assert_eq!(s.effective_cost(&g), g.edge_count());
+    assert_eq!(q.name(), "triangle");
+}

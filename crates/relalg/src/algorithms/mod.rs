@@ -18,6 +18,7 @@
 
 pub mod containment;
 pub mod equi;
+pub mod multiway;
 pub mod spatial;
 
 use crate::predicate::JoinPredicate;

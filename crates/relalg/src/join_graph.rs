@@ -10,7 +10,14 @@
 //! the same graph faster and are cross-validated against the definition in
 //! tests. Note that the *vertex sets are the full relations*; callers that
 //! want the paper's normalized graphs strip isolated vertices afterwards.
+//!
+//! All builders are fallible: tuple ids are `u32`, so relations beyond
+//! `u32::MAX` tuples are rejected ([`RelalgError::TooManyTuples`]) instead
+//! of silently wrapping ids, and a tuple whose value kind does not match
+//! the predicate's domain is a classified input error
+//! ([`RelalgError::WrongDomain`]), not a panic.
 
+use crate::error::{checked_tuple_count, require_region, require_set, RelalgError};
 use crate::predicate::JoinPredicate;
 use crate::relation::Relation;
 use crate::value::Value;
@@ -19,7 +26,16 @@ use std::collections::HashMap;
 
 /// Builds the join graph by evaluating `pred` on the full cross product —
 /// the literal Definition from §2. `O(|R|·|S|)` predicate evaluations.
-pub fn join_graph(r: &Relation, s: &Relation, pred: &dyn JoinPredicate) -> BipartiteGraph {
+///
+/// # Errors
+/// [`RelalgError::TooManyTuples`] if either relation exceeds `u32::MAX`
+/// tuples.
+pub fn join_graph(
+    r: &Relation,
+    s: &Relation,
+    pred: &dyn JoinPredicate,
+) -> Result<BipartiteGraph, RelalgError> {
+    let (rn, sn) = (checked_tuple_count(r)?, checked_tuple_count(s)?);
     let mut edges = Vec::new();
     for (i, a) in r.iter() {
         for (j, b) in s.iter() {
@@ -28,13 +44,18 @@ pub fn join_graph(r: &Relation, s: &Relation, pred: &dyn JoinPredicate) -> Bipar
             }
         }
     }
-    BipartiteGraph::new(r.len() as u32, s.len() as u32, edges)
+    Ok(BipartiteGraph::new(rn, sn, edges))
 }
 
 /// Equijoin join graph via hashing: groups both relations by value and
 /// emits the complete bipartite graph of every matching group. Expected
 /// `O(|R| + |S| + |E|)`.
-pub fn equijoin_graph(r: &Relation, s: &Relation) -> BipartiteGraph {
+///
+/// # Errors
+/// [`RelalgError::TooManyTuples`] if either relation exceeds `u32::MAX`
+/// tuples.
+pub fn equijoin_graph(r: &Relation, s: &Relation) -> Result<BipartiteGraph, RelalgError> {
+    let (rn, sn) = (checked_tuple_count(r)?, checked_tuple_count(s)?);
     let mut groups: HashMap<&Value, Vec<u32>> = HashMap::new();
     for (j, b) in s.iter() {
         groups.entry(b).or_default().push(j);
@@ -45,7 +66,7 @@ pub fn equijoin_graph(r: &Relation, s: &Relation) -> BipartiteGraph {
             edges.extend(js.iter().map(|&j| (i, j)));
         }
     }
-    BipartiteGraph::new(r.len() as u32, s.len() as u32, edges)
+    Ok(BipartiteGraph::new(rn, sn, edges))
 }
 
 /// Set-containment join graph (`r.A ⊆ s.B`) via an inverted index on the
@@ -53,26 +74,25 @@ pub fn equijoin_graph(r: &Relation, s: &Relation) -> BipartiteGraph {
 /// containing it; an `R` set's matches are the intersection of its
 /// elements' postings. Empty `R` sets are contained in every `S` set.
 ///
-/// # Panics
-/// Panics if any tuple in either relation is not set-valued.
-pub fn containment_graph(r: &Relation, s: &Relation) -> BipartiteGraph {
+/// # Errors
+/// [`RelalgError::WrongDomain`] if any tuple in either relation is not
+/// set-valued; [`RelalgError::TooManyTuples`] on oversize relations.
+pub fn containment_graph(r: &Relation, s: &Relation) -> Result<BipartiteGraph, RelalgError> {
+    let (rn, sn) = (checked_tuple_count(r)?, checked_tuple_count(s)?);
     let mut postings: HashMap<u32, Vec<u32>> = HashMap::new();
-    for (j, b) in s.iter() {
-        let set = b
-            .as_set()
-            .unwrap_or_else(|| panic!("S tuple {j} is not a set"));
+    for j in 0..s.len() {
+        let set = require_set(s, j)?;
         for &e in set.elems() {
-            postings.entry(e).or_default().push(j);
+            postings.entry(e).or_default().push(j as u32);
         }
     }
     let empty: Vec<u32> = Vec::new();
     let mut edges = Vec::new();
-    for (i, a) in r.iter() {
-        let set = a
-            .as_set()
-            .unwrap_or_else(|| panic!("R tuple {i} is not a set"));
+    for i in 0..r.len() {
+        let set = require_set(r, i)?;
+        let i = i as u32;
         if set.is_empty() {
-            edges.extend((0..s.len() as u32).map(|j| (i, j)));
+            edges.extend((0..sn).map(|j| (i, j)));
             continue;
         }
         // Intersect postings, smallest list first.
@@ -95,33 +115,51 @@ pub fn containment_graph(r: &Relation, s: &Relation) -> BipartiteGraph {
         }
         edges.extend(candidates.into_iter().map(|j| (i, j)));
     }
-    BipartiteGraph::new(r.len() as u32, s.len() as u32, edges)
+    Ok(BipartiteGraph::new(rn, sn, edges))
 }
 
 /// Spatial-overlap join graph via plane sweep on MBRs with exact region
 /// refinement. `O(n log n + candidates)`.
 ///
-/// # Panics
-/// Panics if any tuple in either relation is not region-valued
-/// (`Value::Spatial`).
-pub fn spatial_graph(r: &Relation, s: &Relation) -> BipartiteGraph {
-    let ra = r.mbrs();
-    let sb = s.mbrs();
+/// # Errors
+/// [`RelalgError::WrongDomain`] if any tuple in either relation is not
+/// region-valued (`Value::Spatial`); [`RelalgError::TooManyTuples`] on
+/// oversize relations.
+pub fn spatial_graph(r: &Relation, s: &Relation) -> Result<BipartiteGraph, RelalgError> {
+    let (rn, sn) = (checked_tuple_count(r)?, checked_tuple_count(s)?);
+    // Pre-validate both domains so the sweep callback below (which cannot
+    // return an error) only ever sees region values.
+    let mut ra = Vec::with_capacity(r.len());
+    for i in 0..r.len() {
+        ra.push((require_region(r, i)?.mbr(), i as u32));
+    }
+    let mut sb = Vec::with_capacity(s.len());
+    for j in 0..s.len() {
+        sb.push((require_region(s, j)?.mbr(), j as u32));
+    }
     let mut edges = Vec::new();
+    let mut invariant_hole = false;
     jp_geometry::sweep::sweep_join(&ra, &sb, |i, j| {
-        let x = r
-            .value(i as usize)
-            .as_region()
-            .expect("R tuple is a region");
-        let y = s
-            .value(j as usize)
-            .as_region()
-            .expect("S tuple is a region");
-        if x.intersects(y) {
-            edges.push((i, j));
+        match (
+            r.value(i as usize).as_region(),
+            s.value(j as usize).as_region(),
+        ) {
+            (Some(x), Some(y)) => {
+                if x.intersects(y) {
+                    edges.push((i, j));
+                }
+            }
+            // Unreachable after pre-validation; surfaced as Internal
+            // below rather than panicking inside the sweep.
+            _ => invariant_hole = true,
         }
     });
-    BipartiteGraph::new(r.len() as u32, s.len() as u32, edges)
+    if invariant_hole {
+        return Err(RelalgError::Internal(
+            "sweep produced a candidate outside the validated region domain",
+        ));
+    }
+    Ok(BipartiteGraph::new(rn, sn, edges))
 }
 
 #[cfg(test)]
@@ -136,8 +174,8 @@ mod tests {
     fn equijoin_graph_matches_definition() {
         let r = Relation::from_ints("R", [1, 1, 2, 7, 9]);
         let s = Relation::from_ints("S", [1, 2, 2, 9, 9, 4]);
-        let by_def = join_graph(&r, &s, &Equality);
-        let fast = equijoin_graph(&r, &s);
+        let by_def = join_graph(&r, &s, &Equality).unwrap();
+        let fast = equijoin_graph(&r, &s).unwrap();
         assert_eq!(by_def, fast);
         // Theorem 3.2's premise: equijoin graphs are unions of complete
         // bipartite graphs.
@@ -161,8 +199,8 @@ mod tests {
         ];
         let r = Relation::from_sets("R", sets_r);
         let s = Relation::from_sets("S", sets_s);
-        let by_def = join_graph(&r, &s, &SetContainment);
-        let fast = containment_graph(&r, &s);
+        let by_def = join_graph(&r, &s, &SetContainment).unwrap();
+        let fast = containment_graph(&r, &s).unwrap();
         assert_eq!(by_def, fast);
         // r2 = {} joins everything; r3 = {5} joins nothing.
         assert!(by_def.has_edge(2, 0) && by_def.has_edge(2, 1) && by_def.has_edge(2, 2));
@@ -186,8 +224,8 @@ mod tests {
                 Region::rect(Rect::new(5, 27, 9, 29)),   // inside r1's MBR, outside region
             ],
         );
-        let by_def = join_graph(&r, &s, &SpatialOverlap);
-        let fast = spatial_graph(&r, &s);
+        let by_def = join_graph(&r, &s, &SpatialOverlap).unwrap();
+        let fast = spatial_graph(&r, &s).unwrap();
         assert_eq!(by_def, fast);
         assert!(by_def.has_edge(0, 0));
         assert!(by_def.has_edge(1, 1));
@@ -201,25 +239,57 @@ mod tests {
     fn empty_relations() {
         let r = Relation::from_ints("R", []);
         let s = Relation::from_ints("S", [1]);
-        let g = join_graph(&r, &s, &Equality);
+        let g = join_graph(&r, &s, &Equality).unwrap();
         assert_eq!(g.edge_count(), 0);
-        assert_eq!(equijoin_graph(&r, &s).edge_count(), 0);
+        assert_eq!(equijoin_graph(&r, &s).unwrap().edge_count(), 0);
     }
 
     #[test]
     fn multiset_duplicates_become_distinct_vertices() {
         let r = Relation::from_ints("R", [5, 5]);
         let s = Relation::from_ints("S", [5]);
-        let g = equijoin_graph(&r, &s);
+        let g = equijoin_graph(&r, &s).unwrap();
         assert_eq!(g.edge_count(), 2);
         assert_eq!(g.left_count(), 2);
     }
 
     #[test]
-    #[should_panic(expected = "not a set")]
     fn containment_rejects_wrong_domain() {
         let r = Relation::from_ints("R", [1]);
         let s = Relation::from_sets("S", [IdSet::empty()]);
-        containment_graph(&r, &s);
+        match containment_graph(&r, &s) {
+            Err(RelalgError::WrongDomain {
+                relation,
+                tuple,
+                expected,
+                found,
+            }) => {
+                assert_eq!(relation, "R");
+                assert_eq!(tuple, 0);
+                assert_eq!(expected, "set");
+                assert_eq!(found, "int");
+            }
+            other => panic!("expected WrongDomain, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spatial_rejects_wrong_domain() {
+        let r = Relation::from_ints("R", [1]);
+        let s = Relation::from_rects("S", [Rect::new(0, 0, 1, 1)]);
+        match spatial_graph(&r, &s) {
+            Err(RelalgError::WrongDomain {
+                relation, expected, ..
+            }) => {
+                assert_eq!(relation, "R");
+                assert_eq!(expected, "spatial");
+            }
+            other => panic!("expected WrongDomain, got {other:?}"),
+        }
+        // ...and the mismatch is detected on the S side too.
+        assert!(matches!(
+            spatial_graph(&s, &r),
+            Err(RelalgError::WrongDomain { .. })
+        ));
     }
 }

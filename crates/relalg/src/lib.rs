@@ -12,6 +12,7 @@
 //! cost experiment E16 measures.
 
 pub mod algorithms;
+pub mod error;
 pub mod join_graph;
 pub mod parallel;
 pub mod predicate;
@@ -19,10 +20,17 @@ pub mod query;
 pub mod realize;
 pub mod relation;
 pub mod trace;
+pub mod trie;
 pub mod value;
 pub mod workload;
 
+pub use algorithms::multiway::{
+    query_join_graph, solve as multiway_solve, MultiwayAlgo, MultiwayOutput, MultiwayStats,
+};
+pub use error::RelalgError;
 pub use join_graph::{containment_graph, equijoin_graph, join_graph, spatial_graph};
 pub use predicate::JoinPredicate;
+pub use query::{Atom, ConjunctiveQuery};
 pub use relation::Relation;
+pub use trie::{MultiRelation, TrieIndex, TrieIter};
 pub use value::{IdSet, Value};

@@ -195,7 +195,7 @@ mod tests {
         // end-to-end with the §5 solver: pack, then execute the plan
         use jp_graph::quotient;
         let (r, s) = workload::zipf_equijoin(90, 90, 30, 0.5, 25);
-        let g = crate::equijoin_graph(&r, &s);
+        let g = crate::equijoin_graph(&r, &s).unwrap();
         // simple hash fragmentation here (the pebble-side packer is
         // exercised in jp-pebble's tests; relalg must not depend on it)
         let lf = round_robin(r.len(), 4);
@@ -274,7 +274,7 @@ mod pair_tests {
     fn investigated_pairs_suffice() {
         // plan against the true join graph, then execute only its pairs
         let (r, s) = workload::zipf_equijoin(80, 80, 25, 0.6, 61);
-        let g = crate::equijoin_graph(&r, &s);
+        let g = crate::equijoin_graph(&r, &s).unwrap();
         let lf: Vec<u32> = (0..r.len()).map(|i| (i % 3) as u32).collect();
         let rf: Vec<u32> = (0..s.len()).map(|i| (i % 3) as u32).collect();
         let investigated = quotient(&g, &lf, 3, &rf, 3).edges().to_vec();

@@ -17,9 +17,223 @@
 //! ```
 
 use crate::algorithms::{self, JoinResult};
+use crate::error::RelalgError;
 use crate::predicate::{Band, Equality, SetContainment, SpatialOverlap};
 use crate::relation::Relation;
+use crate::trie::MultiRelation;
 use std::time::{Duration, Instant};
+
+/// One atom `R_i(x, y, …)` of a conjunctive query: a relation index
+/// into the query's relation slice plus the variables its columns bind,
+/// in column order. Variables are small integers; an atom may not
+/// repeat a variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    /// Index into the relation slice the query is evaluated against.
+    pub relation: usize,
+    /// Variable bound by each column.
+    pub vars: Vec<u32>,
+}
+
+/// A full conjunctive query `Q(vars) ← R_0(…) ∧ R_1(…) ∧ …` together
+/// with a fractional edge cover certifying its AGM output bound
+/// (Ngo–Porat–Ré–Rudra 2012): weights `w_i ≥ 0`, one per atom, with
+/// every variable's incident weight summing to at least 1, so
+/// `|output| ≤ ∏ |R_i|^{w_i}` for every instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConjunctiveQuery {
+    name: String,
+    atoms: Vec<Atom>,
+    cover: Vec<f64>,
+}
+
+impl ConjunctiveQuery {
+    /// Builds and validates a query: at least one atom, no repeated
+    /// variable within an atom, and a valid fractional edge cover.
+    ///
+    /// # Errors
+    /// [`RelalgError::EmptyQuery`], [`RelalgError::RepeatedVariable`],
+    /// [`RelalgError::MalformedCover`], or
+    /// [`RelalgError::UncoveredVariable`].
+    pub fn new(
+        name: impl Into<String>,
+        atoms: Vec<Atom>,
+        cover: Vec<f64>,
+    ) -> Result<Self, RelalgError> {
+        if atoms.is_empty() {
+            return Err(RelalgError::EmptyQuery);
+        }
+        for (ai, atom) in atoms.iter().enumerate() {
+            let mut seen = atom.vars.clone();
+            seen.sort_unstable();
+            for w in seen.windows(2) {
+                if let &[a, b] = w {
+                    if a == b {
+                        return Err(RelalgError::RepeatedVariable { atom: ai, var: a });
+                    }
+                }
+            }
+        }
+        if cover.len() != atoms.len() {
+            return Err(RelalgError::MalformedCover {
+                detail: format!("{} weights for {} atoms", cover.len(), atoms.len()),
+            });
+        }
+        if let Some(w) = cover.iter().find(|w| !w.is_finite() || **w < 0.0) {
+            return Err(RelalgError::MalformedCover {
+                detail: format!("weight {w} is not a finite non-negative number"),
+            });
+        }
+        let q = ConjunctiveQuery {
+            name: name.into(),
+            atoms,
+            cover,
+        };
+        for v in q.variables() {
+            let incident: f64 = q
+                .atoms
+                .iter()
+                .zip(&q.cover)
+                .filter(|(a, _)| a.vars.contains(&v))
+                .map(|(_, w)| w)
+                .sum();
+            // Tolerance for 1/3-style weights that don't sum exactly.
+            if incident < 1.0 - 1e-9 {
+                return Err(RelalgError::UncoveredVariable { var: v });
+            }
+        }
+        Ok(q)
+    }
+
+    /// Query name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The atoms.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// The fractional edge cover weights, one per atom.
+    pub fn cover(&self) -> &[f64] {
+        &self.cover
+    }
+
+    /// All distinct variables, ascending.
+    pub fn variables(&self) -> Vec<u32> {
+        let mut vs: Vec<u32> = self.atoms.iter().flat_map(|a| a.vars.clone()).collect();
+        vs.sort_unstable();
+        vs.dedup();
+        vs
+    }
+
+    /// The shared variable ordering both multiway algorithms bind in:
+    /// descending atom frequency (most-constrained variable first),
+    /// variable id as the tiebreak. Deterministic for a given query.
+    pub fn variable_order(&self) -> Vec<u32> {
+        let mut vs = self.variables();
+        let freq = |v: u32| self.atoms.iter().filter(|a| a.vars.contains(&v)).count();
+        vs.sort_by_key(|&v| (std::cmp::Reverse(freq(v)), v));
+        vs
+    }
+
+    /// The AGM bound `∏ |R_i|^{w_i}` certified by the query's
+    /// fractional edge cover, over the given relation cardinalities.
+    /// An empty relation under a positive weight gives bound 0.
+    pub fn agm_bound(&self, sizes: &[usize]) -> f64 {
+        self.atoms
+            .iter()
+            .zip(&self.cover)
+            .map(|(a, &w)| {
+                let n = sizes.get(a.relation).copied().unwrap_or(0) as f64;
+                if w == 0.0 {
+                    1.0
+                } else {
+                    n.powf(w)
+                }
+            })
+            .product()
+    }
+
+    /// Validates the query against concrete relations: every atom's
+    /// relation index in range with matching arity.
+    ///
+    /// # Errors
+    /// [`RelalgError::UnknownRelation`] or [`RelalgError::ArityMismatch`].
+    pub fn check_relations(&self, rels: &[MultiRelation]) -> Result<(), RelalgError> {
+        for (ai, atom) in self.atoms.iter().enumerate() {
+            let Some(rel) = rels.get(atom.relation) else {
+                return Err(RelalgError::UnknownRelation {
+                    atom: ai,
+                    relation: atom.relation,
+                    available: rels.len(),
+                });
+            };
+            if rel.arity() != atom.vars.len() {
+                return Err(RelalgError::ArityMismatch {
+                    relation: rel.name().to_string(),
+                    expected: atom.vars.len(),
+                    found: rel.arity(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The triangle query `Q(a,b,c) ← R(a,b) ∧ S(b,c) ∧ T(a,c)` with
+    /// the optimal cover (½, ½, ½): AGM bound `√(|R|·|S|·|T|)`.
+    pub fn triangle() -> Self {
+        let atoms = vec![
+            Atom {
+                relation: 0,
+                vars: vec![0, 1],
+            },
+            Atom {
+                relation: 1,
+                vars: vec![1, 2],
+            },
+            Atom {
+                relation: 2,
+                vars: vec![0, 2],
+            },
+        ];
+        ConjunctiveQuery::new("triangle", atoms, vec![0.5; 3]).expect("statically well-formed")
+    }
+
+    /// The 4-clique query over six binary edge relations with the
+    /// optimal cover (⅓ each): AGM bound `∏|R_i|^{1/3}`.
+    pub fn four_clique() -> Self {
+        let pairs = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        let atoms = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| Atom {
+                relation: i,
+                vars: vec![a, b],
+            })
+            .collect();
+        ConjunctiveQuery::new("four_clique", atoms, vec![1.0 / 3.0; 6])
+            .expect("statically well-formed")
+    }
+
+    /// The bowtie query: two triangles sharing apex variable `a` —
+    /// `R(a,b) ∧ S(b,c) ∧ T(c,a) ∧ U(a,d) ∧ V(d,e) ∧ W(e,a)` with cover
+    /// ½ on every atom (the apex is covered twice over; the bound is
+    /// not tight there, which the experiments surface).
+    pub fn bowtie() -> Self {
+        let edges = [(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)];
+        let atoms = edges
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| Atom {
+                relation: i,
+                vars: vec![a, b],
+            })
+            .collect();
+        ConjunctiveQuery::new("bowtie", atoms, vec![0.5; 6]).expect("statically well-formed")
+    }
+}
 
 /// Which predicate the join runs under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

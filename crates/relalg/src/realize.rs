@@ -74,7 +74,7 @@ pub fn equijoin_instance(g: &BipartiteGraph) -> Option<(Relation, Relation)> {
 /// // Even the worst-case spider is a containment join graph.
 /// let g = generators::spider(5);
 /// let (r, s) = realize::set_containment_instance(&g);
-/// assert_eq!(containment_graph(&r, &s), g);
+/// assert_eq!(containment_graph(&r, &s).unwrap(), g);
 /// ```
 pub fn set_containment_instance(g: &BipartiteGraph) -> (Relation, Relation) {
     let r = Relation::from_sets("R", (0..g.left_count()).map(|i| IdSet::new(vec![i])));
@@ -209,7 +209,7 @@ mod tests {
             .disjoint_union(&generators::complete_bipartite(1, 4))
             .disjoint_union(&generators::matching(3));
         let (r, s) = equijoin_instance(&g).expect("is an equijoin graph");
-        assert_eq!(equijoin_graph(&r, &s), g);
+        assert_eq!(equijoin_graph(&r, &s).unwrap(), g);
     }
 
     #[test]
@@ -218,7 +218,7 @@ mod tests {
         let (r, s) = equijoin_instance(&g).expect("equijoin graph");
         assert_eq!(r.len(), 3);
         assert_eq!(s.len(), 2);
-        let rebuilt = equijoin_graph(&r, &s);
+        let rebuilt = equijoin_graph(&r, &s).unwrap();
         assert_eq!(rebuilt, g);
     }
 
@@ -238,8 +238,12 @@ mod tests {
             generators::random_bipartite(6, 7, 0.4, 9),
         ] {
             let (r, s) = set_containment_instance(&g);
-            assert_eq!(containment_graph(&r, &s), g, "fast builder");
-            assert_eq!(join_graph(&r, &s, &SetContainment), g, "by definition");
+            assert_eq!(containment_graph(&r, &s).unwrap(), g, "fast builder");
+            assert_eq!(
+                join_graph(&r, &s, &SetContainment).unwrap(),
+                g,
+                "by definition"
+            );
         }
     }
 
@@ -247,7 +251,7 @@ mod tests {
     fn lemma_3_4_spider_realized_with_rectangles() {
         for n in 1..8 {
             let (r, s) = spatial_spider_instance(n);
-            let got = spatial_graph(&r, &s);
+            let got = spatial_graph(&r, &s).unwrap();
             assert_eq!(got, generators::spider(n), "G_{n}");
         }
     }
@@ -263,8 +267,12 @@ mod tests {
             jp_graph::BipartiteGraph::new(3, 3, vec![]), // edgeless
         ] {
             let (r, s) = spatial_universal_instance(&g);
-            assert_eq!(spatial_graph(&r, &s), g, "fast builder");
-            assert_eq!(join_graph(&r, &s, &SpatialOverlap), g, "by definition");
+            assert_eq!(spatial_graph(&r, &s).unwrap(), g, "fast builder");
+            assert_eq!(
+                join_graph(&r, &s, &SpatialOverlap).unwrap(),
+                g,
+                "by definition"
+            );
         }
     }
 
@@ -279,7 +287,7 @@ mod tests {
             jp_graph::BipartiteGraph::new(3, 2, vec![(0, 0)]), // isolated vertices
         ] {
             let (r, s) = set_overlap_instance(&g);
-            assert_eq!(join_graph(&r, &s, &SetOverlap), g, "{g}");
+            assert_eq!(join_graph(&r, &s, &SetOverlap).unwrap(), g, "{g}");
         }
     }
 

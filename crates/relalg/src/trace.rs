@@ -24,6 +24,7 @@
 //! scheme and validation happen through
 //! `implied_scheme` in the `jp-pebble` crate's `analysis` module.
 
+use crate::error::{checked_tuple_count, require_region, require_set, RelalgError};
 use crate::predicate::JoinPredicate;
 use crate::relation::Relation;
 use crate::value::Value;
@@ -115,19 +116,25 @@ fn sort_merge_trace(r: &Relation, s: &Relation, boustrophedon: bool) -> Trace {
 
 /// Inverted-index containment join: `R`-major order, candidates in
 /// postings order.
-pub fn containment_index_trace(r: &Relation, s: &Relation) -> Trace {
+///
+/// # Errors
+/// [`RelalgError::WrongDomain`] if any tuple in either relation is not
+/// set-valued; [`RelalgError::TooManyTuples`] on oversize relations.
+pub fn containment_index_trace(r: &Relation, s: &Relation) -> Result<Trace, RelalgError> {
+    let sn = checked_tuple_count(s)?;
     let mut postings: HashMap<u32, Vec<u32>> = HashMap::new();
-    for (j, b) in s.iter() {
-        for &e in b.as_set().expect("set-valued S").elems() {
-            postings.entry(e).or_default().push(j);
+    for j in 0..s.len() {
+        for &e in require_set(s, j)?.elems() {
+            postings.entry(e).or_default().push(j as u32);
         }
     }
     let empty: Vec<u32> = Vec::new();
     let mut out = Vec::new();
-    for (i, a) in r.iter() {
-        let set = a.as_set().expect("set-valued R");
+    for i in 0..r.len() {
+        let set = require_set(r, i)?;
+        let i = i as u32;
         if set.is_empty() {
-            out.extend((0..s.len() as u32).map(|j| (i, j)));
+            out.extend((0..sn).map(|j| (i, j)));
             continue;
         }
         let mut lists: Vec<&Vec<u32>> = set
@@ -142,20 +149,39 @@ pub fn containment_index_trace(r: &Relation, s: &Relation) -> Trace {
         }
         out.extend(candidates.into_iter().map(|j| (i, j)));
     }
-    out
+    Ok(out)
 }
 
 /// Plane-sweep spatial join: pairs in sweep-line discovery order.
-pub fn spatial_sweep_trace(r: &Relation, s: &Relation) -> Trace {
+///
+/// # Errors
+/// [`RelalgError::WrongDomain`] if any tuple in either relation is not
+/// region-valued; [`RelalgError::TooManyTuples`] on oversize relations.
+pub fn spatial_sweep_trace(r: &Relation, s: &Relation) -> Result<Trace, RelalgError> {
+    checked_tuple_count(r)?;
+    checked_tuple_count(s)?;
+    // Pre-validate both domains so the sweep callback (infallible) only
+    // sees region values.
+    let mut ra = Vec::with_capacity(r.len());
+    for i in 0..r.len() {
+        ra.push((require_region(r, i)?.mbr(), i as u32));
+    }
+    let mut sb = Vec::with_capacity(s.len());
+    for j in 0..s.len() {
+        sb.push((require_region(s, j)?.mbr(), j as u32));
+    }
     let mut out = Vec::new();
-    jp_geometry::sweep::sweep_join(&r.mbrs(), &s.mbrs(), |i, j| {
-        let x = r.value(i as usize).as_region().expect("region-valued R");
-        let y = s.value(j as usize).as_region().expect("region-valued S");
-        if x.intersects(y) {
-            out.push((i, j));
+    jp_geometry::sweep::sweep_join(&ra, &sb, |i, j| {
+        if let (Some(x), Some(y)) = (
+            r.value(i as usize).as_region(),
+            s.value(j as usize).as_region(),
+        ) {
+            if x.intersects(y) {
+                out.push((i, j));
+            }
         }
     });
-    out
+    Ok(out)
 }
 
 /// An unordered executor: the result pairs of an equality join emitted in
@@ -224,7 +250,7 @@ mod tests {
     fn containment_trace_covers_result() {
         let (r, s) = workload::set_workload(30, 20, 100, 2..=4, 5..=9, 0.5, 2);
         let expect = crate::algorithms::containment::naive(&r, &s);
-        assert_eq!(sorted(containment_index_trace(&r, &s)), expect);
+        assert_eq!(sorted(containment_index_trace(&r, &s).unwrap()), expect);
     }
 
     #[test]
@@ -232,6 +258,20 @@ mod tests {
         let r = workload::uniform_rects(50, 500, 40, 3);
         let s = workload::uniform_rects(50, 500, 40, 4);
         let expect = crate::algorithms::spatial::naive(&r, &s);
-        assert_eq!(sorted(spatial_sweep_trace(&r, &s)), expect);
+        assert_eq!(sorted(spatial_sweep_trace(&r, &s).unwrap()), expect);
+    }
+
+    #[test]
+    fn traces_classify_wrong_domains() {
+        let ints = Relation::from_ints("R", [1]);
+        let sets = Relation::from_sets("S", [crate::value::IdSet::empty()]);
+        assert!(matches!(
+            containment_index_trace(&ints, &sets),
+            Err(crate::error::RelalgError::WrongDomain { .. })
+        ));
+        assert!(matches!(
+            spatial_sweep_trace(&ints, &ints),
+            Err(crate::error::RelalgError::WrongDomain { .. })
+        ));
     }
 }

@@ -1,0 +1,417 @@
+//! Sorted trie indexes over multi-column relations, with the
+//! seek/next iterator interface of Veldhuizen's Leapfrog Triejoin
+//! (PAPERS.md \[LFTJ\]).
+//!
+//! A [`MultiRelation`] is a set-semantics relation of fixed arity over
+//! `i64` keys. A [`TrieIndex`] materializes it under a column
+//! permutation — rows sorted lexicographically in permuted order — so
+//! that a [`TrieIter`] can walk it as a trie: level `d` enumerates the
+//! distinct values of permuted column `d` within the row range matching
+//! the values bound at levels `0..d`. Each level supports `open` /
+//! `up` / `key` / `advance` / `seek`, all `O(log n)` via binary search
+//! over the flat sorted array; no per-node allocation.
+//!
+//! Everything here is panic-free (in the jp-audit `panic-freedom` scope
+//! at deny): out-of-contract calls return `None` or an
+//! [`RelalgError`], never abort, because the multiway join planner
+//! feeds these iterators from untrusted CLI workloads.
+
+use crate::error::RelalgError;
+
+/// A fixed-arity relation over `i64` keys with set semantics: rows are
+/// sorted lexicographically and deduplicated at construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiRelation {
+    name: String,
+    arity: usize,
+    /// Row-major tuple store, `len() * arity` keys, sorted + deduped.
+    data: Vec<i64>,
+}
+
+impl MultiRelation {
+    /// Builds a relation from tuples, sorting and deduplicating.
+    ///
+    /// # Errors
+    /// [`RelalgError::ArityMismatch`] if any tuple's length differs
+    /// from `arity`, [`RelalgError::MalformedCover`] never; arity 0 is
+    /// rejected as an arity mismatch on the first tuple (an empty
+    /// relation of arity 0 is allowed and holds no information).
+    pub fn new(
+        name: impl Into<String>,
+        arity: usize,
+        tuples: impl IntoIterator<Item = Vec<i64>>,
+    ) -> Result<Self, RelalgError> {
+        let name = name.into();
+        let mut rows: Vec<Vec<i64>> = Vec::new();
+        for t in tuples {
+            if t.len() != arity {
+                return Err(RelalgError::ArityMismatch {
+                    relation: name,
+                    expected: arity,
+                    found: t.len(),
+                });
+            }
+            rows.push(t);
+        }
+        rows.sort_unstable();
+        rows.dedup();
+        let data = rows.into_iter().flatten().collect();
+        Ok(MultiRelation { name, arity, data })
+    }
+
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of (distinct) tuples.
+    pub fn len(&self) -> usize {
+        self.data.len().checked_div(self.arity).unwrap_or(0)
+    }
+
+    /// Whether the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Tuple `row`, or `None` out of range.
+    pub fn tuple(&self, row: usize) -> Option<&[i64]> {
+        let start = row.checked_mul(self.arity)?;
+        let end = start.checked_add(self.arity)?;
+        self.data.get(start..end)
+    }
+
+    /// All tuples in sorted order.
+    pub fn tuples(&self) -> impl Iterator<Item = &[i64]> {
+        self.data.chunks_exact(self.arity.max(1))
+    }
+}
+
+/// A trie view of a [`MultiRelation`] under a column permutation:
+/// rows re-ordered column-wise by `perm` and sorted lexicographically.
+/// Level `d` of the trie is permuted column `d`.
+#[derive(Debug, Clone)]
+pub struct TrieIndex {
+    arity: usize,
+    /// Row-major permuted sorted tuple store.
+    data: Vec<i64>,
+}
+
+impl TrieIndex {
+    /// Materializes the trie for `rel` with trie level `d` reading
+    /// column `perm[d]` of the original relation.
+    ///
+    /// # Errors
+    /// [`RelalgError::Internal`] if `perm` is not a permutation of
+    /// `0..arity` (planner bug, not user input).
+    pub fn build(rel: &MultiRelation, perm: &[u32]) -> Result<Self, RelalgError> {
+        let arity = rel.arity();
+        let mut seen = vec![false; arity];
+        if perm.len() != arity {
+            return Err(RelalgError::Internal("trie permutation has wrong length"));
+        }
+        for &c in perm {
+            match seen.get_mut(c as usize) {
+                Some(s) if !*s => *s = true,
+                _ => return Err(RelalgError::Internal("trie permutation is not a bijection")),
+            }
+        }
+        let mut rows: Vec<Vec<i64>> = rel
+            .tuples()
+            .map(|t| {
+                perm.iter()
+                    .filter_map(|&c| t.get(c as usize).copied())
+                    .collect()
+            })
+            .collect();
+        rows.sort_unstable();
+        rows.dedup();
+        let data = rows.into_iter().flatten().collect();
+        Ok(TrieIndex { arity, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.data.len().checked_div(self.arity).unwrap_or(0)
+    }
+
+    /// Trie depth (the relation's arity).
+    pub fn depth(&self) -> usize {
+        self.arity
+    }
+
+    /// Value at `(row, col)`, or `None` out of range.
+    fn at(&self, row: usize, col: usize) -> Option<i64> {
+        if col >= self.arity {
+            return None;
+        }
+        self.data.get(row * self.arity + col).copied()
+    }
+
+    /// First row in `[lo, hi)` whose `col` value is ≥ `v`.
+    fn lower_bound(&self, mut lo: usize, mut hi: usize, col: usize, v: i64) -> usize {
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.at(mid, col).is_some_and(|x| x < v) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// First row in `[lo, hi)` whose `col` value is > `v`.
+    fn upper_bound(&self, mut lo: usize, mut hi: usize, col: usize, v: i64) -> usize {
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.at(mid, col).is_some_and(|x| x <= v) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+}
+
+/// One open trie level: the cursor position and the end of the row
+/// range matching the prefix bound so far (the start is wherever the
+/// cursor entered; the iterators only ever move forward).
+#[derive(Debug, Clone, Copy)]
+struct Level {
+    hi: usize,
+    pos: usize,
+}
+
+/// A cursor over a [`TrieIndex`], one level per trie depth.
+///
+/// At depth `d` (after `d` calls to [`open`](TrieIter::open)), the
+/// cursor enumerates the distinct values of permuted column `d-1`
+/// within the rows matching the keys selected at shallower levels.
+/// `advance` moves to the next distinct value, `seek` leapfrogs to the
+/// first value ≥ a target; both return the new key or `None` when the
+/// level is exhausted.
+#[derive(Debug, Clone)]
+pub struct TrieIter<'a> {
+    trie: &'a TrieIndex,
+    levels: Vec<Level>,
+}
+
+impl<'a> TrieIter<'a> {
+    /// A cursor at the trie root (no level open).
+    pub fn new(trie: &'a TrieIndex) -> Self {
+        TrieIter {
+            trie,
+            levels: Vec::with_capacity(trie.depth()),
+        }
+    }
+
+    /// Current depth (number of open levels).
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Descends one level, positioning on its first key. Returns that
+    /// key, or `None` if the trie is already at full depth or the new
+    /// level is empty (in which case no level is opened).
+    pub fn open(&mut self) -> Option<i64> {
+        let d = self.levels.len();
+        if d >= self.trie.depth() {
+            return None;
+        }
+        let (lo, hi) = match self.levels.last() {
+            // Child range of the current key at the parent level.
+            Some(parent) => {
+                if parent.pos >= parent.hi {
+                    return None; // parent level exhausted; nothing below
+                }
+                let k = self.trie.at(parent.pos, d - 1)?;
+                (
+                    parent.pos,
+                    self.trie.upper_bound(parent.pos, parent.hi, d - 1, k),
+                )
+            }
+            None => (0, self.trie.rows()),
+        };
+        if lo >= hi {
+            return None;
+        }
+        self.levels.push(Level { hi, pos: lo });
+        self.trie.at(lo, d)
+    }
+
+    /// Ascends one level. No-op at the root.
+    pub fn up(&mut self) {
+        self.levels.pop();
+    }
+
+    /// Rows remaining in the current level's range (an upper bound on
+    /// the distinct keys still ahead) — the generic-join pivot metric.
+    /// Zero at the root.
+    pub fn remaining(&self) -> usize {
+        self.levels
+            .last()
+            .map_or(0, |level| level.hi.saturating_sub(level.pos))
+    }
+
+    /// The key at the current level, or `None` at the root / past the
+    /// end.
+    pub fn key(&self) -> Option<i64> {
+        let level = self.levels.last()?;
+        if level.pos >= level.hi {
+            return None;
+        }
+        self.trie.at(level.pos, self.levels.len() - 1)
+    }
+
+    /// Moves to the next distinct key at the current level. Returns it,
+    /// or `None` when the level is exhausted.
+    pub fn advance(&mut self) -> Option<i64> {
+        let d = self.levels.len();
+        let level = self.levels.last_mut()?;
+        let col = d - 1;
+        let k = self.trie.at(level.pos, col)?;
+        level.pos = self.trie.upper_bound(level.pos, level.hi, col, k);
+        if level.pos >= level.hi {
+            return None;
+        }
+        self.trie.at(level.pos, col)
+    }
+
+    /// Leapfrogs to the first key ≥ `v` at the current level. Returns
+    /// it, or `None` when no such key exists. Seeking backwards is a
+    /// no-op (the cursor only moves forward).
+    pub fn seek(&mut self, v: i64) -> Option<i64> {
+        let d = self.levels.len();
+        let level = self.levels.last_mut()?;
+        let col = d - 1;
+        level.pos = self.trie.lower_bound(level.pos, level.hi, col, v);
+        if level.pos >= level.hi {
+            return None;
+        }
+        self.trie.at(level.pos, col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(tuples: &[&[i64]]) -> MultiRelation {
+        MultiRelation::new(
+            "R",
+            tuples.first().map_or(2, |t| t.len()),
+            tuples.iter().map(|t| t.to_vec()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn multi_relation_sorts_and_dedups() {
+        let r = rel(&[&[3, 1], &[1, 2], &[3, 1], &[1, 1]]);
+        let rows: Vec<&[i64]> = r.tuples().collect();
+        assert_eq!(rows, vec![&[1i64, 1][..], &[1, 2], &[3, 1]]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.tuple(2), Some(&[3i64, 1][..]));
+        assert_eq!(r.tuple(3), None);
+    }
+
+    #[test]
+    fn arity_mismatch_is_classified() {
+        let e = MultiRelation::new("R", 2, vec![vec![1, 2], vec![1]]);
+        assert!(matches!(e, Err(RelalgError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn permuted_trie_reorders_columns() {
+        let r = rel(&[&[1, 10], &[2, 5], &[2, 7]]);
+        let t = TrieIndex::build(&r, &[1, 0]).unwrap();
+        // sorted by (col1, col0): (5,2), (7,2), (10,1)
+        let mut it = TrieIter::new(&t);
+        assert_eq!(it.open(), Some(5));
+        assert_eq!(it.advance(), Some(7));
+        assert_eq!(it.advance(), Some(10));
+        assert_eq!(it.advance(), None);
+    }
+
+    #[test]
+    fn bad_permutation_is_internal_error() {
+        let r = rel(&[&[1, 2]]);
+        assert!(TrieIndex::build(&r, &[0]).is_err());
+        assert!(TrieIndex::build(&r, &[0, 0]).is_err());
+        assert!(TrieIndex::build(&r, &[0, 2]).is_err());
+    }
+
+    #[test]
+    fn open_up_walks_groups() {
+        let r = rel(&[&[1, 10], &[1, 20], &[2, 30]]);
+        let t = TrieIndex::build(&r, &[0, 1]).unwrap();
+        let mut it = TrieIter::new(&t);
+        assert_eq!(it.open(), Some(1));
+        assert_eq!(it.open(), Some(10));
+        assert_eq!(it.advance(), Some(20));
+        assert_eq!(it.advance(), None);
+        it.up();
+        assert_eq!(it.advance(), Some(2));
+        assert_eq!(it.open(), Some(30));
+        assert_eq!(it.advance(), None);
+        it.up();
+        assert_eq!(it.advance(), None);
+    }
+
+    #[test]
+    fn seek_leapfrogs_forward_only() {
+        let r = rel(&[&[1, 0], &[3, 0], &[5, 0], &[9, 0]]);
+        let t = TrieIndex::build(&r, &[0, 1]).unwrap();
+        let mut it = TrieIter::new(&t);
+        assert_eq!(it.open(), Some(1));
+        assert_eq!(it.seek(4), Some(5));
+        // backward seek does not rewind
+        assert_eq!(it.seek(2), Some(5));
+        assert_eq!(it.seek(6), Some(9));
+        assert_eq!(it.seek(10), None);
+        assert_eq!(it.key(), None);
+    }
+
+    #[test]
+    fn degenerate_relations() {
+        // empty
+        let r = MultiRelation::new("R", 2, Vec::<Vec<i64>>::new()).unwrap();
+        assert!(r.is_empty());
+        let t = TrieIndex::build(&r, &[0, 1]).unwrap();
+        let mut it = TrieIter::new(&t);
+        assert_eq!(it.open(), None);
+        assert_eq!(it.depth(), 0);
+        // single tuple
+        let r = rel(&[&[7, 8]]);
+        let t = TrieIndex::build(&r, &[0, 1]).unwrap();
+        let mut it = TrieIter::new(&t);
+        assert_eq!(it.open(), Some(7));
+        assert_eq!(it.open(), Some(8));
+        assert_eq!(it.open(), None, "already at full depth");
+        // all-duplicate rows collapse under set semantics
+        let r = rel(&[&[4, 4], &[4, 4], &[4, 4]]);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn key_reflects_cursor() {
+        let r = rel(&[&[2, 1], &[2, 9], &[6, 3]]);
+        let t = TrieIndex::build(&r, &[0, 1]).unwrap();
+        let mut it = TrieIter::new(&t);
+        assert_eq!(it.key(), None, "root has no key");
+        it.open();
+        assert_eq!(it.key(), Some(2));
+        it.open();
+        assert_eq!(it.key(), Some(1));
+        it.up();
+        it.advance();
+        assert_eq!(it.key(), Some(6));
+    }
+}

@@ -10,7 +10,9 @@
 //! * [`uniform_rects`] / [`clustered_rects`] — spatial inputs with
 //!   controllable selectivity.
 
+use crate::query::ConjunctiveQuery;
 use crate::relation::Relation;
+use crate::trie::MultiRelation;
 use crate::value::IdSet;
 use jp_geometry::Rect;
 use rand::rngs::SmallRng;
@@ -168,6 +170,86 @@ pub fn clustered_rects(
     )
 }
 
+/// A random arity-2 [`MultiRelation`]: `n` pairs drawn uniformly over
+/// `0..domain` (deduplicated, so the result may be slightly smaller).
+fn random_pairs(name: &str, n: usize, domain: i64, rng: &mut SmallRng) -> MultiRelation {
+    let tuples = (0..n).map(|_| {
+        vec![
+            rng.random_range(0..domain.max(1)),
+            rng.random_range(0..domain.max(1)),
+        ]
+    });
+    MultiRelation::new(name, 2, tuples).expect("arity-2 tuples")
+}
+
+/// Random triangle-query instance: three independent edge relations of
+/// `n` pairs each over a vertex domain of roughly `n / deg` ids, so each
+/// vertex has average degree about `deg` and triangles occur by chance.
+pub fn triangle_random(n: usize, deg: usize, seed: u64) -> (ConjunctiveQuery, Vec<MultiRelation>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let domain = (n / deg.max(1)).max(2) as i64;
+    let rels = ["R", "S", "T"]
+        .iter()
+        .map(|name| random_pairs(name, n, domain, &mut rng))
+        .collect();
+    (ConjunctiveQuery::triangle(), rels)
+}
+
+/// Adversarially skewed triangle instance — the star workload on which
+/// a binary join cascade materializes a quadratic intermediate result:
+/// `R = {(i, 0)}` and `S = {(0, j)}` share the single hub key 0, so
+/// `R ⋈ S` has `n²` rows, while `T = {(i, i)}` (plus a little seeded
+/// noise) keeps the final output linear. Worst-case-optimal algorithms
+/// touch only `O(n)` partial bindings.
+pub fn triangle_skewed(n: usize, seed: u64) -> (ConjunctiveQuery, Vec<MultiRelation>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = n.max(2) as i64;
+    let r = (1..=n).map(|i| vec![i, 0]);
+    let s = (1..=n).map(|j| vec![0, j]);
+    let mut t: Vec<Vec<i64>> = (1..=n).map(|i| vec![i, i]).collect();
+    // A few non-diagonal pairs so T is not a pure identity relation.
+    t.extend((0..(n as usize / 8)).map(|_| vec![rng.random_range(1..=n), rng.random_range(1..=n)]));
+    let rels = vec![
+        MultiRelation::new("R", 2, r).expect("arity-2 tuples"),
+        MultiRelation::new("S", 2, s).expect("arity-2 tuples"),
+        MultiRelation::new("T", 2, t).expect("arity-2 tuples"),
+    ];
+    (ConjunctiveQuery::triangle(), rels)
+}
+
+/// Random 4-clique instance: one random graph (edges `u < v` over a
+/// domain of roughly `n / deg` ids) replicated into the six edge
+/// relations, so the output is the ordered 4-cliques of that graph.
+pub fn clique4_random(n: usize, deg: usize, seed: u64) -> (ConjunctiveQuery, Vec<MultiRelation>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let domain = (n / deg.max(1)).max(3) as i64;
+    let edges: Vec<Vec<i64>> = (0..n)
+        .map(|_| {
+            let a = rng.random_range(0..domain);
+            let b = rng.random_range(0..domain);
+            vec![a.min(b), a.max(b) + 1] // +1 keeps u < v strict
+        })
+        .collect();
+    let rels = ["E01", "E02", "E03", "E12", "E13", "E23"]
+        .iter()
+        .map(|name| MultiRelation::new(*name, 2, edges.iter().cloned()).expect("arity-2 tuples"))
+        .collect();
+    (ConjunctiveQuery::four_clique(), rels)
+}
+
+/// Random bowtie instance: six independent edge relations of `n` pairs
+/// over a domain of roughly `n / deg` ids; the apex variable is shared
+/// between the two triangles, over-covering it in the AGM cover.
+pub fn bowtie_random(n: usize, deg: usize, seed: u64) -> (ConjunctiveQuery, Vec<MultiRelation>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let domain = (n / deg.max(1)).max(2) as i64;
+    let rels = ["R", "S", "T", "U", "V", "W"]
+        .iter()
+        .map(|name| random_pairs(name, n, domain, &mut rng))
+        .collect();
+    (ConjunctiveQuery::bowtie(), rels)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,7 +292,7 @@ mod tests {
         let (r, s) = zipf_equijoin(100, 80, 20, 1.0, 7);
         assert_eq!(r.len(), 100);
         assert_eq!(s.len(), 80);
-        let g = crate::join_graph::equijoin_graph(&r, &s);
+        let g = crate::join_graph::equijoin_graph(&r, &s).unwrap();
         assert!(jp_graph::properties::is_equijoin_graph(&g));
         assert!(g.edge_count() > 0);
     }

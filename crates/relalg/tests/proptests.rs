@@ -47,7 +47,7 @@ proptest! {
         prop_assert_eq!(algorithms::equi::sort_merge(&r, &s), expect.clone());
         prop_assert_eq!(algorithms::equi::index_nested_loops(&r, &s), expect.clone());
         // join graph = result pairs
-        let g = equijoin_graph(&r, &s);
+        let g = equijoin_graph(&r, &s).unwrap();
         prop_assert_eq!(g.edges(), &expect[..]);
     }
 
@@ -56,7 +56,7 @@ proptest! {
         r in int_relation(25, 6),
         s in int_relation(25, 6),
     ) {
-        let g = equijoin_graph(&r, &s);
+        let g = equijoin_graph(&r, &s).unwrap();
         prop_assert!(jp_graph::properties::is_equijoin_graph(&g));
     }
 
@@ -66,7 +66,7 @@ proptest! {
         prop_assert_eq!(algorithms::containment::inverted_index(&r, &s), expect.clone());
         prop_assert_eq!(algorithms::containment::signature(&r, &s), expect.clone());
         prop_assert_eq!(algorithms::containment::partitioned(&r, &s, 7), expect.clone());
-        let g = containment_graph(&r, &s);
+        let g = containment_graph(&r, &s).unwrap();
         prop_assert_eq!(g.edges(), &expect[..]);
         // definitionally correct too
         let mut by_def = algorithms::nested_loops(&r, &s, &SetContainment);
@@ -94,7 +94,7 @@ proptest! {
         prop_assert_eq!(algorithms::spatial::pbsm(&r, &s), expect.clone());
         prop_assert_eq!(algorithms::spatial::rtree(&r, &s), expect.clone());
         prop_assert_eq!(algorithms::spatial::index_nested_loops(&r, &s), expect.clone());
-        let g = spatial_graph(&r, &s);
+        let g = spatial_graph(&r, &s).unwrap();
         prop_assert_eq!(g.edges(), &expect[..]);
         let mut by_def = algorithms::nested_loops(&r, &s, &SpatialOverlap);
         by_def.sort_unstable();
@@ -113,13 +113,13 @@ proptest! {
     #[test]
     fn lemma_3_3_containment_universality(g in bipartite()) {
         let (r, s) = realize::set_containment_instance(&g);
-        prop_assert_eq!(containment_graph(&r, &s), g);
+        prop_assert_eq!(containment_graph(&r, &s).unwrap(), g);
     }
 
     #[test]
     fn spatial_universality(g in bipartite()) {
         let (r, s) = realize::spatial_universal_instance(&g);
-        prop_assert_eq!(spatial_graph(&r, &s), g);
+        prop_assert_eq!(spatial_graph(&r, &s).unwrap(), g);
     }
 
     #[test]
@@ -128,7 +128,7 @@ proptest! {
         match realize::equijoin_instance(&g) {
             Some((r, s)) => {
                 prop_assert!(jp_graph::properties::is_equijoin_graph(&g));
-                prop_assert_eq!(equijoin_graph(&r, &s), g);
+                prop_assert_eq!(equijoin_graph(&r, &s).unwrap(), g);
             }
             None => prop_assert!(!jp_graph::properties::is_equijoin_graph(&g)),
         }
@@ -139,7 +139,7 @@ proptest! {
         r in int_relation(15, 5),
         s in int_relation(15, 5),
     ) {
-        let g = join_graph(&r, &s, &Equality);
+        let g = join_graph(&r, &s, &Equality).unwrap();
         prop_assert_eq!(g.left_count() as usize, r.len());
         prop_assert_eq!(g.right_count() as usize, s.len());
     }

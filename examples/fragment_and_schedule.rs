@@ -16,7 +16,7 @@ use join_predicates::relalg::{equijoin_graph, parallel, realize, workload};
 fn main() {
     // ----- fragmenting an equijoin for parallelism (§5) -----
     let (r, s) = workload::zipf_equijoin(600, 600, 200, 0.6, 99);
-    let g = equijoin_graph(&r, &s);
+    let g = equijoin_graph(&r, &s).unwrap();
     println!("equijoin workload: m = {} result pairs", g.edge_count());
 
     let (p, q) = (4u32, 4u32);
@@ -59,7 +59,7 @@ fn main() {
     // ----- page-fetch scheduling (the model's §2 ancestry) -----
     println!("\npage-fetch scheduling with a two-page buffer:");
     let (wr, ws) = realize::spatial_spider_instance(32);
-    let wg = join_predicates::relalg::spatial_graph(&wr, &ws);
+    let wg = join_predicates::relalg::spatial_graph(&wr, &ws).unwrap();
     for cap in [1usize, 2, 4] {
         let layout =
             PageLayout::sequential(wg.left_count() as usize, wg.right_count() as usize, cap)

@@ -24,7 +24,7 @@ fn main() {
     println!("join result ({} tuples): {pairs:?}\n", pairs.len());
 
     // The join graph: one vertex per tuple, one edge per joining pair.
-    let g = join_graph(&r, &s, &Equality);
+    let g = join_graph(&r, &s, &Equality).unwrap();
     assert_eq!(g.edges(), &pairs[..]);
     println!("join graph: {g}");
     println!(
@@ -57,7 +57,7 @@ fn main() {
 
     // Compare with a predicate that is NOT an equijoin: the same data as
     // a band join produces a graph that may not pebble perfectly.
-    let band = join_graph(&r, &s, &join_predicates::relalg::predicate::Band(1));
+    let band = join_graph(&r, &s, &join_predicates::relalg::predicate::Band(1)).unwrap();
     let (band, _, _) = band.strip_isolated();
     let dfs = dfs_partition::pebble_dfs_partition(&band).unwrap();
     println!(

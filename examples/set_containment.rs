@@ -42,7 +42,7 @@ fn main() {
         ),
     ] {
         let (cr, cs) = realize::set_containment_instance(&g0);
-        let rebuilt = containment_graph(&cr, &cs);
+        let rebuilt = containment_graph(&cr, &cs).unwrap();
         println!(
             "Lemma 3.3 on {name}: join graph rebuilt exactly: {}",
             rebuilt == g0
@@ -53,7 +53,7 @@ fn main() {
     // case that equijoins can never reach.
     let g = generators::spider(8);
     let (cr, cs) = realize::set_containment_instance(&g);
-    let jg = containment_graph(&cr, &cs);
+    let jg = containment_graph(&cr, &cs).unwrap();
     let m = jg.edge_count();
     let pi = exact::optimal_effective_cost(&jg).unwrap();
     println!(

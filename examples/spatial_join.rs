@@ -37,7 +37,7 @@ fn main() {
     );
 
     // The pebble-game view: how hard is this join graph?
-    let g = spatial_graph(&r, &s);
+    let g = spatial_graph(&r, &s).unwrap();
     let (g, _, _) = g.strip_isolated();
     let m = g.edge_count();
     let scheme = pebble_euler_trails(&g).unwrap();
@@ -52,7 +52,7 @@ fn main() {
     // Lemma 3.4: spatial joins can produce the *worst-case* family G_n —
     // with plain rectangles. No equijoin can produce this graph.
     let (wr, ws) = realize::spatial_spider_instance(8);
-    let wg = spatial_graph(&wr, &ws);
+    let wg = spatial_graph(&wr, &ws).unwrap();
     let m = wg.edge_count();
     println!(
         "Lemma 3.4: G_8 realized as rectangles ({} × {} rects)",

@@ -25,7 +25,7 @@
 //! // Two single-column relations joined by equality.
 //! let r = Relation::from_ints("R", [1, 1, 2, 7]);
 //! let s = Relation::from_ints("S", [1, 2, 2, 5]);
-//! let g = join_graph(&r, &s, &Equality);
+//! let g = join_graph(&r, &s, &Equality).unwrap();
 //!
 //! // Equijoin join graphs are unions of complete bipartite graphs and
 //! // pebble perfectly (Theorem 3.2): effective cost == number of edges.

@@ -17,7 +17,7 @@ fn equijoin_pipeline_is_perfect_and_consistent() {
     assert_eq!(pairs, algorithms::equi::sort_merge(&r, &s));
     assert_eq!(pairs, algorithms::equi::index_nested_loops(&r, &s));
     // join graph equals the result
-    let g = equijoin_graph(&r, &s);
+    let g = equijoin_graph(&r, &s).unwrap();
     assert_eq!(g.edges(), &pairs[..]);
     assert!(properties::is_equijoin_graph(&g));
     // perfect pebbling (Theorem 3.2) with exact bookkeeping
@@ -37,7 +37,7 @@ fn containment_pipeline_hits_general_graph_regime() {
     let pairs = algorithms::containment::inverted_index(&r, &s);
     assert_eq!(pairs, algorithms::containment::naive(&r, &s));
     assert_eq!(pairs, algorithms::containment::signature(&r, &s));
-    let g = containment_graph(&r, &s);
+    let g = containment_graph(&r, &s).unwrap();
     let (g, _, _) = g.strip_isolated();
     if g.edge_count() == 0 {
         return;
@@ -58,7 +58,7 @@ fn spatial_pipeline_filter_refine_and_pebble() {
     assert_eq!(pairs, algorithms::spatial::pbsm(&r, &s));
     assert_eq!(pairs, algorithms::spatial::rtree(&r, &s));
     assert_eq!(pairs, algorithms::spatial::naive(&r, &s));
-    let g = spatial_graph(&r, &s);
+    let g = spatial_graph(&r, &s).unwrap();
     assert_eq!(g.edges(), &pairs[..]);
     let (g, _, _) = g.strip_isolated();
     if g.edge_count() == 0 {
@@ -73,14 +73,14 @@ fn spatial_pipeline_filter_refine_and_pebble() {
 fn small_workloads_exactly_solvable_across_predicates() {
     // keep join graphs tiny so the exact solver applies end to end
     let (r, s) = workload::zipf_equijoin(8, 8, 6, 0.4, 103);
-    let g = equijoin_graph(&r, &s);
+    let g = equijoin_graph(&r, &s).unwrap();
     if g.edge_count() > 0 {
         let opt = exact::optimal_effective_cost(&g).unwrap();
         assert_eq!(opt, g.edge_count(), "equijoins are perfect");
     }
 
     let (r, s) = workload::set_workload(8, 6, 30, 1..=3, 3..=6, 0.6, 104);
-    let g = containment_graph(&r, &s);
+    let g = containment_graph(&r, &s).unwrap();
     let (g, _, _) = g.strip_isolated();
     if g.edge_count() > 0 && g.edge_count() <= exact::MAX_EXACT_EDGES {
         let opt = exact::optimal_effective_cost(&g).unwrap();

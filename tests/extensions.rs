@@ -15,7 +15,7 @@ use join_predicates::relalg::{equijoin_graph, parallel, trace, workload};
 #[test]
 fn trace_to_scheme_pipeline_measures_algorithms() {
     let (r, s) = workload::zipf_equijoin(150, 150, 20, 0.7, 51);
-    let g = equijoin_graph(&r, &s);
+    let g = equijoin_graph(&r, &s).unwrap();
     let bst = implied_scheme(&g, &trace::sort_merge_boustrophedon(&r, &s)).unwrap();
     let fwd = implied_scheme(&g, &trace::sort_merge_forward(&r, &s)).unwrap();
     let unord = implied_scheme(&g, &trace::unordered_executor_trace(&r, &s, 3)).unwrap();
@@ -32,7 +32,7 @@ fn trace_to_scheme_pipeline_measures_algorithms() {
 #[test]
 fn fragmentation_plans_execute_in_parallel_and_match() {
     let (r, s) = workload::zipf_equijoin(200, 180, 60, 0.5, 52);
-    let g = equijoin_graph(&r, &s);
+    let g = equijoin_graph(&r, &s).unwrap();
     let (p, q) = (3u32, 3u32);
     let cap_l = balanced_capacity(r.len(), p) + 4;
     let cap_r = balanced_capacity(s.len(), q) + 4;

@@ -64,5 +64,8 @@ fn relations_roundtrip_across_domains() {
     // joining the deserialized relations reproduces the graph
     let back_r: Relation = serde_json::from_str(&serde_json::to_string(&r).unwrap()).unwrap();
     let back_s: Relation = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
-    assert_eq!(join_predicates::relalg::spatial_graph(&back_r, &back_s), g);
+    assert_eq!(
+        join_predicates::relalg::spatial_graph(&back_r, &back_s).unwrap(),
+        g
+    );
 }
