@@ -17,6 +17,7 @@ mod reductions_exp;
 mod serve_exp;
 mod traces_exp;
 mod wcoj_exp;
+mod xray_exp;
 
 /// A runnable experiment: id, title, and the report generator.
 pub struct Experiment {
@@ -147,6 +148,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             title: "Worst-case-optimal multiway joins: AGM bound and the skew gap",
             run: wcoj_exp::e23_wcoj,
         },
+        Experiment {
+            id: "E24",
+            title: "Request x-ray: per-request blame and tail-sampled exemplars",
+            run: xray_exp::e24_xray,
+        },
     ]
 }
 
@@ -157,7 +163,7 @@ mod tests {
     #[test]
     fn ids_are_unique_and_ordered() {
         let exps = all_experiments();
-        assert_eq!(exps.len(), 23);
+        assert_eq!(exps.len(), 24);
         for (i, e) in exps.iter().enumerate() {
             assert_eq!(e.id, format!("E{}", i + 1));
         }

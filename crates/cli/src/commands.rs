@@ -604,12 +604,295 @@ pub fn join(args: &[String], out: Out) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `jp trace <summary|flame|diff|check> …` — the jp-lens analysis
-/// toolbox over recorded `--trace` files.
+/// Tracing ids for `jp explain` runs. The solve is stamped like a serve
+/// request (same id scheme as the serve client's mint: process id high,
+/// process-wide counter low), so the tap capture can be filtered down to
+/// exactly this run's events even when other threads in the process are
+/// emitting concurrently.
+fn mint_explain_id() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    (u64::from(std::process::id()) << 32) | (n & 0xFFFF_FFFF)
+}
+
+/// Renders a variable list as paper-style names: `x0, x1, x2`.
+fn var_list(vars: &[u32]) -> String {
+    let names: Vec<String> = vars.iter().map(|v| format!("x{v}")).collect();
+    names.join(", ")
+}
+
+/// One atom of the `jp explain --json` document.
+#[derive(serde::Serialize)]
+struct ExplainAtomDoc {
+    relation: String,
+    vars: Vec<u32>,
+    weight: f64,
+    rows: usize,
+    key_order: Vec<u32>,
+}
+
+/// The plan half of the `jp explain --json` document.
+#[derive(serde::Serialize)]
+struct ExplainPlanDoc {
+    variable_order: Vec<u32>,
+    atoms: Vec<ExplainAtomDoc>,
+    levels: Vec<Vec<usize>>,
+    agm_bound: f64,
+}
+
+/// The observed-run half of the `jp explain --json` document.
+#[derive(serde::Serialize)]
+struct ExplainObservedDoc {
+    request: u64,
+    rows: usize,
+    estimated_rows: f64,
+    seeks: u64,
+    emits: u64,
+    intermediate: u64,
+    counters: std::collections::BTreeMap<String, u64>,
+    counters_match: bool,
+    millis: f64,
+}
+
+/// The `jp explain --json` / `--out` document.
+#[derive(serde::Serialize)]
+struct ExplainDoc {
+    query: String,
+    skewed: bool,
+    n: usize,
+    deg: usize,
+    seed: u64,
+    algo: String,
+    threads: usize,
+    plan: ExplainPlanDoc,
+    observed: ExplainObservedDoc,
+}
+
+/// `jp explain <triangle|clique4|bowtie> [--n N] [--deg D] [--seed S]
+/// [--algo lftj|generic|cascade] [--skewed true] [--threads N]
+/// [--json true] [--out F]` — render the plan the worst-case-optimal
+/// engines run (variable ordering, per-atom trie key orders, fractional
+/// cover weights, AGM bound) annotated with *observed* counters: the
+/// same `(q, rels)` instance is solved under a jp-obs tap stamped with
+/// a minted tracing id, and the plan's estimated output (the AGM bound)
+/// is reported next to the actual rows, seeks and intermediates. The
+/// command fails if the run's `wcoj.seek`/`wcoj.emit`/
+/// `wcoj.intermediate` counters disagree with the solver's returned
+/// stats — the emitted telemetry must be the truth.
+pub fn explain(args: &[String], out: Out) -> Result<(), CliError> {
+    let a = ParsedArgs::parse(args)?;
+    let wl = a.pos(0, "workload (triangle | clique4 | bowtie)")?;
+    let n: usize = a.opt_parse("n", 1_000)?;
+    let deg: usize = a.opt_parse("deg", 4)?;
+    let seed: u64 = a.opt_parse("seed", 42)?;
+    let threads: usize = a.opt_parse("threads", 1)?;
+    if threads == 0 {
+        return Err(CliError::Usage("--threads must be at least 1".into()));
+    }
+    let skewed = flag_true(&a, "skewed");
+    if skewed && wl != "triangle" {
+        return Err(CliError::Usage(
+            "--skewed only applies to the triangle workload".into(),
+        ));
+    }
+    let (q, rels) = match wl {
+        "triangle" if skewed => workload::triangle_skewed(n, seed),
+        "triangle" => workload::triangle_random(n, deg, seed),
+        "clique4" => workload::clique4_random(n, deg, seed),
+        "bowtie" => workload::bowtie_random(n, deg, seed),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown workload `{other}` (triangle | clique4 | bowtie)"
+            )))
+        }
+    };
+    let algo: jp_relalg::MultiwayAlgo = a.opt("algo").unwrap_or("lftj").parse().map_err(rt)?;
+    let plan = jp_relalg::explain_plan(&q, &rels).map_err(rt)?;
+
+    // The observed half: run the exact same instance under a tap,
+    // stamped with a minted tracing id, then keep only this run's
+    // wcoj counters (the tap is process-wide; the stamp is not).
+    let tap_sink = std::sync::Arc::new(jp_obs::MemorySink::new());
+    let tap = jp_obs::set_tap(tap_sink.clone() as std::sync::Arc<dyn jp_obs::Sink>);
+    let run_id = mint_explain_id();
+    let t0 = Instant::now();
+    let solve_result = {
+        let _req = jp_obs::with_request(Some(run_id));
+        jp_relalg::multiway_solve(&q, &rels, algo, threads)
+    };
+    let dt = t0.elapsed();
+    drop(tap);
+    let res = solve_result.map_err(rt)?;
+    let mut observed: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    for e in tap_sink.events() {
+        if e.request == Some(run_id)
+            && e.kind == jp_obs::EventKind::Counter
+            && e.component == "wcoj"
+        {
+            *observed
+                .entry(format!("{}.{}", e.component, e.name))
+                .or_default() += e.value;
+        }
+    }
+    let obs = |key: &str| observed.get(key).copied().unwrap_or(0);
+    let counters_match = obs("wcoj.seek") == res.stats.seeks
+        && obs("wcoj.emit") == res.stats.emits
+        && obs("wcoj.intermediate") == res.stats.intermediate
+        && res.stats.emits == res.rows.len() as u64;
+
+    if flag_true(&a, "json") || a.opt("out").is_some() {
+        let doc = ExplainDoc {
+            query: q.name().to_string(),
+            skewed,
+            n,
+            deg,
+            seed,
+            algo: algo.name().to_string(),
+            threads,
+            plan: ExplainPlanDoc {
+                variable_order: plan.order.clone(),
+                atoms: plan
+                    .atoms
+                    .iter()
+                    .map(|at| ExplainAtomDoc {
+                        relation: rels
+                            .get(at.relation)
+                            .map_or_else(|| "?".to_string(), |r| r.name().to_string()),
+                        vars: at.vars.clone(),
+                        weight: at.weight,
+                        rows: at.rows,
+                        key_order: at.key_order.clone(),
+                    })
+                    .collect(),
+                levels: plan.levels.clone(),
+                agm_bound: plan.agm_bound,
+            },
+            observed: ExplainObservedDoc {
+                request: run_id,
+                rows: res.rows.len(),
+                estimated_rows: plan.agm_bound,
+                seeks: res.stats.seeks,
+                emits: res.stats.emits,
+                intermediate: res.stats.intermediate,
+                counters: observed.clone(),
+                counters_match,
+                millis: dt.as_secs_f64() * 1e3,
+            },
+        };
+        let text = serde_json::to_string_pretty(&doc).map_err(rt)?;
+        match a.opt("out") {
+            Some(dest) => {
+                std::fs::write(dest, text.as_bytes())
+                    .map_err(|e| rt(format!("writing {dest}: {e}")))?;
+                writeln!(out, "explain report written to {dest}").map_err(CliError::io)?;
+            }
+            None => writeln!(out, "{text}").map_err(CliError::io)?,
+        }
+    } else {
+        writeln!(
+            out,
+            "query `{}`{}: {} atom(s) over {} relation(s), algo {}, threads {}",
+            q.name(),
+            if skewed { " (skewed)" } else { "" },
+            plan.atoms.len(),
+            rels.len(),
+            algo.name(),
+            threads
+        )
+        .map_err(CliError::io)?;
+        let order_names: Vec<String> = plan.order.iter().map(|v| format!("x{v}")).collect();
+        writeln!(
+            out,
+            "variable order: {}  (most-constrained first)",
+            order_names.join(" → ")
+        )
+        .map_err(CliError::io)?;
+        writeln!(
+            out,
+            "atoms (fractional edge cover → AGM bound {:.1} rows):",
+            plan.agm_bound
+        )
+        .map_err(CliError::io)?;
+        for at in &plan.atoms {
+            let name = rels.get(at.relation).map_or("?", |r| r.name());
+            writeln!(
+                out,
+                "  {name}({})  weight {:.2}  {:>8} rows  trie key order ({})",
+                var_list(&at.vars),
+                at.weight,
+                at.rows,
+                var_list(&at.key_order)
+            )
+            .map_err(CliError::io)?;
+        }
+        writeln!(out, "levels:").map_err(CliError::io)?;
+        for (d, members) in plan.levels.iter().enumerate() {
+            let names: Vec<&str> = members
+                .iter()
+                .filter_map(|&i| plan.atoms.get(i))
+                .filter_map(|at| rels.get(at.relation).map(|r| r.name()))
+                .collect();
+            let var = plan.order.get(d).copied().unwrap_or(0);
+            writeln!(out, "  bind x{var}: intersect {{ {} }}", names.join(", "))
+                .map_err(CliError::io)?;
+        }
+        writeln!(
+            out,
+            "observed run (request id {run_id}, {:.3} ms):",
+            dt.as_secs_f64() * 1e3
+        )
+        .map_err(CliError::io)?;
+        writeln!(
+            out,
+            "  rows {} (estimated ≤ {:.1} from AGM; {:.1}% of bound)",
+            res.rows.len(),
+            plan.agm_bound,
+            if plan.agm_bound > 0.0 {
+                res.rows.len() as f64 * 100.0 / plan.agm_bound
+            } else {
+                0.0
+            }
+        )
+        .map_err(CliError::io)?;
+        writeln!(
+            out,
+            "  seeks {}  emits {}  intermediates {}",
+            res.stats.seeks, res.stats.emits, res.stats.intermediate
+        )
+        .map_err(CliError::io)?;
+        writeln!(
+            out,
+            "  obs counters wcoj.seek/emit/intermediate = {}/{}/{} — {}",
+            obs("wcoj.seek"),
+            obs("wcoj.emit"),
+            obs("wcoj.intermediate"),
+            if counters_match { "match" } else { "MISMATCH" }
+        )
+        .map_err(CliError::io)?;
+    }
+    if !counters_match {
+        return Err(rt(format!(
+            "observed counters diverge from the solver's stats: \
+             wcoj.seek/emit/intermediate = {}/{}/{} but stats say {}/{}/{} ({} rows)",
+            obs("wcoj.seek"),
+            obs("wcoj.emit"),
+            obs("wcoj.intermediate"),
+            res.stats.seeks,
+            res.stats.emits,
+            res.stats.intermediate,
+            res.rows.len()
+        )));
+    }
+    Ok(())
+}
+
+/// `jp trace <summary|flame|diff|check|request> …` — the jp-lens
+/// analysis toolbox over recorded `--trace` files.
 pub fn trace(args: &[String], out: Out) -> Result<(), CliError> {
     let Some((sub, rest)) = args.split_first() else {
         return Err(CliError::Usage(
-            "trace needs a subcommand: summary | flame | diff | check".into(),
+            "trace needs a subcommand: summary | flame | diff | check | request".into(),
         ));
     };
     match sub.as_str() {
@@ -617,17 +900,18 @@ pub fn trace(args: &[String], out: Out) -> Result<(), CliError> {
         "flame" => trace_flame(rest, out),
         "diff" => trace_diff(rest, out),
         "check" => trace_check(rest, out),
+        "request" => trace_request(rest, out),
         other => Err(CliError::Usage(format!(
-            "unknown trace subcommand `{other}` (summary | flame | diff | check)"
+            "unknown trace subcommand `{other}` (summary | flame | diff | check | request)"
         ))),
     }
 }
 
-/// Reads a trace, surfaces skip warnings, and analyzes what parsed.
-/// A file with zero parseable events is an error, not an all-zero
-/// summary — classified (empty vs. all-lines-skipped) and line-numbered
-/// so the operator sees *why* nothing parsed.
-fn load_analysis(path: &str, out: Out) -> Result<jp_trace::Analysis, CliError> {
+/// Reads a trace into events, surfacing skip warnings. A file with
+/// zero parseable events is an error, not an all-zero summary —
+/// classified (empty vs. all-lines-skipped) and line-numbered so the
+/// operator sees *why* nothing parsed.
+fn load_events(path: &str, out: Out) -> Result<Vec<jp_obs::Event>, CliError> {
     let (events, report) =
         jp_trace::read_trace(path).map_err(|e| rt(format!("reading {path}: {e}")))?;
     if events.is_empty() {
@@ -637,6 +921,12 @@ fn load_analysis(path: &str, out: Out) -> Result<jp_trace::Analysis, CliError> {
     if !warnings.is_empty() {
         write!(out, "{warnings}").map_err(CliError::io)?;
     }
+    Ok(events)
+}
+
+/// Reads a trace and analyzes what parsed; see [`load_events`].
+fn load_analysis(path: &str, out: Out) -> Result<jp_trace::Analysis, CliError> {
+    let events = load_events(path, out)?;
     Ok(jp_trace::Analysis::from_events(&events))
 }
 
@@ -667,11 +957,25 @@ fn trace_summary(args: &[String], out: Out) -> Result<(), CliError> {
     write!(out, "{}", analysis.render()).map_err(CliError::io)
 }
 
-/// `jp trace flame FILE [--out FILE]`
+/// `jp trace flame FILE [--out FILE] [--request ID]` — with
+/// `--request` the folded stacks cover only the events stamped with
+/// that serve tracing id: the flamegraph of one request.
 fn trace_flame(args: &[String], out: Out) -> Result<(), CliError> {
     let a = ParsedArgs::parse(args)?;
     let path = a.pos(0, "trace file")?;
-    let analysis = load_analysis(path, out)?;
+    let mut events = load_events(path, out)?;
+    if let Some(raw) = a.opt("request") {
+        let id: u64 = raw.parse().map_err(|_| {
+            CliError::Usage(format!("--request needs a numeric tracing id, got {raw:?}"))
+        })?;
+        events.retain(|e| e.request == Some(id));
+        if events.is_empty() {
+            return Err(rt(format!(
+                "no event in {path} is stamped with request id {id}"
+            )));
+        }
+    }
+    let analysis = jp_trace::Analysis::from_events(&events);
     let folded = jp_trace::flame::render(&analysis);
     match a.opt("out") {
         Some(dest) => {
@@ -736,6 +1040,54 @@ fn trace_check(args: &[String], out: Out) -> Result<(), CliError> {
         )));
     }
     Ok(())
+}
+
+/// `jp trace request <id|all> FILE [--json true] [--min-complete PCT]`
+/// — reconstruct the cross-thread critical path and blame breakdown of
+/// one serve request (or every stamped request, slowest first). With
+/// `all`, `--min-complete` turns completeness into a gate: the command
+/// exits non-zero when fewer than PCT percent of the requests
+/// reconstruct with zero orphaned spans and a `serve.request` root.
+fn trace_request(args: &[String], out: Out) -> Result<(), CliError> {
+    let a = ParsedArgs::parse(args)?;
+    let which = a.pos(0, "request id (or `all`)")?;
+    let path = a.pos(1, "trace file")?;
+    let events = load_events(path, out)?;
+    let json = flag_true(&a, "json");
+    if which == "all" {
+        let min: u64 = a.opt_parse("min-complete", 0)?;
+        let summary = jp_trace::reconstruct_all(&events);
+        if json {
+            let text = serde_json::to_string_pretty(&summary).map_err(rt)?;
+            writeln!(out, "{text}").map_err(CliError::io)?;
+        } else {
+            write!(out, "{}", summary.render()).map_err(CliError::io)?;
+        }
+        if summary.complete_pct < min {
+            return Err(rt(format!(
+                "request reconstruction gate failed: {}% of {} request(s) complete \
+                 (< --min-complete {min}%)",
+                summary.complete_pct, summary.requests
+            )));
+        }
+        return Ok(());
+    }
+    let id: u64 = which.parse().map_err(|_| {
+        CliError::Usage(format!(
+            "request id must be a number or `all`, got {which:?}"
+        ))
+    })?;
+    let Some(trace) = jp_trace::reconstruct(&events, id) else {
+        return Err(rt(format!(
+            "no event in {path} is stamped with request id {id}"
+        )));
+    };
+    if json {
+        let text = serde_json::to_string_pretty(&trace).map_err(rt)?;
+        writeln!(out, "{text}").map_err(CliError::io)
+    } else {
+        write!(out, "{}", trace.render()).map_err(CliError::io)
+    }
 }
 
 /// `jp pulse <top|export> FILE …` — the live-metrics toolbox over pulse
@@ -829,9 +1181,13 @@ fn pulse_export(args: &[String], out: Out) -> Result<(), CliError> {
 }
 
 /// `jp serve [--addr A] [--threads N] [--memo-file F] [--max-pending N]
-/// [--max-edges N] [--budget NODES] [--max-requests N]` — run the
-/// long-lived planning service until a shutdown request (or the
-/// `--max-requests` bound) drains it.
+/// [--max-edges N] [--budget NODES] [--max-requests N] [--slow-us µS]
+/// [--xray-file F] [--xray-ring N]` — run the long-lived planning
+/// service until a shutdown request (or the `--max-requests` bound)
+/// drains it. With `--xray-file` the tail sampler buffers each
+/// request's spans and writes full detail only for requests slower
+/// than `--slow-us` (or errored); everything else is reduced to its
+/// root span.
 pub fn serve(args: &[String], out: Out) -> Result<(), CliError> {
     let a = ParsedArgs::parse(args)?;
     let threads: usize = a.opt_parse("threads", 1)?;
@@ -846,7 +1202,11 @@ pub fn serve(args: &[String], out: Out) -> Result<(), CliError> {
         budget: a.opt_parse("budget", 50_000_000)?,
         memo_file: a.opt("memo-file").map(std::path::PathBuf::from),
         max_requests: a.opt_parse("max-requests", 0)?,
+        slow_us: a.opt_parse("slow-us", 5_000)?,
+        xray_file: a.opt("xray-file").map(std::path::PathBuf::from),
+        xray_ring: a.opt_parse("xray-ring", 64)?,
     };
+    let xray_file = cfg.xray_file.clone();
     let requested = cfg.addr.clone();
     let server =
         jp_serve::Server::bind(cfg).map_err(|e| rt(format!("binding {requested}: {e}")))?;
@@ -886,6 +1246,17 @@ pub fn serve(args: &[String], out: Out) -> Result<(), CliError> {
         report.memo.misses
     )
     .map_err(CliError::io)?;
+    if let Some(path) = &xray_file {
+        writeln!(
+            out,
+            "serve: xray {} exemplar(s), {} downsampled, {} dropped → {}",
+            report.exemplars,
+            report.downsampled,
+            report.xray_dropped,
+            path.display()
+        )
+        .map_err(CliError::io)?;
+    }
     if report.errors > 0 {
         return Err(rt(format!("{} request(s) failed", report.errors)));
     }
@@ -937,6 +1308,25 @@ pub fn loadgen(args: &[String], out: Out) -> Result<(), CliError> {
         report.p50_us, report.p95_us, report.p99_us
     )
     .map_err(CliError::io)?;
+    if let Some(slowest) = report.slowest_p99.first() {
+        writeln!(
+            out,
+            "loadgen: slowest request id {} ({} µs); {} id(s) at/above p99 \
+             recorded for `jp trace request`",
+            slowest.request,
+            slowest.micros,
+            report.slowest_p99.len()
+        )
+        .map_err(CliError::io)?;
+    }
+    if !report.mismatch_requests.is_empty() {
+        writeln!(
+            out,
+            "loadgen: mismatched request id(s): {:?}",
+            report.mismatch_requests
+        )
+        .map_err(CliError::io)?;
+    }
     if let Some(s) = &report.server {
         writeln!(
             out,

@@ -24,11 +24,24 @@ USAGE:
   jp replay <scheme.json> <graph.json>          validate a stored scheme
   jp fragment <graph.json> [--p P] [--q Q]      §5 fragment-mapping plan
   jp buffers <graph.json> [--b B]               B-buffer fetch schedule
+  jp explain <triangle|clique4|bowtie> [--n N] [--deg D] [--seed S]
+           [--algo lftj|generic|cascade] [--skewed true] [--threads N]
+           [--json true] [--out F]              the worst-case-optimal plan
+                                                (variable order, trie key
+                                                orders, AGM bound) annotated
+                                                with observed run counters
   jp trace summary <trace.jsonl>                aggregate a recorded trace
-  jp trace flame <trace.jsonl> [--out F]        folded stacks for flamegraphs
+  jp trace flame <trace.jsonl> [--out F] [--request ID]
+                                                folded stacks for flamegraphs
+                                                (optionally one request only)
   jp trace diff <a.jsonl> <b.jsonl>             compare two recorded runs
   jp trace check <trace.jsonl> --baseline BENCH.json
            --family F --solver S [--threads N]  gate against a baseline
+  jp trace request <id|all> <trace.jsonl> [--json true] [--min-complete PCT]
+                                                one request's cross-thread
+                                                critical path + blame breakdown
+                                                (`all`: table + completeness
+                                                gate for CI)
   jp pulse top <pulse.jsonl> [--watch N] [--every-ms M]
                                                 render the latest live-metrics
                                                 snapshot (N refreshes when
@@ -36,8 +49,11 @@ USAGE:
   jp pulse export <pulse.jsonl> [--out F]       Prometheus-style text exposition
   jp serve [--addr A] [--threads N] [--memo-file F]
            [--max-pending N] [--max-edges N] [--budget NODES]
-           [--max-requests N]                   long-lived planning service over
-                                                a warm memo store (see SERVING)
+           [--max-requests N] [--slow-us µS] [--xray-file F] [--xray-ring N]
+                                                long-lived planning service over
+                                                a warm memo store; --xray-file
+                                                tail-samples slow/errored
+                                                requests (see SERVING)
   jp loadgen [--addr A] [--clients N] [--requests N] [--theta T]
            [--seed S] [--pool K] [--verify false] [--shutdown true]
            [--out F]                            drive a server with a Zipf-skewed
@@ -124,6 +140,15 @@ SERVING (jp serve / jp loadgen):
   shapes, skew --theta, base --seed) from --clients concurrent
   connections, --requests each, checking every cost against the
   sequential solver unless --verify false.
+
+  Every frame carries a client-minted tracing id, stamped into each
+  jp-obs event the request causes across threads. With --xray-file the
+  server tail-samples: requests slower than --slow-us (or errored)
+  keep every span, the rest shrink to their root span, bounded by the
+  --xray-ring buffer. jp trace request <id> rebuilds one request's
+  critical path and blames queue/solve/memo/wcoj/wire; the loadgen's
+  --out JSON records the ids of the slowest-p99 and mismatched
+  requests to feed it.
 ";
 
 /// The global options every subcommand accepts, stripped out of the
@@ -268,6 +293,7 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         "fragment" => commands::fragment(rest, out),
         "buffers" => commands::buffers(rest, out),
         "trace" => commands::trace(rest, out),
+        "explain" => commands::explain(rest, out),
         "pulse" => commands::pulse(rest, out),
         "serve" => commands::serve(rest, out),
         "loadgen" => commands::loadgen(rest, out),
@@ -452,6 +478,244 @@ mod tests {
         let served = server.join().unwrap().unwrap();
         assert!(served.contains("drained cleanly"), "{served}");
         assert!(served.contains("15 completed"), "{served}");
+    }
+
+    #[test]
+    fn explain_annotates_the_plan_with_observed_counters() {
+        let out = run_str(&[
+            "explain", "triangle", "--n", "120", "--deg", "4", "--seed", "7",
+        ])
+        .unwrap();
+        assert!(out.contains("variable order:"), "{out}");
+        assert!(out.contains("AGM bound"), "{out}");
+        assert!(out.contains("trie key order"), "{out}");
+        assert!(out.contains("intersect"), "{out}");
+        assert!(out.contains("— match"), "{out}");
+        assert!(!out.contains("MISMATCH"), "{out}");
+
+        // the skewed star instance and the other query shapes all render
+        let out = run_str(&["explain", "triangle", "--n", "96", "--skewed", "true"]).unwrap();
+        assert!(out.contains("(skewed)"), "{out}");
+        for (wl, algo) in [("clique4", "generic"), ("bowtie", "cascade")] {
+            let out = run_str(&["explain", wl, "--n", "80", "--algo", algo]).unwrap();
+            assert!(out.contains("— match"), "{wl}/{algo}: {out}");
+        }
+
+        // JSON mode carries the counter-match verdict and the plan
+        let dir = std::env::temp_dir().join(format!("jp-cli-explain-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let j = dir.join("explain.json");
+        let out = run_str(&[
+            "explain",
+            "bowtie",
+            "--n",
+            "60",
+            "--json",
+            "true",
+            "--out",
+            j.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("written to"), "{out}");
+        let text = std::fs::read_to_string(&j).unwrap();
+        for needle in [
+            "\"counters_match\": true",
+            "\"variable_order\"",
+            "\"agm_bound\"",
+            "wcoj.seek",
+            "wcoj.emit",
+            "wcoj.intermediate",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+
+        // misuse is classified
+        let err = run_str(&["explain", "nonsense"]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        let err = run_str(&["explain", "clique4", "--skewed", "true"]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn trace_request_reconstructs_a_traced_serve_run() {
+        let dir = std::env::temp_dir().join(format!("jp-cli-xray-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("serve.jsonl");
+        let xray = dir.join("xray.jsonl");
+        let addr = {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap().to_string()
+        };
+        let serve_args: Vec<String> = [
+            "serve",
+            "--addr",
+            &addr,
+            "--slow-us",
+            "0",
+            "--xray-file",
+            xray.to_str().unwrap(),
+            "--xray-ring",
+            "32",
+            "--trace",
+            trace.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let server = std::thread::spawn(move || {
+            let mut buf = Vec::new();
+            run(&serve_args, &mut buf).map(|()| String::from_utf8(buf).unwrap())
+        });
+        let mut up = false;
+        for _ in 0..200 {
+            if std::net::TcpStream::connect(addr.as_str()).is_ok() {
+                up = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+        assert!(up, "server never started listening on {addr}");
+        let out = run_str(&[
+            "loadgen",
+            "--addr",
+            &addr,
+            "--clients",
+            "3",
+            "--requests",
+            "5",
+            "--shutdown",
+            "true",
+        ])
+        .unwrap();
+        assert!(out.contains("slowest request id"), "{out}");
+        // the loadgen names its slowest request's tracing id — the handle
+        // `jp trace request` takes
+        let id = out
+            .lines()
+            .find_map(|l| l.strip_prefix("loadgen: slowest request id "))
+            .and_then(|r| r.split_whitespace().next())
+            .expect("a slowest-request id in the loadgen output")
+            .to_string();
+        let served = server.join().unwrap().unwrap();
+        assert!(served.contains("serve: xray"), "{served}");
+        assert!(served.contains("exemplar(s)"), "{served}");
+
+        // The capture reconstructs this run's 15 requests. Other tests'
+        // servers running concurrently in this process may bleed extra
+        // requests into the process-wide scope, so assert on the floor
+        // and on our own request, not on an exact total.
+        // "N request(s), M complete (P%)" → (N, M)
+        fn head_counts(report: &str) -> (u64, u64) {
+            report
+                .lines()
+                .next()
+                .and_then(|l| {
+                    let mut nums = l
+                        .split(|c: char| !c.is_ascii_digit())
+                        .filter(|s| !s.is_empty())
+                        .map(|s| s.parse::<u64>().unwrap());
+                    Some((nums.next()?, nums.next()?))
+                })
+                .unwrap_or((0, 0))
+        }
+        let all = run_str(&["trace", "request", "all", trace.to_str().unwrap()]).unwrap();
+        let (seen, complete) = head_counts(&all);
+        assert!(seen >= 15, "expected ≥15 requests, got {seen}:\n{all}");
+        assert!(
+            complete >= 15,
+            "expected ≥15 complete, got {complete}:\n{all}"
+        );
+
+        // our slowest request: blame breakdown + critical path, and a
+        // flamegraph filtered to just that request
+        let one = run_str(&["trace", "request", &id, trace.to_str().unwrap()]).unwrap();
+        assert!(one.contains("COMPLETE"), "{one}");
+        assert!(one.contains("serve.request"), "{one}");
+        assert!(one.contains("blame"), "{one}");
+        let folded =
+            run_str(&["trace", "flame", trace.to_str().unwrap(), "--request", &id]).unwrap();
+        assert!(!folded.is_empty());
+        for line in folded.lines() {
+            assert!(line.starts_with("thread-"), "{line}");
+        }
+
+        // the tail-sampled xray file: at --slow-us 0 every finished
+        // request is an exemplar — 15 pebble solves plus the stats and
+        // shutdown frames — and each flushed request is self-contained
+        // (outside parent links severed), so the 15 rooted ones
+        // reconstruct COMPLETE from the sidecar alone
+        let xout = run_str(&["trace", "request", "all", xray.to_str().unwrap()]).unwrap();
+        let (xseen, xcomplete) = head_counts(&xout);
+        assert!(
+            xseen >= 15,
+            "expected ≥15 xray requests, got {xseen}:\n{xout}"
+        );
+        assert!(
+            xcomplete >= 15,
+            "expected ≥15 complete xray requests, got {xcomplete}:\n{xout}"
+        );
+
+        // unknown ids and bad gates are classified
+        let err = run_str(&["trace", "request", "0", trace.to_str().unwrap()]).unwrap_err();
+        assert!(matches!(err, CliError::Runtime(_)));
+        let err = run_str(&["trace", "request", "bogus", trace.to_str().unwrap()]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_request_min_complete_gate_fails_on_orphaned_requests() {
+        let dir = std::env::temp_dir().join(format!("jp-cli-xray2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.jsonl");
+        // request 5 is complete (a rooted serve.request span); request 6
+        // is a wire span whose parent resolves nowhere in the capture
+        let mut ok = jp_obs::Event::span("serve", "request", 300);
+        ok.seq = 1;
+        ok.request = Some(5);
+        let mut orphaned = jp_obs::Event::span("serve", "wire", 10);
+        orphaned.seq = 3;
+        orphaned.request = Some(6);
+        orphaned.parent = Some(99);
+        let text = format!(
+            "{}\n{}\n",
+            serde_json::to_string(&ok).unwrap(),
+            serde_json::to_string(&orphaned).unwrap()
+        );
+        std::fs::write(&path, text).unwrap();
+
+        let out = run_str(&["trace", "request", "all", path.to_str().unwrap()]).unwrap();
+        assert!(out.contains("2 request(s), 1 complete (50%)"), "{out}");
+        assert!(out.contains("INCOMPLETE"), "{out}");
+        let err = run_str(&[
+            "trace",
+            "request",
+            "all",
+            path.to_str().unwrap(),
+            "--min-complete",
+            "95",
+        ])
+        .unwrap_err();
+        match err {
+            CliError::Runtime(m) => assert!(m.contains("50% of 2 request(s)"), "{m}"),
+            other => panic!("expected Runtime error, got {other:?}"),
+        }
+        // at or below the observed rate the gate passes
+        run_str(&[
+            "trace",
+            "request",
+            "all",
+            path.to_str().unwrap(),
+            "--min-complete",
+            "50",
+        ])
+        .unwrap();
+        // the single-request view names the hole
+        let one = run_str(&["trace", "request", "6", path.to_str().unwrap()]).unwrap();
+        assert!(one.contains("INCOMPLETE"), "{one}");
+        assert!(one.contains("orphaned"), "{one}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

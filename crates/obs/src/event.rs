@@ -23,6 +23,12 @@
 //! | `value`     | u64    | count (counters) or elapsed microseconds (spans) |
 //! | `start`     | u64    | monotonic offset in microseconds since the sink was installed: span-open time for spans, emission time for counters |
 //! | `parent`    | u64?   | `seq` of the enclosing span (on this thread, or linked across threads via [`crate::link_parent`]); omitted at top level |
+//! | `request`   | u64?   | id of the serve request this event belongs to (installed via [`crate::with_request`]); omitted outside a request |
+//!
+//! `request` is an *additive* field within version 2: traces written
+//! before it existed contain no `request` keys and still round-trip
+//! byte-identically, and readers that predate it ignore the extra key
+//! (field-lookup deserialization skips unknown map entries).
 //!
 //! ## Version 1
 //!
@@ -86,6 +92,12 @@ pub struct Event {
     /// [`crate::link_parent`]. `None` for top-level events and in
     /// version-1 traces.
     pub parent: Option<u64>,
+    /// Id of the serve request this event was emitted on behalf of, if
+    /// any. Installed per thread via [`crate::with_request`] and stamped
+    /// at emission, so every span or counter a request causes — on any
+    /// worker thread — is linkable back to that request. `None` outside
+    /// a request and in traces written before the field existed.
+    pub request: Option<u64>,
 }
 
 impl Event {
@@ -101,6 +113,7 @@ impl Event {
             value,
             start: 0,
             parent: None,
+            request: None,
         }
     }
 
@@ -115,6 +128,7 @@ impl Event {
             value: micros,
             start: 0,
             parent: None,
+            request: None,
         }
     }
 }
@@ -140,6 +154,9 @@ impl Serialize for Event {
         ];
         if let Some(p) = self.parent {
             map.push(("parent".to_string(), Content::U64(p)));
+        }
+        if let Some(r) = self.request {
+            map.push(("request".to_string(), Content::U64(r)));
         }
         Content::Map(map)
     }
@@ -168,6 +185,7 @@ impl Deserialize for Event {
             value: serde::field(map, "Event", "value")?,
             start: serde::field::<Option<u64>>(map, "Event", "start")?.unwrap_or(0),
             parent: serde::field(map, "Event", "parent")?,
+            request: serde::field(map, "Event", "request")?,
         })
     }
 }
@@ -187,6 +205,7 @@ mod tests {
             value: 1250,
             start: 17,
             parent: Some(40),
+            request: None,
         };
         let line = serde_json::to_string(&e).unwrap();
         assert!(line.contains("\"kind\":\"Span\""), "line = {line}");
@@ -227,5 +246,38 @@ mod tests {
         let line = r#"{"v":2,"seq":5,"thread":2,"kind":"Span","component":"portfolio","name":"race","value":800,"start":4,"parent":1}"#;
         let e: Event = serde_json::from_str(line).unwrap();
         assert_eq!(serde_json::to_string(&e).unwrap(), line);
+    }
+
+    #[test]
+    fn request_is_omitted_when_absent_and_round_trips_when_present() {
+        let mut e = Event::counter("serve", "queue_wait_us", 41);
+        let bare = serde_json::to_string(&e).unwrap();
+        assert!(!bare.contains("request"), "line = {bare}");
+        e.request = Some(9001);
+        let stamped = serde_json::to_string(&e).unwrap();
+        assert!(stamped.contains("\"request\":9001"), "line = {stamped}");
+        let back: Event = serde_json::from_str(&stamped).unwrap();
+        assert_eq!(back, e);
+        assert_eq!(serde_json::to_string(&back).unwrap(), stamped);
+    }
+
+    #[test]
+    fn stamped_reemission_is_byte_identical() {
+        let line = r#"{"v":2,"seq":5,"thread":2,"kind":"Span","component":"serve","name":"request","value":800,"start":4,"parent":1,"request":77}"#;
+        let e: Event = serde_json::from_str(line).unwrap();
+        assert_eq!(e.request, Some(77));
+        assert_eq!(serde_json::to_string(&e).unwrap(), line);
+    }
+
+    #[test]
+    fn readers_ignore_unknown_keys_like_pre_request_builds_did() {
+        // The mechanism by which builds that predate the `request` field
+        // read stamped traces: field-lookup deserialization skips map
+        // keys it does not know. A line with an extra, never-declared
+        // key parses the same way — no hard error, field ignored.
+        let line = r#"{"v":2,"seq":5,"thread":2,"kind":"Counter","component":"serve","name":"ok","value":1,"start":4,"request":77,"zzz_future_key":1}"#;
+        let e: Event = serde_json::from_str(line).unwrap();
+        assert_eq!(e.value, 1);
+        assert_eq!(e.request, Some(77));
     }
 }

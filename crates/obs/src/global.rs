@@ -15,6 +15,20 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 /// The installed sink, if any.
 static SINK: RwLock<Option<Arc<dyn Sink>>> = RwLock::new(None);
 
+/// Secondary, process-wide event taps. Unlike [`SINK`] (which scoped
+/// captures swap in and out), a tap sees every dispatched event for as
+/// long as it is installed — it is how jp-serve's tail sampler buffers
+/// per-request spans without disturbing whatever trace capture the CLI
+/// set up. Taps stack: each [`set_tap`] adds one and removes exactly
+/// that one on guard drop, so a server's tail sampler and an
+/// `jp explain` counter capture can coexist in one process without
+/// clobbering each other.
+static TAP: RwLock<Vec<(u64, Arc<dyn Sink>)>> = RwLock::new(Vec::new());
+
+/// Hands each installed tap a token so [`TapGuard::drop`] removes its
+/// own entry even when guards are dropped out of install order.
+static NEXT_TAP_TOKEN: AtomicU64 = AtomicU64::new(1);
+
 /// Process-wide monotone event sequence.
 static SEQ: AtomicU64 = AtomicU64::new(0);
 
@@ -42,6 +56,11 @@ thread_local! {
     /// [`link_parent`] pushes a foreign span's seq so work handed to a
     /// worker thread still nests under the span that spawned it.
     static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+
+    /// The serve-request id everything this thread emits is stamped
+    /// with, if any. Installed via [`with_request`] when a dispatcher
+    /// hands a request's job to a worker.
+    static CURRENT_REQUEST: std::cell::Cell<Option<u64>> = const { std::cell::Cell::new(None) };
 }
 
 /// This thread's process-local id, as stamped into [`Event::thread`].
@@ -72,17 +91,77 @@ pub fn set_sink(sink: Arc<dyn Sink>) {
     ENABLED.store(true, Ordering::Relaxed);
 }
 
-/// Removes the process-wide sink (flushing it first) and disables
-/// emission.
+/// Removes the process-wide sink (flushing it first). Emission stays
+/// enabled if a [`set_tap`] tap is still installed.
 pub fn clear_sink() {
-    let mut slot = SINK.write().unwrap_or_else(|e| e.into_inner());
-    ENABLED.store(false, Ordering::Relaxed);
-    {
+    // Take the sink and release its lock before touching the tap slot:
+    // never holding both avoids a lock-order cycle with `TapGuard::drop`.
+    let taken = {
+        let mut slot = SINK.write().unwrap_or_else(|e| e.into_inner());
+        slot.take()
+    };
+    let tap_up = !TAP.read().unwrap_or_else(|e| e.into_inner()).is_empty();
+    ENABLED.store(tap_up, Ordering::Relaxed);
+    if !tap_up {
         let mut epoch = EPOCH.lock().unwrap_or_else(|e| e.into_inner());
         *epoch = None;
     }
-    if let Some(sink) = slot.take() {
+    if let Some(sink) = taken {
         sink.flush();
+    }
+}
+
+/// Installs `tap` as a secondary event destination for the guard's
+/// lifetime. Every event [`dispatch`]ed while the guard lives — whether
+/// or not a primary sink is installed — is also delivered to the tap;
+/// scoped-capture thread filtering applies to sink and taps alike.
+/// jp-serve's tail sampler rides this so it can buffer per-request
+/// spans while the CLI's `--trace` capture (if any) keeps writing the
+/// full stream; taps stack, so `jp explain`'s counter capture can run
+/// while a server's sampler is live.
+#[must_use = "the tap is removed when the guard drops"]
+pub fn set_tap(tap: Arc<dyn Sink>) -> TapGuard {
+    // race:order(token uniqueness only — no ordering dependency)
+    let token = NEXT_TAP_TOKEN.fetch_add(1, Ordering::Relaxed);
+    {
+        let mut taps = TAP.write().unwrap_or_else(|e| e.into_inner());
+        taps.push((token, tap));
+    }
+    {
+        let mut epoch = EPOCH.lock().unwrap_or_else(|e| e.into_inner());
+        epoch.get_or_insert_with(Instant::now);
+    }
+    ENABLED.store(true, Ordering::Relaxed);
+    TapGuard { token }
+}
+
+/// Removes its own tap entry on drop (flushing it first); see
+/// [`set_tap`]. Other installed taps are untouched.
+pub struct TapGuard {
+    token: u64,
+}
+
+impl Drop for TapGuard {
+    fn drop(&mut self) {
+        // Mirror of `clear_sink`: take under one lock, then inspect the
+        // other — the two slots are never locked simultaneously.
+        let (taken, taps_left) = {
+            let mut taps = TAP.write().unwrap_or_else(|e| e.into_inner());
+            let taken = taps
+                .iter()
+                .position(|(t, _)| *t == self.token)
+                .map(|i| taps.remove(i).1);
+            (taken, !taps.is_empty())
+        };
+        let sink_up = SINK.read().unwrap_or_else(|e| e.into_inner()).is_some();
+        ENABLED.store(sink_up || taps_left, Ordering::Relaxed);
+        if !sink_up && !taps_left {
+            let mut epoch = EPOCH.lock().unwrap_or_else(|e| e.into_inner());
+            *epoch = None;
+        }
+        if let Some(tap) = taken {
+            tap.flush();
+        }
     }
 }
 
@@ -119,9 +198,15 @@ fn dispatch(event: Event) {
             }
         }
     }
-    let slot = SINK.read().unwrap_or_else(|e| e.into_inner());
-    if let Some(sink) = slot.as_ref() {
-        sink.record(&event);
+    {
+        let slot = SINK.read().unwrap_or_else(|e| e.into_inner());
+        if let Some(sink) = slot.as_ref() {
+            sink.record(&event);
+        }
+    }
+    let taps = TAP.read().unwrap_or_else(|e| e.into_inner());
+    for (_, tap) in taps.iter() {
+        tap.record(&event);
     }
 }
 
@@ -195,6 +280,46 @@ impl Drop for LinkGuard {
     }
 }
 
+/// Stamps every event this thread emits with serve-request `id` for the
+/// guard's lifetime, restoring the previous request context on drop.
+///
+/// The dispatcher installs this on a worker right before running a
+/// request's job, so queue-wait counters, memo probes, solver and wcoj
+/// spans all carry the same `request` field as the wire frame that
+/// caused them. `None` is an inert guard (the ambient context — usually
+/// none — stays in place), so callers can pass an optional id through
+/// without branching.
+#[must_use = "the request context lasts only while the guard is alive"]
+pub fn with_request(id: Option<u64>) -> RequestGuard {
+    let previous = match id {
+        Some(id) => CURRENT_REQUEST.with(|r| r.replace(Some(id))),
+        None => None,
+    };
+    RequestGuard {
+        installed: id.is_some(),
+        previous,
+    }
+}
+
+/// The request id events on this thread are currently stamped with.
+pub fn current_request() -> Option<u64> {
+    CURRENT_REQUEST.with(|r| r.get())
+}
+
+/// Request-context scope for one thread; see [`with_request`].
+pub struct RequestGuard {
+    installed: bool,
+    previous: Option<u64>,
+}
+
+impl Drop for RequestGuard {
+    fn drop(&mut self) {
+        if self.installed {
+            CURRENT_REQUEST.with(|r| r.set(self.previous));
+        }
+    }
+}
+
 /// Emits a counter event (no-op with no sink installed).
 #[inline]
 pub fn counter(component: &str, name: &str, value: u64) {
@@ -204,6 +329,7 @@ pub fn counter(component: &str, name: &str, value: u64) {
         event.thread = thread_id();
         event.start = epoch_micros();
         event.parent = current_span();
+        event.request = current_request();
         dispatch(event);
     }
 }
@@ -225,6 +351,7 @@ pub fn span(component: &'static str, name: &'static str) -> SpanGuard {
             seq: 0,
             start_offset: 0,
             parent: None,
+            request: None,
             component,
             name,
         };
@@ -237,6 +364,10 @@ pub fn span(component: &'static str, name: &'static str) -> SpanGuard {
         seq,
         start_offset: epoch_micros(),
         parent,
+        // Like `parent`, the request context is captured at open: the
+        // span belongs to whatever request was live when it started,
+        // even if the guard drops after the dispatcher moved on.
+        request: current_request(),
         component,
         name,
     }
@@ -249,6 +380,7 @@ pub struct SpanGuard {
     seq: u64,
     start_offset: u64,
     parent: Option<u64>,
+    request: Option<u64>,
     component: &'static str,
     name: &'static str,
 }
@@ -274,6 +406,7 @@ impl Drop for SpanGuard {
                 event.thread = thread_id();
                 event.start = self.start_offset;
                 event.parent = self.parent;
+                event.request = self.request;
                 dispatch(event);
             }
         }
@@ -447,6 +580,107 @@ mod tests {
         drop(scope);
         let names: Vec<String> = sink.events().iter().map(|e| e.name.clone()).collect();
         assert!(names.contains(&"unscoped_worker".to_string()), "{names:?}");
+    }
+
+    #[test]
+    fn with_request_stamps_counters_and_spans() {
+        let sink = Arc::new(MemorySink::new());
+        let _guard = ScopedSink::install(sink.clone());
+        counter("t", "before", 1);
+        {
+            let _req = with_request(Some(42));
+            counter("t", "inside", 1);
+            {
+                let _span = span("t", "work");
+            }
+            {
+                // Nested contexts restore the outer id on drop.
+                let _inner = with_request(Some(43));
+                counter("t", "nested", 1);
+            }
+            counter("t", "restored", 1);
+        }
+        counter("t", "after", 1);
+        let events = sink.events();
+        let by_name = |n: &str| events.iter().find(|e| e.name == n).unwrap();
+        assert_eq!(by_name("before").request, None);
+        assert_eq!(by_name("inside").request, Some(42));
+        assert_eq!(by_name("work").request, Some(42));
+        assert_eq!(by_name("nested").request, Some(43));
+        assert_eq!(by_name("restored").request, Some(42));
+        assert_eq!(by_name("after").request, None);
+    }
+
+    #[test]
+    fn with_request_none_is_inert() {
+        let _outer = with_request(Some(7));
+        {
+            let _inner = with_request(None);
+            assert_eq!(current_request(), Some(7));
+        }
+        assert_eq!(current_request(), Some(7));
+        drop(_outer);
+        assert_eq!(current_request(), None);
+    }
+
+    #[test]
+    fn span_keeps_the_request_it_opened_under() {
+        let sink = Arc::new(MemorySink::new());
+        let _guard = ScopedSink::install(sink.clone());
+        let opened = {
+            let _req = with_request(Some(9));
+            span("t", "outlives")
+        };
+        // The request context is gone, but the span opened under it.
+        drop(opened);
+        let events = sink.events();
+        let e = events.iter().find(|e| e.name == "outlives").unwrap();
+        assert_eq!(e.request, Some(9));
+    }
+
+    #[test]
+    fn tap_sees_events_alongside_the_sink_and_alone() {
+        let scope = SCOPE.lock().unwrap_or_else(|e| e.into_inner());
+        let sink = Arc::new(MemorySink::new());
+        let tap = Arc::new(MemorySink::new());
+        let tap_guard = set_tap(tap.clone());
+        assert!(enabled(), "a tap alone enables emission");
+        counter("t", "tap_only", 1);
+        set_sink(sink.clone());
+        counter("t", "both", 1);
+        clear_sink();
+        assert!(enabled(), "the tap keeps emission on after clear_sink");
+        counter("t", "tap_again", 1);
+        drop(tap_guard);
+        assert!(!enabled());
+        drop(scope);
+        let tap_names: Vec<String> = tap.events().iter().map(|e| e.name.clone()).collect();
+        assert_eq!(tap_names, vec!["tap_only", "both", "tap_again"]);
+        let sink_names: Vec<String> = sink.events().iter().map(|e| e.name.clone()).collect();
+        assert_eq!(sink_names, vec!["both"]);
+    }
+
+    #[test]
+    fn taps_stack_and_drop_independently() {
+        let scope = SCOPE.lock().unwrap_or_else(|e| e.into_inner());
+        let first = Arc::new(MemorySink::new());
+        let second = Arc::new(MemorySink::new());
+        let first_guard = set_tap(first.clone());
+        let second_guard = set_tap(second.clone());
+        counter("t", "both_taps", 1);
+        // Dropping the *first* guard must not disturb the second tap —
+        // this is a server's tail sampler outliving a shorter-lived
+        // `jp explain` capture (or vice versa).
+        drop(first_guard);
+        assert!(enabled(), "the remaining tap keeps emission on");
+        counter("t", "second_only", 1);
+        drop(second_guard);
+        assert!(!enabled());
+        drop(scope);
+        let first_names: Vec<String> = first.events().iter().map(|e| e.name.clone()).collect();
+        assert_eq!(first_names, vec!["both_taps"]);
+        let second_names: Vec<String> = second.events().iter().map(|e| e.name.clone()).collect();
+        assert_eq!(second_names, vec!["both_taps", "second_only"]);
     }
 
     #[test]

@@ -46,7 +46,9 @@
 //! `Counter` events and elapsed microseconds for `Span` events; `start`
 //! is a monotonic microsecond offset since the sink was installed; the
 //! optional `parent` is the `seq` of the enclosing span and is omitted
-//! at top level. Version-1 traces (no `v`, no `start`/`parent`) still
+//! at top level; the optional `request` is the serve-request id the
+//! event belongs to ([`with_request`]) and is likewise omitted when
+//! absent. Version-1 traces (no `v`, no `start`/`parent`) still
 //! parse. The full per-version field reference lives in the [`event`]
 //! module docs; [`SCHEMA_VERSION`] is what this build writes.
 
@@ -57,8 +59,9 @@ mod sink;
 
 pub use event::{Event, EventKind, SCHEMA_VERSION};
 pub use global::{
-    adopt, clear_sink, counter, current_span, enabled, link_parent, set_sink, span, thread_id,
-    AdoptGuard, LinkGuard, ScopedSink, SpanGuard,
+    adopt, clear_sink, counter, current_request, current_span, enabled, link_parent, set_sink,
+    set_tap, span, thread_id, with_request, AdoptGuard, LinkGuard, RequestGuard, ScopedSink,
+    SpanGuard, TapGuard,
 };
 pub use instrument::{nearest_rank, Counter, Histogram};
 pub use sink::{FanoutSink, JsonlSink, MemorySink, NoopSink, Sink, StatsSink, StatsSnapshot};

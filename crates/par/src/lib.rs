@@ -145,6 +145,7 @@ fn worker_loop<'a, T, R, F>(
     shared: &'a Shared<T>,
     id: usize,
     run_span: Option<u64>,
+    run_request: Option<u64>,
     f: &F,
 ) -> Vec<(usize, R)>
 where
@@ -163,6 +164,11 @@ where
     // runtime's `par.run` span, which outlives every worker — so traces
     // form one tree with zero orphaned parents.
     let _link = jp_obs::link_parent(run_span);
+    // Inherit the caller's serve-request context: a parallel solve run
+    // on behalf of one request stamps that request's id from every
+    // worker, not just the thread that called run_tasks. Inert (None)
+    // outside a request.
+    let _req = jp_obs::with_request(run_request);
     // Start/stop markers bracket the worker's lifetime; their `start`
     // offsets are what `trace summary` turns into the utilization
     // timeline.
@@ -249,6 +255,8 @@ where
     // The seq the span reserved: workers link it as their parent so
     // cross-thread task spans still nest under this `par.run`.
     let run_span = jp_obs::current_span();
+    // The request context at the call site, inherited by every worker.
+    let run_request = jp_obs::current_request();
     let seed_count = tasks.len();
     if seed_count == 0 {
         return Vec::new();
@@ -270,13 +278,15 @@ where
         }
     }
     let collected: Vec<(usize, R)> = if threads == 1 {
-        worker_loop(&shared, 0, run_span, &f)
+        worker_loop(&shared, 0, run_span, run_request, &f)
     } else {
         let shared_ref = &shared;
         let f_ref = &f;
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads)
-                .map(|id| s.spawn(move || worker_loop(shared_ref, id, run_span, f_ref)))
+                .map(|id| {
+                    s.spawn(move || worker_loop(shared_ref, id, run_span, run_request, f_ref))
+                })
                 .collect();
             let mut all = Vec::new();
             for handle in handles {
@@ -456,6 +466,24 @@ mod tests {
         for e in events.iter().filter(|e| e.name == "task_seen") {
             assert_eq!(e.parent, Some(run.seq));
         }
+    }
+
+    #[test]
+    fn workers_inherit_the_callers_request_context() {
+        let sink = std::sync::Arc::new(jp_obs::MemorySink::new());
+        let _guard = jp_obs::ScopedSink::install(sink.clone());
+        let _req = jp_obs::with_request(Some(512));
+        let out = run_tasks(3, (0u64..6).collect(), |_, x| {
+            jp_obs::counter("par", "task_req", x);
+            x
+        });
+        assert_eq!(out.len(), 6);
+        let events = sink.events();
+        for e in events.iter().filter(|e| e.name == "task_req") {
+            assert_eq!(e.request, Some(512), "thread {}", e.thread);
+        }
+        let run = events.iter().find(|e| e.name == "run").expect("par.run");
+        assert_eq!(run.request, Some(512));
     }
 
     #[test]

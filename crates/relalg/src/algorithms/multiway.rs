@@ -98,6 +98,91 @@ pub struct MultiwayOutput {
     pub stats: MultiwayStats,
 }
 
+/// One atom of an explained plan: where it sits in the trie-join and
+/// what the fractional cover charges it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AtomExplain {
+    /// Index into the relation slice.
+    pub relation: usize,
+    /// Variables bound by the atom's columns, in column order.
+    pub vars: Vec<u32>,
+    /// The atom's fractional-edge-cover weight `w_i`.
+    pub weight: f64,
+    /// Cardinality of the backing relation.
+    pub rows: usize,
+    /// The atom's variables permuted into global binding order — the
+    /// key order of the trie index built for it.
+    pub key_order: Vec<u32>,
+}
+
+/// The compiled plan in explainable form: what `jp explain` renders
+/// and annotates with observed counters. Everything here is decided
+/// before the first tuple is touched.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanExplain {
+    /// The shared variable ordering, most-constrained variable first.
+    pub order: Vec<u32>,
+    /// Per atom: position, cover weight, cardinality, trie key order.
+    pub atoms: Vec<AtomExplain>,
+    /// `levels[d]` = indices of atoms participating in the
+    /// intersection at binding level `d` (the atoms containing
+    /// variable `order[d]`).
+    pub levels: Vec<Vec<usize>>,
+    /// The AGM output bound `∏ |R_i|^{w_i}` for this instance.
+    pub agm_bound: f64,
+}
+
+/// Explains the plan [`solve`] would run for `(q, rels)` without
+/// executing it: variable ordering, per-atom trie key orders, level
+/// membership, cover weights, and the certified AGM bound.
+///
+/// # Errors
+/// The same validation failures as [`solve`]:
+/// [`RelalgError::UnknownRelation`] / [`RelalgError::ArityMismatch`].
+// audit:allow(obs-coverage) pure planning metadata — the paired solve() run carries the wcoj spans and counters
+pub fn explain_plan(
+    q: &ConjunctiveQuery,
+    rels: &[MultiRelation],
+) -> Result<PlanExplain, RelalgError> {
+    q.check_relations(rels)?;
+    let order = q.variable_order();
+    let rank: HashMap<u32, usize> = order.iter().enumerate().map(|(d, &v)| (v, d)).collect();
+    let sizes: Vec<usize> = rels.iter().map(MultiRelation::len).collect();
+    let atoms = q
+        .atoms()
+        .iter()
+        .zip(q.cover())
+        .map(|(atom, &weight)| {
+            let mut key_order = atom.vars.clone();
+            key_order.sort_by_key(|v| rank.get(v).copied().unwrap_or(usize::MAX));
+            AtomExplain {
+                relation: atom.relation,
+                vars: atom.vars.clone(),
+                weight,
+                rows: sizes.get(atom.relation).copied().unwrap_or(0),
+                key_order,
+            }
+        })
+        .collect();
+    let levels = order
+        .iter()
+        .map(|v| {
+            q.atoms()
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| a.vars.contains(v))
+                .map(|(i, _)| i)
+                .collect()
+        })
+        .collect();
+    Ok(PlanExplain {
+        agm_bound: q.agm_bound(&sizes),
+        order,
+        atoms,
+        levels,
+    })
+}
+
 /// The compiled plan: variable order, per-level participating atoms,
 /// and one trie index per atom with columns permuted into order rank.
 struct Plan {
@@ -674,6 +759,41 @@ mod tests {
             MultiRelation::new(name, 2, e.iter().map(|&(a, b)| vec![a, b])).unwrap()
         };
         vec![mk("R", r), mk("S", s), mk("T", t)]
+    }
+
+    #[test]
+    fn explain_matches_what_solve_actually_runs() {
+        let (q, rels) = workload::triangle_random(60, 4, 7);
+        let plan = explain_plan(&q, &rels).unwrap();
+        let out = solve(&q, &rels, MultiwayAlgo::Lftj, 1).unwrap();
+        assert_eq!(plan.order, out.order, "same variable ordering");
+        assert_eq!(plan.agm_bound, out.agm_bound, "same certified bound");
+        assert_eq!(plan.atoms.len(), 3);
+        for (atom, w) in plan.atoms.iter().zip(q.cover()) {
+            assert_eq!(atom.weight, *w);
+            assert_eq!(atom.rows, rels[atom.relation].len());
+            // the key order is the atom's vars, reordered
+            let mut sorted_vars = atom.vars.clone();
+            sorted_vars.sort_unstable();
+            let mut sorted_keys = atom.key_order.clone();
+            sorted_keys.sort_unstable();
+            assert_eq!(sorted_vars, sorted_keys);
+        }
+        // every level intersects the atoms containing that variable;
+        // for the triangle each variable lives in exactly 2 atoms
+        assert!(
+            plan.levels.iter().all(|l| l.len() == 2),
+            "{:?}",
+            plan.levels
+        );
+        assert!(out.stats.emits as f64 <= plan.agm_bound);
+    }
+
+    #[test]
+    fn explain_rejects_mismatched_relations_like_solve_does() {
+        let q = ConjunctiveQuery::triangle();
+        let rels = tri_rels(&[(1, 2)], &[(2, 3)], &[(1, 3)]);
+        assert!(explain_plan(&q, &rels[..2]).is_err(), "missing relation");
     }
 
     #[test]

@@ -25,7 +25,8 @@ pub mod value;
 pub mod workload;
 
 pub use algorithms::multiway::{
-    query_join_graph, solve as multiway_solve, MultiwayAlgo, MultiwayOutput, MultiwayStats,
+    explain_plan, query_join_graph, solve as multiway_solve, AtomExplain, MultiwayAlgo,
+    MultiwayOutput, MultiwayStats, PlanExplain,
 };
 pub use error::RelalgError;
 pub use join_graph::{containment_graph, equijoin_graph, join_graph, spatial_graph};

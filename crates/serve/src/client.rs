@@ -3,7 +3,21 @@
 use crate::proto::{self, FrameRead, Request, RequestBody, Response, WIRE_VERSION};
 use std::io::{self, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// Source of tracing ids, shared by every [`Client`] in the process so
+/// concurrent loadgen clients never mint the same id.
+static NEXT_REQUEST: AtomicU64 = AtomicU64::new(1);
+
+/// Mints a fresh tracing id: the process id in the high 32 bits (so
+/// ids from separate client processes hitting one server stay
+/// distinct) and a process-wide counter in the low 32.
+fn mint_request_id() -> u64 {
+    // race:order(monotonic id allocation only needs uniqueness)
+    let n = NEXT_REQUEST.fetch_add(1, Ordering::Relaxed);
+    (u64::from(std::process::id()) << 32) | (n & 0xFFFF_FFFF)
+}
 
 /// Read timeout per poll; combined with [`MAX_IDLE_POLLS`] this bounds
 /// how long [`Client::request`] waits for an answer.
@@ -32,11 +46,21 @@ impl Client {
 
     /// Sends one request and blocks for its response.
     pub fn request(&mut self, body: RequestBody) -> io::Result<Response> {
+        self.request_traced(body).map(|(_, resp)| resp)
+    }
+
+    /// Sends one request and blocks for its response, also returning
+    /// the tracing id minted for the frame — the id the server stamps
+    /// into every jp-obs event the request causes, and the handle
+    /// `jp trace request <id>` reconstructs from.
+    pub fn request_traced(&mut self, body: RequestBody) -> io::Result<(u64, Response)> {
         let id = self.next_id;
         self.next_id += 1;
+        let request = mint_request_id();
         let req = Request {
             v: WIRE_VERSION,
             id,
+            request: Some(request),
             body,
         };
         {
@@ -49,6 +73,7 @@ impl Client {
             match proto::read_frame(&mut self.stream)? {
                 FrameRead::Frame(payload) => {
                     return proto::parse_response(&payload)
+                        .map(|resp| (request, resp))
                         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e));
                 }
                 FrameRead::Eof => {

@@ -12,7 +12,10 @@
 //!   [`jp_pebble::memo::Memo`];
 //! * [`client`] — a blocking client;
 //! * [`loadgen`] — a deterministic Zipf-skewed workload driver with
-//!   answer verification, for benchmarks, tests, and CI.
+//!   answer verification, for benchmarks, tests, and CI;
+//! * [`xray`] — tail-based request sampling: every request-stamped
+//!   jp-obs event is buffered in a bounded ring, and only slow or
+//!   failing requests are flushed at full detail (exemplars).
 //!
 //! Zero dependencies beyond the workspace: the wire format rides the
 //! vendored serde, networking is `std::net`, and concurrency is
@@ -25,8 +28,10 @@ pub mod client;
 pub mod loadgen;
 pub mod proto;
 pub mod server;
+pub mod xray;
 
 pub use client::Client;
-pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport, ServerSnapshot};
+pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport, ServerSnapshot, SlowRequest};
 pub use proto::{PebbleAlgo, Request, RequestBody, Response, ResponseBody, WIRE_VERSION};
 pub use server::{ServeConfig, ServeReport, Server};
+pub use xray::{Xray, XrayConfig};

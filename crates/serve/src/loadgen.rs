@@ -98,6 +98,18 @@ impl ServerSnapshot {
     }
 }
 
+/// One request from the latency tail, identified by the tracing id the
+/// client minted for its frame — the handle `jp trace request <id>`
+/// (and `jp trace flame --request <id>`) reconstructs from.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct SlowRequest {
+    /// Tracing id (`Request::request`) stamped into the server's
+    /// jp-obs events for this request.
+    pub request: u64,
+    /// Client-observed latency, microseconds.
+    pub micros: u64,
+}
+
 /// Aggregated outcome of one loadgen run.
 #[derive(Debug, Clone, Default, Serialize)]
 pub struct LoadgenReport {
@@ -121,9 +133,20 @@ pub struct LoadgenReport {
     pub p95_us: u64,
     /// 99th percentile latency, microseconds.
     pub p99_us: u64,
+    /// Tracing ids of answers that disagreed with the sequential
+    /// solver — exactly the requests worth pulling out of a trace (or
+    /// the server's xray file) with `jp trace request`.
+    pub mismatch_requests: Vec<u64>,
+    /// The latency tail: every answered request at or above the p99
+    /// latency, slowest first, capped at [`SLOWEST_CAP`] entries.
+    pub slowest_p99: Vec<SlowRequest>,
     /// The server's own counters after the run, when reachable.
     pub server: Option<ServerSnapshot>,
 }
+
+/// Bound on [`LoadgenReport::slowest_p99`], so a huge run's JSON
+/// report stays readable.
+pub const SLOWEST_CAP: usize = 16;
 
 /// Per-client tallies, merged after the scope joins.
 #[derive(Default)]
@@ -134,7 +157,10 @@ struct ClientTally {
     errors: u64,
     mismatches: u64,
     cost_sum: u64,
-    latencies: Vec<u64>,
+    /// `(latency, tracing id)` per answered request.
+    timed: Vec<SlowRequest>,
+    /// Tracing ids of answers that failed verification.
+    mismatch_requests: Vec<u64>,
 }
 
 /// The deterministic query pool: a rotation of recognized closed-form
@@ -215,7 +241,7 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
         wall_micros,
         ..LoadgenReport::default()
     };
-    let mut lats: Vec<u64> = Vec::new();
+    let mut timed: Vec<SlowRequest> = Vec::new();
     for t in tallies {
         report.sent += t.sent;
         report.ok += t.ok;
@@ -223,12 +249,20 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
         report.errors += t.errors;
         report.mismatches += t.mismatches;
         report.cost_sum += t.cost_sum;
-        lats.extend(t.latencies);
+        timed.extend(t.timed);
+        report.mismatch_requests.extend(t.mismatch_requests);
     }
+    let mut lats: Vec<u64> = timed.iter().map(|s| s.micros).collect();
     lats.sort_unstable();
     report.p50_us = jp_obs::nearest_rank(&lats, 0.50);
     report.p95_us = jp_obs::nearest_rank(&lats, 0.95);
     report.p99_us = jp_obs::nearest_rank(&lats, 0.99);
+    // the tail itself, by id: everything at/above p99, slowest first
+    timed.retain(|s| s.micros >= report.p99_us && report.p99_us > 0);
+    timed.sort_by(|a, b| b.micros.cmp(&a.micros).then(a.request.cmp(&b.request)));
+    timed.truncate(SLOWEST_CAP);
+    report.slowest_p99 = timed;
+    report.mismatch_requests.sort_unstable();
 
     if let Ok(mut probe) = Client::connect(cfg.addr.as_str()) {
         if let Ok(resp) = probe.request(RequestBody::Stats) {
@@ -279,20 +313,24 @@ fn client_loop(
         let Some(g) = pool.get(qi) else { continue };
         tally.sent += 1;
         let t0 = Instant::now();
-        match client.request(RequestBody::Pebble {
+        match client.request_traced(RequestBody::Pebble {
             graph: g.clone(),
             algo: PebbleAlgo::Auto,
         }) {
-            Ok(resp) => {
+            Ok((request, resp)) => {
                 let us = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
                 match resp.body {
                     ResponseBody::Cost { cost, .. } => {
                         tally.ok += 1;
                         tally.cost_sum += cost;
-                        tally.latencies.push(us);
+                        tally.timed.push(SlowRequest {
+                            request,
+                            micros: us,
+                        });
                         if let Some(exp) = expected {
                             if exp.get(qi).copied() != Some(cost) {
                                 tally.mismatches += 1;
+                                tally.mismatch_requests.push(request);
                             }
                         }
                     }

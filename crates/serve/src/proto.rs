@@ -51,7 +51,18 @@ pub struct Request {
     /// Wire format version ([`WIRE_VERSION`]).
     pub v: u32,
     /// Client-chosen correlation id, echoed in the [`Response`].
+    /// Scoped to one connection (the client numbers its own frames).
     pub id: u64,
+    /// Process-unique tracing id minted by [`crate::Client`], carried
+    /// into every jp-obs event the request causes server-side (the
+    /// `request` field of schema v2) so `jp trace request <id>` can
+    /// reconstruct its critical path.
+    ///
+    /// A *compatible* frame extension within [`WIRE_VERSION`] 1:
+    /// field-lookup deserialization reads a missing key as `None` (old
+    /// client → new server) and ignores unknown keys (new client → old
+    /// server), so peers on either side of the extension interoperate.
+    pub request: Option<u64>,
     /// What is being asked.
     pub body: RequestBody,
 }
@@ -369,6 +380,7 @@ mod tests {
         let req = Request {
             v: WIRE_VERSION,
             id: 7,
+            request: Some(1009),
             body: RequestBody::Pebble {
                 graph: g,
                 algo: PebbleAlgo::Auto,
@@ -410,12 +422,38 @@ mod tests {
         let req = Request {
             v: WIRE_VERSION + 1,
             id: 1,
+            request: None,
             body: RequestBody::Ping,
         };
         let payload = serde_json::to_vec(&req).unwrap();
         let err = parse_request(&payload).unwrap_err();
         assert!(err.contains(&format!("{}", WIRE_VERSION + 1)), "{err}");
         assert!(err.contains(&format!("{WIRE_VERSION}")), "{err}");
+    }
+
+    #[test]
+    fn frames_without_the_request_field_still_parse() {
+        // A frame from a client built before the tracing-id extension:
+        // same wire version, no `request` key. Must parse with `None`,
+        // not error — the extension is compatible, not breaking.
+        let legacy = format!(r#"{{"v":{WIRE_VERSION},"id":3,"body":"Ping"}}"#);
+        let req = parse_request(legacy.as_bytes()).unwrap();
+        assert_eq!(req.id, 3);
+        assert_eq!(req.request, None);
+        assert_eq!(req.body, RequestBody::Ping);
+    }
+
+    #[test]
+    fn unknown_request_keys_are_ignored_like_old_servers_do() {
+        // The mirror direction: an old server reading a stamped frame
+        // ignores the key it does not know. Our deserializer has the
+        // same skip-unknown-keys semantics, demonstrated with a key no
+        // build declares.
+        let stamped =
+            format!(r#"{{"v":{WIRE_VERSION},"id":4,"request":88,"zz_later":1,"body":"Ping"}}"#);
+        let req = parse_request(stamped.as_bytes()).unwrap();
+        assert_eq!(req.request, Some(88));
+        assert_eq!(req.body, RequestBody::Ping);
     }
 
     #[test]

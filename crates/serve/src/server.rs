@@ -35,17 +35,24 @@
 //!
 //! ## Telemetry
 //!
-//! Per request: a `serve.request` jp-obs span and a
-//! `serve.latency_us` jp-pulse histogram (p50/p95/p99 in every pulse
-//! snapshot), plus a `serve.queue_depth` gauge from the dispatcher.
-//! At end of run the server emits one deterministic set of jp-obs
-//! totals (`serve.completed_total`, `serve.cost_sum`,
-//! `serve.errors_total`, …) — these are what `jp trace check` gates as
-//! answer-class counters.
+//! Per request: a `serve.request` jp-obs span (with a
+//! `serve.queue_wait_us` counter inside it), a `serve.wire` span for
+//! the response write, and a `serve.latency_us` jp-pulse histogram
+//! (p50/p95/p99 in every pulse snapshot), plus a `serve.queue_depth`
+//! gauge from the dispatcher. When the client sent a tracing id (see
+//! [`crate::proto::Request::request`]) every one of those events — and
+//! everything the solver emits underneath them — is stamped with it,
+//! which is what `jp trace request <id>` reconstructs. At end of run
+//! the server emits one deterministic set of jp-obs totals
+//! (`serve.completed_total`, `serve.cost_sum`, `serve.errors_total`,
+//! …) — these are what `jp trace check` gates as answer-class
+//! counters. With `--xray-file` set, a [`crate::xray::Xray`] tail
+//! sampler additionally keeps slow/failing requests at full detail.
 
 use crate::proto::{
     self, FrameRead, PebbleAlgo, RequestBody, Response, ResponseBody, WIRE_VERSION,
 };
+use crate::xray::{Xray, XrayConfig};
 use jp_graph::{BipartiteGraph, ComponentMap};
 use jp_pebble::memo::{solve_with_memo_report, Memo, MemoStats};
 use jp_pebble::{exact_bb, PebbleError};
@@ -100,6 +107,16 @@ pub struct ServeConfig {
     /// answering this many pebble requests (a test/CI harness bound;
     /// 0 = serve until a `Shutdown` request arrives).
     pub max_requests: u64,
+    /// Tail-sampling latency threshold (`--slow-us`): a request whose
+    /// handler-observed total reaches it becomes an exemplar.
+    pub slow_us: u64,
+    /// When set (`--xray-file`), install the [`crate::xray::Xray`]
+    /// tail sampler for the lifetime of the run and write sampled
+    /// request traces here as schema-v2 JSONL.
+    pub xray_file: Option<PathBuf>,
+    /// Bound on concurrently buffered requests in the sampler ring
+    /// (`--xray-ring`).
+    pub xray_ring: usize,
 }
 
 impl Default for ServeConfig {
@@ -112,6 +129,9 @@ impl Default for ServeConfig {
             budget: 50_000_000,
             memo_file: None,
             max_requests: 0,
+            slow_us: 5_000,
+            xray_file: None,
+            xray_ring: 64,
         }
     }
 }
@@ -142,6 +162,12 @@ pub struct ServeReport {
     pub preloaded: usize,
     /// Warm-store counters for the whole lifetime.
     pub memo: MemoStats,
+    /// Requests the tail sampler kept at full detail (slow/errored).
+    pub exemplars: u64,
+    /// Requests the tail sampler reduced to their root span.
+    pub downsampled: u64,
+    /// Requests evicted from the sampler ring before finishing.
+    pub xray_dropped: u64,
 }
 
 /// One admitted pebble job, queued handler → dispatcher. The reply
@@ -151,6 +177,13 @@ pub struct ServeReport {
 struct Job {
     graph: BipartiteGraph,
     algo: PebbleAlgo,
+    /// Client-minted tracing id, stamped into every jp-obs event the
+    /// job emits (old clients send none — the job still runs, its
+    /// events just stay unstamped).
+    request: Option<u64>,
+    /// When the handler queued the job; the gap to execution start is
+    /// the `serve.queue_wait_us` counter.
+    enqueued: Instant,
     reply: mpsc::Sender<ResponseBody>,
 }
 
@@ -237,6 +270,7 @@ pub struct Server {
 impl Server {
     /// Binds the listen socket and warms the memo store from the
     /// checkpoint file, when one is configured and present.
+    // audit:allow(obs-coverage) setup I/O — per-request spans live in execute_job/handle_conn
     pub fn bind(cfg: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(cfg.addr.as_str())?;
         let memo = Memo::new();
@@ -256,11 +290,13 @@ impl Server {
     }
 
     /// The bound address (resolves `:0` to the actual ephemeral port).
+    // audit:allow(obs-coverage) trivial accessor
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
         self.listener.local_addr()
     }
 
     /// Entries loaded from the memo checkpoint at bind time.
+    // audit:allow(obs-coverage) trivial accessor
     pub fn preloaded(&self) -> usize {
         self.preloaded
     }
@@ -268,6 +304,7 @@ impl Server {
     /// Serves until a `Shutdown` request (or the `max_requests` bound)
     /// fires, drains in-flight work, checkpoints the memo atomically,
     /// and returns the lifetime report.
+    // audit:allow(obs-coverage) lifetime loop — emits the end-of-run counter set; per-request spans live in execute_job/handle_conn
     pub fn run(self) -> io::Result<ServeReport> {
         // When a scoped obs/pulse capture is active (the bench serve
         // axis runs the server on a spawned thread inside one), join
@@ -279,10 +316,25 @@ impl Server {
         let shared = Shared::new();
         let cfg = &self.cfg;
         let memo = &self.memo;
+        // Tail sampler: installed as the jp-obs *tap* so it rides
+        // alongside (never instead of) a full --trace capture. The
+        // guard uninstalls it before the report reads its counters.
+        let xray = match &cfg.xray_file {
+            Some(path) => Some(std::sync::Arc::new(Xray::create(XrayConfig {
+                slow_us: cfg.slow_us,
+                ring: cfg.xray_ring,
+                path: path.clone(),
+            })?)),
+            None => None,
+        };
+        let tap = xray
+            .as_ref()
+            .map(|x| jp_obs::set_tap(x.clone() as std::sync::Arc<dyn jp_obs::Sink>));
         std::thread::scope(|s| {
             s.spawn(|| dispatch_loop(&shared, memo, cfg));
-            accept_loop(&self.listener, s, &shared, memo, cfg);
+            accept_loop(&self.listener, s, &shared, memo, cfg, xray.as_deref());
         });
+        drop(tap);
         let drained = lock(&shared.queue).is_empty() && shared.pending.load(Ordering::SeqCst) == 0;
         let report = ServeReport {
             connections: shared.connections.load(Ordering::SeqCst),
@@ -295,6 +347,9 @@ impl Server {
             memo_entries: self.memo.len(),
             preloaded: self.preloaded,
             memo: self.memo.stats(),
+            exemplars: xray.as_ref().map_or(0, |x| x.exemplars()),
+            downsampled: xray.as_ref().map_or(0, |x| x.downsampled()),
+            xray_dropped: xray.as_ref().map_or(0, |x| x.dropped()),
         };
         // One deterministic set of end-of-run totals: for a fixed
         // workload these are identical run to run (the per-request
@@ -325,6 +380,7 @@ fn accept_loop<'scope, 'env>(
     shared: &'scope Shared,
     memo: &'scope Memo,
     cfg: &'scope ServeConfig,
+    xray: Option<&'scope Xray>,
 ) {
     while !shared.shutting_down() {
         if cfg.max_requests > 0 && shared.completed.load(Ordering::SeqCst) >= cfg.max_requests {
@@ -334,7 +390,7 @@ fn accept_loop<'scope, 'env>(
         match listener.accept() {
             Ok((stream, _peer)) => {
                 shared.connections.fetch_add(1, Ordering::SeqCst);
-                s.spawn(move || handle_conn(stream, shared, memo, cfg));
+                s.spawn(move || handle_conn(stream, shared, memo, cfg, xray));
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
@@ -353,7 +409,14 @@ fn accept_loop<'scope, 'env>(
 /// One connection: a synchronous request/response loop over the frame
 /// protocol. Exits on peer close, connection error, or (when idle)
 /// server shutdown.
-fn handle_conn(mut stream: TcpStream, shared: &Shared, memo: &Memo, cfg: &ServeConfig) {
+fn handle_conn(
+    mut stream: TcpStream,
+    shared: &Shared,
+    memo: &Memo,
+    cfg: &ServeConfig,
+    xray: Option<&Xray>,
+) {
+    let _obs = jp_obs::adopt();
     let _pulse = jp_pulse::adopt();
     if stream.set_nonblocking(false).is_err()
         || stream.set_read_timeout(Some(HANDLER_READ_TIMEOUT)).is_err()
@@ -379,8 +442,8 @@ fn handle_conn(mut stream: TcpStream, shared: &Shared, memo: &Memo, cfg: &ServeC
                 return;
             }
         };
-        let (id, body) = match proto::parse_request(&payload) {
-            Ok(req) => (req.id, req.body),
+        let (id, request, body) = match proto::parse_request(&payload) {
+            Ok(req) => (req.id, req.request, req.body),
             Err(reason) => {
                 shared.errors.fetch_add(1, Ordering::SeqCst);
                 jp_pulse::counter_add("serve.errors", 1);
@@ -390,6 +453,11 @@ fn handle_conn(mut stream: TcpStream, shared: &Shared, memo: &Memo, cfg: &ServeC
                 continue;
             }
         };
+        // Stamp every event this request causes on the handler thread
+        // with its tracing id; the dispatcher hands the id onward so
+        // solver-side events carry it too. Dropped at loop end.
+        let _req = jp_obs::with_request(request);
+        let t0 = Instant::now();
         let reply = match body {
             RequestBody::Ping => ResponseBody::Pong,
             RequestBody::Stats => stats_body(shared, memo),
@@ -397,9 +465,20 @@ fn handle_conn(mut stream: TcpStream, shared: &Shared, memo: &Memo, cfg: &ServeC
                 shared.begin_shutdown();
                 ResponseBody::ShuttingDown
             }
-            RequestBody::Pebble { graph, algo } => admit(graph, algo, shared, cfg),
+            RequestBody::Pebble { graph, algo } => admit(graph, algo, request, shared, cfg),
         };
-        if respond(&mut stream, id, reply).is_err() {
+        let failed = matches!(reply, ResponseBody::Error { .. });
+        let wrote = {
+            // serve.wire: response serialization + socket write, the
+            // last leg of the request's critical path
+            let _wire = jp_obs::span("serve", "wire");
+            respond(&mut stream, id, reply)
+        };
+        if let (Some(x), Some(rid)) = (xray, request) {
+            let micros = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            x.finish(rid, micros, failed || wrote.is_err());
+        }
+        if wrote.is_err() {
             shared.errors.fetch_add(1, Ordering::SeqCst);
             return;
         }
@@ -411,6 +490,7 @@ fn handle_conn(mut stream: TcpStream, shared: &Shared, memo: &Memo, cfg: &ServeC
 fn admit(
     graph: BipartiteGraph,
     algo: PebbleAlgo,
+    request: Option<u64>,
     shared: &Shared,
     cfg: &ServeConfig,
 ) -> ResponseBody {
@@ -447,6 +527,8 @@ fn admit(
         q.push_back(Job {
             graph,
             algo,
+            request,
+            enqueued: Instant::now(),
             reply: tx,
         });
     }
@@ -543,8 +625,14 @@ fn dispatch_loop(shared: &Shared, memo: &Memo, cfg: &ServeConfig) {
 fn execute_job(job: Job, memo: &Memo, cfg: &ServeConfig, shared: &Shared) {
     let _slot = PendingGuard(shared);
     let t0 = Instant::now();
+    // Adopt the job's tracing id for everything the solve emits —
+    // worker threads don't inherit the handler's context, the id rides
+    // the Job itself.
+    let _req = jp_obs::with_request(job.request);
+    let queue_wait = job.enqueued.elapsed().as_micros().min(u64::MAX as u128) as u64;
     let body = {
         let _span = jp_obs::span("serve", "request");
+        jp_obs::counter("serve", "queue_wait_us", queue_wait);
         solve_body(&job.graph, job.algo, memo, cfg)
     };
     let micros = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;

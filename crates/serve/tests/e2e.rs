@@ -156,6 +156,7 @@ fn wire_version_mismatch_is_answered_not_dropped() {
     let req = Request {
         v: WIRE_VERSION + 7,
         id: 3,
+        request: None,
         body: RequestBody::Ping,
     };
     jp_serve::proto::write_message(&mut stream, &req).expect("write");
@@ -222,6 +223,77 @@ fn warm_restart_serves_the_second_pass_from_the_checkpoint() {
         snap.serve_rate() >= 0.90,
         "second pass must be served warm: rate {:.3}, {snap:?}",
         snap.serve_rate()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn the_tail_sampler_keeps_slow_requests_and_downsamples_fast_ones() {
+    let dir = fresh_dir("xray");
+
+    // first lifetime: a 0µs threshold makes every request an exemplar
+    let slow_file = dir.join("all-slow.jsonl");
+    let (addr, handle) = start_server(ServeConfig {
+        slow_us: 0,
+        xray_file: Some(slow_file.clone()),
+        ..ServeConfig::default()
+    });
+    let cfg = LoadgenConfig {
+        addr,
+        clients: 2,
+        requests: 5,
+        verify: true,
+        shutdown: true,
+        ..LoadgenConfig::default()
+    };
+    let report = run_loadgen(&cfg).expect("loadgen");
+    let served = handle.join().expect("server thread").expect("server run");
+    assert_eq!(report.mismatches, 0, "{report:?}");
+    assert!(report.mismatch_requests.is_empty(), "{report:?}");
+    // the client-side tail carries tracing ids to chase with
+    // `jp trace request`
+    assert!(!report.slowest_p99.is_empty(), "{report:?}");
+    assert!(
+        report.slowest_p99.iter().all(|s| s.request > 0),
+        "{report:?}"
+    );
+    assert!(
+        served.exemplars >= report.ok,
+        "every pebble request must be an exemplar at slow_us=0: {served:?}"
+    );
+    assert_eq!(served.xray_dropped, 0, "{served:?}");
+    let text = std::fs::read_to_string(&slow_file).expect("xray file");
+    let roots = text
+        .lines()
+        .filter(|l| l.contains("\"component\":\"serve\"") && l.contains("\"name\":\"request\""))
+        .count() as u64;
+    assert_eq!(roots, served.completed, "one root span per answer: {text}");
+    assert!(
+        text.lines().all(|l| l.contains("\"request\":")),
+        "the sampler only keeps request-stamped events"
+    );
+
+    // second lifetime: an unreachable threshold downsamples everything
+    // to its root span — latency accounting survives, detail does not
+    let fast_file = dir.join("all-fast.jsonl");
+    let (addr2, handle2) = start_server(ServeConfig {
+        slow_us: u64::MAX,
+        xray_file: Some(fast_file.clone()),
+        ..ServeConfig::default()
+    });
+    let cfg2 = LoadgenConfig { addr: addr2, ..cfg };
+    let report2 = run_loadgen(&cfg2).expect("loadgen");
+    let served2 = handle2.join().expect("server thread").expect("server run");
+    assert_eq!(report2.errors, 0, "{report2:?}");
+    assert_eq!(served2.exemplars, 0, "{served2:?}");
+    assert!(served2.downsampled > 0, "{served2:?}");
+    let text2 = std::fs::read_to_string(&fast_file).expect("xray file");
+    assert_eq!(text2.lines().count() as u64, served2.completed, "{text2}");
+    assert!(
+        text2
+            .lines()
+            .all(|l| l.contains("\"name\":\"request\"") && l.contains("\"request\":")),
+        "downsampled requests keep exactly their root span: {text2}"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }

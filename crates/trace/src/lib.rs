@@ -28,6 +28,10 @@
 //! * [`diff`] — the baseline comparator: per-counter noise tolerances
 //!   with hard/soft severity classes ([`Tolerances`] documents the
 //!   defaults), plus a symmetric run-vs-run diff.
+//! * [`request`] — per-request reconstruction over the serve tracing
+//!   ids ([`jp_obs::Event::request`]): the cross-thread critical path
+//!   of one request and a queue/solve/memo/wcoj/wire blame breakdown,
+//!   with a completeness gate for CI.
 //!
 //! The crate is std-only, `#![forbid(unsafe_code)]`, and covered by the
 //! workspace audit's panic-freedom rule.
@@ -37,9 +41,11 @@ pub mod diff;
 pub mod flame;
 pub mod pulse;
 pub mod reader;
+pub mod request;
 
 pub use analyze::{Analysis, SpanNode, SpanStats, ThreadSummary};
 pub use diff::{BaselineCase, DiffReport, Finding, Severity, Tolerances};
 pub use flame::folded_stacks;
 pub use pulse::{pulse_snapshots, PulseSnapshot};
 pub use reader::{parse_trace, read_trace, ReadReport};
+pub use request::{reconstruct, reconstruct_all, Blame, PathStep, RequestSummary, RequestTrace};

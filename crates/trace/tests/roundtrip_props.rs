@@ -10,6 +10,10 @@
 //!   references an earlier span in the same trace (the shape the live
 //!   emitter guarantees via seq reservation), the analyzer reports zero
 //!   orphaned parent links.
+//! * **`request` is an additive field** — traces without it round-trip
+//!   byte-identically (so the stamp costs nothing when absent), and
+//!   stamped traces still parse under a reader that predates the field
+//!   (unknown keys are ignored, never a hard error).
 
 use jp_obs::{Event, EventKind};
 use jp_trace::{parse_trace, Analysis};
@@ -60,6 +64,12 @@ fn arb_events() -> impl Strategy<Value = Vec<Event>> {
             if kind == EventKind::Span {
                 span_seqs.push(seq);
             }
+            // roughly a third of the events carry a serve tracing id
+            let request = if entropy % 3 == 0 {
+                Some(1 + (entropy >> 8) % 5)
+            } else {
+                None
+            };
             events.push(Event {
                 seq,
                 thread,
@@ -69,6 +79,7 @@ fn arb_events() -> impl Strategy<Value = Vec<Event>> {
                 value,
                 start: entropy >> 32,
                 parent,
+                request,
             });
         }
         events
@@ -92,6 +103,50 @@ proptest! {
             .map(|e| serde_json::to_string(e).unwrap() + "\n")
             .collect();
         prop_assert_eq!(reemitted, text);
+    }
+
+    #[test]
+    fn traces_without_the_request_field_round_trip_byte_identically(events in arb_events()) {
+        // strip every stamp: a pre-serve trace must serialize with no
+        // `request` key at all, and survive the pipeline unchanged
+        let mut events = events;
+        for e in &mut events {
+            e.request = None;
+        }
+        let text: String = events
+            .iter()
+            .map(|e| serde_json::to_string(e).unwrap() + "\n")
+            .collect();
+        prop_assert!(!text.contains("\"request\""), "absent means omitted, not null");
+        let (parsed, report) = parse_trace(&text);
+        prop_assert_eq!(report.skipped(), 0, "skips: {:?}", report.samples);
+        let reemitted: String = parsed
+            .iter()
+            .map(|e| serde_json::to_string(e).unwrap() + "\n")
+            .collect();
+        prop_assert_eq!(reemitted, text);
+    }
+
+    #[test]
+    fn stamped_traces_parse_under_a_reader_that_predates_the_field(events in arb_events()) {
+        // A pre-request reader sees `request` as just another unknown
+        // key — its field-lookup deserializer skips what it doesn't
+        // know. Simulate that exact path by renaming the key to one no
+        // reader knows: parsing must still succeed line for line, with
+        // every *other* field intact and no hard error anywhere.
+        let text: String = events
+            .iter()
+            .map(|e| serde_json::to_string(e).unwrap() + "\n")
+            .collect();
+        let aged = text.replace("\"request\":", "\"zz_unknown\":");
+        let (parsed, report) = parse_trace(&aged);
+        prop_assert_eq!(report.skipped(), 0, "skips: {:?}", report.samples);
+        prop_assert_eq!(parsed.len(), events.len());
+        for (old, new) in events.iter().zip(parsed.iter()) {
+            let mut expect = old.clone();
+            expect.request = None; // the one field the old reader drops
+            prop_assert_eq!(&expect, new);
+        }
     }
 
     #[test]

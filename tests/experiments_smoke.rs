@@ -18,7 +18,7 @@ fn fast_experiments_pass_in_debug() {
 #[test]
 fn experiment_ids_match_design_index() {
     let ids: Vec<&str> = jp_bench::all_experiments().iter().map(|e| e.id).collect();
-    assert_eq!(ids.len(), 23);
+    assert_eq!(ids.len(), 24);
     assert_eq!(ids.first(), Some(&"E1"));
-    assert_eq!(ids.last(), Some(&"E23"));
+    assert_eq!(ids.last(), Some(&"E24"));
 }
